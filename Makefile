@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet bench cover experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table/figure (scaled fig8; use FULL=1 for N=200k).
+experiments:
+	$(GO) run ./cmd/somrm-experiments all $(if $(FULL),-full,)
+
+fuzz:
+	$(GO) test -fuzz FuzzBetaInc -fuzztime 30s ./internal/specfn/
+	$(GO) test -fuzz FuzzParseBuild -fuzztime 30s ./internal/spec/
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,237 @@
+package somrm_test
+
+import (
+	"strconv"
+	"testing"
+
+	"somrm"
+	"somrm/internal/experiments"
+)
+
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// runs the same experiment code as cmd/somrm-experiments; see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured values.
+
+// BenchmarkFig1SamplePath draws the Figure 1 joint state/reward trajectory.
+func BenchmarkFig1SamplePath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(2.5, 0.005, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Mean regenerates the Figure 3 mean-reward series (three
+// variance parameters over the default time grid).
+func BenchmarkFig3Mean(b *testing.B) {
+	times := experiments.DefaultTimes()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(times, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Moments regenerates the Figure 4 2nd/3rd-moment series.
+func BenchmarkFig4Moments(b *testing.B) {
+	times := experiments.DefaultTimes()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(times, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Bounds .. BenchmarkFig7Bounds regenerate the moment-based
+// distribution bounds at t=0.5 for the three variance parameters.
+func benchBounds(b *testing.B, sigma2 float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigBounds(sigma2, 0.5, 23, 41, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Bounds(b *testing.B) { benchBounds(b, 0) }
+func BenchmarkFig6Bounds(b *testing.B) { benchBounds(b, 1) }
+func BenchmarkFig7Bounds(b *testing.B) { benchBounds(b, 10) }
+
+// BenchmarkFig8Large runs the Table 2 / Figure 8 sweep on the scale-100
+// model (N=2,000 sources; pass -full to cmd/somrm-experiments for the
+// paper-size N=200,000 run).
+func BenchmarkFig8Large(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigLarge(100, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossCheckSolvers reproduces the section-7 validation run:
+// randomization vs ODE vs simulation on the small model.
+func BenchmarkCrossCheckSolvers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CrossCheck(1, 0.5, 3, 20_000, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Solver micro-benchmarks (the PERF row of the experiment index) ---
+
+func smallModel(b *testing.B, sigma2 float64) *somrm.Model {
+	b.Helper()
+	m, err := somrm.OnOffModel(somrm.OnOffPaperSmall(sigma2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkRandomizationSmall times one moment solve of the Table 1 model
+// (the paper reports well under a second per figure on 2004 hardware).
+func BenchmarkRandomizationSmall(b *testing.B) {
+	m := smallModel(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AccumulatedReward(0.5, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomizationHighOrder times the 23-moment solve behind the
+// bound figures.
+func BenchmarkRandomizationHighOrder(b *testing.B) {
+	m := smallModel(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AccumulatedReward(0.5, 23, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkODEBaseline times the trapezoid/RK4 baseline the paper compares
+// against (same model and order as BenchmarkRandomizationSmall).
+func BenchmarkODEBaseline(b *testing.B) {
+	m := smallModel(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := somrm.MomentsByODE(m, 0.5, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationBaseline times the Monte Carlo baseline at 10k
+// replications.
+func BenchmarkSimulationBaseline(b *testing.B) {
+	m := smallModel(b, 10)
+	s, err := somrm.NewSimulator(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EstimateMoments(0.5, 3, 10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalingStates measures the linear-in-states iteration cost on
+// growing ON-OFF models (the complexity claim of section 6).
+func BenchmarkScalingStates(b *testing.B) {
+	for _, n := range []int{100, 1_000, 10_000} {
+		p := somrm.OnOffPaperLarge()
+		p.N = n
+		p.C = float64(n)
+		m, err := somrm.OnOffModel(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(byteCount(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.AccumulatedReward(0.01, 3, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingOrder measures the linear-in-order cost of computing
+// more moments in one sweep.
+func BenchmarkScalingOrder(b *testing.B) {
+	m := smallModel(b, 10)
+	for _, order := range []int{1, 4, 16} {
+		order := order
+		b.Run(byteCount(order), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.AccumulatedReward(0.5, order, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiTimeSweep vs BenchmarkPointwiseSweep: ablation for the
+// shared-sweep multi-time solver (one U^(n)(k) recursion serving a whole
+// time series, as used by the Figure 3/4 harness).
+func BenchmarkMultiTimeSweep(b *testing.B) {
+	m := smallModel(b, 10)
+	times := experiments.DefaultTimes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AccumulatedRewardAt(times, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointwiseSweep(b *testing.B) {
+	m := smallModel(b, 10)
+	times := experiments.DefaultTimes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range times {
+			if _, err := m.AccumulatedReward(t, 3, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDistributionBounds times the Figures 5-7 bound computation from
+// precomputed moments.
+func BenchmarkDistributionBounds(b *testing.B) {
+	m := smallModel(b, 10)
+	res, err := m.AccumulatedReward(0.5, 23, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := somrm.NewDistributionBounds(res.Moments)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := est.CDFBounds(11.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func byteCount(n int) string {
+	switch {
+	case n >= 1_000_000:
+		return strconv.Itoa(n/1_000_000) + "M"
+	case n >= 1_000:
+		return strconv.Itoa(n/1_000) + "k"
+	default:
+		return strconv.Itoa(n)
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a buffer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan struct{})
+	var buf bytes.Buffer
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(&buf, r)
+	}()
+	runErr := fn()
+	_ = w.Close()
+	<-done
+	return buf.String(), runErr
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig1", "-t", "0.5", "-dt", "0.05"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "t,state,reward\n") {
+		t.Errorf("fig1 output:\n%s", out)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 3", "steady-state", "18.285714"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "Figure 4") != 2 {
+		t.Errorf("fig4 should print two moment tables:\n%s", out)
+	}
+}
+
+func TestRunFig6SmallMoments(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig6", "-moments", "10", "-points", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sigma2=1") {
+		t.Errorf("fig6 output:\n%s", out)
+	}
+}
+
+func TestRunFig8Scaled(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig8", "-scale", "2000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "N=100 sources") {
+		t.Errorf("fig8 output:\n%s", out)
+	}
+}
+
+func TestRunCrossCheck(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"crosscheck", "-reps", "5000", "-order", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "randomization") || !strings.Contains(out, "simulation within 3 sigma") {
+		t.Errorf("crosscheck output:\n%s", out)
+	}
+}
+
+func TestRunErrorBound(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"errorbound", "-order", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "eq. (11)") {
+		t.Errorf("errorbound output:\n%s", out)
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	fig3 := filepath.Join(dir, "fig3.svg")
+	fig4 := filepath.Join(dir, "fig4.svg")
+	fig6 := filepath.Join(dir, "fig6.svg")
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"fig3", "-svg", fig3})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"fig4", "-svg", fig4})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"fig6", "-moments", "10", "-points", "7", "-svg", fig6})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{fig3, filepath.Join(dir, "fig4-m2.svg"), filepath.Join(dir, "fig4-m3.svg"), fig6} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing SVG %s: %v", path, err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") || !strings.Contains(string(data), "</svg>") {
+			t.Errorf("%s does not look like SVG", path)
+		}
+		if err := xml.Unmarshal(data, new(struct{})); err != nil {
+			// xml.Unmarshal into an empty struct still validates syntax.
+			t.Errorf("%s is not well-formed XML: %v", path, err)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"fig3", "-eps", "notanumber"},
+		{"fig5", "-moments", "1"},
+		{"fig8", "-scale", "0"},
+	} {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMoments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "moments", "-reps", "2000", "-order", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Monte Carlo moments") || !strings.Contains(out, "95% half-width") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunPath(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "path", "-t", "0.1", "-dt", "0.01"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t,state,reward\n") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 5 {
+		t.Error("too few CSV rows")
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "nope"}, &sb); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunBadVariance(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sigma2", "-3"}, &sb); err == nil {
+		t.Error("negative variance accepted")
+	}
+}

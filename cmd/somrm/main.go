@@ -1,0 +1,183 @@
+// Command somrm computes accumulated-reward moments (and optionally
+// moment-based distribution bounds) for a second-order Markov reward model
+// described by a JSON file.
+//
+// Model specification:
+//
+//	{
+//	  "states": 2,
+//	  "transitions": [{"from": 0, "to": 1, "rate": 2.0},
+//	                  {"from": 1, "to": 0, "rate": 3.0}],
+//	  "rates":     [1.5, -0.5],
+//	  "variances": [0.2, 1.0],
+//	  "initial":   [1, 0],
+//	  "impulses":  [{"from": 0, "to": 1, "reward": 0.1}]
+//	}
+//
+// Usage:
+//
+//	somrm -model model.json -t 1.0 -order 4 [-eps 1e-9] [-per-state] [-bounds x1,x2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"somrm"
+	"somrm/internal/report"
+	"somrm/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "somrm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("somrm", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to the JSON model spec ('-' for stdin)")
+	t := fs.Float64("t", 1, "accumulation time")
+	order := fs.Int("order", 3, "highest moment order")
+	eps := fs.Float64("eps", 1e-9, "randomization truncation accuracy")
+	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
+	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
+	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -model")
+	}
+
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	if *timesAt != "" {
+		return runSeries(model, *timesAt, *order, *eps, out)
+	}
+
+	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps})
+	if err != nil {
+		return err
+	}
+
+	tab := report.NewTable(fmt.Sprintf("Moments of the accumulated reward at t=%g", *t), "order", "E[B^j]")
+	for j := 0; j <= *order; j++ {
+		if err := tab.AddFloatRow(strconv.Itoa(j), res.Moments[j]); err != nil {
+			return err
+		}
+	}
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g\n",
+		res.Stats.Q, res.Stats.QT, res.Stats.D, res.Stats.G, res.Stats.Shift, res.Stats.ErrorBound)
+
+	if *perState {
+		head := []string{"state"}
+		for j := 0; j <= *order; j++ {
+			head = append(head, "j="+strconv.Itoa(j))
+		}
+		pt := report.NewTable("Per-initial-state moments", head...)
+		for i := 0; i < model.N(); i++ {
+			vals := make([]float64, *order+1)
+			for j := 0; j <= *order; j++ {
+				vals[j] = res.VectorMoments[j][i]
+			}
+			if err := pt.AddFloatRow(strconv.Itoa(i), vals...); err != nil {
+				return err
+			}
+		}
+		if err := pt.Render(out); err != nil {
+			return err
+		}
+	}
+
+	if *boundsAt != "" {
+		est, err := somrm.NewDistributionBounds(res.Moments)
+		if err != nil {
+			return fmt.Errorf("distribution bounds: %w", err)
+		}
+		bt := report.NewTable(fmt.Sprintf("CDF bounds (usable moment depth %d)", 2*est.MaxNodes()),
+			"x", "lower", "upper")
+		for _, tok := range strings.Split(*boundsAt, ",") {
+			x, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad bounds point %q: %w", tok, err)
+			}
+			b, err := est.CDFBounds(x)
+			if err != nil {
+				return err
+			}
+			if err := bt.AddFloatRow(report.FormatFloat(x), b.Lower, b.Upper); err != nil {
+				return err
+			}
+		}
+		if err := bt.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadModel(path string) (*somrm.Model, error) {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := spec.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	return parsed.Build()
+}
+
+// runSeries evaluates a whole time grid in one shared randomization sweep
+// and emits the moments as CSV.
+func runSeries(model *somrm.Model, timesArg string, order int, eps float64, out io.Writer) error {
+	var times []float64
+	for _, tok := range strings.Split(timesArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad time %q: %w", tok, err)
+		}
+		times = append(times, v)
+	}
+	results, err := model.AccumulatedRewardAt(times, order, &somrm.SolveOptions{Epsilon: eps})
+	if err != nil {
+		return err
+	}
+	headers := make([]string, 0, order+2)
+	headers = append(headers, "t")
+	for j := 0; j <= order; j++ {
+		headers = append(headers, "m"+strconv.Itoa(j))
+	}
+	csv, err := report.NewCSV(out, headers...)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		row := make([]float64, 0, order+2)
+		row = append(row, res.T)
+		row = append(row, res.Moments...)
+		if err := csv.Row(row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

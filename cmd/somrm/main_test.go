@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validSpec = `{
+  "states": 2,
+  "transitions": [{"from":0,"to":1,"rate":2.0},{"from":1,"to":0,"rate":3.0}],
+  "rates": [1.5, -0.5],
+  "variances": [0.2, 1.0],
+  "initial": [1, 0]
+}`
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunHappyPath(t *testing.T) {
+	path := writeSpec(t, validSpec)
+	var sb strings.Builder
+	err := run([]string{"-model", path, "-t", "1", "-order", "3", "-per-state", "-bounds", "0,1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Moments of the accumulated reward", "Per-initial-state moments", "CDF bounds", "solver: q=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunMissingModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing -model accepted")
+	}
+}
+
+func TestRunUnreadableFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "/nonexistent/x.json"}, &sb); err == nil {
+		t.Error("unreadable file accepted")
+	}
+}
+
+func TestRunBadJSON(t *testing.T) {
+	path := writeSpec(t, "{nope")
+	var sb strings.Builder
+	if err := run([]string{"-model", path}, &sb); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestRunBadModels(t *testing.T) {
+	cases := map[string]string{
+		"no states":       `{"states":0}`,
+		"self transition": `{"states":1,"transitions":[{"from":0,"to":0,"rate":1}],"rates":[1],"variances":[0],"initial":[1]}`,
+		"bad rate":        `{"states":2,"transitions":[{"from":0,"to":1,"rate":-2}],"rates":[1,1],"variances":[0,0],"initial":[1,0]}`,
+		"bad initial":     `{"states":2,"transitions":[{"from":0,"to":1,"rate":1},{"from":1,"to":0,"rate":1}],"rates":[1,1],"variances":[0,0],"initial":[0.4,0.4]}`,
+		"out of range":    `{"states":2,"transitions":[{"from":0,"to":5,"rate":1}],"rates":[1,1],"variances":[0,0],"initial":[1,0]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := writeSpec(t, body)
+			var sb strings.Builder
+			if err := run([]string{"-model", path}, &sb); err == nil {
+				t.Error("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestRunWithImpulses(t *testing.T) {
+	spec := `{
+	  "states": 2,
+	  "transitions": [{"from":0,"to":1,"rate":2.0},{"from":1,"to":0,"rate":3.0}],
+	  "rates": [1, 0],
+	  "variances": [0.1, 0.1],
+	  "initial": [1, 0],
+	  "impulses": [{"from":0,"to":1,"reward":0.5}]
+	}`
+	path := writeSpec(t, spec)
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-t", "1", "-order", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimesSeries(t *testing.T) {
+	path := writeSpec(t, validSpec)
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-times", "0.5,1,2", "-order", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t,m0,m1,m2\n") {
+		t.Errorf("series header missing:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Errorf("want 4 CSV lines:\n%s", out)
+	}
+	if err := run([]string{"-model", path, "-times", "abc"}, &sb); err == nil {
+		t.Error("bad time token accepted")
+	}
+}
+
+func TestRunBadBoundsPoint(t *testing.T) {
+	path := writeSpec(t, validSpec)
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-bounds", "abc"}, &sb); err == nil {
+		t.Error("unparseable bounds point accepted")
+	}
+}

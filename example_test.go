@@ -1,0 +1,115 @@
+package somrm_test
+
+import (
+	"fmt"
+	"log"
+
+	"somrm"
+)
+
+// ExampleModel_AccumulatedReward computes moments of the accumulated
+// reward of a two-mode server with the randomization method.
+func ExampleModel_AccumulatedReward() {
+	model, err := somrm.NewModelFromRates(2,
+		func(i, j int) float64 {
+			if i == 0 && j == 1 {
+				return 0.4
+			}
+			if i == 1 && j == 0 {
+				return 1.5
+			}
+			return 0
+		},
+		[]float64{2.0, 0.5}, // drifts
+		[]float64{0.5, 1.5}, // variances
+		[]float64{1, 0},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := model.AccumulatedReward(2.0, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, _ := res.Mean()
+	variance, _ := res.Variance()
+	fmt.Printf("mean=%.4f variance=%.4f\n", mean, variance)
+	// Output: mean=3.5309 variance=1.7354
+}
+
+// ExampleNewDistributionBounds bounds the reward CDF from computed
+// moments, the Figures 5-7 pipeline of the paper.
+func ExampleNewDistributionBounds() {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := model.AccumulatedReward(0.5, 23, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds, err := somrm.NewDistributionBounds(res.Moments)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := bounds.CDFBounds(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(B(0.5) <= 8) in [%.4f, %.4f]\n", b.Lower, b.Upper)
+	// Output: P(B(0.5) <= 8) in [0.0343, 0.2020]
+}
+
+// ExampleModel_LongRun computes the CLT parameters of the reward.
+func ExampleModel_LongRun() {
+	model, err := somrm.NewModelFromRates(2,
+		func(i, j int) float64 {
+			if i != j {
+				return 1
+			}
+			return 0
+		},
+		[]float64{3, 1},
+		[]float64{0.5, 0.5},
+		[]float64{1, 0},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	asym, err := model.LongRun()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B(t) ~ Normal(%.2f t, %.2f t) for large t\n", asym.MeanRate, asym.VarianceRate)
+	// Output: B(t) ~ Normal(2.00 t, 1.50 t) for large t
+}
+
+// ExampleCompose builds a two-source system from independent components.
+func ExampleCompose() {
+	source := func() *somrm.Model {
+		m, err := somrm.NewModelFromRates(2,
+			func(i, j int) float64 {
+				if i == 0 && j == 1 {
+					return 3 // OFF -> ON
+				}
+				if i == 1 && j == 0 {
+					return 4 // ON -> OFF
+				}
+				return 0
+			},
+			[]float64{0, 1},
+			[]float64{0, 0.5},
+			[]float64{1, 0},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	joint, err := somrm.Compose(source(), source())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joint states: %d\n", joint.N())
+	// Output: joint states: 4
+}

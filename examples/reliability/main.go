@@ -1,0 +1,84 @@
+// Reliability / performability: a repairable multiprocessor delivering
+// noisy computational work. The reward B(t) is the amount of work completed
+// in (0, t); processors fail and are repaired, and each processor's
+// throughput carries second-order (Brownian) noise. The example also
+// exercises the impulse-reward extension: each repair completion charges a
+// fixed cost against the accumulated reward metric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"somrm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := somrm.MultiprocessorParams{
+		P:      8,
+		Lambda: 0.1, // failures per processor per unit time
+		Mu:     2.0, // repairs per unit time (single repair facility)
+		Work:   1.0, // work units per processor per unit time
+		Sigma2: 0.3, // throughput noise per processor
+	}
+
+	fmt.Println("Repairable multiprocessor, P=8, lambda=0.1, mu=2, work=1, sigma2=0.3")
+	fmt.Println()
+	fmt.Println("t     E[work]   StdDev    P(work <= 0.9*E) bounds")
+	for _, t := range []float64{1, 5, 10, 20} {
+		model, err := somrm.MultiprocessorModel(base)
+		if err != nil {
+			return err
+		}
+		res, err := model.AccumulatedReward(t, 12, nil)
+		if err != nil {
+			return err
+		}
+		sd, err := res.StdDev()
+		if err != nil {
+			return err
+		}
+		bounds, err := somrm.NewDistributionBounds(res.Moments)
+		if err != nil {
+			return err
+		}
+		b, err := bounds.CDFBounds(0.9 * res.Moments[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5g %-9.3f %-9.3f [%.4f, %.4f]\n",
+			t, res.Moments[1], sd, b.Lower, b.Upper)
+	}
+
+	// Impulse extension: charge 0.05 work units per repair completion.
+	withCost := base
+	withCost.RepairCost = 0.05
+	plain, err := somrm.MultiprocessorModel(base)
+	if err != nil {
+		return err
+	}
+	charged, err := somrm.MultiprocessorModel(withCost)
+	if err != nil {
+		return err
+	}
+	const t = 10.0
+	resPlain, err := plain.AccumulatedReward(t, 2, nil)
+	if err != nil {
+		return err
+	}
+	resCharged, err := charged.AccumulatedReward(t, 2, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nimpulse extension at t=%g: mean work %.4f plain vs %.4f with +0.05/repair\n",
+		t, resPlain.Moments[1], resCharged.Moments[1])
+	fmt.Printf("(difference %.4f ~ 0.05 x expected repair count)\n",
+		resCharged.Moments[1]-resPlain.Moments[1])
+	return nil
+}

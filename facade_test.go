@@ -1,0 +1,204 @@
+package somrm_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"somrm"
+)
+
+func TestFacadeModelCatalog(t *testing.T) {
+	large := somrm.OnOffPaperLarge()
+	if large.N != 200_000 || large.Sigma2 != 10 {
+		t.Errorf("OnOffPaperLarge = %+v", large)
+	}
+	mp, err := somrm.MultiprocessorModel(somrm.MultiprocessorParams{
+		P: 3, Lambda: 0.2, Mu: 1, Work: 1, Sigma2: 0.1,
+	})
+	if err != nil || mp.N() != 4 {
+		t.Errorf("MultiprocessorModel: %v", err)
+	}
+}
+
+func TestFacadeJSONRoundTrip(t *testing.T) {
+	model, err := somrm.QueueDrainModel(somrm.QueueDrainParams{
+		ArrivalRate: 1, FastRate: 2, SlowRate: 0.5,
+		FailRate: 1, FixRate: 2, Sigma2Fast: 0.1, Sigma2Slow: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := somrm.ModelToJSON(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"transitions"`) {
+		t.Errorf("JSON missing transitions: %s", data)
+	}
+	back, err := somrm.ParseModelJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := model.AccumulatedReward(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := back.AccumulatedReward(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 2; j++ {
+		if math.Abs(r1.Moments[j]-r2.Moments[j]) > 1e-13*(1+math.Abs(r1.Moments[j])) {
+			t.Errorf("round-trip moment %d differs", j)
+		}
+	}
+	if _, err := somrm.ParseModelJSON([]byte("{bad")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestFacadeComposeAll(t *testing.T) {
+	unit, err := somrm.NewModelFromRates(2, func(i, j int) float64 { return 1 },
+		[]float64{0, 1}, []float64{0, 0.1}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := somrm.ComposeAll(unit, unit, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.N() != 8 {
+		t.Errorf("ComposeAll states = %d", joint.N())
+	}
+}
+
+func TestFacadeEdgeworth(t *testing.T) {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.AccumulatedReward(0.5, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := somrm.NewEdgeworthEstimate(res.Moments, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := res.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.CDF(mean)
+	if c < 0.35 || c > 0.65 {
+		t.Errorf("Edgeworth CDF at mean = %g", c)
+	}
+}
+
+func TestFacadeODEMethodConstants(t *testing.T) {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []somrm.ODEOptions{
+		{Method: somrm.ODEMethodHeun, Steps: 2000},
+		{Method: somrm.ODEMethodRK45},
+	} {
+		method := method
+		if _, err := somrm.MomentsByODE(model, 0.1, 1, &method); err != nil {
+			t.Errorf("method %v: %v", method.Method, err)
+		}
+	}
+}
+
+func TestFacadeFirstPassage(t *testing.T) {
+	model, err := somrm.QueueDrainModel(somrm.QueueDrainParams{
+		ArrivalRate: 1, FastRate: 3, SlowRate: 0.5,
+		FailRate: 1, FixRate: 2, Sigma2Fast: 0.3, Sigma2Slow: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := somrm.NewSimulator(model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateFirstPassage(1.0, 3.0, 1e-3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.HitProbability <= 0 || est.HitProbability > 1 {
+		t.Errorf("hit probability = %g", est.HitProbability)
+	}
+	cb, err := model.CompletionProbability(1.0, 3.0, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.HitProbability+4*est.HitStdErr < cb.Lower {
+		t.Errorf("passage %g below completion lower bound %g", est.HitProbability, cb.Lower)
+	}
+}
+
+func TestFacadeIntervalAvailability(t *testing.T) {
+	gen, err := somrm.NewBirthDeathGenerator([]float64{2}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := somrm.UnitDistribution(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := gen.IntervalAvailability(pi, []bool{false, true}, 4, 0.5, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av <= 0.5 || av > 1 {
+		t.Errorf("availability = %g for a mostly-up system", av)
+	}
+}
+
+func TestFacadeJointMoments(t *testing.T) {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := model.JointMoments(0.2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := joint.Marginal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.AccumulatedReward(0.2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(marg[0]-res.VectorMoments[1][0]) > 1e-8*(1+res.VectorMoments[1][0]) {
+		t.Errorf("joint marginal %g vs vector solver %g", marg[0], res.VectorMoments[1][0])
+	}
+}
+
+func TestFacadeTimeAveragedAndLongRun(t *testing.T) {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.AccumulatedReward(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := res.TimeAveraged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym, err := model.LongRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=2 the time-averaged mean should be near (above) the long-run rate.
+	if avg[1] < asym.MeanRate || avg[1] > 32 {
+		t.Errorf("time-averaged mean %g vs long-run rate %g", avg[1], asym.MeanRate)
+	}
+}

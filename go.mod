@@ -1,0 +1,3 @@
+module somrm
+
+go 1.22

@@ -1,0 +1,142 @@
+package brownian
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalPDFStandard(t *testing.T) {
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := NormalPDF(0, 0, 1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("pdf(0) = %.16g, want %.16g", got, want)
+	}
+	// Symmetry.
+	if NormalPDF(1.3, 0, 1) != NormalPDF(-1.3, 0, 1) {
+		t.Error("pdf not symmetric")
+	}
+}
+
+func TestNormalPDFDegenerate(t *testing.T) {
+	if got := NormalPDF(2, 2, 0); !math.IsInf(got, 1) {
+		t.Errorf("pdf at atom = %g", got)
+	}
+	if got := NormalPDF(1, 2, 0); got != 0 {
+		t.Errorf("pdf off atom = %g", got)
+	}
+	if got := NormalPDF(0, 0, -1); !math.IsNaN(got) {
+		t.Errorf("pdf with negative variance = %g, want NaN", got)
+	}
+}
+
+func TestNormalCDFKnown(t *testing.T) {
+	cases := []struct{ x, mu, s2, want float64 }{
+		{0, 0, 1, 0.5},
+		{1.959963984540054, 0, 1, 0.975},
+		{-1.959963984540054, 0, 1, 0.025},
+		{3, 1, 4, 0.8413447460685429}, // z = 1
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x, c.mu, c.s2); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("cdf(%g; %g, %g) = %.12g, want %.12g", c.x, c.mu, c.s2, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFDegenerate(t *testing.T) {
+	if got := NormalCDF(2, 2, 0); got != 1 {
+		t.Errorf("cdf at atom = %g", got)
+	}
+	if got := NormalCDF(1.9, 2, 0); got != 0 {
+		t.Errorf("cdf below atom = %g", got)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-4, 0.025, 0.31, 0.5, 0.77, 0.975, 1 - 1e-4, 1 - 1e-12} {
+		z, err := NormalQuantile(p, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := NormalCDF(z, 0, 1)
+		if math.Abs(back-p) > 1e-12*math.Max(p, 1e-3) && math.Abs(back-p) > 1e-14 {
+			t.Errorf("p=%g: quantile %.15g maps back to %.15g", p, z, back)
+		}
+	}
+}
+
+func TestNormalQuantileScaling(t *testing.T) {
+	z, err := NormalQuantile(0.975, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 + 1.959963984540054*2
+	if math.Abs(z-want) > 1e-9 {
+		t.Errorf("quantile = %.12g, want %.12g", z, want)
+	}
+}
+
+func TestNormalQuantileErrors(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NormalQuantile(p, 0, 1); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("p=%g accepted", p)
+		}
+	}
+	if _, err := NormalQuantile(0.5, 0, -1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative variance accepted")
+	}
+}
+
+func TestNormalRawMomentKnown(t *testing.T) {
+	// Standard normal: 1, 0, 1, 0, 3, 0, 15.
+	want := []float64{1, 0, 1, 0, 3, 0, 15}
+	for n, w := range want {
+		got, err := NormalRawMoment(n, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("m%d = %g, want %g", n, got, w)
+		}
+	}
+	// Degenerate: moments of the constant mu.
+	for n := 0; n <= 5; n++ {
+		got, err := NormalRawMoment(n, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-math.Pow(2, float64(n))) > 1e-12 {
+			t.Errorf("degenerate m%d = %g", n, got)
+		}
+	}
+}
+
+func TestNormalRawMomentErrors(t *testing.T) {
+	if _, err := NormalRawMoment(-1, 0, 1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative order accepted")
+	}
+	if _, err := NormalRawMoment(2, 0, -1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative variance accepted")
+	}
+}
+
+// Property: m2 - m1^2 = variance for any (mu, sigma2).
+func TestNormalMomentVarianceProperty(t *testing.T) {
+	f := func(muRaw, s2Raw float64) bool {
+		mu := math.Mod(muRaw, 100)
+		s2 := math.Abs(math.Mod(s2Raw, 100))
+		if math.IsNaN(mu) || math.IsNaN(s2) {
+			return true
+		}
+		m1, err1 := NormalRawMoment(1, mu, s2)
+		m2, err2 := NormalRawMoment(2, mu, s2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs((m2-m1*m1)-s2) <= 1e-9*(1+s2+mu*mu)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

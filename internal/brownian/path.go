@@ -1,0 +1,62 @@
+package brownian
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Increment draws B(t+dt) - B(t) for a Brownian motion with the given drift
+// and variance parameter over an interval of length dt, i.e. a
+// Normal(drift*dt, variance*dt) variate.
+func Increment(rng *rand.Rand, drift, variance, dt float64) (float64, error) {
+	if dt < 0 {
+		return 0, fmt.Errorf("%w: negative interval %g", ErrBadParameter, dt)
+	}
+	if variance < 0 {
+		return 0, fmt.Errorf("%w: negative variance %g", ErrBadParameter, variance)
+	}
+	if dt == 0 {
+		return 0, nil
+	}
+	return drift*dt + rng.NormFloat64()*math.Sqrt(variance*dt), nil
+}
+
+// Path holds a sampled Brownian path on a uniform grid.
+type Path struct {
+	// Dt is the grid spacing; Values[i] is the path value at time i*Dt,
+	// with Values[0] = 0.
+	Dt     float64
+	Values []float64
+}
+
+// SamplePath samples a Brownian path with constant drift and variance on a
+// uniform grid with `steps` increments of length dt.
+func SamplePath(rng *rand.Rand, drift, variance, dt float64, steps int) (*Path, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("%w: negative step count %d", ErrBadParameter, steps)
+	}
+	p := &Path{Dt: dt, Values: make([]float64, steps+1)}
+	for i := 1; i <= steps; i++ {
+		inc, err := Increment(rng, drift, variance, dt)
+		if err != nil {
+			return nil, err
+		}
+		p.Values[i] = p.Values[i-1] + inc
+	}
+	return p, nil
+}
+
+// Bridge fills the value at the midpoint of an interval conditioned on the
+// endpoints (a Brownian bridge step), used for path refinement in the
+// trajectory renderer of Figure 1.
+func Bridge(rng *rand.Rand, left, right, variance, dt float64) (float64, error) {
+	if variance < 0 {
+		return 0, fmt.Errorf("%w: negative variance %g", ErrBadParameter, variance)
+	}
+	if dt < 0 {
+		return 0, fmt.Errorf("%w: negative interval %g", ErrBadParameter, dt)
+	}
+	mean := (left + right) / 2
+	return mean + rng.NormFloat64()*math.Sqrt(variance*dt/4), nil
+}

@@ -1,0 +1,121 @@
+package brownian
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIncrementMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const (
+		drift, variance, dt = 2.0, 3.0, 0.25
+		n                   = 200_000
+	)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		inc, err := Increment(rng, drift, variance, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += inc
+		sumSq += inc * inc
+	}
+	mean := sum / n
+	wantMean := drift * dt
+	if math.Abs(mean-wantMean) > 5*math.Sqrt(variance*dt/n) {
+		t.Errorf("mean = %g, want %g", mean, wantMean)
+	}
+	v := sumSq/n - mean*mean
+	wantVar := variance * dt
+	if math.Abs(v-wantVar)/wantVar > 0.02 {
+		t.Errorf("variance = %g, want %g", v, wantVar)
+	}
+}
+
+func TestIncrementEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inc, err := Increment(rng, 5, 1, 0)
+	if err != nil || inc != 0 {
+		t.Errorf("dt=0: inc=%g err=%v", inc, err)
+	}
+	// Zero variance is deterministic drift.
+	inc, err = Increment(rng, 5, 0, 2)
+	if err != nil || inc != 10 {
+		t.Errorf("sigma2=0: inc=%g err=%v", inc, err)
+	}
+	if _, err := Increment(rng, 1, -1, 1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative variance accepted")
+	}
+	if _, err := Increment(rng, 1, 1, -1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative dt accepted")
+	}
+}
+
+func TestSamplePathShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := SamplePath(rng, 1, 0.5, 0.01, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Values) != 101 {
+		t.Fatalf("len = %d, want 101", len(p.Values))
+	}
+	if p.Values[0] != 0 {
+		t.Errorf("path must start at 0, got %g", p.Values[0])
+	}
+	if _, err := SamplePath(rng, 1, 1, 0.01, -1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative steps accepted")
+	}
+}
+
+func TestSamplePathDeterministicDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := SamplePath(rng, 2, 0, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p.Values {
+		want := 2 * 0.5 * float64(i)
+		if math.Abs(v-want) > 1e-12 {
+			t.Errorf("value[%d] = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestBridgeMidpointStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const (
+		left, right, variance, dt = 1.0, 3.0, 2.0, 0.5
+		n                         = 100_000
+	)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		m, err := Bridge(rng, left, right, variance, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += m
+		sumSq += m * m
+	}
+	mean := sum / n
+	if math.Abs(mean-2) > 0.02 {
+		t.Errorf("bridge mean = %g, want 2", mean)
+	}
+	v := sumSq/n - mean*mean
+	wantVar := variance * dt / 4
+	if math.Abs(v-wantVar)/wantVar > 0.05 {
+		t.Errorf("bridge variance = %g, want %g", v, wantVar)
+	}
+}
+
+func TestBridgeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Bridge(rng, 0, 1, -1, 1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative variance accepted")
+	}
+	if _, err := Bridge(rng, 0, 1, 1, -1); !errors.Is(err, ErrBadParameter) {
+		t.Error("negative dt accepted")
+	}
+}

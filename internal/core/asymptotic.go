@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"somrm/internal/linalg"
+)
+
+// Asymptotics holds the long-run (central-limit) parameters of the
+// accumulated reward: B(t) ~ Normal(MeanRate*t, VarianceRate*t) as
+// t -> infinity for an irreducible structure process. MeanRate is pi.r;
+// VarianceRate combines the structure-process variability (through the
+// deviation matrix) with the average second-order noise pi.S.h:
+//
+//	VarianceRate = pi S h + 2 (pi o r) D r,
+//
+// where D = (Pi - Q)^{-1} - Pi is the deviation matrix of the CTMC and
+// (pi o r) is the elementwise product. Impulse rewards add
+// 2 (pi o r) D (sum_j q_.j y_.j) + sum_ij pi_i q_ij y_ij (y_ij + 2 r-free
+// terms); impulse models are currently rejected to keep the formula exact.
+type Asymptotics struct {
+	// MeanRate is the long-run reward accumulation rate pi.r.
+	MeanRate float64
+	// VarianceRate is the long-run variance growth rate of B(t).
+	VarianceRate float64
+	// Stationary is the stationary distribution of the structure process.
+	Stationary []float64
+}
+
+// LongRun computes the CLT parameters of the accumulated reward. It
+// requires an irreducible structure process and no impulse rewards, and
+// densifies the generator (intended for moderate state counts).
+func (m *Model) LongRun() (*Asymptotics, error) {
+	if m.HasImpulses() {
+		return nil, fmt.Errorf("%w: long-run asymptotics do not support impulse rewards", ErrBadArgument)
+	}
+	pi, err := m.gen.StationaryDistribution()
+	if err != nil {
+		return nil, fmt.Errorf("core: long run: %w", err)
+	}
+	n := m.N()
+
+	var meanRate, noiseRate float64
+	for i := 0; i < n; i++ {
+		meanRate += pi[i] * m.rates[i]
+		noiseRate += pi[i] * m.vars[i]
+	}
+
+	// Deviation matrix D = (Pi - Q)^{-1} - Pi, with Pi = h pi^T.
+	q := m.gen.Matrix().Dense()
+	a := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, pi[j]-q[i*n+j])
+		}
+	}
+	lu, err := linalg.FactorLU(a)
+	if err != nil {
+		return nil, fmt.Errorf("core: long run: deviation matrix: %w", err)
+	}
+	// D r = (Pi - Q)^{-1} r - Pi r = x - (pi.r) h, since Pi r = (pi.r) h.
+	r := linalg.Vector(m.rates)
+	x, err := lu.Solve(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: long run: %w", err)
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = x[i] - meanRate
+	}
+	// structRate = 2 sum_i pi_i (r_i - pi.r) (D r)_i, the integrated
+	// autocovariance of the centered reward rate.
+	var structRate float64
+	for i := 0; i < n; i++ {
+		structRate += pi[i] * (m.rates[i] - meanRate) * w[i]
+	}
+	structRate *= 2
+
+	if structRate < 0 && structRate > -1e-12*(1+meanRate*meanRate) {
+		structRate = 0
+	}
+	return &Asymptotics{
+		MeanRate:     meanRate,
+		VarianceRate: noiseRate + structRate,
+		Stationary:   pi,
+	}, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Two-state closed form: the integrated (first-order) reward has
+// asymptotic variance rate 2 a b (r0-r1)^2 / (a+b)^3.
+func TestLongRunTwoStateClosedForm(t *testing.T) {
+	a, b := 2.0, 3.0
+	r0, r1 := 5.0, 1.0
+	s0, s1 := 0.7, 1.3
+	m := mustModel(t, cyclic2(t, a, b), []float64{r0, r1}, []float64{s0, s1}, []float64{1, 0})
+	asym, err := m.LongRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi0 := b / (a + b)
+	pi1 := a / (a + b)
+	wantMean := pi0*r0 + pi1*r1
+	if math.Abs(asym.MeanRate-wantMean) > 1e-12 {
+		t.Errorf("MeanRate = %.14g, want %.14g", asym.MeanRate, wantMean)
+	}
+	wantVar := pi0*s0 + pi1*s1 + 2*a*b*(r0-r1)*(r0-r1)/math.Pow(a+b, 3)
+	if math.Abs(asym.VarianceRate-wantVar) > 1e-10*(1+wantVar) {
+		t.Errorf("VarianceRate = %.12g, want %.12g", asym.VarianceRate, wantVar)
+	}
+	if math.Abs(asym.Stationary[0]-pi0) > 1e-12 {
+		t.Errorf("Stationary = %v", asym.Stationary)
+	}
+}
+
+// Var[B(t)]/t must converge to the asymptotic variance rate.
+func TestLongRunMatchesTransientLimit(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 1.5, 0.8), []float64{4, -2}, []float64{1, 2.5}, []float64{1, 0})
+	asym, err := m.LongRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 400.0
+	res, err := m.AccumulatedReward(tt, 2, &Options{Epsilon: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Variance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := v / tt
+	// The transient correction is O(1/t); at t=400 expect <1% deviation.
+	if math.Abs(rate-asym.VarianceRate)/asym.VarianceRate > 0.01 {
+		t.Errorf("Var/t at t=%g is %.6g, asymptotic %.6g", tt, rate, asym.VarianceRate)
+	}
+	// The transient mean carries a constant offset (p(0)-pi)Dr, so compare
+	// the *increment* of the mean over a late interval against the rate.
+	res2, err := m.AccumulatedReward(tt/2, 1, &Options{Epsilon: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := res.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean2, err := res2.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	incRate := (mean - mean2) / (tt / 2)
+	if math.Abs(incRate-asym.MeanRate)/math.Abs(asym.MeanRate) > 1e-6 {
+		t.Errorf("late mean increment rate %.8g vs asymptotic %.8g", incRate, asym.MeanRate)
+	}
+}
+
+func TestLongRunConstantRatesPureNoise(t *testing.T) {
+	// Equal drifts: the structure term vanishes, VarianceRate = pi.S.h.
+	m := mustModel(t, cyclic2(t, 2, 3), []float64{7, 7}, []float64{0.5, 2}, []float64{1, 0})
+	asym, err := m.LongRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*0.5 + 2*2.0) / 5
+	if math.Abs(asym.VarianceRate-want) > 1e-12 {
+		t.Errorf("VarianceRate = %.14g, want %.14g", asym.VarianceRate, want)
+	}
+	if math.Abs(asym.MeanRate-7) > 1e-12 {
+		t.Errorf("MeanRate = %g", asym.MeanRate)
+	}
+}
+
+func TestLongRunErrors(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 1, 2), []float64{1, 2}, []float64{0, 0}, []float64{1, 0})
+	mi, err := m.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mi.LongRun(); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("impulses: %v", err)
+	}
+	// Reducible chain.
+	gen, err := reducible2(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := mustModel(t, gen, []float64{1, 2}, []float64{0, 0}, []float64{1, 0})
+	if _, err := red.LongRun(); err == nil {
+		t.Error("reducible chain accepted")
+	}
+}

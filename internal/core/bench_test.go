@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"somrm/internal/ctmc"
+)
+
+func benchModel(b *testing.B, n int, shiftNegative bool) *Model {
+	b.Helper()
+	up := make([]float64, n-1)
+	down := make([]float64, n-1)
+	for i := range up {
+		up[i] = float64(n-1-i) * 3
+		down[i] = float64(i+1) * 4
+	}
+	gen, err := ctmc.NewBirthDeath(up, down)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := make([]float64, n)
+	vars := make([]float64, n)
+	for i := range rates {
+		rates[i] = float64(n-1) - float64(i)
+		if shiftNegative {
+			rates[i] -= float64(n) // every drift negative: shift path active
+		}
+		vars[i] = float64(i)
+	}
+	pi := make([]float64, n)
+	pi[0] = 1
+	m, err := New(gen, rates, vars, pi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// Ablation (DESIGN.md): cost of the negative-drift shift transformation.
+// The shift adds only the binomial unshift at the end, so the two runs
+// should be nearly identical per op.
+func BenchmarkSolveNoShift(b *testing.B) {
+	m := benchModel(b, 64, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AccumulatedReward(0.5, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveWithShift(b *testing.B) {
+	m := benchModel(b, 64, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AccumulatedReward(0.5, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTruncationPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := truncationPoint(3, 0.25, 40_000, 1e-9, false, 10_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComposePair(b *testing.B) {
+	m := benchModel(b, 16, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(m, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/ctmc"
+)
+
+// onOffSource builds a single ON-OFF source: OFF (state 0, no reward),
+// ON (state 1, drift r, variance s2).
+func onOffSource(t *testing.T, alpha, beta, r, s2 float64) *Model {
+	t.Helper()
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-beta, beta, alpha, -alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mustModel(t, gen, []float64{0, r}, []float64{0, s2}, []float64{1, 0})
+}
+
+func TestComposeMomentsAreBinomialConvolution(t *testing.T) {
+	a := mustModel(t, cyclic2(t, 2, 3), []float64{1, -0.5}, []float64{0.4, 1}, []float64{1, 0})
+	b := mustModel(t, cyclic2(t, 0.7, 1.1), []float64{2, 0}, []float64{0, 0.6}, []float64{0.25, 0.75})
+	joint, err := Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.N() != 4 {
+		t.Fatalf("joint states = %d", joint.N())
+	}
+	const tt = 0.8
+	const order = 5
+	ra, err := a.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := joint.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= order; n++ {
+		var want float64
+		for k := 0; k <= n; k++ {
+			want += binomCoef(n, k) * ra.Moments[k] * rb.Moments[n-k]
+		}
+		got := rj.Moments[n]
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Errorf("joint m%d = %.12g, convolution oracle %.12g", n, got, want)
+		}
+	}
+}
+
+// The ON-OFF multiplexer of the paper equals the composition of N
+// independent single-source models plus the constant capacity drift C.
+func TestComposeReproducesOnOffModel(t *testing.T) {
+	const (
+		alpha, beta = 4.0, 3.0
+		r, s2       = 1.0, 2.0
+		nSrc        = 3
+		capacity    = 10.0
+		tt          = 0.4
+	)
+	// Composition of 3 sources, counting transmitted data.
+	src := onOffSource(t, alpha, beta, r, s2)
+	joint, err := ComposeAll(src, src, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := joint.AccumulatedReward(tt, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper-style aggregated model: state = number of ON sources, reward
+	// = C - (transmitted data rate); so B_onoff = C*t - B_joint.
+	up := make([]float64, nSrc)
+	down := make([]float64, nSrc)
+	for i := 0; i < nSrc; i++ {
+		up[i] = float64(nSrc-i) * beta
+		down[i] = float64(i+1) * alpha
+	}
+	gen, err := ctmc.NewBirthDeath(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make([]float64, nSrc+1)
+	vars := make([]float64, nSrc+1)
+	for i := 0; i <= nSrc; i++ {
+		rates[i] = capacity - float64(i)*r
+		vars[i] = float64(i) * s2
+	}
+	pi, err := ctmc.UnitDistribution(nSrc+1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := mustModel(t, gen, rates, vars, pi)
+	ragg, err := agg.AccumulatedReward(tt, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// E[(C t - B_joint)^n] via binomial expansion must match the
+	// aggregated model's moments.
+	ct := capacity * tt
+	for n := 0; n <= 3; n++ {
+		var want float64
+		for k := 0; k <= n; k++ {
+			sign := 1.0
+			if k%2 == 1 {
+				sign = -1
+			}
+			want += sign * binomCoef(n, k) * math.Pow(ct, float64(n-k)) * rj.Moments[k]
+		}
+		if math.Abs(ragg.Moments[n]-want) > 1e-7*(1+math.Abs(want)) {
+			t.Errorf("aggregated m%d = %.12g, composed oracle %.12g", n, ragg.Moments[n], want)
+		}
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 1, 1), []float64{1, 2}, []float64{0, 0}, []float64{1, 0})
+	if _, err := Compose(nil, m); !errors.Is(err, ErrBadModel) {
+		t.Errorf("nil a: %v", err)
+	}
+	if _, err := Compose(m, nil); !errors.Is(err, ErrBadModel) {
+		t.Errorf("nil b: %v", err)
+	}
+	mi, err := m.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compose(mi, m); !errors.Is(err, ErrBadModel) {
+		t.Errorf("impulse component: %v", err)
+	}
+	if _, err := ComposeAll(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("empty compose: %v", err)
+	}
+	if _, err := ComposeAll(nil); !errors.Is(err, ErrBadModel) {
+		t.Errorf("nil single: %v", err)
+	}
+}
+
+func TestComposeGeneratorStructure(t *testing.T) {
+	a := mustModel(t, cyclic2(t, 2, 3), []float64{1, 2}, []float64{0, 0}, []float64{1, 0})
+	b := mustModel(t, cyclic2(t, 5, 7), []float64{10, 20}, []float64{0, 0}, []float64{0, 1})
+	joint, err := Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := joint.Generator()
+	// (0,0) -> (1,0) at rate 2 (A moves) and (0,0) -> (0,1) at rate 5.
+	if got := gen.At(0, 2); got != 2 {
+		t.Errorf("A-move rate = %g, want 2", got)
+	}
+	if got := gen.At(0, 1); got != 5 {
+		t.Errorf("B-move rate = %g, want 5", got)
+	}
+	// No simultaneous move (0,0) -> (1,1).
+	if got := gen.At(0, 3); got != 0 {
+		t.Errorf("simultaneous move rate = %g", got)
+	}
+	// Joint drift/variance are sums; initial is the product.
+	if joint.Rates()[3] != 22 {
+		t.Errorf("joint rate = %g, want 22", joint.Rates()[3])
+	}
+	if joint.Initial()[1] != 1 {
+		t.Errorf("joint initial = %v", joint.Initial())
+	}
+}

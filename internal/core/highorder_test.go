@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"somrm/internal/brownian"
+	"somrm/internal/momentbounds"
+)
+
+// The figures 5-7 pipeline needs 23 accurate moments. Verify the solver's
+// numerical stability at that depth against the normal closed form (the
+// paper's stability argument: only non-negative substochastic products,
+// no cancellation).
+func TestHighOrderMomentsStable(t *testing.T) {
+	const order = 23
+	m := normalModel(t, 1.5, 2.0)
+	const tt = 0.7
+	res, err := m.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= order; j++ {
+		want, err := brownian.NormalRawMoment(j, 1.5*tt, 2.0*tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(res.Moments[j]-want) / (1 + math.Abs(want))
+		if rel > 1e-8 {
+			t.Errorf("order %d: rel error %g (got %.12g, want %.12g)", j, rel, res.Moments[j], want)
+		}
+	}
+	// The 23 moments are a usable input to the bound machinery.
+	est, err := momentbounds.New(res.Moments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MaxNodes() < 8 {
+		t.Errorf("usable depth %d from 23 accurate moments", est.MaxNodes())
+	}
+}
+
+// Negative-drift high-order: the unshift binomial must not destroy
+// accuracy (it mixes signs, the one place cancellation can re-enter).
+func TestHighOrderMomentsWithShift(t *testing.T) {
+	const order = 15
+	m := normalModel(t, -2.0, 1.0)
+	const tt = 0.5
+	res, err := m.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= order; j++ {
+		want, err := brownian.NormalRawMoment(j, -2.0*tt, 1.0*tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(res.Moments[j]-want) / (1 + math.Abs(want))
+		if rel > 1e-7 {
+			t.Errorf("order %d: rel error %g", j, rel)
+		}
+	}
+}

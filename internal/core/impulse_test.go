@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Expected number of 0->1 transitions in (0,t) for the 2-state chain
+// starting in 0: integral of p0(u)*a du.
+func expectedUpJumps(a, b, t float64) float64 {
+	lam := a + b
+	ss0 := b / lam
+	intP0 := ss0*t + a/lam*(1-math.Exp(-lam*t))/lam
+	return a * intP0
+}
+
+func TestImpulseMeanClosedForm(t *testing.T) {
+	a, b, y := 2.0, 3.0, 0.7
+	gen := cyclic2(t, a, b)
+	base := mustModel(t, gen, []float64{1, 0.5}, []float64{0.2, 0.4}, []float64{1, 0})
+	withImp, err := base.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, y}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.2, 1, 3} {
+		r0, err := base.AccumulatedReward(tt, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := withImp.AccumulatedReward(tt, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := r0.Moments[1] + y*expectedUpJumps(a, b, tt)
+		if math.Abs(r1.Moments[1]-want) > 1e-7*(1+math.Abs(want)) {
+			t.Errorf("t=%g: impulse mean %.12g, want %.12g", tt, r1.Moments[1], want)
+		}
+	}
+}
+
+// Pure impulse counting: zero drift/variance, unit impulse on 0->1. The
+// first moment is then the expected number of up-jumps, an independent
+// closed form.
+func TestPureImpulseCounting(t *testing.T) {
+	a, b := 1.5, 2.5
+	gen := cyclic2(t, a, b)
+	base := mustModel(t, gen, []float64{0, 0}, []float64{0, 0}, []float64{1, 0})
+	m, err := base.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 2.0
+	res, err := m.AccumulatedReward(tt, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedUpJumps(a, b, tt)
+	if math.Abs(res.Moments[1]-want) > 1e-7*(1+want) {
+		t.Errorf("jump count mean = %.10g, want %.10g", res.Moments[1], want)
+	}
+	// Second moment of a counting variable: m2 >= m1 and m2 >= m1^2.
+	if res.Moments[2] < res.Moments[1] || res.Moments[2] < res.Moments[1]*res.Moments[1] {
+		t.Errorf("impulse m2 = %g inconsistent with m1 = %g", res.Moments[2], res.Moments[1])
+	}
+}
+
+func TestImpulseWithNegativeDriftShift(t *testing.T) {
+	// Impulses must compose with the drift-shift transformation.
+	a, b, y := 2.0, 1.0, 0.4
+	gen := cyclic2(t, a, b)
+	neg := mustModel(t, gen, []float64{-3, 1}, []float64{0.5, 0.1}, []float64{1, 0})
+	negImp, err := neg.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, y}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := negImp.AccumulatedReward(1.5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shift != -3 {
+		t.Errorf("Shift = %g, want -3", res.Stats.Shift)
+	}
+	// Mean = continuous part + y * E[up jumps].
+	base, err := neg.AccumulatedReward(1.5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Moments[1] + y*expectedUpJumps(a, b, 1.5)
+	if math.Abs(res.Moments[1]-want) > 1e-7*(1+math.Abs(want)) {
+		t.Errorf("mean = %.10g, want %.10g", res.Moments[1], want)
+	}
+}
+
+func TestImpulseZeroMatrixNoEffect(t *testing.T) {
+	gen := cyclic2(t, 1, 1)
+	base := mustModel(t, gen, []float64{1, 2}, []float64{0.5, 0.5}, []float64{1, 0})
+	withZero, err := base.WithImpulses(impulseMatrix(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := base.AccumulatedReward(1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := withZero.AccumulatedReward(1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 3; j++ {
+		if math.Abs(r0.Moments[j]-r1.Moments[j]) > 1e-9*(1+math.Abs(r0.Moments[j])) {
+			t.Errorf("j=%d: zero impulse changed moment %g -> %g", j, r0.Moments[j], r1.Moments[j])
+		}
+	}
+}

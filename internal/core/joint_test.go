@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestJointMomentsMarginalsAndTransient(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 2, 5), []float64{-1, 3}, []float64{0.5, 2}, []float64{1, 0})
+	const tt = 0.8
+	const order = 3
+	joint, err := m.JointMoments(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order 0 equals the transient probability matrix.
+	for i := 0; i < 2; i++ {
+		row, err := m.Generator().TransientDistribution(unitRow(2, i), tt, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 2; k++ {
+			got, err := joint.At(0, i, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-row[k]) > 1e-9 {
+				t.Errorf("P(Z=%d|Z0=%d): joint %.12g vs transient %.12g", k, i, got, row[k])
+			}
+		}
+	}
+	// Marginals equal the vector solver.
+	res, err := m.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= order; j++ {
+		marg, err := joint.Marginal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			want := res.VectorMoments[j][i]
+			if math.Abs(marg[i]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Errorf("marginal j=%d i=%d: %.12g vs %.12g", j, i, marg[i], want)
+			}
+		}
+	}
+}
+
+func TestJointConditionalMeanAgainstSimulation(t *testing.T) {
+	// Conditional mean E[B | Z(t)=k] differs by final state when the
+	// reward rates differ; validate against the law of total expectation
+	// (already covered by marginals) and basic ordering: paths ending in
+	// the high-reward state have spent more recent time there.
+	m := mustModel(t, cyclic2(t, 1, 1), []float64{5, 0}, []float64{0.1, 0.1}, []float64{0.5, 0.5})
+	joint, err := m.JointMoments(0.6, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c00, err := joint.ConditionalMean(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c01, err := joint.ConditionalMean(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c00 <= c01 {
+		t.Errorf("ending in the high-reward state must raise the conditional mean: %g vs %g", c00, c01)
+	}
+}
+
+func TestJointMomentsNormalModel(t *testing.T) {
+	// Identical rates: B independent of the path, so
+	// M^(j)[i][k] = E[B^j] * P(Z(t)=k | Z(0)=i).
+	m := normalModel(t, 1.5, 2.0)
+	const tt = 0.7
+	joint, err := m.JointMoments(tt, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.AccumulatedReward(tt, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 4; j++ {
+		for i := 0; i < 2; i++ {
+			for k := 0; k < 2; k++ {
+				p, err := joint.At(0, i, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := joint.At(j, i, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := res.Moments[j] * p
+				if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+					t.Errorf("j=%d i=%d k=%d: %.12g vs %.12g", j, i, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJointMomentsWithImpulsesAndShift(t *testing.T) {
+	base := mustModel(t, cyclic2(t, 2, 3), []float64{-1, 0.5}, []float64{0.2, 0.4}, []float64{1, 0})
+	m, err := base.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, 0.7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.9
+	joint, err := m.JointMoments(tt, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.AccumulatedReward(tt, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 2; j++ {
+		marg, err := joint.Marginal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(marg[0]-res.VectorMoments[j][0]) > 1e-8*(1+math.Abs(res.VectorMoments[j][0])) {
+			t.Errorf("impulse marginal j=%d: %.12g vs %.12g", j, marg[0], res.VectorMoments[j][0])
+		}
+	}
+}
+
+func TestJointMomentsEdges(t *testing.T) {
+	m := normalModel(t, 1, 1)
+	// t = 0: identity transient, zero moments.
+	joint, err := m.JointMoments(0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := joint.At(0, 0, 0); v != 1 {
+		t.Errorf("t=0 P(0->0) = %g", v)
+	}
+	if v, _ := joint.At(0, 0, 1); v != 0 {
+		t.Errorf("t=0 P(0->1) = %g", v)
+	}
+	if v, _ := joint.At(1, 0, 0); v != 0 {
+		t.Errorf("t=0 first moment = %g", v)
+	}
+	// Zero-reward model with transitions (d == 0 path).
+	zero := mustModel(t, cyclic2(t, 2, 5), []float64{0, 0}, []float64{0, 0}, []float64{1, 0})
+	jz, err := zero.JointMoments(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := jz.Marginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(marg[0]-1) > 1e-9 {
+		t.Errorf("d=0 path mass = %g", marg[0])
+	}
+	// Errors.
+	if _, err := m.JointMoments(-1, 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative t: %v", err)
+	}
+	if _, err := m.JointMoments(1, -1, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative order: %v", err)
+	}
+	if _, err := joint.At(9, 0, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("bad index: %v", err)
+	}
+	if _, err := joint.Marginal(9); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("bad marginal: %v", err)
+	}
+	if _, err := joint.ConditionalMean(0, 1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero-probability conditioning: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/ctmc"
+	"somrm/internal/sparse"
+)
+
+// cyclic2 returns a 2-state generator with rates a (0->1) and b (1->0).
+func cyclic2(t *testing.T, a, b float64) *ctmc.Generator {
+	t.Helper()
+	g, err := ctmc.NewGeneratorFromDense(2, []float64{-a, a, b, -b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustModel(t *testing.T, gen *ctmc.Generator, r, s, pi []float64) *Model {
+	t.Helper()
+	m, err := New(gen, r, s, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	gen := cyclic2(t, 1, 1)
+	valid := func() ([]float64, []float64, []float64) {
+		return []float64{1, 2}, []float64{0, 1}, []float64{1, 0}
+	}
+
+	r, s, pi := valid()
+	if _, err := New(nil, r, s, pi); !errors.Is(err, ErrBadModel) {
+		t.Errorf("nil generator: %v", err)
+	}
+	if _, err := New(gen, []float64{1}, s, pi); !errors.Is(err, ErrBadModel) {
+		t.Errorf("short rates: %v", err)
+	}
+	if _, err := New(gen, r, []float64{1}, pi); !errors.Is(err, ErrBadModel) {
+		t.Errorf("short variances: %v", err)
+	}
+	if _, err := New(gen, []float64{math.NaN(), 0}, s, pi); !errors.Is(err, ErrBadModel) {
+		t.Errorf("NaN rate: %v", err)
+	}
+	if _, err := New(gen, []float64{math.Inf(1), 0}, s, pi); !errors.Is(err, ErrBadModel) {
+		t.Errorf("Inf rate: %v", err)
+	}
+	if _, err := New(gen, r, []float64{-1, 0}, pi); !errors.Is(err, ErrBadModel) {
+		t.Errorf("negative variance: %v", err)
+	}
+	if _, err := New(gen, r, s, []float64{0.5, 0.6}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("bad initial: %v", err)
+	}
+	if m, err := New(gen, r, s, pi); err != nil || m.N() != 2 {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestModelAccessorsCopy(t *testing.T) {
+	gen := cyclic2(t, 1, 1)
+	r := []float64{1, 2}
+	m := mustModel(t, gen, r, []float64{0.5, 0.5}, []float64{1, 0})
+	r[0] = 99
+	if m.Rates()[0] != 1 {
+		t.Error("New shares caller slice")
+	}
+	got := m.Rates()
+	got[1] = 77
+	if m.Rates()[1] != 2 {
+		t.Error("Rates returns shared storage")
+	}
+	v := m.Variances()
+	v[0] = 9
+	if m.Variances()[0] != 0.5 {
+		t.Error("Variances returns shared storage")
+	}
+	pi := m.Initial()
+	pi[0] = 0
+	if m.Initial()[0] != 1 {
+		t.Error("Initial returns shared storage")
+	}
+}
+
+func TestIsFirstOrder(t *testing.T) {
+	gen := cyclic2(t, 1, 1)
+	first := mustModel(t, gen, []float64{1, 2}, []float64{0, 0}, []float64{1, 0})
+	if !first.IsFirstOrder() {
+		t.Error("zero-variance model not first order")
+	}
+	second := mustModel(t, gen, []float64{1, 2}, []float64{0, 0.1}, []float64{1, 0})
+	if second.IsFirstOrder() {
+		t.Error("second-order model reported first order")
+	}
+	fo, err := NewFirstOrder(gen, []float64{1, 2}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fo.IsFirstOrder() {
+		t.Error("NewFirstOrder not first order")
+	}
+	if _, err := NewFirstOrder(nil, nil, nil); !errors.Is(err, ErrBadModel) {
+		t.Errorf("NewFirstOrder nil gen: %v", err)
+	}
+}
+
+func TestWithInitial(t *testing.T) {
+	gen := cyclic2(t, 1, 1)
+	m := mustModel(t, gen, []float64{1, 2}, []float64{0, 0}, []float64{1, 0})
+	m2, err := m.WithInitial([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Initial()[0] != 1 {
+		t.Error("WithInitial mutated the receiver")
+	}
+	if m2.Initial()[0] != 0.5 {
+		t.Error("WithInitial did not apply")
+	}
+	if _, err := m.WithInitial([]float64{2, -1}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("bad initial: %v", err)
+	}
+}
+
+func impulseMatrix(t *testing.T, n int, entries ...[3]float64) *sparse.CSR {
+	t.Helper()
+	b := sparse.NewBuilder(n, n)
+	for _, e := range entries {
+		if err := b.Add(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestWithImpulsesValidation(t *testing.T) {
+	gen := cyclic2(t, 1, 2)
+	m := mustModel(t, gen, []float64{1, 2}, []float64{0.1, 0.2}, []float64{1, 0})
+
+	if _, err := m.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 0, 1})); !errors.Is(err, ErrBadModel) {
+		t.Errorf("diagonal impulse: %v", err)
+	}
+	if _, err := m.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, -1})); !errors.Is(err, ErrBadModel) {
+		t.Errorf("negative impulse: %v", err)
+	}
+	if _, err := m.WithImpulses(impulseMatrix(t, 3, [3]float64{0, 1, 1})); !errors.Is(err, ErrBadModel) {
+		t.Errorf("wrong shape: %v", err)
+	}
+
+	// Impulse on a transition that does not exist in Q.
+	gen3, err := ctmc.NewGeneratorFromRates(3, func(i, j int) float64 {
+		if j == (i+1)%3 {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := mustModel(t, gen3, []float64{1, 1, 1}, []float64{0, 0, 0}, []float64{1, 0, 0})
+	if _, err := m3.WithImpulses(impulseMatrix(t, 3, [3]float64{0, 2, 1})); !errors.Is(err, ErrBadModel) {
+		t.Errorf("impulse on absent transition: %v", err)
+	}
+
+	// Valid impulse does not mutate the original.
+	mi, err := m.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasImpulses() {
+		t.Error("WithImpulses mutated receiver")
+	}
+	if !mi.HasImpulses() || mi.Impulses() == nil {
+		t.Error("impulses not attached")
+	}
+}

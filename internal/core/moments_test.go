@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/brownian"
+)
+
+func TestRawToCentralNormal(t *testing.T) {
+	mu, s2 := 2.0, 3.0
+	raw := make([]float64, 5)
+	for j := range raw {
+		raw[j], _ = brownian.NormalRawMoment(j, mu, s2)
+	}
+	cm, err := RawToCentral(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, s2, 0, 3 * s2 * s2}
+	for j := range want {
+		if math.Abs(cm[j]-want[j]) > 1e-10*(1+math.Abs(want[j])) {
+			t.Errorf("mu_%d = %.12g, want %g", j, cm[j], want[j])
+		}
+	}
+}
+
+func TestRawToCentralErrors(t *testing.T) {
+	if _, err := RawToCentral(nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := RawToCentral([]float64{2, 0}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("m0 != 1: %v", err)
+	}
+	cm, err := RawToCentral([]float64{1})
+	if err != nil || len(cm) != 1 || cm[0] != 1 {
+		t.Errorf("m0-only: %v %v", cm, err)
+	}
+}
+
+func TestRawToCumulantsNormal(t *testing.T) {
+	mu, s2 := -1.5, 2.0
+	raw := make([]float64, 7)
+	for j := range raw {
+		raw[j], _ = brownian.NormalRawMoment(j, mu, s2)
+	}
+	kappa, err := RawToCumulants(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kappa[1]-mu) > 1e-12 {
+		t.Errorf("kappa1 = %g, want %g", kappa[1], mu)
+	}
+	if math.Abs(kappa[2]-s2) > 1e-10 {
+		t.Errorf("kappa2 = %g, want %g", kappa[2], s2)
+	}
+	for j := 3; j <= 6; j++ {
+		if math.Abs(kappa[j]) > 1e-7 {
+			t.Errorf("normal kappa%d = %g, want 0", j, kappa[j])
+		}
+	}
+}
+
+func TestRawToCumulantsPoisson(t *testing.T) {
+	// Poisson(lambda): all cumulants equal lambda. Raw moments via the
+	// recursion m_{n+1} = lambda * sum C(n,k) m_k.
+	lambda := 1.7
+	raw := []float64{1}
+	for n := 0; n < 5; n++ {
+		var s float64
+		for k := 0; k <= n; k++ {
+			s += binomCoef(n, k) * raw[k]
+		}
+		raw = append(raw, lambda*s)
+	}
+	kappa, err := RawToCumulants(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 5; j++ {
+		if math.Abs(kappa[j]-lambda) > 1e-9 {
+			t.Errorf("poisson kappa%d = %.12g, want %g", j, kappa[j], lambda)
+		}
+	}
+}
+
+func TestRawToCumulantsEmpty(t *testing.T) {
+	if _, err := RawToCumulants(nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestResultDerivedStats(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 3, 3), []float64{2, 2}, []float64{1.5, 1.5}, []float64{1, 0})
+	const tt = 0.8
+	res, err := m.AccumulatedReward(tt, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := res.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-2*tt) > 1e-10 {
+		t.Errorf("Mean = %g, want %g", mean, 2*tt)
+	}
+	v, err := res.Variance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.5*tt) > 1e-9 {
+		t.Errorf("Variance = %g, want %g", v, 1.5*tt)
+	}
+	sd, err := res.StdDev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd-math.Sqrt(1.5*tt)) > 1e-9 {
+		t.Errorf("StdDev = %g", sd)
+	}
+	skew, err := res.Skewness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(skew) > 1e-7 {
+		t.Errorf("Skewness of a normal reward = %g, want ~0", skew)
+	}
+}
+
+func TestDerivedStatsOrderErrors(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 3, 3), []float64{2, 2}, []float64{1, 1}, []float64{1, 0})
+	res, err := m.AccumulatedReward(0.5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Mean(); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("Mean at order 0: %v", err)
+	}
+	if _, err := res.Variance(); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("Variance at order 0: %v", err)
+	}
+	res1, err := m.AccumulatedReward(0.5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res1.Skewness(); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("Skewness at order 2: %v", err)
+	}
+}
+
+func TestSkewnessZeroVarianceError(t *testing.T) {
+	// Deterministic reward: zero variance => skewness undefined.
+	m := mustModel(t, cyclic2(t, 1, 1), []float64{2, 2}, []float64{0, 0}, []float64{1, 0})
+	res, err := m.AccumulatedReward(1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Skewness(); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero variance skewness: %v", err)
+	}
+}
+
+func TestTimeAveraged(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 3, 3), []float64{2, 2}, []float64{1, 1}, []float64{1, 0})
+	const tt = 4.0
+	res, err := m.AccumulatedReward(tt, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := res.TimeAveraged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 3; j++ {
+		want := res.Moments[j] / math.Pow(tt, float64(j))
+		if math.Abs(avg[j]-want) > 1e-14*(1+math.Abs(want)) {
+			t.Errorf("avg[%d] = %g, want %g", j, avg[j], want)
+		}
+	}
+	// Time-averaged mean tends to the steady rate (here exactly 2).
+	if math.Abs(avg[1]-2) > 1e-9 {
+		t.Errorf("time-averaged mean = %g, want 2", avg[1])
+	}
+	// Undefined at t = 0.
+	res0, err := m.AccumulatedReward(0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res0.TimeAveraged(); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0 time average: %v", err)
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 0.5, 0.5), []float64{10, 0}, []float64{0, 0}, []float64{1, 0})
+	mv, err := m.MeanVector(0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mv) != 2 || mv[0] <= mv[1] {
+		t.Errorf("MeanVector = %v", mv)
+	}
+}
+
+func TestSteadyStateMeanRate(t *testing.T) {
+	// pi_ss = (b, a)/(a+b) for the 2-state chain.
+	a, b := 2.0, 3.0
+	m := mustModel(t, cyclic2(t, a, b), []float64{4, -1}, []float64{0, 0}, []float64{1, 0})
+	got, err := m.SteadyStateMeanRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (b*4 + a*(-1)) / (a + b)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SteadyStateMeanRate = %.14g, want %.14g", got, want)
+	}
+}
+
+func TestBinomCoef(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 0, 1}, {5, 2, 10}, {5, 5, 1}, {10, 3, 120}, {3, 4, 0}, {3, -1, 0}}
+	for _, c := range cases {
+		if got := binomCoef(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}

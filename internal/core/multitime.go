@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"somrm/internal/poisson"
+	"somrm/internal/sparse"
+)
+
+// AccumulatedRewardAt computes the moments of B(t) for several time points
+// in a single randomization sweep. The coefficient vectors U^(n)(k) of
+// Theorem 3 do not depend on t — only the Poisson weights do — so one pass
+// over k = 1..G(max t) serves every time point, amortizing the dominant
+// matrix-vector work across the whole series (the Figure 3/4 curves of the
+// paper are 20-point series over the same model).
+//
+// Times must be non-negative; they are solved as given (duplicates
+// allowed). The error bound of eq. (11) is enforced at every time point:
+// G is the maximum of the per-time truncation points, and each time point
+// uses its own Poisson weights.
+func (m *Model) AccumulatedRewardAt(times []float64, order int, opts *Options) ([]*Result, error) {
+	cfg := opts.withDefaults()
+	if len(times) == 0 {
+		return nil, fmt.Errorf("%w: empty time list", ErrBadArgument)
+	}
+	if order < 0 {
+		return nil, fmt.Errorf("%w: moment order %d", ErrBadArgument, order)
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		return nil, fmt.Errorf("%w: epsilon %g not in (0,1)", ErrBadArgument, cfg.Epsilon)
+	}
+	for _, t := range times {
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("%w: time %g", ErrBadArgument, t)
+		}
+	}
+
+	// Fall back to the single-point solver for the degenerate paths
+	// (frozen chain, zero horizon): they are cheap and keep this function
+	// focused on the shared-sweep case.
+	q := m.gen.MaxExitRate()
+	if cfg.UniformizationRate != 0 {
+		if cfg.UniformizationRate < q {
+			return nil, fmt.Errorf("%w: uniformization rate %g below max exit rate %g", ErrBadArgument, cfg.UniformizationRate, q)
+		}
+		q = cfg.UniformizationRate
+	}
+	maxT := 0.0
+	for _, t := range times {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if q == 0 || maxT == 0 {
+		return m.solvePointwise(times, order, opts)
+	}
+
+	// Shift and scaling exactly as in AccumulatedReward.
+	shift := 0.0
+	for _, r := range m.rates {
+		if r < shift {
+			shift = r
+		}
+	}
+	n := m.N()
+	shifted := make([]float64, n)
+	sigma := make([]float64, n)
+	d := 0.0
+	for i := range m.rates {
+		shifted[i] = m.rates[i] - shift
+		sigma[i] = math.Sqrt(m.vars[i])
+		if v := shifted[i] / q; v > d {
+			d = v
+		}
+		if v := sigma[i] / q; v > d {
+			d = v
+		}
+	}
+	if m.impulses != nil && m.maxImp > d {
+		d = m.maxImp
+	}
+	if d == 0 {
+		return m.solvePointwise(times, order, opts)
+	}
+
+	qPrime, err := m.gen.Uniformized(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rPrime := make([]float64, n)
+	sPrime := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rPrime[i] = shifted[i] / (q * d)
+		sPrime[i] = m.vars[i] / (q * d * d)
+	}
+	var impPrime []*sparse.CSR
+	if m.impulses != nil && order >= 1 {
+		impPrime, err = m.impulseMatrices(q, d, order)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-time truncation points and weights.
+	type timePlan struct {
+		t      float64
+		g      int
+		bound  float64
+		weight []float64 // weight[k] = Poisson pmf at k
+	}
+	plans := make([]timePlan, len(times))
+	gMax := 0
+	for idx, t := range times {
+		if t == 0 {
+			plans[idx] = timePlan{t: 0}
+			continue
+		}
+		g, bound, err := truncationPoint(order, d, q*t, cfg.Epsilon, impPrime != nil, cfg.MaxG)
+		if err != nil {
+			return nil, err
+		}
+		w := make([]float64, g+1)
+		for k := 0; k <= g; k++ {
+			w[k] = math.Exp(poisson.LogPMF(k, q*t))
+		}
+		plans[idx] = timePlan{t: t, g: g, bound: bound, weight: w}
+		if g > gMax {
+			gMax = g
+		}
+	}
+
+	// Shared sweep.
+	cur := make([][]float64, order+1)
+	next := make([][]float64, order+1)
+	accs := make([][][]float64, len(times)) // accs[idx][j][state]
+	for j := 0; j <= order; j++ {
+		cur[j] = make([]float64, n)
+		next[j] = make([]float64, n)
+	}
+	for idx := range accs {
+		accs[idx] = make([][]float64, order+1)
+		for j := 0; j <= order; j++ {
+			accs[idx][j] = make([]float64, n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		cur[0][i] = 1
+	}
+	// k = 0 contributions.
+	for idx, plan := range plans {
+		if plan.t == 0 {
+			continue
+		}
+		if w0 := plan.weight[0]; w0 > 0 {
+			for i := 0; i < n; i++ {
+				accs[idx][0][i] = w0
+			}
+		}
+	}
+	var matVecs int64
+	for k := 1; k <= gMax; k++ {
+		for j := order; j >= 0; j-- {
+			if err := qPrime.MatVecAuto(cur[j], next[j]); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			matVecs++
+			if j >= 1 {
+				for i := 0; i < n; i++ {
+					next[j][i] += rPrime[i] * cur[j-1][i]
+				}
+			}
+			if j >= 2 {
+				for i := 0; i < n; i++ {
+					next[j][i] += 0.5 * sPrime[i] * cur[j-2][i]
+				}
+			}
+			if impPrime != nil {
+				invFact := 1.0
+				for mm := 1; mm <= j; mm++ {
+					invFact /= float64(mm)
+					if err := impPrime[mm-1].MatVecAdd(invFact, cur[j-mm], next[j]); err != nil {
+						return nil, fmt.Errorf("core: %w", err)
+					}
+					matVecs++
+				}
+			}
+		}
+		cur, next = next, cur
+		for idx, plan := range plans {
+			if plan.t == 0 || k > plan.g {
+				continue
+			}
+			w := plan.weight[k]
+			if w == 0 {
+				continue
+			}
+			for j := 0; j <= order; j++ {
+				cj := cur[j]
+				aj := accs[idx][j]
+				for i := 0; i < n; i++ {
+					aj[i] += w * cj[i]
+				}
+			}
+		}
+	}
+
+	// Scale, unshift, aggregate per time point.
+	results := make([]*Result, len(times))
+	for idx, plan := range plans {
+		res := &Result{T: plan.t, Order: order}
+		if plan.t == 0 {
+			res.VectorMoments = trivialMoments(n, order)
+			res.finish(m.initial)
+			results[idx] = res
+			continue
+		}
+		vm := make([][]float64, order+1)
+		scale := 1.0
+		for j := 0; j <= order; j++ {
+			if j > 0 {
+				scale *= float64(j) * d
+			}
+			vm[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				vm[j][i] = scale * accs[idx][j][i]
+				if math.IsInf(vm[j][i], 0) || math.IsNaN(vm[j][i]) {
+					return nil, fmt.Errorf("%w: t=%g moment order %d", ErrOverflow, plan.t, j)
+				}
+			}
+		}
+		res.VectorMoments = unshift(vm, shift, plan.t, order)
+		res.Stats = Stats{
+			Q: q, QT: q * plan.t, D: d, Shift: shift,
+			G: plan.g, ErrorBound: plan.bound,
+			MatVecs:           matVecs,
+			FlopsPerIteration: int64(qPrime.NNZ()+2*n) * int64(order+1),
+		}
+		res.finish(m.initial)
+		results[idx] = res
+	}
+	return results, nil
+}
+
+func (m *Model) solvePointwise(times []float64, order int, opts *Options) ([]*Result, error) {
+	out := make([]*Result, len(times))
+	for i, t := range times {
+		res, err := m.AccumulatedReward(t, order, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}

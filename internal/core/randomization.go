@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"somrm/internal/brownian"
+	"somrm/internal/poisson"
+	"somrm/internal/sparse"
+)
+
+// DefaultEpsilon is the default truncation accuracy of the randomization
+// solver (the paper's large experiment uses 1e-9).
+const DefaultEpsilon = 1e-9
+
+// defaultMaxG caps the number of randomization iterations as a safety net;
+// the paper's largest experiment needs G = 41,588.
+const defaultMaxG = 10_000_000
+
+// Options configures the randomization solver.
+type Options struct {
+	// Epsilon is the truncation error bound (eq. 11). Defaults to
+	// DefaultEpsilon when zero.
+	Epsilon float64
+	// UniformizationRate overrides q (must be >= max_i |q_ii|). Zero means
+	// automatic (q = max exit rate).
+	UniformizationRate float64
+	// MaxG caps the iteration count. Zero means the package default.
+	MaxG int
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Epsilon == 0 {
+		out.Epsilon = DefaultEpsilon
+	}
+	if out.MaxG == 0 {
+		out.MaxG = defaultMaxG
+	}
+	return out
+}
+
+// Stats reports the work done by one randomization solve, mirroring the
+// quantities the paper reports for its large example (q, qt, G, the
+// per-iteration cost).
+type Stats struct {
+	// Q is the uniformization rate, QT the Poisson parameter q*t.
+	Q, QT float64
+	// D is the scaling constant d = max_i {r_i, sigma_i}/q (after the
+	// negative-rate shift, and including impulse magnitudes).
+	D float64
+	// Shift is the applied drift shift (min_i r_i when negative, else 0).
+	Shift float64
+	// G is the truncation point of the Poisson sum.
+	G int
+	// ErrorBound is the value of the provable truncation bound at G. It can
+	// underflow to zero when the bound is far below Epsilon.
+	ErrorBound float64
+	// MatVecs counts sparse matrix-vector products performed.
+	MatVecs int64
+	// FlopsPerIteration estimates floating-point multiplications per
+	// iteration step, ((m+2) per moment order) * |S|, as in section 7.
+	FlopsPerIteration int64
+}
+
+// Result holds the accumulated-reward moments at one time point.
+type Result struct {
+	// T is the accumulation time, Order the highest computed moment.
+	T     float64
+	Order int
+	// VectorMoments[j][i] = E[B(t)^j | Z(0)=i] for j = 0..Order.
+	VectorMoments [][]float64
+	// Moments[j] = E[B(t)^j] under the model's initial distribution.
+	Moments []float64
+	// Stats describes the solver work.
+	Stats Stats
+}
+
+// AccumulatedReward computes the raw moments of the accumulated reward
+// B(t) up to the given order with the randomization method of Theorems 3-4.
+// Negative drifts are handled with the paper's shift transformation
+// (B(t) = B̌(t) + ř·t with ř = min_i r_i), which keeps every matrix in the
+// recursion substochastic and every vector non-negative.
+func (m *Model) AccumulatedReward(t float64, order int, opts *Options) (*Result, error) {
+	cfg := opts.withDefaults()
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("%w: time %g", ErrBadArgument, t)
+	}
+	if order < 0 {
+		return nil, fmt.Errorf("%w: moment order %d", ErrBadArgument, order)
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		return nil, fmt.Errorf("%w: epsilon %g not in (0,1)", ErrBadArgument, cfg.Epsilon)
+	}
+	if cfg.MaxG < 1 {
+		return nil, fmt.Errorf("%w: MaxG %d", ErrBadArgument, cfg.MaxG)
+	}
+
+	n := m.N()
+	res := &Result{T: t, Order: order}
+
+	// Trivial cases: t = 0, or a chain that never transitions.
+	if t == 0 {
+		res.VectorMoments = trivialMoments(n, order)
+		res.finish(m.initial)
+		return res, nil
+	}
+	q := m.gen.MaxExitRate()
+	if cfg.UniformizationRate != 0 {
+		if cfg.UniformizationRate < q {
+			return nil, fmt.Errorf("%w: uniformization rate %g below max exit rate %g", ErrBadArgument, cfg.UniformizationRate, q)
+		}
+		q = cfg.UniformizationRate
+	}
+	if q == 0 {
+		// No transitions: B(t) | Z(0)=i is exactly Normal(r_i t, sigma_i^2 t).
+		vm, err := frozenMoments(m, t, order)
+		if err != nil {
+			return nil, err
+		}
+		res.VectorMoments = vm
+		res.finish(m.initial)
+		return res, nil
+	}
+
+	// Shift transformation for negative drifts.
+	shift := 0.0
+	for _, r := range m.rates {
+		if r < shift {
+			shift = r
+		}
+	}
+	shifted := make([]float64, n)
+	sigma := make([]float64, n)
+	d := 0.0
+	for i := range m.rates {
+		shifted[i] = m.rates[i] - shift
+		sigma[i] = math.Sqrt(m.vars[i])
+		if v := shifted[i] / q; v > d {
+			d = v
+		}
+		if v := sigma[i] / q; v > d {
+			d = v
+		}
+	}
+	if m.impulses != nil && m.maxImp > d {
+		d = m.maxImp
+	}
+
+	if d == 0 {
+		// All shifted drifts, variances and impulses are zero: B̌ == 0.
+		res.VectorMoments = unshift(trivialMoments(n, order), shift, t, order)
+		res.Stats = Stats{Q: q, QT: q * t, Shift: shift}
+		res.finish(m.initial)
+		return res, nil
+	}
+
+	stats := Stats{Q: q, QT: q * t, D: d, Shift: shift}
+
+	// Substochastic matrices of Theorem 3.
+	qPrime, err := m.gen.Uniformized(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rPrime := make([]float64, n)
+	sPrime := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rPrime[i] = shifted[i] / (q * d)
+		sPrime[i] = m.vars[i] / (q * d * d)
+	}
+	var impPrime []*sparse.CSR // impPrime[m-1] = Q^(m)/(q d^m), m = 1..order
+	if m.impulses != nil && order >= 1 {
+		impPrime, err = m.impulseMatrices(q, d, order)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Truncation point from the error bound.
+	g, bound, err := truncationPoint(order, d, q*t, cfg.Epsilon, impPrime != nil, cfg.MaxG)
+	if err != nil {
+		return nil, err
+	}
+	stats.G = g
+	stats.ErrorBound = bound
+
+	// Poisson weights for k = 0..G (log-space; entries below underflow are 0).
+	weights := make([]float64, g+1)
+	for k := 0; k <= g; k++ {
+		weights[k] = math.Exp(poisson.LogPMF(k, q*t))
+	}
+
+	// Iteration state: cur[j] = U^(j)(k), acc[j] = running weighted sum.
+	cur := make([][]float64, order+1)
+	next := make([][]float64, order+1)
+	acc := make([][]float64, order+1)
+	for j := 0; j <= order; j++ {
+		cur[j] = make([]float64, n)
+		next[j] = make([]float64, n)
+		acc[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		cur[0][i] = 1
+	}
+	// k = 0 contribution.
+	w0 := weights[0]
+	if w0 > 0 {
+		for i := 0; i < n; i++ {
+			acc[0][i] = w0
+		}
+	}
+
+	// Multiplications per iteration: NNZ(Q') per Q'-product plus one per
+	// state for each of R' and S', for each of the order+1 vectors. For the
+	// paper's large model this is (3+1+1) * 200,001 * 4 as in section 7.
+	stats.FlopsPerIteration = int64(qPrime.NNZ()+2*n) * int64(order+1)
+
+	for k := 1; k <= g; k++ {
+		for j := order; j >= 0; j-- {
+			if err := qPrime.MatVecAuto(cur[j], next[j]); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			stats.MatVecs++
+			if j >= 1 {
+				for i := 0; i < n; i++ {
+					next[j][i] += rPrime[i] * cur[j-1][i]
+				}
+			}
+			if j >= 2 {
+				for i := 0; i < n; i++ {
+					next[j][i] += 0.5 * sPrime[i] * cur[j-2][i]
+				}
+			}
+			if impPrime != nil {
+				invFact := 1.0
+				for mm := 1; mm <= j; mm++ {
+					invFact /= float64(mm)
+					if err := impPrime[mm-1].MatVecAdd(invFact, cur[j-mm], next[j]); err != nil {
+						return nil, fmt.Errorf("core: %w", err)
+					}
+					stats.MatVecs++
+				}
+			}
+		}
+		cur, next = next, cur
+		if w := weights[k]; w > 0 {
+			for j := 0; j <= order; j++ {
+				cj := cur[j]
+				aj := acc[j]
+				for i := 0; i < n; i++ {
+					aj[i] += w * cj[i]
+				}
+			}
+		}
+	}
+
+	// Scale: V̌^(j) = j! d^j * acc[j].
+	scale := 1.0
+	vm := make([][]float64, order+1)
+	for j := 0; j <= order; j++ {
+		if j > 0 {
+			scale *= float64(j) * d
+		}
+		if math.IsInf(scale, 0) {
+			return nil, fmt.Errorf("%w: scale j!*d^j at order %d", ErrOverflow, j)
+		}
+		vm[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			vm[j][i] = scale * acc[j][i]
+			if math.IsInf(vm[j][i], 0) || math.IsNaN(vm[j][i]) {
+				return nil, fmt.Errorf("%w: moment order %d, state %d", ErrOverflow, j, i)
+			}
+		}
+	}
+	res.VectorMoments = unshift(vm, shift, t, order)
+	res.Stats = stats
+	res.finish(m.initial)
+	return res, nil
+}
+
+// impulseMatrices builds Q'^(m) = Q∘Y^m / (q d^m) for m = 1..order, where
+// (Q∘Y^m)_{ij} = q_ij * y_ij^m on off-diagonal transitions.
+func (m *Model) impulseMatrices(q, d float64, order int) ([]*sparse.CSR, error) {
+	n := m.N()
+	out := make([]*sparse.CSR, order)
+	for mm := 1; mm <= order; mm++ {
+		b := sparse.NewBuilder(n, n)
+		var addErr error
+		for i := 0; i < n; i++ {
+			m.impulses.Range(i, func(j int, y float64) {
+				if addErr != nil || y == 0 {
+					return
+				}
+				rate := m.gen.At(i, j)
+				if rate == 0 {
+					return
+				}
+				v := rate / q * math.Pow(y/d, float64(mm))
+				addErr = b.Add(i, j, v)
+			})
+		}
+		if addErr != nil {
+			return nil, fmt.Errorf("core: impulse matrix: %w", addErr)
+		}
+		out[mm-1] = b.Build()
+	}
+	return out, nil
+}
+
+// truncationPoint finds the smallest G meeting the Theorem 4 error bound,
+// entirely in log space so (qt)^n n! cannot overflow, maximized over every
+// requested moment order j <= order so all returned moments honor eps.
+//
+// Note on eq. (11): the paper states the tail sum starting at G+n+1, but
+// the index substitution k' = k-n in its own proof (Appendix A) yields a
+// tail starting at G-n+1, i.e.
+//
+//	xi(G) <= 2 d^n n! (qt)^n P(X > G-n) < eps.
+//
+// The difference is immaterial for the paper's large example (qt = 40,000,
+// n = 3) but matters for small qt with high orders; we implement the
+// provably correct form (empirically validated in the test suite).
+//
+// With impulses the coefficient bound weakens to U^(n)(k) <= (2k)^n/n!
+// (the recursion's generating polynomial e^x + x + x^2/2 <= e^{2x}), giving
+//
+//	(4d)^n (qt)^n P(X > G-n) < eps for G >= 2n.
+func truncationPoint(order int, d, qt, eps float64, impulses bool, maxG int) (int, float64, error) {
+	logEps := math.Log(eps)
+	logBoundAt := func(g, j int) float64 {
+		var logFactor float64
+		if impulses {
+			logFactor = float64(j) * (math.Log(4*d) + math.Log(qt))
+		} else {
+			lg, _ := math.Lgamma(float64(j) + 1)
+			logFactor = math.Ln2 + float64(j)*math.Log(d) + lg + float64(j)*math.Log(qt)
+		}
+		return logFactor + poisson.LogTailProb(g-j, qt)
+	}
+	logBound := func(g int) float64 {
+		worst := math.Inf(-1)
+		for j := 0; j <= order; j++ {
+			if b := logBoundAt(g, j); b > worst {
+				worst = b
+			}
+		}
+		return worst
+	}
+
+	minG := 0
+	if impulses {
+		minG = 2 * order
+	}
+	if logBound(minG) < logEps {
+		return minG, math.Exp(logBound(minG)), nil
+	}
+	// Exponential search for an upper bracket, then binary search.
+	hi := minG + 1
+	step := 1 + int(math.Sqrt(qt))
+	for logBound(hi) >= logEps {
+		hi += step
+		step *= 2
+		if hi > maxG {
+			return 0, 0, fmt.Errorf("%w: truncation point exceeds MaxG=%d (qt=%g, order=%d)", ErrBadArgument, maxG, qt, order)
+		}
+	}
+	lo := minG
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if logBound(mid) < logEps {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, math.Exp(logBound(hi)), nil
+}
+
+// trivialMoments returns the moment vectors of B == 0: V^0 = 1, rest 0.
+func trivialMoments(n, order int) [][]float64 {
+	vm := make([][]float64, order+1)
+	for j := range vm {
+		vm[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		vm[0][i] = 1
+	}
+	return vm
+}
+
+// frozenMoments handles the no-transition chain: per state the accumulated
+// reward is exactly Normal(r_i t, sigma_i^2 t).
+func frozenMoments(m *Model, t float64, order int) ([][]float64, error) {
+	n := m.N()
+	vm := make([][]float64, order+1)
+	for j := range vm {
+		vm[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			v, err := brownian.NormalRawMoment(j, m.rates[i]*t, m.vars[i]*t)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			vm[j][i] = v
+		}
+	}
+	return vm, nil
+}
+
+// unshift converts moments of the shifted process B̌ to moments of
+// B = B̌ + shift*t via the binomial theorem. A zero shift is a no-op.
+func unshift(vm [][]float64, shift, t float64, order int) [][]float64 {
+	if shift == 0 {
+		return vm
+	}
+	n := len(vm[0])
+	c := shift * t
+	out := make([][]float64, order+1)
+	// Binomial coefficients row by row.
+	binom := make([]float64, order+1)
+	for j := 0; j <= order; j++ {
+		// binom holds C(j, l) for l = 0..j built incrementally.
+		binom[j] = 1
+		for l := j - 1; l > 0; l-- {
+			binom[l] += binom[l-1]
+		}
+		out[j] = make([]float64, n)
+		for l := 0; l <= j; l++ {
+			coef := binom[l] * math.Pow(c, float64(j-l))
+			if coef == 0 {
+				continue
+			}
+			src := vm[l]
+			dst := out[j]
+			for i := 0; i < n; i++ {
+				dst[i] += coef * src[i]
+			}
+		}
+	}
+	return out
+}
+
+// finish computes the pi-weighted scalar moments from the vector moments.
+func (r *Result) finish(pi []float64) {
+	r.Moments = make([]float64, r.Order+1)
+	for j := 0; j <= r.Order; j++ {
+		var s float64
+		for i, p := range pi {
+			s += p * r.VectorMoments[j][i]
+		}
+		r.Moments[j] = s
+	}
+}

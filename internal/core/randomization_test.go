@@ -1,0 +1,446 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"somrm/internal/brownian"
+	"somrm/internal/ctmc"
+)
+
+const maxOrderTested = 6
+
+// normalModel builds a 2-state chain where both states carry the same
+// (r, sigma2): the accumulated reward is then exactly Normal(rt, sigma2*t)
+// while still exercising the full randomization path.
+func normalModel(t *testing.T, r, s2 float64) *Model {
+	t.Helper()
+	return mustModel(t, cyclic2(t, 3, 3), []float64{r, r}, []float64{s2, s2}, []float64{1, 0})
+}
+
+func TestRandomizationMatchesNormalClosedForm(t *testing.T) {
+	cases := []struct{ r, s2, tt float64 }{
+		{1.5, 2.0, 0.7},
+		{0, 1, 1},
+		{-2, 0.5, 0.4}, // negative drift exercises the shift transform
+		{3, 0, 1.2},    // first-order
+	}
+	for _, c := range cases {
+		m := normalModel(t, c.r, c.s2)
+		res, err := m.AccumulatedReward(c.tt, maxOrderTested, nil)
+		if err != nil {
+			t.Fatalf("r=%g s2=%g: %v", c.r, c.s2, err)
+		}
+		for j := 0; j <= maxOrderTested; j++ {
+			want, err := brownian.NormalRawMoment(j, c.r*c.tt, c.s2*c.tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 1e-10 * (1 + math.Abs(want))
+			if math.Abs(res.Moments[j]-want) > tol {
+				t.Errorf("r=%g s2=%g j=%d: got %.15g, want %.15g", c.r, c.s2, j, res.Moments[j], want)
+			}
+		}
+	}
+}
+
+func TestSingleStateClosedFormPath(t *testing.T) {
+	// One state, no transitions: exercises the frozen (q=0) path.
+	gen, err := ctmc.NewGeneratorFromDense(1, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, gen, []float64{2}, []float64{3}, []float64{1})
+	res, err := m.AccumulatedReward(0.5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.G != 0 {
+		t.Errorf("frozen path should not iterate, G = %d", res.Stats.G)
+	}
+	for j := 0; j <= 4; j++ {
+		want, _ := brownian.NormalRawMoment(j, 1, 1.5)
+		if math.Abs(res.Moments[j]-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("j=%d: %g vs %g", j, res.Moments[j], want)
+		}
+	}
+}
+
+func TestZeroTime(t *testing.T) {
+	m := normalModel(t, 1, 1)
+	res, err := m.AccumulatedReward(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moments[0] != 1 {
+		t.Errorf("m0 = %g", res.Moments[0])
+	}
+	for j := 1; j <= 3; j++ {
+		if res.Moments[j] != 0 {
+			t.Errorf("m%d = %g, want 0", j, res.Moments[j])
+		}
+	}
+}
+
+func TestZeroRewardModel(t *testing.T) {
+	// Transitions exist but all drifts/variances are zero: B == 0 (d == 0 path).
+	m := mustModel(t, cyclic2(t, 2, 5), []float64{0, 0}, []float64{0, 0}, []float64{1, 0})
+	res, err := m.AccumulatedReward(1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moments[0] != 1 || res.Moments[1] != 0 || res.Moments[2] != 0 {
+		t.Errorf("moments = %v", res.Moments)
+	}
+}
+
+// First-order mean has the closed form E[B(t)] = integral of p(u).r du; for
+// a 2-state chain the transient is exponential and the integral is
+// analytic.
+func TestFirstOrderMeanClosedForm(t *testing.T) {
+	a, b := 2.0, 3.0
+	r0, r1 := 5.0, 1.0
+	m := mustModel(t, cyclic2(t, a, b), []float64{r0, r1}, []float64{0, 0}, []float64{1, 0})
+	for _, tt := range []float64{0.1, 0.5, 2} {
+		res, err := m.AccumulatedReward(tt, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// p0(u) = b/(a+b) + a/(a+b) e^{-(a+b)u}; mean = int (p0 r0 + p1 r1).
+		lam := a + b
+		ss0 := b / lam
+		intP0 := ss0*tt + a/lam*(1-math.Exp(-lam*tt))/lam
+		want := r0*intP0 + r1*(tt-intP0)
+		if math.Abs(res.Moments[1]-want) > 1e-10*(1+math.Abs(want)) {
+			t.Errorf("t=%g: mean %.14g, want %.14g", tt, res.Moments[1], want)
+		}
+	}
+}
+
+// The first-order mean equals L(t).r where L is the integrated transient
+// occupancy — a fully independent code path inside internal/ctmc.
+func TestMeanMatchesIntegratedTransient(t *testing.T) {
+	gen, err := ctmc.NewGeneratorFromRates(4, func(i, j int) float64 {
+		return float64((i*3+j)%5) * 0.6
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{4, -1, 2.5, 0}
+	pi := []float64{0.4, 0.1, 0.2, 0.3}
+	m := mustModel(t, gen, rates, []float64{1, 2, 3, 4}, pi)
+	for _, tt := range []float64{0.3, 1.7} {
+		res, err := m.AccumulatedReward(tt, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		occ, err := gen.IntegratedTransient(pi, tt, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for i, r := range rates {
+			want += occ[i] * r
+		}
+		if math.Abs(res.Moments[1]-want) > 1e-8*(1+math.Abs(want)) {
+			t.Errorf("t=%g: mean %.12g vs occupancy oracle %.12g", tt, res.Moments[1], want)
+		}
+	}
+}
+
+func TestComposeAssociativeProperty(t *testing.T) {
+	a := mustModel(t, cyclic2(t, 2, 3), []float64{1, -0.5}, []float64{0.4, 1}, []float64{1, 0})
+	b := mustModel(t, cyclic2(t, 0.7, 1.1), []float64{2, 0}, []float64{0, 0.6}, []float64{0.25, 0.75})
+	c := mustModel(t, cyclic2(t, 1.3, 0.4), []float64{0.5, 3}, []float64{0.2, 0.1}, []float64{0.5, 0.5})
+	left, err := Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err = Compose(left, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Compose(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err = Compose(a, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.6
+	rl, err := left.AccumulatedReward(tt, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := right.AccumulatedReward(tt, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 4; j++ {
+		if math.Abs(rl.Moments[j]-rr.Moments[j]) > 1e-9*(1+math.Abs(rl.Moments[j])) {
+			t.Errorf("associativity broken at moment %d: %.12g vs %.12g", j, rl.Moments[j], rr.Moments[j])
+		}
+	}
+}
+
+func TestMeanIndependentOfVariance(t *testing.T) {
+	// The paper's Figure 3 claim: E[B(t)] does not depend on S.
+	base := mustModel(t, cyclic2(t, 2, 1), []float64{3, -1}, []float64{0, 0}, []float64{0.5, 0.5})
+	noisy := mustModel(t, cyclic2(t, 2, 1), []float64{3, -1}, []float64{5, 9}, []float64{0.5, 0.5})
+	for _, tt := range []float64{0.3, 1, 4} {
+		r1, err := base.AccumulatedReward(tt, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := noisy.AccumulatedReward(tt, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r1.Moments[1]-r2.Moments[1]) > 1e-9*(1+math.Abs(r1.Moments[1])) {
+			t.Errorf("t=%g: mean differs with variance: %g vs %g", tt, r1.Moments[1], r2.Moments[1])
+		}
+	}
+}
+
+func TestSecondMomentIncreasesWithVariance(t *testing.T) {
+	prev := -1.0
+	for _, s2 := range []float64{0, 1, 10} {
+		m := mustModel(t, cyclic2(t, 2, 1), []float64{3, 1}, []float64{s2, s2}, []float64{1, 0})
+		res, err := m.AccumulatedReward(0.8, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Moments[2] <= prev {
+			t.Errorf("m2 not increasing in sigma2: %g after %g", res.Moments[2], prev)
+		}
+		prev = res.Moments[2]
+	}
+}
+
+// Property: Jensen's inequality V2 >= V1^2 per initial state on random
+// models (equivalently non-negative variance).
+func TestJensenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		n := 2 + rng.Intn(4)
+		gen, err := ctmc.NewGeneratorFromRates(n, func(i, j int) float64 {
+			return rng.Float64() * 3
+		})
+		if err != nil {
+			return false
+		}
+		r := make([]float64, n)
+		s := make([]float64, n)
+		for i := range r {
+			r[i] = rng.NormFloat64() * 3
+			s[i] = rng.Float64() * 4
+		}
+		pi, err := ctmc.UnitDistribution(n, 0)
+		if err != nil {
+			return false
+		}
+		m, err := New(gen, r, s, pi)
+		if err != nil {
+			return false
+		}
+		res, err := m.AccumulatedReward(0.6, 2, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			v1 := res.VectorMoments[1][i]
+			v2 := res.VectorMoments[2][i]
+			if v2 < v1*v1-1e-9*(1+v1*v1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting all drifts by a constant c shifts B(t) by c*t
+// deterministically, so central moments are invariant and the mean moves
+// by exactly c*t.
+func TestDriftShiftEquivariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		c := rng.NormFloat64() * 5
+		gen, err := ctmc.NewGeneratorFromRates(3, func(i, j int) float64 { return 1 + rng.Float64() })
+		if err != nil {
+			return false
+		}
+		r := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		rs := []float64{r[0] + c, r[1] + c, r[2] + c}
+		s := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		pi := []float64{1, 0, 0}
+		m1, err := New(gen, r, s, pi)
+		if err != nil {
+			return false
+		}
+		m2, err := New(gen, rs, s, pi)
+		if err != nil {
+			return false
+		}
+		const tt = 0.5
+		res1, err := m1.AccumulatedReward(tt, 4, nil)
+		if err != nil {
+			return false
+		}
+		res2, err := m2.AccumulatedReward(tt, 4, nil)
+		if err != nil {
+			return false
+		}
+		if math.Abs(res2.Moments[1]-(res1.Moments[1]+c*tt)) > 1e-8*(1+math.Abs(res2.Moments[1])) {
+			return false
+		}
+		cm1, err := res1.CentralMoments()
+		if err != nil {
+			return false
+		}
+		cm2, err := res2.CentralMoments()
+		if err != nil {
+			return false
+		}
+		for j := 2; j <= 4; j++ {
+			scale := 1 + math.Abs(cm1[j])
+			if math.Abs(cm1[j]-cm2[j]) > 1e-6*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorBoundHonored(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 4, 3), []float64{2, 0.5}, []float64{1, 2}, []float64{1, 0})
+	ref, err := m.AccumulatedReward(0.9, 4, &Options{Epsilon: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{1e-4, 1e-7, 1e-10} {
+		res, err := m.AccumulatedReward(0.9, 4, &Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j <= 4; j++ {
+			// The theorem bounds the shifted-process truncation error by eps.
+			if diff := math.Abs(res.Moments[j] - ref.Moments[j]); diff > eps*1.01 {
+				t.Errorf("eps=%g j=%d: |diff| = %g exceeds eps", eps, j, diff)
+			}
+		}
+		if res.Stats.ErrorBound > eps {
+			t.Errorf("eps=%g: reported bound %g exceeds eps", eps, res.Stats.ErrorBound)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 4, 3), []float64{2, -0.5}, []float64{1, 2}, []float64{1, 0})
+	res, err := m.AccumulatedReward(0.9, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Q != 4 {
+		t.Errorf("Q = %g, want 4", st.Q)
+	}
+	if math.Abs(st.QT-3.6) > 1e-12 {
+		t.Errorf("QT = %g, want 3.6", st.QT)
+	}
+	if st.Shift != -0.5 {
+		t.Errorf("Shift = %g, want -0.5", st.Shift)
+	}
+	if st.G <= 0 || st.MatVecs <= 0 || st.FlopsPerIteration <= 0 {
+		t.Errorf("work stats not populated: %+v", st)
+	}
+	if st.D <= 0 {
+		t.Errorf("D = %g", st.D)
+	}
+}
+
+func TestHigherUniformizationRateSameResult(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 4, 3), []float64{2, 0.5}, []float64{1, 2}, []float64{1, 0})
+	res1, err := m.AccumulatedReward(0.5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m.AccumulatedReward(0.5, 3, &Options{UniformizationRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 3; j++ {
+		if math.Abs(res1.Moments[j]-res2.Moments[j]) > 1e-8*(1+math.Abs(res1.Moments[j])) {
+			t.Errorf("j=%d: q=4 gives %.12g, q=10 gives %.12g", j, res1.Moments[j], res2.Moments[j])
+		}
+	}
+	if res2.Stats.G <= res1.Stats.G {
+		t.Error("higher uniformization rate should need more iterations")
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	m := normalModel(t, 1, 1)
+	if _, err := m.AccumulatedReward(-1, 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative t: %v", err)
+	}
+	if _, err := m.AccumulatedReward(math.NaN(), 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("NaN t: %v", err)
+	}
+	if _, err := m.AccumulatedReward(math.Inf(1), 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("Inf t: %v", err)
+	}
+	if _, err := m.AccumulatedReward(1, -1, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative order: %v", err)
+	}
+	if _, err := m.AccumulatedReward(1, 2, &Options{Epsilon: 2}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("eps > 1: %v", err)
+	}
+	if _, err := m.AccumulatedReward(1, 2, &Options{Epsilon: -1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("eps < 0: %v", err)
+	}
+	if _, err := m.AccumulatedReward(1, 2, &Options{MaxG: -5}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative MaxG: %v", err)
+	}
+	if _, err := m.AccumulatedReward(1, 2, &Options{UniformizationRate: 0.1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("low uniformization rate: %v", err)
+	}
+	if _, err := m.AccumulatedReward(1000, 2, &Options{MaxG: 3}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("MaxG exhausted: %v", err)
+	}
+}
+
+func TestOrderZero(t *testing.T) {
+	m := normalModel(t, 1, 1)
+	res, err := m.AccumulatedReward(0.5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Moments[0]-1) > 1e-9 {
+		t.Errorf("m0 = %.12g", res.Moments[0])
+	}
+}
+
+func TestVectorMomentsPerState(t *testing.T) {
+	// Asymmetric model: starting state matters for the mean.
+	m := mustModel(t, cyclic2(t, 0.5, 0.5), []float64{10, 0}, []float64{0, 0}, []float64{1, 0})
+	res, err := m.AccumulatedReward(0.3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VectorMoments[1][0] <= res.VectorMoments[1][1] {
+		t.Errorf("starting in the high-reward state must yield a larger mean: %v", res.VectorMoments[1])
+	}
+	// Aggregation consistency: Moments = pi . VectorMoments.
+	if math.Abs(res.Moments[1]-res.VectorMoments[1][0]) > 1e-15 {
+		t.Error("aggregated mean must equal state-0 mean for pi = e_0")
+	}
+}

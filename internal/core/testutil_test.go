@@ -1,0 +1,26 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"somrm/internal/ctmc"
+)
+
+// newTestRand returns a deterministic RNG for property tests seeded by the
+// quick-check input.
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// reducible2 builds a 2-state generator with an absorbing state.
+func reducible2(t *testing.T) (*ctmc.Generator, error) {
+	t.Helper()
+	return ctmc.NewGeneratorFromDense(2, []float64{-1, 1, 0, 0})
+}
+
+// reducibleFrozen builds a 2-state generator with no transitions at all.
+func reducibleFrozen(t *testing.T) (*ctmc.Generator, error) {
+	t.Helper()
+	return ctmc.NewGeneratorFromDense(2, make([]float64, 4))
+}

@@ -1,0 +1,165 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+
+	"somrm/internal/linalg"
+)
+
+// ErrNoAbsorbing is returned when an absorbing-chain analysis is asked of a
+// chain without absorbing states.
+var ErrNoAbsorbing = errors.New("ctmc: chain has no absorbing states")
+
+// AbsorbingStates returns the indices of states with zero exit rate.
+func (g *Generator) AbsorbingStates() []int {
+	var out []int
+	for i := 0; i < g.N(); i++ {
+		if g.At(i, i) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MeanTimeToAbsorption returns, per state, the expected time until the
+// chain enters any absorbing state (0 for absorbing states themselves,
+// +Inf is impossible for chains where absorption is certain; for chains
+// with transient recurrent classes the linear solve fails and an error is
+// returned). It solves -Q_TT tau = 1 on the transient block.
+//
+// Together with a reward structure this is the classical mean-time-to-
+// failure performability measure: tag the failed states as absorbing and
+// MTTF is the mean time to absorption from the initial state.
+func (g *Generator) MeanTimeToAbsorption() ([]float64, error) {
+	n := g.N()
+	abs := g.AbsorbingStates()
+	if len(abs) == 0 {
+		return nil, ErrNoAbsorbing
+	}
+	isAbs := make([]bool, n)
+	for _, i := range abs {
+		isAbs[i] = true
+	}
+	// Transient index mapping.
+	var trans []int
+	for i := 0; i < n; i++ {
+		if !isAbs[i] {
+			trans = append(trans, i)
+		}
+	}
+	out := make([]float64, n)
+	if len(trans) == 0 {
+		return out, nil
+	}
+	m := len(trans)
+	a := linalg.NewDense(m, m)
+	for ti, i := range trans {
+		for tj, j := range trans {
+			a.Set(ti, tj, -g.At(i, j))
+		}
+	}
+	rhs := linalg.Ones(m)
+	tau, err := linalg.SolveLinear(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: mean time to absorption: %w", err)
+	}
+	for ti, i := range trans {
+		if tau[ti] < 0 {
+			return nil, fmt.Errorf("ctmc: mean time to absorption: negative solution at state %d (absorption not certain?)", i)
+		}
+		out[i] = tau[ti]
+	}
+	return out, nil
+}
+
+// Reliability returns P(chain has not been absorbed by time t | Z(0) ~ pi):
+// the surviving probability mass on transient states. For a repairable
+// system with failure states made absorbing this is the classical
+// reliability function R(t).
+func (g *Generator) Reliability(pi []float64, t, eps float64) (float64, error) {
+	abs := g.AbsorbingStates()
+	if len(abs) == 0 {
+		return 0, ErrNoAbsorbing
+	}
+	p, err := g.TransientDistribution(pi, t, eps)
+	if err != nil {
+		return 0, err
+	}
+	isAbs := make([]bool, g.N())
+	for _, i := range abs {
+		isAbs[i] = true
+	}
+	var surv float64
+	for i, mass := range p {
+		if !isAbs[i] {
+			surv += mass
+		}
+	}
+	if surv < 0 {
+		surv = 0
+	}
+	if surv > 1 {
+		surv = 1
+	}
+	return surv, nil
+}
+
+// AbsorptionProbabilities returns h[i][k] = probability that, starting in
+// state i, the chain is eventually absorbed in the k-th absorbing state
+// (ordered as returned by AbsorbingStates). Rows of transient states solve
+// -Q_TT H = Q_TA.
+func (g *Generator) AbsorptionProbabilities() ([][]float64, []int, error) {
+	n := g.N()
+	abs := g.AbsorbingStates()
+	if len(abs) == 0 {
+		return nil, nil, ErrNoAbsorbing
+	}
+	isAbs := make([]bool, n)
+	absIdx := make(map[int]int, len(abs))
+	for k, i := range abs {
+		isAbs[i] = true
+		absIdx[i] = k
+	}
+	var trans []int
+	for i := 0; i < n; i++ {
+		if !isAbs[i] {
+			trans = append(trans, i)
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, len(abs))
+	}
+	for k, i := range abs {
+		out[i][k] = 1
+	}
+	if len(trans) == 0 {
+		return out, abs, nil
+	}
+	m := len(trans)
+	a := linalg.NewDense(m, m)
+	for ti, i := range trans {
+		for tj, j := range trans {
+			a.Set(ti, tj, -g.At(i, j))
+		}
+	}
+	lu, err := linalg.FactorLU(a)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ctmc: absorption probabilities: %w", err)
+	}
+	for k, target := range abs {
+		rhs := linalg.NewVector(m)
+		for ti, i := range trans {
+			rhs[ti] = g.At(i, target)
+		}
+		col, err := lu.Solve(rhs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ctmc: absorption probabilities: %w", err)
+		}
+		for ti, i := range trans {
+			out[i][k] = col[ti]
+		}
+	}
+	return out, abs, nil
+}

@@ -1,0 +1,172 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// erlangChain builds 0 -> 1 -> ... -> n (absorbing) with rate mu each.
+func erlangChain(t *testing.T, n int, mu float64) *Generator {
+	t.Helper()
+	g, err := NewGeneratorFromRates(n+1, func(i, j int) float64 {
+		if j == i+1 && i < n {
+			return mu
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAbsorbingStates(t *testing.T) {
+	g := erlangChain(t, 3, 2)
+	abs := g.AbsorbingStates()
+	if len(abs) != 1 || abs[0] != 3 {
+		t.Errorf("absorbing = %v", abs)
+	}
+	irr := twoState(t, 1, 1)
+	if len(irr.AbsorbingStates()) != 0 {
+		t.Error("irreducible chain has absorbing states")
+	}
+}
+
+func TestMeanTimeToAbsorptionErlang(t *testing.T) {
+	const mu = 2.0
+	g := erlangChain(t, 4, mu)
+	tau, err := g.MeanTimeToAbsorption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From state i, absorption needs 4-i Exp(mu) stages.
+	for i := 0; i <= 4; i++ {
+		want := float64(4-i) / mu
+		if math.Abs(tau[i]-want) > 1e-12 {
+			t.Errorf("tau[%d] = %.14g, want %.14g", i, tau[i], want)
+		}
+	}
+}
+
+func TestMeanTimeToAbsorptionWithLoops(t *testing.T) {
+	// 0 <-> 1 -> 2 (absorbing): tau solves a genuine linear system.
+	g, err := NewGeneratorFromRates(3, func(i, j int) float64 {
+		switch {
+		case i == 0 && j == 1:
+			return 1
+		case i == 1 && j == 0:
+			return 3
+		case i == 1 && j == 2:
+			return 2
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := g.MeanTimeToAbsorption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tau0 = 1 + tau1; tau1 = 1/5 + (3/5) tau0 => tau0 = 3, tau1 = 2.
+	if math.Abs(tau[0]-3) > 1e-12 || math.Abs(tau[1]-2) > 1e-12 || tau[2] != 0 {
+		t.Errorf("tau = %v, want [3 2 0]", tau)
+	}
+}
+
+func TestMeanTimeToAbsorptionNoAbsorbing(t *testing.T) {
+	g := twoState(t, 1, 1)
+	if _, err := g.MeanTimeToAbsorption(); !errors.Is(err, ErrNoAbsorbing) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReliabilityExponential(t *testing.T) {
+	// Single transient state with rate lambda to absorption: R(t) = e^{-lambda t}.
+	const lambda = 1.7
+	g, err := NewGeneratorFromDense(2, []float64{-lambda, lambda, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.1, 1, 3} {
+		r, err := g.Reliability([]float64{1, 0}, tt, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-lambda * tt)
+		if math.Abs(r-want) > 1e-10 {
+			t.Errorf("R(%g) = %.12g, want %.12g", tt, r, want)
+		}
+	}
+	if _, err := twoState(t, 1, 1).Reliability([]float64{1, 0}, 1, 1e-9); !errors.Is(err, ErrNoAbsorbing) {
+		t.Errorf("irreducible reliability: %v", err)
+	}
+}
+
+func TestReliabilityMatchesMTTA(t *testing.T) {
+	// integral_0^inf R(t) dt = E[T] when absorption is certain.
+	g := erlangChain(t, 3, 2)
+	tau, err := g.MeanTimeToAbsorption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := []float64{1, 0, 0, 0}
+	const dt = 0.01
+	var integral float64
+	for x := dt / 2; x < 12; x += dt {
+		r, err := g.Reliability(pi, x, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		integral += r * dt
+	}
+	if math.Abs(integral-tau[0]) > 0.01 {
+		t.Errorf("integral R = %.4f, MTTA = %.4f", integral, tau[0])
+	}
+}
+
+func TestAbsorptionProbabilities(t *testing.T) {
+	// 0 -> 1 (rate a) and 0 -> 2 (rate b), both absorbing: probabilities
+	// a/(a+b) and b/(a+b).
+	a, b := 2.0, 3.0
+	g, err := NewGeneratorFromRates(3, func(i, j int) float64 {
+		if i == 0 && j == 1 {
+			return a
+		}
+		if i == 0 && j == 2 {
+			return b
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, abs, err := g.AbsorptionProbabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abs) != 2 || abs[0] != 1 || abs[1] != 2 {
+		t.Fatalf("absorbing = %v", abs)
+	}
+	if math.Abs(h[0][0]-a/(a+b)) > 1e-12 || math.Abs(h[0][1]-b/(a+b)) > 1e-12 {
+		t.Errorf("h[0] = %v", h[0])
+	}
+	// Absorbing states are certain to stay.
+	if h[1][0] != 1 || h[2][1] != 1 {
+		t.Errorf("absorbing rows: %v %v", h[1], h[2])
+	}
+	// Rows sum to 1.
+	for i, row := range h {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("row %d sums to %g", i, s)
+		}
+	}
+	if _, _, err := twoState(t, 1, 1).AbsorptionProbabilities(); !errors.Is(err, ErrNoAbsorbing) {
+		t.Errorf("irreducible: %v", err)
+	}
+}

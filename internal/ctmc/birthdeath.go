@@ -1,0 +1,90 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"somrm/internal/sparse"
+)
+
+// NewBirthDeath builds the generator of a birth-death chain on states
+// 0..n-1 with birth rates up[i] (i -> i+1, length n-1) and death rates
+// down[i] (i+1 -> i, length n-1). The paper's ON-OFF multiplexer background
+// process is of this form.
+func NewBirthDeath(up, down []float64) (*Generator, error) {
+	if len(up) != len(down) {
+		return nil, fmt.Errorf("%w: %d birth rates vs %d death rates", ErrNotGenerator, len(up), len(down))
+	}
+	n := len(up) + 1
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		var exit float64
+		if i < n-1 {
+			v := up[i]
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: birth rate up[%d]=%g", ErrNotGenerator, i, v)
+			}
+			if v > 0 {
+				if err := b.Add(i, i+1, v); err != nil {
+					return nil, fmt.Errorf("ctmc: %w", err)
+				}
+				exit += v
+			}
+		}
+		if i > 0 {
+			v := down[i-1]
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: death rate down[%d]=%g", ErrNotGenerator, i-1, v)
+			}
+			if v > 0 {
+				if err := b.Add(i, i-1, v); err != nil {
+					return nil, fmt.Errorf("ctmc: %w", err)
+				}
+				exit += v
+			}
+		}
+		if exit > 0 {
+			if err := b.Add(i, i, -exit); err != nil {
+				return nil, fmt.Errorf("ctmc: %w", err)
+			}
+		}
+	}
+	return NewGenerator(b.Build())
+}
+
+// BirthDeathStationary computes the stationary distribution of an
+// irreducible birth-death chain in O(n) using the detailed-balance product
+// form pi[i+1] = pi[i] * up[i] / down[i]. It normalizes with a running
+// rescale so very long chains (the paper's large example has 200,001
+// states) do not overflow.
+func BirthDeathStationary(up, down []float64) ([]float64, error) {
+	if len(up) != len(down) {
+		return nil, fmt.Errorf("%w: %d birth rates vs %d death rates", ErrNotGenerator, len(up), len(down))
+	}
+	n := len(up) + 1
+	pi := make([]float64, n)
+	pi[0] = 1
+	for i := 0; i < n-1; i++ {
+		if up[i] <= 0 || down[i] <= 0 {
+			return nil, fmt.Errorf("%w: zero rate between states %d and %d", ErrReducible, i, i+1)
+		}
+		pi[i+1] = pi[i] * up[i] / down[i]
+		if pi[i+1] > 1e250 {
+			// Rescale everything so far to avoid overflow.
+			for j := 0; j <= i+1; j++ {
+				pi[j] *= 1e-250
+			}
+		}
+	}
+	var total float64
+	for _, p := range pi {
+		total += p
+	}
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		return nil, fmt.Errorf("%w: normalization failed (total %g)", ErrReducible, total)
+	}
+	for i := range pi {
+		pi[i] /= total
+	}
+	return pi, nil
+}

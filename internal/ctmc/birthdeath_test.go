@@ -1,0 +1,163 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewBirthDeathStructure(t *testing.T) {
+	g, err := NewBirthDeath([]float64{2, 3}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.At(0, 1) != 2 || g.At(1, 2) != 3 || g.At(1, 0) != 1 || g.At(2, 1) != 4 {
+		t.Error("rates misplaced")
+	}
+	if g.At(0, 2) != 0 || g.At(2, 0) != 0 {
+		t.Error("non-neighbor transitions present")
+	}
+	if g.At(1, 1) != -4 {
+		t.Errorf("diagonal(1) = %g, want -4", g.At(1, 1))
+	}
+}
+
+func TestNewBirthDeathErrors(t *testing.T) {
+	if _, err := NewBirthDeath([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrNotGenerator) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	if _, err := NewBirthDeath([]float64{-1}, []float64{1}); !errors.Is(err, ErrNotGenerator) {
+		t.Errorf("negative birth: %v", err)
+	}
+	if _, err := NewBirthDeath([]float64{1}, []float64{math.NaN()}); !errors.Is(err, ErrNotGenerator) {
+		t.Errorf("NaN death: %v", err)
+	}
+}
+
+func TestBirthDeathStationaryMM1Like(t *testing.T) {
+	// Constant rates lambda=1, mu=2 on 4 states: pi_i ~ (1/2)^i.
+	up := []float64{1, 1, 1}
+	down := []float64{2, 2, 2}
+	pi, err := BirthDeathStationary(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := 1 + 0.5 + 0.25 + 0.125
+	for i, want := range []float64{1, 0.5, 0.25, 0.125} {
+		if math.Abs(pi[i]-want/norm) > 1e-14 {
+			t.Errorf("pi[%d] = %.15g, want %.15g", i, pi[i], want/norm)
+		}
+	}
+}
+
+func TestBirthDeathStationaryErrors(t *testing.T) {
+	if _, err := BirthDeathStationary([]float64{0}, []float64{1}); !errors.Is(err, ErrReducible) {
+		t.Errorf("zero birth rate: %v", err)
+	}
+	if _, err := BirthDeathStationary([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrNotGenerator) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+func TestBirthDeathStationaryLargeNoOverflow(t *testing.T) {
+	// Strongly increasing ratios would overflow without rescaling.
+	n := 2000
+	up := make([]float64, n)
+	down := make([]float64, n)
+	for i := range up {
+		up[i] = 10
+		down[i] = 1
+	}
+	pi, err := BirthDeathStationary(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pi {
+		if math.IsNaN(p) || p < 0 {
+			t.Fatal("invalid stationary entry")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mass = %.12g", sum)
+	}
+	// Mass should concentrate at the top of the chain.
+	if pi[n] < 0.89 {
+		t.Errorf("pi[top] = %g, want ~0.9", pi[n])
+	}
+}
+
+// The ON-OFF background chain: binomial stationary distribution.
+func TestBirthDeathStationaryBinomial(t *testing.T) {
+	nSrc := 10
+	alpha, beta := 4.0, 3.0
+	up := make([]float64, nSrc)
+	down := make([]float64, nSrc)
+	for i := 0; i < nSrc; i++ {
+		up[i] = float64(nSrc-i) * beta
+		down[i] = float64(i+1) * alpha
+	}
+	pi, err := BirthDeathStationary(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := beta / (alpha + beta)
+	for i := 0; i <= nSrc; i++ {
+		want := binomPMF(nSrc, i, p)
+		if math.Abs(pi[i]-want) > 1e-12 {
+			t.Errorf("pi[%d] = %.14g, want binomial %.14g", i, pi[i], want)
+		}
+	}
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+func TestMatrixExponentialIdentityAtZero(t *testing.T) {
+	g := twoState(t, 1, 2)
+	e, err := g.MatrixExponential(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.At(0, 0) != 1 || e.At(0, 1) != 0 {
+		t.Errorf("expm(0) = %v", e.Data)
+	}
+	if _, err := g.MatrixExponential(-1); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestMatrixExponentialRowsSumToOne(t *testing.T) {
+	g, err := NewGeneratorFromRates(5, func(i, j int) float64 {
+		return float64((i+2*j)%4) * 1.3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := g.MatrixExponential(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		var s float64
+		for j := 0; j < g.N(); j++ {
+			v := e.At(i, j)
+			if v < -1e-12 {
+				t.Errorf("negative probability e[%d][%d] = %g", i, j, v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("row %d sums to %.15g", i, s)
+		}
+	}
+}

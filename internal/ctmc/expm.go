@@ -1,0 +1,78 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"somrm/internal/linalg"
+)
+
+// MatrixExponential computes exp(Q*t) densely by scaling and squaring with
+// a Taylor series evaluated to machine precision. It is O(n^3 log(qt)) and
+// exists as an independent oracle for the uniformization code paths in
+// tests; production solvers use uniformization.
+func (g *Generator) MatrixExponential(t float64) (*linalg.Dense, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: negative time %g", t)
+	}
+	n := g.N()
+	a := linalg.NewDense(n, n)
+	dense := g.m.Dense()
+	for i := range dense {
+		a.Data[i] = dense[i] * t
+	}
+	return expm(a)
+}
+
+// expm computes exp(a) by scaling and squaring: a is scaled by 2^-s so the
+// infinity norm is at most 1/2, the Taylor series is summed until terms
+// vanish, and the result is squared s times.
+func expm(a *linalg.Dense) (*linalg.Dense, error) {
+	n := a.Rows
+	norm := infNorm(a)
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	scaled := a.Clone().Scale(math.Pow(2, -float64(s)))
+
+	sum := linalg.Identity(n)
+	term := linalg.Identity(n)
+	for k := 1; k <= 64; k++ {
+		next, err := term.Mul(scaled)
+		if err != nil {
+			return nil, fmt.Errorf("ctmc: expm term: %w", err)
+		}
+		term = next.Scale(1 / float64(k))
+		added, err := sum.Add(term)
+		if err != nil {
+			return nil, fmt.Errorf("ctmc: expm sum: %w", err)
+		}
+		sum = added
+		if infNorm(term) < 1e-18*infNorm(sum) {
+			break
+		}
+	}
+	for i := 0; i < s; i++ {
+		sq, err := sum.Mul(sum)
+		if err != nil {
+			return nil, fmt.Errorf("ctmc: expm squaring: %w", err)
+		}
+		sum = sq
+	}
+	return sum, nil
+}
+
+func infNorm(m *linalg.Dense) float64 {
+	var mx float64
+	for i := 0; i < m.Rows; i++ {
+		var rs float64
+		for j := 0; j < m.Cols; j++ {
+			rs += math.Abs(m.At(i, j))
+		}
+		if rs > mx {
+			mx = rs
+		}
+	}
+	return mx
+}

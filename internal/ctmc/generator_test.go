@@ -1,0 +1,154 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/sparse"
+)
+
+// twoState returns the generator of the 2-state chain with rates a (0->1)
+// and b (1->0).
+func twoState(t *testing.T, a, b float64) *Generator {
+	t.Helper()
+	g, err := NewGeneratorFromDense(2, []float64{-a, a, b, -b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorValid(t *testing.T) {
+	g := twoState(t, 2, 3)
+	if g.N() != 2 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.MaxExitRate() != 3 {
+		t.Errorf("MaxExitRate = %g, want 3", g.MaxExitRate())
+	}
+	if g.At(0, 1) != 2 || g.At(1, 1) != -3 {
+		t.Errorf("entries wrong: %g %g", g.At(0, 1), g.At(1, 1))
+	}
+}
+
+func TestNewGeneratorRejectsBadMatrices(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		data []float64
+	}{
+		{"negative off-diagonal", 2, []float64{-1, 1, -2, 2}},
+		{"positive diagonal", 2, []float64{1, -1, 1, -1}},
+		{"row sum nonzero", 2, []float64{-1, 2, 1, -1}},
+		{"NaN rate", 2, []float64{-1, 1, math.NaN(), 0}},
+		{"Inf rate", 2, []float64{math.Inf(-1), math.Inf(1), 1, -1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewGeneratorFromDense(c.n, c.data); !errors.Is(err, ErrNotGenerator) {
+				t.Errorf("err = %v, want ErrNotGenerator", err)
+			}
+		})
+	}
+}
+
+func TestNewGeneratorNonSquare(t *testing.T) {
+	m, err := sparse.NewCSRFromDense(2, 3, make([]float64, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGenerator(m); !errors.Is(err, ErrNotGenerator) {
+		t.Errorf("non-square: %v", err)
+	}
+}
+
+func TestNewGeneratorFromRates(t *testing.T) {
+	g, err := NewGeneratorFromRates(3, func(i, j int) float64 {
+		if j == (i+1)%3 {
+			return float64(i + 1)
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 1) != 1 || g.At(1, 2) != 2 || g.At(2, 0) != 3 {
+		t.Error("rates misplaced")
+	}
+	if g.At(2, 2) != -3 {
+		t.Errorf("diagonal = %g, want -3", g.At(2, 2))
+	}
+	if _, err := NewGeneratorFromRates(2, func(i, j int) float64 { return -1 }); !errors.Is(err, ErrNotGenerator) {
+		t.Errorf("negative rate fn: %v", err)
+	}
+}
+
+func TestUniformized(t *testing.T) {
+	g := twoState(t, 2, 4)
+	p, err := g.Uniformized(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P' = Q/4 + I = [[0.5, 0.5], [1, 0]].
+	if p.At(0, 0) != 0.5 || p.At(0, 1) != 0.5 || p.At(1, 0) != 1 {
+		t.Errorf("P' = %v", p.Dense())
+	}
+	if got := p.At(1, 1); got != 0 {
+		t.Errorf("P'(1,1) = %g, want 0", got)
+	}
+	if !p.IsSubstochastic(1e-12) {
+		t.Error("uniformized matrix not substochastic")
+	}
+	if _, err := g.Uniformized(3.9); err == nil {
+		t.Error("rate below max exit accepted")
+	}
+	if _, err := g.Uniformized(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	// Larger rate is allowed and keeps stochasticity.
+	p8, err := g.Uniformized(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := p8.RowSums()
+	for i, s := range sums {
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("row %d sums to %g", i, s)
+		}
+	}
+}
+
+func TestValidateDistribution(t *testing.T) {
+	g := twoState(t, 1, 1)
+	if err := g.ValidateDistribution([]float64{0.25, 0.75}); err != nil {
+		t.Errorf("valid distribution rejected: %v", err)
+	}
+	bad := [][]float64{
+		{1},
+		{0.5, 0.6},
+		{-0.1, 1.1},
+		{math.NaN(), 1},
+	}
+	for _, pi := range bad {
+		if err := g.ValidateDistribution(pi); !errors.Is(err, ErrBadDistribution) {
+			t.Errorf("distribution %v accepted", pi)
+		}
+	}
+}
+
+func TestUnitDistribution(t *testing.T) {
+	pi, err := UnitDistribution(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 0 || pi[1] != 1 || pi[2] != 0 {
+		t.Errorf("pi = %v", pi)
+	}
+	if _, err := UnitDistribution(3, 3); !errors.Is(err, ErrBadDistribution) {
+		t.Errorf("out of range: %v", err)
+	}
+	if _, err := UnitDistribution(3, -1); !errors.Is(err, ErrBadDistribution) {
+		t.Errorf("negative index: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegratedTransientMassEqualsT(t *testing.T) {
+	g := twoState(t, 2, 3)
+	for _, tt := range []float64{0.1, 1, 5} {
+		l, err := g.IntegratedTransient([]float64{1, 0}, tt, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, v := range l {
+			total += v
+		}
+		if math.Abs(total-tt) > 1e-8*tt {
+			t.Errorf("t=%g: total occupancy %.12g", tt, total)
+		}
+	}
+}
+
+func TestIntegratedTransientTwoStateClosedForm(t *testing.T) {
+	a, b := 2.0, 3.0
+	g := twoState(t, a, b)
+	lam := a + b
+	for _, tt := range []float64{0.2, 1, 3} {
+		l, err := g.IntegratedTransient([]float64{1, 0}, tt, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss0 := b / lam
+		want0 := ss0*tt + a/lam*(1-math.Exp(-lam*tt))/lam
+		if math.Abs(l[0]-want0) > 1e-9*(1+want0) {
+			t.Errorf("t=%g: L0 = %.12g, want %.12g", tt, l[0], want0)
+		}
+	}
+}
+
+func TestIntegratedTransientEdges(t *testing.T) {
+	g := twoState(t, 1, 1)
+	l, err := g.IntegratedTransient([]float64{0.5, 0.5}, 0, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[0] != 0 || l[1] != 0 {
+		t.Errorf("t=0: %v", l)
+	}
+	// Frozen chain: occupancy = pi * t.
+	frozen, err := NewGeneratorFromDense(2, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err = frozen.IntegratedTransient([]float64{0.3, 0.7}, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l[0]-0.6) > 1e-12 || math.Abs(l[1]-1.4) > 1e-12 {
+		t.Errorf("frozen: %v", l)
+	}
+	// Errors.
+	if _, err := g.IntegratedTransient([]float64{1, 0}, -1, 1e-9); err == nil {
+		t.Error("negative t accepted")
+	}
+	if _, err := g.IntegratedTransient([]float64{1, 0}, 1, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := g.IntegratedTransient([]float64{1}, 1, 1e-9); err == nil {
+		t.Error("bad pi accepted")
+	}
+}
+
+func TestIntegratedTransientConvergesToStationaryShare(t *testing.T) {
+	g := twoState(t, 2, 3)
+	const tt = 200.0
+	l, err := g.IntegratedTransient([]float64{1, 0}, tt, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ss {
+		if math.Abs(l[i]/tt-ss[i]) > 0.01 {
+			t.Errorf("long-run share state %d: %g vs stationary %g", i, l[i]/tt, ss[i])
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package ctmc_test
+
+// External test package so the occupation-time algorithm can be validated
+// against the Monte Carlo simulator (sim imports core imports ctmc; an
+// in-package test would create an import cycle).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/laplace"
+)
+
+func twoStateGen(t *testing.T, a, b float64) *ctmc.Generator {
+	t.Helper()
+	g, err := ctmc.NewGeneratorFromDense(2, []float64{-a, a, b, -b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Empirical occupation-time CDF by direct trajectory simulation.
+func simulateOccupationCDF(g *ctmc.Generator, pi []float64, tagged []bool, t, x float64, reps int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	count := 0
+	for r := 0; r < reps; r++ {
+		// Sample initial state.
+		u := rng.Float64()
+		state := n - 1
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += pi[i]
+			if u <= acc {
+				state = i
+				break
+			}
+		}
+		now, occ := 0.0, 0.0
+		for now < t {
+			exit := -g.At(state, state)
+			var sojourn float64
+			if exit <= 0 {
+				sojourn = t - now
+			} else {
+				sojourn = rng.ExpFloat64() / exit
+			}
+			seg := math.Min(sojourn, t-now)
+			if tagged[state] {
+				occ += seg
+			}
+			now += seg
+			if now >= t {
+				break
+			}
+			// Next state proportional to rates.
+			u := rng.Float64() * exit
+			next := state
+			var cum float64
+			for j := 0; j < n; j++ {
+				if j == state {
+					continue
+				}
+				cum += g.At(state, j)
+				if u <= cum {
+					next = j
+					break
+				}
+			}
+			state = next
+		}
+		if occ <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(reps)
+}
+
+func TestOccupationTimeCDFAgainstSimulation(t *testing.T) {
+	g := twoStateGen(t, 2, 3)
+	pi := []float64{1, 0}
+	tagged := []bool{true, false}
+	const tt = 1.0
+	const reps = 60_000
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		got, err := g.OccupationTimeCDF(pi, tagged, tt, x, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emp := simulateOccupationCDF(g, pi, tagged, tt, x, reps, 7)
+		se := math.Sqrt(emp*(1-emp)/reps) + 1e-4
+		if math.Abs(got-emp) > 4*se {
+			t.Errorf("x=%g: analytic %.4f vs empirical %.4f (+/- %.4f)", x, got, emp, 4*se)
+		}
+	}
+}
+
+// O(t) equals the accumulated reward of the first-order model with
+// rewards (1, 0); the Gil-Pelaez CDF of that model is an independent
+// oracle.
+func TestOccupationTimeCDFAgainstGilPelaez(t *testing.T) {
+	g := twoStateGen(t, 2, 3)
+	pi := []float64{0.5, 0.5}
+	tagged := []bool{true, false}
+	m, err := core.New(g, []float64{1, 0}, []float64{0, 0}, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := laplace.NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 1.5
+	for _, x := range []float64{0.3, 0.75, 1.2} {
+		got, err := g.OccupationTimeCDF(pi, tagged, tt, x, 1e-11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdf, err := tr.CDF(tt, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.5*cdf[0] + 0.5*cdf[1]
+		// Gil-Pelaez carries its own quadrature error near atoms; 1e-3 is
+		// its realistic accuracy here.
+		if math.Abs(got-want) > 2e-3 {
+			t.Errorf("x=%g: occupation %.5f vs Gil-Pelaez %.5f", x, got, want)
+		}
+	}
+}
+
+func TestOccupationTimeCDFMoments(t *testing.T) {
+	// E[O(t)] from the CDF by numerical integration of (1 - F) matches the
+	// first-order mean reward with rewards (1, 0).
+	g := twoStateGen(t, 2, 3)
+	pi := []float64{1, 0}
+	tagged := []bool{true, false}
+	m, err := core.New(g, []float64{1, 0}, []float64{0, 0}, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 1.0
+	res, err := m.AccumulatedReward(tt, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 400
+	var mean float64
+	for k := 0; k < steps; k++ {
+		x := tt * (float64(k) + 0.5) / steps
+		cdf, err := g.OccupationTimeCDF(pi, tagged, tt, x, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += (1 - cdf) * tt / steps
+	}
+	if math.Abs(mean-res.Moments[1]) > 2e-3 {
+		t.Errorf("integrated mean %.5f vs MRM mean %.5f", mean, res.Moments[1])
+	}
+}
+
+func TestOccupationTimeCDFEdges(t *testing.T) {
+	g := twoStateGen(t, 1, 1)
+	pi := []float64{1, 0}
+	tagged := []bool{true, false}
+	// x >= t.
+	if got, err := g.OccupationTimeCDF(pi, tagged, 1, 1, 1e-9); err != nil || got != 1 {
+		t.Errorf("x=t: %g %v", got, err)
+	}
+	// x < 0.
+	if got, err := g.OccupationTimeCDF(pi, tagged, 1, -0.1, 1e-9); err != nil || got != 0 {
+		t.Errorf("x<0: %g %v", got, err)
+	}
+	// Bad arguments.
+	if _, err := g.OccupationTimeCDF(pi, []bool{true}, 1, 0.5, 1e-9); err == nil {
+		t.Error("short tags accepted")
+	}
+	if _, err := g.OccupationTimeCDF(pi, tagged, -1, 0.5, 1e-9); err == nil {
+		t.Error("negative t accepted")
+	}
+	if _, err := g.OccupationTimeCDF(pi, tagged, 1, 0.5, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := g.OccupationTimeCDF([]float64{0.5, 0.6}, tagged, 1, 0.5, 1e-9); err == nil {
+		t.Error("bad distribution accepted")
+	}
+}
+
+func TestOccupationTimeCDFFrozenChain(t *testing.T) {
+	frozen, err := ctmc.NewGeneratorFromDense(2, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := []float64{0.3, 0.7}
+	tagged := []bool{true, false}
+	// O(t) = t with prob 0.3 (tagged start), 0 with prob 0.7.
+	got, err := frozen.OccupationTimeCDF(pi, tagged, 2, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("frozen CDF = %g, want 0.7", got)
+	}
+}
+
+func TestOccupationTimeCDFMonotone(t *testing.T) {
+	g := twoStateGen(t, 3, 1)
+	pi := []float64{0, 1}
+	tagged := []bool{false, true}
+	prev := -1.0
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		got, err := g.OccupationTimeCDF(pi, tagged, 1, x, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Errorf("CDF decreasing at x=%g", x)
+		}
+		if got < 0 || got > 1 {
+			t.Errorf("CDF out of range at x=%g: %g", x, got)
+		}
+		prev = got
+	}
+}
+
+func TestIntervalAvailability(t *testing.T) {
+	g := twoStateGen(t, 0.2, 2) // mostly up (state 0 tagged): A = 2/2.2
+	pi := []float64{1, 0}
+	up := []bool{true, false}
+	av, err := g.IntervalAvailability(pi, up, 5, 0.8, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av < 0.5 || av > 1 {
+		t.Errorf("availability = %g, expected high", av)
+	}
+	// Levels outside (0, 1].
+	if got, err := g.IntervalAvailability(pi, up, 5, 0, 1e-10); err != nil || got != 1 {
+		t.Errorf("level 0: %g %v", got, err)
+	}
+	if got, err := g.IntervalAvailability(pi, up, 5, 1.2, 1e-10); err != nil || got != 0 {
+		t.Errorf("level > 1: %g %v", got, err)
+	}
+	// Consistency with the CDF.
+	cdf, err := g.OccupationTimeCDF(pi, up, 5, 0.8*5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(av-(1-cdf)) > 1e-12 {
+		t.Errorf("availability %g inconsistent with CDF %g", av, cdf)
+	}
+}

@@ -1,0 +1,96 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrReducible is returned when the stationary solver detects a reducible
+// chain (GTH meets a zero pivot).
+var ErrReducible = errors.New("ctmc: chain appears reducible")
+
+// StationaryDistribution computes the stationary distribution of an
+// irreducible CTMC with the Grassmann–Taksar–Heyman (GTH) algorithm, which
+// involves no subtractions of like-signed quantities and is therefore
+// backward stable. It densifies the generator, so it is intended for
+// moderate state counts (the paper's small example has 33 states).
+func (g *Generator) StationaryDistribution() ([]float64, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrNotGenerator)
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+
+	// Work on a dense copy of the off-diagonal rates.
+	a := g.m.Dense()
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 0
+	}
+
+	// GTH elimination from the last state down to state 1 (Stewart,
+	// "Introduction to the Numerical Solution of Markov Chains"). All
+	// operations are additions/multiplications of non-negative numbers.
+	for k := n - 1; k >= 1; k-- {
+		var s float64
+		for j := 0; j < k; j++ {
+			s += a[k*n+j]
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: no transitions from state %d into the remaining block", ErrReducible, k)
+		}
+		for i := 0; i < k; i++ {
+			a[i*n+k] /= s
+		}
+		for i := 0; i < k; i++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if i == j {
+					continue
+				}
+				a[i*n+j] += aik * a[k*n+j]
+			}
+		}
+	}
+
+	// Back substitution: pi[0] = 1, pi[k] = sum_{i<k} pi[i] * a[i][k].
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var s float64
+		for i := 0; i < k; i++ {
+			s += pi[i] * a[i*n+k]
+		}
+		pi[k] = s
+	}
+
+	var total float64
+	for _, p := range pi {
+		total += p
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: non-positive normalization", ErrReducible)
+	}
+	for i := range pi {
+		pi[i] /= total
+	}
+	return pi, nil
+}
+
+// MeanRewardRate returns pi · r for a distribution pi and per-state values
+// r. It is the instantaneous expected reward rate under pi, used for the
+// steady-state mean line in Figure 3 of the paper.
+func MeanRewardRate(pi, r []float64) (float64, error) {
+	if len(pi) != len(r) {
+		return 0, fmt.Errorf("%w: pi has %d entries, rates %d", ErrBadDistribution, len(pi), len(r))
+	}
+	var s float64
+	for i := range pi {
+		s += pi[i] * r[i]
+	}
+	return s, nil
+}

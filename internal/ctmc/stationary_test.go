@@ -1,0 +1,121 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStationaryTwoState(t *testing.T) {
+	g := twoState(t, 2, 3) // pi = (3, 2)/5
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.6) > 1e-14 || math.Abs(pi[1]-0.4) > 1e-14 {
+		t.Errorf("pi = %v, want [0.6 0.4]", pi)
+	}
+}
+
+func TestStationarySingleState(t *testing.T) {
+	g, err := NewGeneratorFromDense(1, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 1 {
+		t.Errorf("pi = %v", pi)
+	}
+}
+
+func TestStationaryReducible(t *testing.T) {
+	// Absorbing state 1: state 1 has no exits, so eliminating it fails.
+	g, err := NewGeneratorFromDense(2, []float64{-1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.StationaryDistribution(); !errors.Is(err, ErrReducible) {
+		t.Errorf("reducible: err = %v", err)
+	}
+}
+
+// Property: pi Q = 0 for random irreducible chains (GTH residual check).
+func TestStationaryResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3 + int(seed%5+5)%5
+		g, err := NewGeneratorFromRates(n, func(i, j int) float64 {
+			// Dense positive rates => irreducible.
+			return 0.1 + float64((i*7+j*13+int(seed%17)+17)%10)
+		})
+		if err != nil {
+			return false
+		}
+		pi, err := g.StationaryDistribution()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			return false
+		}
+		// Residual pi Q = 0.
+		res := make([]float64, n)
+		if err := g.Matrix().VecMat(pi, res); err != nil {
+			return false
+		}
+		for _, r := range res {
+			if math.Abs(r) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationaryMatchesBirthDeathProductForm(t *testing.T) {
+	up := []float64{3, 2, 1}
+	down := []float64{1, 2, 3}
+	g, err := NewBirthDeath(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gth, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := BirthDeathStationary(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gth {
+		if math.Abs(gth[i]-prod[i]) > 1e-12 {
+			t.Errorf("state %d: GTH %.14g vs product form %.14g", i, gth[i], prod[i])
+		}
+	}
+}
+
+func TestMeanRewardRate(t *testing.T) {
+	got, err := MeanRewardRate([]float64{0.25, 0.75}, []float64{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("MeanRewardRate = %g, want 7", got)
+	}
+	if _, err := MeanRewardRate([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrBadDistribution) {
+		t.Errorf("size mismatch: %v", err)
+	}
+}

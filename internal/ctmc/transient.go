@@ -1,0 +1,146 @@
+package ctmc
+
+import (
+	"fmt"
+
+	"somrm/internal/poisson"
+)
+
+// TransientDistribution computes p(t) = pi * exp(Qt) by uniformization
+// (Jensen's method): p(t) = sum_k Poisson(qt; k) * pi * P'^k with
+// P' = Q/q + I. The truncation drops at most eps probability mass.
+func (g *Generator) TransientDistribution(pi []float64, t, eps float64) ([]float64, error) {
+	if err := g.ValidateDistribution(pi); err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: negative time %g", t)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("ctmc: eps must be in (0,1), got %g", eps)
+	}
+	n := g.N()
+	out := make([]float64, n)
+	if t == 0 || g.q == 0 {
+		copy(out, pi)
+		return out, nil
+	}
+	q := g.q
+	p, err := g.Uniformized(q)
+	if err != nil {
+		return nil, err
+	}
+	w, err := poisson.Window(q*t, eps)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: %w", err)
+	}
+
+	cur := append([]float64(nil), pi...)
+	next := make([]float64, n)
+	for k := 0; k < w.Left; k++ {
+		if err := p.VecMat(cur, next); err != nil {
+			return nil, fmt.Errorf("ctmc: %w", err)
+		}
+		cur, next = next, cur
+	}
+	for idx, weight := range w.Prob {
+		if idx > 0 {
+			if err := p.VecMat(cur, next); err != nil {
+				return nil, fmt.Errorf("ctmc: %w", err)
+			}
+			cur, next = next, cur
+		}
+		if weight == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			out[i] += weight * cur[i]
+		}
+	}
+	return out, nil
+}
+
+// IntegratedTransient computes L(t) = integral_0^t p(u) du, the expected
+// total time spent in each state during (0, t), by the uniformization
+// identity
+//
+//	integral_0^t e^{Qu} du = (1/q) sum_k P(Poisson(qt) > k) P'^k.
+//
+// L(t).r is the mean accumulated reward of a first-order model — used as
+// an independent oracle in the tests — and L(t) itself is the expected
+// occupancy vector (e.g. expected downtime).
+func (g *Generator) IntegratedTransient(pi []float64, t, eps float64) ([]float64, error) {
+	if err := g.ValidateDistribution(pi); err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: negative time %g", t)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("ctmc: eps must be in (0,1), got %g", eps)
+	}
+	n := g.N()
+	out := make([]float64, n)
+	if t == 0 {
+		return out, nil
+	}
+	q := g.q
+	if q == 0 {
+		for i := range out {
+			out[i] = pi[i] * t
+		}
+		return out, nil
+	}
+	p, err := g.Uniformized(q)
+	if err != nil {
+		return nil, err
+	}
+	// Truncate when the remaining tail contributes less than eps*t mass:
+	// sum_{k>K} P(X > k)/q = (qt - E[min(X, K+1)])/q <= eps*t.
+	lambda := q * t
+	cur := append([]float64(nil), pi...)
+	next := make([]float64, n)
+	tail := 1 - poisson.PMF(0, lambda) // P(X > 0)
+	var weightSum float64
+	for k := 0; ; k++ {
+		w := tail / q
+		for i := 0; i < n; i++ {
+			out[i] += w * cur[i]
+		}
+		weightSum += tail / q
+		// Remaining mass: t - weightSum accumulated so far bounds the rest.
+		if t-weightSum < eps*t || tail == 0 {
+			break
+		}
+		tail -= poisson.PMF(k+1, lambda)
+		if tail < 0 {
+			tail = 0
+		}
+		if err := p.VecMat(cur, next); err != nil {
+			return nil, fmt.Errorf("ctmc: %w", err)
+		}
+		cur, next = next, cur
+	}
+	return out, nil
+}
+
+// TransientAt computes the transient distribution at several time points in
+// one call. Times must be non-decreasing and non-negative; each point is
+// solved independently from the initial distribution (uniformization has no
+// restart penalty worth exploiting at this scale).
+func (g *Generator) TransientAt(pi []float64, times []float64, eps float64) ([][]float64, error) {
+	out := make([][]float64, len(times))
+	prev := 0.0
+	for i, t := range times {
+		if t < prev {
+			return nil, fmt.Errorf("ctmc: times must be non-decreasing (t[%d]=%g after %g)", i, t, prev)
+		}
+		prev = t
+		p, err := g.TransientDistribution(pi, t, eps)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Two-state closed form: p0(t) = pi_ss0 + (p0(0) - pi_ss0) e^{-(a+b)t}.
+func TestTransientTwoStateClosedForm(t *testing.T) {
+	a, b := 2.0, 3.0
+	g := twoState(t, a, b)
+	for _, tt := range []float64{0, 0.1, 0.5, 2, 10} {
+		p, err := g.TransientDistribution([]float64{1, 0}, tt, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss0 := b / (a + b)
+		want0 := ss0 + (1-ss0)*math.Exp(-(a+b)*tt)
+		if math.Abs(p[0]-want0) > 1e-10 {
+			t.Errorf("t=%g: p0 = %.12g, want %.12g", tt, p[0], want0)
+		}
+		if math.Abs(p[0]+p[1]-1) > 1e-10 {
+			t.Errorf("t=%g: mass = %.12g", tt, p[0]+p[1])
+		}
+	}
+}
+
+func TestTransientMatchesMatrixExponential(t *testing.T) {
+	g, err := NewGeneratorFromRates(4, func(i, j int) float64 {
+		return float64((i+j)%3) * 0.7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := []float64{0.4, 0.3, 0.2, 0.1}
+	for _, tt := range []float64{0.2, 1.5} {
+		p, err := g.TransientDistribution(pi, tt, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := g.MatrixExponential(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.VecMat(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(p[i]-want[i]) > 1e-10 {
+				t.Errorf("t=%g state %d: uniformization %.12g vs expm %.12g", tt, i, p[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransientErrors(t *testing.T) {
+	g := twoState(t, 1, 1)
+	if _, err := g.TransientDistribution([]float64{1, 0}, -1, 1e-9); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := g.TransientDistribution([]float64{1, 0}, 1, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := g.TransientDistribution([]float64{1}, 1, 1e-9); err == nil {
+		t.Error("bad distribution accepted")
+	}
+}
+
+func TestTransientConvergesToStationary(t *testing.T) {
+	g := twoState(t, 2, 3)
+	p, err := g.TransientDistribution([]float64{1, 0}, 50, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ss {
+		if math.Abs(p[i]-ss[i]) > 1e-9 {
+			t.Errorf("state %d: transient(50) %.10g vs stationary %.10g", i, p[i], ss[i])
+		}
+	}
+}
+
+// Property: the transient distribution is a probability vector at all times.
+func TestTransientIsDistributionProperty(t *testing.T) {
+	g, err := NewGeneratorFromRates(3, func(i, j int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(tRaw uint16) bool {
+		tt := float64(tRaw%1000) / 100
+		p, err := g.TransientDistribution([]float64{0, 1, 0}, tt, 1e-10)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, x := range p {
+			if x < -1e-12 || x > 1+1e-12 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransientAt(t *testing.T) {
+	g := twoState(t, 1, 2)
+	out, err := g.TransientAt([]float64{1, 0}, []float64{0.1, 0.5, 1}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Must match individual solves.
+	single, err := g.TransientDistribution([]float64{1, 0}, 0.5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[1][0]-single[0]) > 1e-14 {
+		t.Error("TransientAt disagrees with TransientDistribution")
+	}
+	if _, err := g.TransientAt([]float64{1, 0}, []float64{1, 0.5}, 1e-10); err == nil {
+		t.Error("decreasing times accepted")
+	}
+}
+
+func TestTransientZeroTimeAndFrozenChain(t *testing.T) {
+	g := twoState(t, 1, 1)
+	p, err := g.TransientDistribution([]float64{0.3, 0.7}, 0, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0.3 || p[1] != 0.7 {
+		t.Errorf("t=0: %v", p)
+	}
+	// All-zero generator (frozen chain).
+	frozen, err := NewGeneratorFromDense(2, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = frozen.TransientDistribution([]float64{0.3, 0.7}, 5, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0.3 || p[1] != 0.7 {
+		t.Errorf("frozen: %v", p)
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"somrm/internal/core"
+	"somrm/internal/laplace"
+	"somrm/internal/momentbounds"
+)
+
+// BoundsPoint is one x-position of the Figure 5-7 staircase curves.
+type BoundsPoint struct {
+	X            float64
+	Lower, Upper float64
+	// ExactCDF is the Gil-Pelaez transform-inversion value of the same
+	// CDF, available for small models as an independent check that the
+	// bounds bracket the true distribution (NaN when not computed).
+	ExactCDF float64
+}
+
+// BoundsData holds one of Figures 5-7: moment-based bounds for the
+// distribution of the accumulated reward at t = 0.5.
+type BoundsData struct {
+	Sigma2 float64
+	T      float64
+	// MomentsRequested is the number of moments asked for (the paper uses
+	// 23); MomentsUsable is the depth the float64 Hankel conditioning
+	// admitted (2 * nodes).
+	MomentsRequested, MomentsUsable int
+	Points                          []BoundsPoint
+	// Moments are the computed raw moments fed to the bound machinery.
+	Moments []float64
+}
+
+// FigBounds computes the Figure 5/6/7 data for one variance parameter.
+// The paper evaluates 23 moments at t = 0.5 and plots CDF bounds.
+func FigBounds(sigma2, t float64, numMoments, points int, eps float64) (*BoundsData, error) {
+	if numMoments < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 moments, got %d", ErrBadArgument, numMoments)
+	}
+	if points < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 plot points, got %d", ErrBadArgument, points)
+	}
+	m, err := smallModel(sigma2)
+	if err != nil {
+		return nil, err
+	}
+	opts := &core.Options{Epsilon: eps}
+	if eps == 0 {
+		opts = nil
+	}
+	res, err := m.AccumulatedReward(t, numMoments, opts)
+	if err != nil {
+		return nil, err
+	}
+	est, err := momentbounds.New(res.Moments)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bounds: %w", err)
+	}
+
+	out := &BoundsData{
+		Sigma2:           sigma2,
+		T:                t,
+		MomentsRequested: numMoments,
+		MomentsUsable:    2 * est.MaxNodes(),
+		Moments:          res.Moments,
+	}
+	mean := est.Mean()
+	sd := est.StdDev()
+	lo := mean - 5*sd
+	hi := mean + 5*sd
+	xs := make([]float64, points)
+	for k := 0; k < points; k++ {
+		xs[k] = lo + (hi-lo)*float64(k)/float64(points-1)
+	}
+
+	// Exact CDF overlay by batched Gil-Pelaez inversion (small models
+	// only): the characteristic function is evaluated once per frequency
+	// for the whole x grid.
+	exact := make([]float64, points)
+	for k := range exact {
+		exact[k] = math.NaN()
+	}
+	if m.N() <= 64 {
+		tr, err := laplace.NewTransformer(m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bounds: %w", err)
+		}
+		cdfs, err := tr.CDFBatch(t, xs, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exact CDF: %w", err)
+		}
+		pi := m.Initial()
+		for k := range xs {
+			var agg float64
+			for i, p := range pi {
+				agg += p * cdfs[k][i]
+			}
+			exact[k] = agg
+		}
+	}
+
+	for k, x := range xs {
+		b, err := est.CDFBounds(x)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bounds at x=%g: %w", x, err)
+		}
+		out.Points = append(out.Points, BoundsPoint{X: x, Lower: b.Lower, Upper: b.Upper, ExactCDF: exact[k]})
+	}
+	return out, nil
+}

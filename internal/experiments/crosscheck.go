@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"somrm/internal/core"
+	"somrm/internal/odesolver"
+	"somrm/internal/sim"
+)
+
+// CrossCheckData reproduces the paper's validation claim that the
+// randomization method, an ODE solver on eq. (6) and a simulation tool
+// "gave exactly the same results, however the randomization was far the
+// fastest".
+type CrossCheckData struct {
+	Sigma2 float64
+	T      float64
+	Order  int
+
+	Randomization []float64
+	ODE           []float64
+	Simulation    []float64
+	SimHalfWidth  []float64 // 95% CI half-widths
+
+	RandomizationTime, ODETime, SimulationTime time.Duration
+
+	// MaxRelDiffODE is the largest relative difference between the
+	// randomization and ODE moments; SimWithinCI reports whether every
+	// simulated moment lies within 3 standard errors of the randomization
+	// value (a 95% interval per moment would flag ~5% of healthy runs).
+	MaxRelDiffODE float64
+	SimWithinCI   bool
+	SimReps       int
+}
+
+// CrossCheck runs all three solution methods on the Table 1 model.
+func CrossCheck(sigma2, t float64, order, simReps int, seed int64) (*CrossCheckData, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("%w: order %d", ErrBadArgument, order)
+	}
+	if simReps < 2 {
+		return nil, fmt.Errorf("%w: simReps %d", ErrBadArgument, simReps)
+	}
+	m, err := smallModel(sigma2)
+	if err != nil {
+		return nil, err
+	}
+	out := &CrossCheckData{Sigma2: sigma2, T: t, Order: order, SimReps: simReps}
+
+	start := time.Now()
+	res, err := m.AccumulatedReward(t, order, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.RandomizationTime = time.Since(start)
+	out.Randomization = res.Moments
+
+	start = time.Now()
+	vm, err := odesolver.MomentsByODE(m, t, order, &odesolver.MomentOptions{Method: odesolver.MethodRK4})
+	if err != nil {
+		return nil, err
+	}
+	out.ODETime = time.Since(start)
+	out.ODE = aggregate(vm, m.Initial())
+
+	start = time.Now()
+	s, err := sim.New(m, seed)
+	if err != nil {
+		return nil, err
+	}
+	est, err := s.EstimateMoments(t, order, simReps)
+	if err != nil {
+		return nil, err
+	}
+	out.SimulationTime = time.Since(start)
+	out.Simulation = est.Moments
+	out.SimHalfWidth = make([]float64, order+1)
+	out.SimWithinCI = true
+	for j := 0; j <= order; j++ {
+		hw, err := est.HalfWidth95(j)
+		if err != nil {
+			return nil, err
+		}
+		out.SimHalfWidth[j] = hw
+		if math.Abs(est.Moments[j]-res.Moments[j]) > hw/1.96*3+1e-12 {
+			out.SimWithinCI = false
+		}
+	}
+	for j := 1; j <= order; j++ {
+		denom := math.Abs(res.Moments[j])
+		if denom == 0 {
+			denom = 1
+		}
+		if d := math.Abs(res.Moments[j]-out.ODE[j]) / denom; d > out.MaxRelDiffODE {
+			out.MaxRelDiffODE = d
+		}
+	}
+	return out, nil
+}
+
+func aggregate(vm [][]float64, pi []float64) []float64 {
+	out := make([]float64, len(vm))
+	for j := range vm {
+		var s float64
+		for i, p := range pi {
+			s += p * vm[j][i]
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// ErrorBoundPoint is one epsilon of the error-bound tightness ablation.
+type ErrorBoundPoint struct {
+	Epsilon     float64
+	G           int
+	Bound       float64
+	ActualError float64 // max absolute deviation from a high-accuracy reference
+}
+
+// ErrorBoundAblation quantifies how tight the eq. (11) truncation bound is:
+// for each requested epsilon it solves the Table 1 model and compares
+// against an eps=1e-14 reference.
+func ErrorBoundAblation(sigma2, t float64, order int, epsilons []float64) ([]ErrorBoundPoint, error) {
+	m, err := smallModel(sigma2)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := m.AccumulatedReward(t, order, &core.Options{Epsilon: 1e-14})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ErrorBoundPoint, 0, len(epsilons))
+	for _, eps := range epsilons {
+		res, err := m.AccumulatedReward(t, order, &core.Options{Epsilon: eps})
+		if err != nil {
+			return nil, err
+		}
+		var worst float64
+		for j := 0; j <= order; j++ {
+			if d := math.Abs(res.Moments[j] - ref.Moments[j]); d > worst {
+				worst = d
+			}
+		}
+		out = append(out, ErrorBoundPoint{
+			Epsilon:     eps,
+			G:           res.Stats.G,
+			Bound:       res.Stats.ErrorBound,
+			ActualError: worst,
+		})
+	}
+	return out, nil
+}

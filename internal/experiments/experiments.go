@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section 7). Each experiment is a pure function returning
+// structured data; cmd/somrm-experiments renders them as tables/CSV and the
+// repository benchmarks time them. The per-experiment mapping is documented
+// in DESIGN.md.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"somrm/internal/core"
+	"somrm/internal/models"
+)
+
+// ErrBadArgument is returned for invalid experiment parameters.
+var ErrBadArgument = errors.New("experiments: invalid argument")
+
+// PaperVariances are the three variance parameters of Table 1.
+var PaperVariances = []float64{0, 1, 10}
+
+// DefaultTimes is the time grid used for the Figure 3/4 series.
+func DefaultTimes() []float64 {
+	out := make([]float64, 20)
+	for i := range out {
+		out[i] = 0.05 * float64(i+1)
+	}
+	return out
+}
+
+// smallModel builds the Table 1 model for one variance value.
+func smallModel(sigma2 float64) (*core.Model, error) {
+	m, err := models.OnOff(models.PaperSmall(sigma2))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return m, nil
+}
+
+// MomentSeries is one figure series: the j-th raw moment of the
+// accumulated reward over a time grid, for one variance parameter.
+type MomentSeries struct {
+	Sigma2 float64
+	Times  []float64
+	// Values[k][j] = E[B(t_k)^j], j = 0..Order.
+	Values [][]float64
+	Order  int
+}
+
+// Fig3Data holds the Figure 3 content: the mean accumulated reward from
+// the all-OFF initial state for each variance, plus the steady-state line
+// rate (the mean is variance-independent; the figure verifies that).
+type Fig3Data struct {
+	Series []MomentSeries // order 1
+	// SteadyStateRate is pi_ss . r; the steady-state mean is rate * t.
+	SteadyStateRate float64
+}
+
+// Fig3 computes the Figure 3 series.
+func Fig3(times []float64, eps float64) (*Fig3Data, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("%w: empty time grid", ErrBadArgument)
+	}
+	out := &Fig3Data{}
+	for _, s2 := range PaperVariances {
+		m, err := smallModel(s2)
+		if err != nil {
+			return nil, err
+		}
+		series, err := momentSeries(m, s2, times, 1, eps)
+		if err != nil {
+			return nil, err
+		}
+		out.Series = append(out.Series, *series)
+	}
+	m, err := smallModel(0)
+	if err != nil {
+		return nil, err
+	}
+	rate, err := m.SteadyStateMeanRate()
+	if err != nil {
+		return nil, err
+	}
+	out.SteadyStateRate = rate
+	return out, nil
+}
+
+// Fig4Data holds the Figure 4 content: 2nd and 3rd raw moments over time
+// for the three variance parameters.
+type Fig4Data struct {
+	Series []MomentSeries // order 3
+}
+
+// Fig4 computes the Figure 4 series.
+func Fig4(times []float64, eps float64) (*Fig4Data, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("%w: empty time grid", ErrBadArgument)
+	}
+	out := &Fig4Data{}
+	for _, s2 := range PaperVariances {
+		m, err := smallModel(s2)
+		if err != nil {
+			return nil, err
+		}
+		series, err := momentSeries(m, s2, times, 3, eps)
+		if err != nil {
+			return nil, err
+		}
+		out.Series = append(out.Series, *series)
+	}
+	return out, nil
+}
+
+func momentSeries(m *core.Model, sigma2 float64, times []float64, order int, eps float64) (*MomentSeries, error) {
+	opts := &core.Options{Epsilon: eps}
+	if eps == 0 {
+		opts = nil
+	}
+	s := &MomentSeries{
+		Sigma2: sigma2,
+		Times:  append([]float64(nil), times...),
+		Order:  order,
+		Values: make([][]float64, len(times)),
+	}
+	// One shared randomization sweep serves the whole series (the U^(n)(k)
+	// vectors are time independent).
+	results, err := m.AccumulatedRewardAt(times, order, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: series: %w", err)
+	}
+	for k, res := range results {
+		s.Values[k] = res.Moments
+	}
+	return s, nil
+}

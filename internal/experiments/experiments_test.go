@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFig3MeanIndependentOfVariance(t *testing.T) {
+	times := []float64{0.1, 0.5, 1}
+	data, err := Fig3(times, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Series) != 3 {
+		t.Fatalf("series = %d", len(data.Series))
+	}
+	for k := range times {
+		m0 := data.Series[0].Values[k][1]
+		for s := 1; s < 3; s++ {
+			if math.Abs(data.Series[s].Values[k][1]-m0) > 1e-7*(1+math.Abs(m0)) {
+				t.Errorf("t=%g: mean differs across variances", times[k])
+			}
+		}
+	}
+	// Steady-state rate = 32*4/7.
+	if math.Abs(data.SteadyStateRate-32.0*4/7) > 1e-9 {
+		t.Errorf("steady rate = %g", data.SteadyStateRate)
+	}
+	// Transient mean from all-OFF exceeds the steady-state line.
+	for k, tt := range times {
+		if data.Series[0].Values[k][1] <= data.SteadyStateRate*tt {
+			t.Errorf("t=%g: transient mean below steady-state line", tt)
+		}
+	}
+	if _, err := Fig3(nil, 1e-9); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("empty times: %v", err)
+	}
+}
+
+func TestFig4MomentsIncreaseWithVariance(t *testing.T) {
+	times := []float64{0.25, 0.5}
+	data, err := Fig4(times, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range times {
+		for _, j := range []int{2, 3} {
+			v0 := data.Series[0].Values[k][j]
+			v1 := data.Series[1].Values[k][j]
+			v10 := data.Series[2].Values[k][j]
+			if !(v0 < v1 && v1 < v10) {
+				t.Errorf("t=%g moment %d: %g, %g, %g not increasing", times[k], j, v0, v1, v10)
+			}
+		}
+	}
+	if _, err := Fig4(nil, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("empty times: %v", err)
+	}
+}
+
+func TestFigBounds(t *testing.T) {
+	data, err := FigBounds(1, 0.5, 12, 9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.MomentsUsable < 8 {
+		t.Errorf("usable depth = %d", data.MomentsUsable)
+	}
+	if len(data.Points) != 9 {
+		t.Fatalf("points = %d", len(data.Points))
+	}
+	prevL, prevU := -1.0, -1.0
+	for _, p := range data.Points {
+		if p.Lower < 0 || p.Upper > 1 || p.Lower > p.Upper {
+			t.Errorf("malformed bounds at x=%g: [%g, %g]", p.X, p.Lower, p.Upper)
+		}
+		// The staircase curves are monotone in x.
+		if p.Lower < prevL-1e-9 || p.Upper < prevU-1e-9 {
+			t.Errorf("bounds not monotone at x=%g", p.X)
+		}
+		prevL, prevU = p.Lower, p.Upper
+		// The Gil-Pelaez exact CDF must lie inside the bounds (allowing
+		// its own quadrature error).
+		if !math.IsNaN(p.ExactCDF) {
+			if p.ExactCDF < p.Lower-2e-3 || p.ExactCDF > p.Upper+2e-3 {
+				t.Errorf("exact CDF %.5f outside bounds [%.5f, %.5f] at x=%g",
+					p.ExactCDF, p.Lower, p.Upper, p.X)
+			}
+		}
+	}
+	if _, err := FigBounds(1, 0.5, 1, 9, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("too few moments: %v", err)
+	}
+	if _, err := FigBounds(1, 0.5, 12, 1, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("too few points: %v", err)
+	}
+}
+
+func TestFigLargeScaled(t *testing.T) {
+	data, err := FigLarge(1000, 1e-9) // N = 200 sources
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.N != 200 {
+		t.Fatalf("N = %d", data.N)
+	}
+	if len(data.Points) != 5 {
+		t.Fatalf("points = %d", len(data.Points))
+	}
+	prevMean := 0.0
+	for _, p := range data.Points {
+		if p.Stats.G <= 0 {
+			t.Errorf("t=%g: G = %d", p.T, p.Stats.G)
+		}
+		if p.Moments[1] <= prevMean {
+			t.Errorf("mean not increasing at t=%g", p.T)
+		}
+		prevMean = p.Moments[1]
+		// q = N*q_rate: max exit rate of the ON-OFF chain = N*alpha = 800.
+		if p.Stats.Q != 800 {
+			t.Errorf("q = %g, want 800", p.Stats.Q)
+		}
+	}
+	if _, err := FigLarge(0, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("scale 0: %v", err)
+	}
+	if _, err := FigLarge(300_000, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("over-scale: %v", err)
+	}
+}
+
+func TestCrossCheckAgreement(t *testing.T) {
+	data, err := CrossCheck(1, 0.3, 2, 20_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.MaxRelDiffODE > 1e-8 {
+		t.Errorf("randomization vs ODE rel diff = %g", data.MaxRelDiffODE)
+	}
+	if !data.SimWithinCI {
+		t.Error("simulation outside 95% CI (rerun with another seed if flaky)")
+	}
+	if _, err := CrossCheck(1, 0.3, 0, 100, 1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("order 0: %v", err)
+	}
+	if _, err := CrossCheck(1, 0.3, 2, 1, 1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("reps 1: %v", err)
+	}
+}
+
+func TestErrorBoundAblation(t *testing.T) {
+	points, err := ErrorBoundAblation(10, 0.3, 2, []float64{1e-4, 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.ActualError > p.Epsilon {
+			t.Errorf("eps=%g: actual error %g exceeds epsilon", p.Epsilon, p.ActualError)
+		}
+		if p.Bound > p.Epsilon {
+			t.Errorf("eps=%g: bound at G %g exceeds epsilon", p.Epsilon, p.Bound)
+		}
+	}
+	if points[1].G <= points[0].G {
+		t.Error("tighter epsilon should need larger G")
+	}
+}
+
+func TestFig1Trajectory(t *testing.T) {
+	tr, err := Fig1(1.0, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Times) < 90 {
+		t.Errorf("grid points = %d", len(tr.Times))
+	}
+	m, err := Fig1Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 4 {
+		t.Errorf("fig1 model states = %d", m.N())
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/sim"
+)
+
+// Fig1Model builds the small demonstration model behind Figure 1: a
+// four-state chain where state 2 (index 1) carries the paper's highlighted
+// parameters r = 3, sigma^2 = 2, so large-variance excursions are visible
+// on a sampled path.
+func Fig1Model() (*core.Model, error) {
+	rates := [][]float64{
+		{0, 2, 0, 1},
+		{1, 0, 2, 0},
+		{0, 1, 0, 2},
+		{2, 0, 1, 0},
+	}
+	gen, err := ctmc.NewGeneratorFromRates(4, func(i, j int) float64 { return rates[i][j] })
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 model: %w", err)
+	}
+	m, err := core.New(gen,
+		[]float64{1, 3, 0.5, -0.5},
+		[]float64{0.2, 2, 0.5, 0.1},
+		[]float64{1, 0, 0, 0})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 model: %w", err)
+	}
+	return m, nil
+}
+
+// Fig1 samples one joint (state, reward) trajectory on a fine grid, the
+// content of Figure 1.
+func Fig1(horizon, dt float64, seed int64) (*sim.Trajectory, error) {
+	m, err := Fig1Model()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(m, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	tr, err := s.SampleTrajectory(horizon, dt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,111 @@
+package laplace
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// RewardTransformViaResolvent computes b*(t, v) by numerically inverting
+// the double-transform resolvent b**(s, v) of eq. (5) in the time
+// variable with the Euler algorithm — the first stage of the
+// multi-dimensional transform inversion the paper cites (its ref [11],
+// Choudhury-Lucantoni-Whitt). The direct matrix-exponential route
+// (RewardTransform) is faster and more accurate; this path exists to
+// realize and validate the paper's eq. (5) pipeline end to end.
+//
+// For complex v the time function is complex-valued; its real and
+// imaginary parts are inverted separately using
+//
+//	L{Re f}(s) = (F(s) + conj(F(conj(s))))/2,
+//	L{Im f}(s) = (F(s) - conj(F(conj(s))))/(2i).
+func (tr *Transformer) RewardTransformViaResolvent(t float64, v complex128, opts *EulerOptions) ([]complex128, error) {
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("%w: inversion time %g", ErrBadArgument, t)
+	}
+	// pair(s) returns (F(s), conj(F(conj(s)))) for all states at once.
+	pair := func(s complex128) ([]complex128, []complex128, error) {
+		x, err := tr.Resolvent(s, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		xc, err := tr.Resolvent(cmplx.Conj(s), v)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range xc {
+			xc[i] = cmplx.Conj(xc[i])
+		}
+		return x, xc, nil
+	}
+	out := make([]complex128, tr.n)
+	for i := 0; i < tr.n; i++ {
+		i := i
+		re, err := InvertEuler(func(s complex128) (complex128, error) {
+			x, xc, err := pair(s)
+			if err != nil {
+				return 0, err
+			}
+			return (x[i] + xc[i]) / 2, nil
+		}, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		im, err := InvertEuler(func(s complex128) (complex128, error) {
+			x, xc, err := pair(s)
+			if err != nil {
+				return 0, err
+			}
+			return (x[i] - xc[i]) / complex(0, 2), nil
+		}, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = complex(re, im)
+	}
+	return out, nil
+}
+
+// DensityViaResolvent computes the density b_i(t, x) through the full
+// two-dimensional inversion of eq. (5): Euler inversion in the time
+// variable nested inside Fourier inversion in the reward variable. It is
+// O(grid * EulerTerms * n^3) — only sensible for small models — and exists
+// as an independent check of the Fourier/expm path.
+func (tr *Transformer) DensityViaResolvent(t, x float64, opts *DistributionOptions) ([]float64, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("%w: density needs t > 0, got %g", ErrBadArgument, t)
+	}
+	minVar := math.Inf(1)
+	for _, v := range tr.s {
+		if v < minVar {
+			minVar = v
+		}
+	}
+	if minVar <= 0 {
+		return nil, fmt.Errorf("%w: 2D-inversion density needs all sigma^2 > 0 (min is %g)", ErrBadArgument, minVar)
+	}
+	step, maxOmega := tr.frequencyGrid(t, minVar, opts)
+
+	out := make([]float64, tr.n)
+	for omega := 0.0; omega <= maxOmega; omega += step {
+		phi, err := tr.RewardTransformViaResolvent(t, complex(0, -omega), nil)
+		if err != nil {
+			return nil, err
+		}
+		w := 1.0
+		if omega == 0 {
+			w = 0.5
+		}
+		c := complex(math.Cos(-omega*x), math.Sin(-omega*x))
+		for i := 0; i < tr.n; i++ {
+			out[i] += w * real(phi[i]*c)
+		}
+	}
+	for i := range out {
+		out[i] *= step / math.Pi
+		if out[i] < 0 && out[i] > -1e-6 {
+			out[i] = 0
+		}
+	}
+	return out, nil
+}

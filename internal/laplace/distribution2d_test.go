@@ -1,0 +1,83 @@
+package laplace
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"somrm/internal/brownian"
+)
+
+func TestRewardTransformViaResolventMatchesDirect(t *testing.T) {
+	m := buildModel(t, 2, 3, []float64{1, 0.5}, []float64{0.3, 0.8})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.9
+	for _, v := range []complex128{0.4, complex(0.2, -0.6), complex(0, 1.3)} {
+		direct, err := tr.RewardTransform(tt, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inverted, err := tr.RewardTransformViaResolvent(tt, v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range direct {
+			if cmplx.Abs(inverted[i]-direct[i]) > 1e-5*(1+cmplx.Abs(direct[i])) {
+				t.Errorf("v=%v state %d: 2D %v vs direct %v", v, i, inverted[i], direct[i])
+			}
+		}
+	}
+}
+
+func TestRewardTransformViaResolventErrors(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{1, 1})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RewardTransformViaResolvent(0, 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0: %v", err)
+	}
+	if _, err := tr.RewardTransformViaResolvent(math.NaN(), 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("NaN t: %v", err)
+	}
+}
+
+func TestDensityViaResolventMatchesNormal(t *testing.T) {
+	m := buildModel(t, 3, 3, []float64{2, 2}, []float64{1.5, 1.5})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.6
+	for _, x := range []float64{0.8, 1.2} {
+		d, err := tr.DensityViaResolvent(tt, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brownian.NormalPDF(x, 2*tt, 1.5*tt)
+		for i := range d {
+			if math.Abs(d[i]-want) > 1e-3*(1+want) {
+				t.Errorf("x=%g state %d: 2D density %g, want %g", x, i, d[i], want)
+			}
+		}
+	}
+}
+
+func TestDensityViaResolventErrors(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{0, 1})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.DensityViaResolvent(1, 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero variance: %v", err)
+	}
+	if _, err := tr.DensityViaResolvent(0, 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0: %v", err)
+	}
+}

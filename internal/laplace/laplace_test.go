@@ -1,0 +1,328 @@
+package laplace
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"somrm/internal/brownian"
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/sparse"
+)
+
+func buildModel(t *testing.T, a, b float64, r, s []float64) *core.Model {
+	t.Helper()
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-a, a, b, -b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(gen, r, s, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewTransformerErrors(t *testing.T) {
+	if _, err := NewTransformer(nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil model: %v", err)
+	}
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{0, 0})
+	b := sparse.NewBuilder(2, 2)
+	if err := b.Add(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	mi, err := m.WithImpulses(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTransformer(mi); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("impulse model: %v", err)
+	}
+}
+
+// Resolvent identity: [sI - Q + vR - v^2/2 S] b** = h must hold exactly.
+func TestResolventIdentity(t *testing.T) {
+	m := buildModel(t, 2, 3, []float64{1.5, -0.5}, []float64{0.4, 1.2})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := complex(1.2, 0.7)
+	v := complex(0.3, -0.4)
+	x, err := tr.Resolvent(s, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the matrix and verify A x = h.
+	r := m.Rates()
+	sv := m.Variances()
+	q := m.Generator().Matrix().Dense()
+	n := m.N()
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			a := complex(-q[i*n+j], 0)
+			if i == j {
+				a += s + v*complex(r[i], 0) - v*v/2*complex(sv[i], 0)
+			}
+			acc += a * x[j]
+		}
+		if cmplx.Abs(acc-1) > 1e-10 {
+			t.Errorf("row %d: A b** = %v, want 1", i, acc)
+		}
+	}
+}
+
+// b*(t, v) at v=0 must be 1 (total probability), and its first derivative
+// in v at 0 gives -E[B(t)].
+func TestRewardTransformMomentsConsistency(t *testing.T) {
+	m := buildModel(t, 2, 3, []float64{1.5, -0.5}, []float64{0.4, 1.2})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.8
+	at0, err := tr.RewardTransform(tt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range at0 {
+		if cmplx.Abs(x-1) > 1e-12 {
+			t.Errorf("b*(t, 0)[%d] = %v, want 1", i, x)
+		}
+	}
+	// Central difference in v approximates -V1.
+	h := 1e-5
+	plus, err := tr.RewardTransform(tt, complex(h, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minus, err := tr.RewardTransform(tt, complex(-h, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.AccumulatedReward(tt, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N(); i++ {
+		deriv := real(plus[i]-minus[i]) / (2 * h)
+		want := -res.VectorMoments[1][i]
+		if math.Abs(deriv-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("state %d: d/dv b* = %g, want %g", i, deriv, want)
+		}
+	}
+}
+
+// The characteristic function of a normal-reward model matches the normal
+// characteristic function.
+func TestCharacteristicFunctionNormalModel(t *testing.T) {
+	m := buildModel(t, 3, 3, []float64{2, 2}, []float64{1.5, 1.5})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.6
+	for _, omega := range []float64{0.1, 0.5, 2, 5} {
+		phi, err := tr.CharacteristicFunction(tt, omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cmplx.Exp(complex(-omega*omega*1.5*tt/2, omega*2*tt))
+		for i := range phi {
+			if cmplx.Abs(phi[i]-want) > 1e-9 {
+				t.Errorf("omega=%g state %d: %v, want %v", omega, i, phi[i], want)
+			}
+		}
+	}
+}
+
+func TestInvertEulerKnownTransforms(t *testing.T) {
+	// L^-1[1/(s+a)] = e^{-at}.
+	for _, a := range []float64{0.5, 1, 3} {
+		f := func(s complex128) (complex128, error) { return 1 / (s + complex(a, 0)), nil }
+		for _, tt := range []float64{0.3, 1, 2} {
+			got, err := InvertEuler(f, tt, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := math.Exp(-a * tt)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Errorf("a=%g t=%g: %g, want %g", a, tt, got, want)
+			}
+		}
+	}
+	// L^-1[1/s^2] = t.
+	f := func(s complex128) (complex128, error) { return 1 / (s * s), nil }
+	got, err := InvertEuler(f, 1.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.7) > 1e-6 {
+		t.Errorf("ramp: %g, want 1.7", got)
+	}
+}
+
+func TestInvertEulerErrors(t *testing.T) {
+	if _, err := InvertEuler(nil, 1, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil transform: %v", err)
+	}
+	ok := func(s complex128) (complex128, error) { return 1 / s, nil }
+	if _, err := InvertEuler(ok, 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0: %v", err)
+	}
+	boom := errors.New("boom")
+	bad := func(s complex128) (complex128, error) { return 0, boom }
+	if _, err := InvertEuler(bad, 1, nil); !errors.Is(err, boom) {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}
+
+// Euler inversion of the resolvent in s recovers b*(t, v): ties eq. (5) to
+// eq. (2) numerically.
+func TestResolventInvertsToRewardTransform(t *testing.T) {
+	m := buildModel(t, 2, 3, []float64{1, 0.5}, []float64{0.3, 0.8})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := complex(0.4, 0)
+	const tt = 0.9
+	direct, err := tr.RewardTransform(tt, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N(); i++ {
+		i := i
+		inv, err := InvertEuler(func(s complex128) (complex128, error) {
+			x, err := tr.Resolvent(s, v)
+			if err != nil {
+				return 0, err
+			}
+			return x[i], nil
+		}, tt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(inv-real(direct[i])) > 1e-6*(1+math.Abs(real(direct[i]))) {
+			t.Errorf("state %d: inverted %g vs direct %g", i, inv, real(direct[i]))
+		}
+	}
+}
+
+func TestDensityMatchesNormal(t *testing.T) {
+	m := buildModel(t, 3, 3, []float64{2, 2}, []float64{1.5, 1.5})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.6
+	for _, x := range []float64{0, 0.8, 1.2, 2.5} {
+		d, err := tr.Density(tt, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brownian.NormalPDF(x, 2*tt, 1.5*tt)
+		for i := range d {
+			if math.Abs(d[i]-want) > 1e-6*(1+want) {
+				t.Errorf("x=%g state %d: density %g, want %g", x, i, d[i], want)
+			}
+		}
+	}
+}
+
+func TestDensityRequiresPositiveVariances(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{0, 1})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Density(1, 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero variance density: %v", err)
+	}
+	if _, err := tr.Density(0, 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0 density: %v", err)
+	}
+}
+
+func TestCDFMatchesNormal(t *testing.T) {
+	m := buildModel(t, 3, 3, []float64{2, 2}, []float64{1.5, 1.5})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.6
+	for _, x := range []float64{-0.5, 0.5, 1.2, 3} {
+		c, err := tr.CDF(tt, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brownian.NormalCDF(x, 2*tt, 1.5*tt)
+		for i := range c {
+			if math.Abs(c[i]-want) > 1e-4 {
+				t.Errorf("x=%g state %d: CDF %g, want %g", x, i, c[i], want)
+			}
+		}
+	}
+}
+
+func TestCDFBatchMatchesPointwise(t *testing.T) {
+	m := buildModel(t, 2, 4, []float64{3, -1}, []float64{0.8, 1.4})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.6
+	xs := []float64{-0.5, 0.4, 1.1, 2.7}
+	batch, err := tr.CDFBatch(tt, xs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, x := range xs {
+		single, err := tr.CDF(tt, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range single {
+			if math.Abs(batch[k][i]-single[i]) > 1e-12 {
+				t.Errorf("x=%g state %d: batch %.14g vs single %.14g", x, i, batch[k][i], single[i])
+			}
+		}
+	}
+	if _, err := tr.CDFBatch(0, xs, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0: %v", err)
+	}
+	if _, err := tr.CDFBatch(tt, nil, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("no points: %v", err)
+	}
+}
+
+func TestCDFFirstOrderModelWithAtoms(t *testing.T) {
+	// First-order model: B(t) is a mixture with smooth parts; Gil-Pelaez
+	// must still work. Compare against the randomization mean through the
+	// identity E[B] = integral of (1 - F(x)) dx - integral F(-x) dx
+	// (checked loosely via a quadrature over the CDF).
+	m := buildModel(t, 2, 3, []float64{2, 0}, []float64{0, 0})
+	tr, err := NewTransformer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 1.0
+	// CDF must be within [0, 1] and non-decreasing on a grid.
+	prev := 0.0
+	for k := 0; k <= 40; k++ {
+		x := -0.2 + 2.6*float64(k)/40
+		c, err := tr.CDF(tt, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := 0.5*c[0] + 0.5*c[1]
+		if agg < prev-5e-3 {
+			t.Errorf("CDF decreasing at x=%g: %g after %g", x, agg, prev)
+		}
+		prev = agg
+	}
+}

@@ -1,0 +1,165 @@
+// Package laplace evaluates and inverts the transform-domain descriptions
+// of the accumulated reward (section 4 of the paper): the closed
+// double-transform resolvent of eq. (5),
+//
+//	b**(s,v) = [sI - Q + vR - v^2/2 S]^{-1} h,
+//
+// the time-domain Laplace transform b*(t,v) = exp((Q - vR + v^2/2 S) t) h
+// of eq. (2), the Abate-Whitt Euler algorithm for one-sided transforms, and
+// Fourier/Gil-Pelaez inversion of the characteristic function for the
+// density and distribution of the accumulated reward. These are the
+// "fewer than 100 states" solution paths the paper describes before
+// introducing the randomization method.
+package laplace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"somrm/internal/core"
+	"somrm/internal/linalg"
+)
+
+// ErrBadArgument is returned for invalid arguments.
+var ErrBadArgument = errors.New("laplace: invalid argument")
+
+// Transformer evaluates transform-domain quantities of a model. It caches
+// the dense generator since every evaluation densifies it anyway.
+type Transformer struct {
+	model *core.Model
+	n     int
+	q     []float64 // dense generator, row major
+	r, s  []float64
+}
+
+// NewTransformer prepares transform-domain evaluation for the model.
+// Intended for small models (it works densely).
+func NewTransformer(m *core.Model) (*Transformer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadArgument)
+	}
+	if m.HasImpulses() {
+		return nil, fmt.Errorf("%w: transform solvers do not support impulse rewards", ErrBadArgument)
+	}
+	return &Transformer{
+		model: m,
+		n:     m.N(),
+		q:     m.Generator().Matrix().Dense(),
+		r:     m.Rates(),
+		s:     m.Variances(),
+	}, nil
+}
+
+// Resolvent returns b**(s,v) of eq. (5): the double (time x reward) Laplace
+// transform of the accumulated reward density, one entry per initial state.
+func (tr *Transformer) Resolvent(s, v complex128) ([]complex128, error) {
+	n := tr.n
+	a := linalg.NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var val complex128
+			if i == j {
+				val = s + v*complex(tr.r[i], 0) - v*v/2*complex(tr.s[i], 0)
+			}
+			val -= complex(tr.q[i*n+j], 0)
+			a.Set(i, j, val)
+		}
+	}
+	h := make([]complex128, n)
+	for i := range h {
+		h[i] = 1
+	}
+	x, err := linalg.SolveComplexLinear(a, h)
+	if err != nil {
+		return nil, fmt.Errorf("laplace: resolvent: %w", err)
+	}
+	return x, nil
+}
+
+// RewardTransform returns b*(t,v) = exp((Q - vR + v^2/2 S) t) h, the
+// double-sided Laplace transform (in the reward variable) of the density of
+// B(t), one entry per initial state. It solves the linear ODE of eq. (2)
+// by complex scaling-and-squaring matrix exponentiation.
+func (tr *Transformer) RewardTransform(t float64, v complex128) ([]complex128, error) {
+	if t < 0 || math.IsNaN(t) {
+		return nil, fmt.Errorf("%w: time %g", ErrBadArgument, t)
+	}
+	n := tr.n
+	a := linalg.NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			val := complex(tr.q[i*n+j]*t, 0)
+			if i == j {
+				val += (-v*complex(tr.r[i], 0) + v*v/2*complex(tr.s[i], 0)) * complex(t, 0)
+			}
+			a.Set(i, j, val)
+		}
+	}
+	e, err := cexpm(a)
+	if err != nil {
+		return nil, err
+	}
+	h := make([]complex128, n)
+	for i := range h {
+		h[i] = 1
+	}
+	return e.MatVec(h)
+}
+
+// CharacteristicFunction returns phi_i(omega) = E[e^{i omega B(t)} | Z(0)=i]
+// = b*(t, -i*omega).
+func (tr *Transformer) CharacteristicFunction(t, omega float64) ([]complex128, error) {
+	return tr.RewardTransform(t, complex(0, -omega))
+}
+
+// cexpm computes exp(a) for a complex dense matrix by scaling and squaring
+// with a Taylor series.
+func cexpm(a *linalg.CDense) (*linalg.CDense, error) {
+	n := a.Rows
+	norm := cinfNorm(a)
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	scaled := a.Clone().Scale(complex(math.Pow(2, -float64(s)), 0))
+
+	sum := linalg.CIdentity(n)
+	term := linalg.CIdentity(n)
+	for k := 1; k <= 64; k++ {
+		next, err := term.Mul(scaled)
+		if err != nil {
+			return nil, fmt.Errorf("laplace: cexpm: %w", err)
+		}
+		term = next.Scale(complex(1/float64(k), 0))
+		for i := range sum.Data {
+			sum.Data[i] += term.Data[i]
+		}
+		if cinfNorm(term) < 1e-18*cinfNorm(sum) {
+			break
+		}
+	}
+	for i := 0; i < s; i++ {
+		sq, err := sum.Mul(sum)
+		if err != nil {
+			return nil, fmt.Errorf("laplace: cexpm: %w", err)
+		}
+		sum = sq
+	}
+	return sum, nil
+}
+
+func cinfNorm(m *linalg.CDense) float64 {
+	var mx float64
+	for i := 0; i < m.Rows; i++ {
+		var rs float64
+		for j := 0; j < m.Cols; j++ {
+			rs += cmplx.Abs(m.Data[i*m.Cols+j])
+		}
+		if rs > mx {
+			mx = rs
+		}
+	}
+	return mx
+}

@@ -1,0 +1,190 @@
+package linalg
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CDense is a row-major dense complex matrix. It backs the Laplace-domain
+// solves of eq. (5) in the paper, where the resolvent
+// [sI − Q + vR − ½v²S] is complex for complex s, v.
+type CDense struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCDense returns a zero complex matrix with the given shape.
+func NewCDense(rows, cols int) *CDense {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &CDense{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CDense) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CDense) Set(i, j int, x complex128) { m.Data[i*m.Cols+j] = x }
+
+// Clone returns a deep copy of m.
+func (m *CDense) Clone() *CDense {
+	out := NewCDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Mul returns m * b.
+func (m *CDense) Mul(b *CDense) (*CDense, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: complex mul %dx%d by %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewCDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Scale multiplies every element by a in place and returns m.
+func (m *CDense) Scale(a complex128) *CDense {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// CIdentity returns the n x n complex identity matrix.
+func CIdentity(n int) *CDense {
+	m := NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// MatVec computes y = m * x for a complex vector.
+func (m *CDense) MatVec(x []complex128) ([]complex128, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("%w: complex matvec %dx%d by %d", ErrDimensionMismatch, m.Rows, m.Cols, len(x))
+	}
+	y := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum complex128
+		for j, a := range row {
+			sum += a * x[j]
+		}
+		y[i] = sum
+	}
+	return y, nil
+}
+
+// MaxAbs returns the largest element modulus.
+func (m *CDense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := cmplx.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// CLU holds a complex LU factorization with partial pivoting.
+type CLU struct {
+	lu  *CDense
+	piv []int
+}
+
+// FactorCLU computes the LU factorization of the square complex matrix a
+// with partial pivoting (by modulus). The input is not modified.
+func FactorCLU(a *CDense) (*CLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: complex LU of %dx%d", ErrDimensionMismatch, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &CLU{lu: a.Clone(), piv: make([]int, n)}
+	lu := f.lu.Data
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		maxv := cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu[i*n+k]); v > maxv {
+				maxv = v
+				p = i
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b for a complex right-hand side.
+func (f *CLU) Solve(b []complex128) ([]complex128, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: complex solve with rhs of %d, want %d", ErrDimensionMismatch, len(b), n)
+	}
+	lu := f.lu.Data
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		var s complex128
+		for j := 0; j < i; j++ {
+			s += lu[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	for i := n - 1; i >= 0; i-- {
+		var s complex128
+		for j := i + 1; j < n; j++ {
+			s += lu[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / lu[i*n+i]
+	}
+	return x, nil
+}
+
+// SolveComplexLinear factors a and solves a x = b in one call.
+func SolveComplexLinear(a *CDense, b []complex128) ([]complex128, error) {
+	f, err := FactorCLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,102 @@
+package linalg
+
+import (
+	"errors"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomCDense(rng *rand.Rand, n int) *CDense {
+	a := NewCDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += complex(float64(n)+2, 0)
+	}
+	return a
+}
+
+func TestComplexSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 12} {
+		a := randomCDense(rng, n)
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		x, err := SolveComplexLinear(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ax, err := a.MatVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if cmplx.Abs(ax[i]-b[i]) > 1e-10 {
+				t.Errorf("n=%d residual[%d] = %g", n, i, cmplx.Abs(ax[i]-b[i]))
+			}
+		}
+	}
+}
+
+func TestComplexSingular(t *testing.T) {
+	a := NewCDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorCLU(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestComplexMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCDense(rng, 4)
+	id := CIdentity(4)
+	p, err := a.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Data {
+		if cmplx.Abs(p.Data[i]-a.Data[i]) > 1e-15 {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+}
+
+func TestComplexDimensionErrors(t *testing.T) {
+	if _, err := FactorCLU(NewCDense(2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("non-square: %v", err)
+	}
+	f, err := FactorCLU(CIdentity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(make([]complex128, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("rhs mismatch: %v", err)
+	}
+	a := NewCDense(2, 3)
+	if _, err := a.Mul(NewCDense(2, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mul mismatch: %v", err)
+	}
+	if _, err := a.MatVec(make([]complex128, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("matvec mismatch: %v", err)
+	}
+}
+
+func TestCDenseScaleMaxAbs(t *testing.T) {
+	a := NewCDense(1, 2)
+	a.Set(0, 0, complex(3, 4))
+	a.Set(0, 1, complex(0, -1))
+	if got := a.MaxAbs(); got != 5 {
+		t.Errorf("MaxAbs = %g, want 5", got)
+	}
+	a.Scale(2)
+	if a.At(0, 0) != complex(6, 8) {
+		t.Errorf("Scale: got %v", a.At(0, 0))
+	}
+}

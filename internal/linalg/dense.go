@@ -1,0 +1,169 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row major
+}
+
+// NewDense returns a zero matrix with the given shape.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// FromRows builds a dense matrix from row slices. All rows must have equal
+// length.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensionMismatch, i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Row returns a view of row i (shared storage).
+func (m *Dense) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// MatVec computes y = m * x.
+func (m *Dense) MatVec(x Vector) (Vector, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("%w: matvec %dx%d by %d", ErrDimensionMismatch, m.Rows, m.Cols, len(x))
+	}
+	y := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum, comp float64
+		for j, a := range row {
+			p := a*x[j] - comp
+			t := sum + p
+			comp = (t - sum) - p
+			sum = t
+		}
+		y[i] = sum
+	}
+	return y, nil
+}
+
+// VecMat computes y = xᵀ * m (a row vector result).
+func (m *Dense) VecMat(x Vector) (Vector, error) {
+	if len(x) != m.Rows {
+		return nil, fmt.Errorf("%w: vecmat %d by %dx%d", ErrDimensionMismatch, len(x), m.Rows, m.Cols)
+	}
+	y := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			y[j] += xi * a
+		}
+	}
+	return y, nil
+}
+
+// Mul returns m * b.
+func (m *Dense) Mul(b *Dense) (*Dense, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Add returns m + b.
+func (m *Dense) Add(b *Dense) (*Dense, error) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: add %dx%d + %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := m.Clone()
+	for i, x := range b.Data {
+		out.Data[i] += x
+	}
+	return out, nil
+}
+
+// Scale multiplies every element by a in place and returns m.
+func (m *Dense) Scale(a float64) *Dense {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// Transpose returns mᵀ.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and b, or an error on shape mismatch.
+func (m *Dense) MaxAbsDiff(b *Dense) (float64, error) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return 0, fmt.Errorf("%w: diff %dx%d vs %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	var d float64
+	for i := range m.Data {
+		if a := math.Abs(m.Data[i] - b.Data[i]); a > d {
+			d = a
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Dense {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged rows: err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestIdentityMatVec(t *testing.T) {
+	id := Identity(3)
+	x := Vector{1, 2, 3}
+	y, err := id.MatVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Errorf("I*x [%d] = %g, want %g", i, y[i], x[i])
+		}
+	}
+}
+
+func TestMatVecKnown(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	y, err := m.MatVec(Vector{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 17 || y[1] != 39 {
+		t.Errorf("MatVec = %v, want [17 39]", y)
+	}
+	if _, err := m.MatVec(Vector{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MatVec size mismatch: err = %v", err)
+	}
+}
+
+func TestVecMatKnown(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	y, err := m.VecMat(Vector{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 23 || y[1] != 34 {
+		t.Errorf("VecMat = %v, want [23 34]", y)
+	}
+}
+
+func TestMulAssociatesWithMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewDense(4, 3)
+	b := NewDense(3, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	x := NewVector(5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ab, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, err := ab.MatVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, err := b.MatVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := a.MatVec(bx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lhs {
+		if math.Abs(lhs[i]-rhs[i]) > 1e-12 {
+			t.Errorf("(AB)x vs A(Bx) at %d: %g vs %g", i, lhs[i], rhs[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.Transpose()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d, want 3x2", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Errorf("transpose (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestAddScaleMaxAbsDiff(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{4, 3}, {2, 1}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sum.Data {
+		if v != 5 {
+			t.Fatalf("Add = %v, want all 5", sum.Data)
+		}
+	}
+	d, err := a.MaxAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Errorf("MaxAbsDiff = %g, want 3", d)
+	}
+	a.Scale(2)
+	if a.At(1, 1) != 8 {
+		t.Errorf("Scale: At(1,1) = %g, want 8", a.At(1, 1))
+	}
+}
+
+func TestRowView(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Error("Row should be a shared view")
+	}
+}

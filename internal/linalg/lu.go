@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets an (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign float64 // determinant sign from row swaps
+}
+
+// FactorLU computes the LU factorization of the square matrix a with partial
+// pivoting. The input is not modified.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: LU of %dx%d", ErrDimensionMismatch, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	lu := f.lu.Data
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		maxv := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > maxv {
+				maxv = v
+				p = i
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b for x using the factorization.
+func (f *LU) Solve(b Vector) (Vector, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: solve with rhs of %d, want %d", ErrDimensionMismatch, len(b), n)
+	}
+	lu := f.lu.Data
+	x := NewVector(n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += lu[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += lu[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / lu[i*n+i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.Rows
+	d := f.sign
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}
+
+// SolveLinear is a convenience wrapper that factors a and solves a x = b.
+func SolveLinear(a *Dense, b Vector) (Vector, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns the inverse of the factored matrix.
+func (f *LU) Inverse() (*Dense, error) {
+	n := f.lu.Rows
+	inv := NewDense(n, n)
+	e := NewVector(n)
+	for j := 0; j < n; j++ {
+		e.Zero()
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Data[i*n+j] = col[i]
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,135 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := mustFromRows(t, [][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	// x = [1, 2, 3] => b = A x.
+	want := Vector{1, 2, 3}
+	b, err := a.MatVec(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %.15g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {2, 4}})
+	_, err := FactorLU(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("singular matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	_, err := FactorLU(NewDense(2, 3))
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("non-square: err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{4, 3}, {6, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-6)) > 1e-12 {
+		t.Errorf("Det = %g, want -6", got)
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 6
+	a := NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += 5 // diagonally dominant => well conditioned
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := f.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := prod.MaxAbsDiff(Identity(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-10 {
+		t.Errorf("A*A^-1 deviates from I by %g", d)
+	}
+}
+
+// Property: random diagonally-dominant systems solve to residual ~0.
+func TestLUSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += float64(n) + 1
+		}
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MatVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUSolveRHSSizeMismatch(t *testing.T) {
+	f, err := FactorLU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(Vector{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("rhs mismatch: err = %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoConvergence is returned when an iterative eigensolver fails to
+// converge within its iteration budget.
+var ErrNoConvergence = errors.New("linalg: eigensolver did not converge")
+
+// SymTridiagEigen computes the eigenvalues of the symmetric tridiagonal
+// matrix with diagonal diag (length n) and off-diagonal offdiag (length
+// n-1), together with the first component of each normalized eigenvector.
+//
+// This is the QL algorithm with implicit shifts, specialised to propagate
+// only the first row of the eigenvector matrix: exactly what Golub–Welsch
+// quadrature needs, since the quadrature weight of node i is
+// m0 * (first eigenvector component)². Results are sorted by ascending
+// eigenvalue.
+func SymTridiagEigen(diag, offdiag []float64) (eig []float64, first []float64, err error) {
+	n := len(diag)
+	if len(offdiag) != n-1 && !(n == 0 && len(offdiag) == 0) {
+		return nil, nil, fmt.Errorf("%w: tridiag diag %d, offdiag %d", ErrDimensionMismatch, n, len(offdiag))
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+
+	d := append([]float64(nil), diag...)
+	e := make([]float64, n)
+	copy(e, offdiag) // e[0..n-2] used, e[n-1] = 0
+	z := make([]float64, n)
+	z[0] = 1 // first row of the identity: tracks first eigenvector components
+
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find a small off-diagonal element to split at.
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64 || math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == maxIter {
+				return nil, nil, fmt.Errorf("%w: QL at row %d", ErrNoConvergence, l)
+			}
+			// Form implicit shift.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Rotate the tracked eigenvector row.
+				f = z[i+1]
+				z[i+1] = s*z[i] + c*f
+				z[i] = c*z[i] - s*f
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+
+	// Sort by ascending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+	eig = make([]float64, n)
+	first = make([]float64, n)
+	for k, i := range idx {
+		eig[k] = d[i]
+		first[k] = z[i]
+	}
+	return eig, first, nil
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L of the symmetric
+// positive-definite matrix a, with a·= L·Lᵀ. It returns ErrSingular
+// (wrapped) if a is not numerically positive definite — which doubles as the
+// positive-definiteness test for Hankel moment matrices.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrDimensionMismatch, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var sum float64
+		for k := 0; k < j; k++ {
+			v := l.Data[j*n+k]
+			sum += v * v
+		}
+		diag := a.Data[j*n+j] - sum
+		if diag <= 0 {
+			return nil, fmt.Errorf("%w: not positive definite at row %d (pivot %g)", ErrSingular, j, diag)
+		}
+		dj := math.Sqrt(diag)
+		l.Data[j*n+j] = dj
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.Data[i*n+k] * l.Data[j*n+k]
+			}
+			l.Data[i*n+j] = (a.Data[i*n+j] - s) / dj
+		}
+	}
+	return l, nil
+}

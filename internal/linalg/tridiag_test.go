@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSymTridiagEigenDiagonal(t *testing.T) {
+	// A diagonal matrix: eigenvalues are the diagonal, sorted.
+	eig, first, err := SymTridiagEigen([]float64{3, 1, 2}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-14 {
+			t.Errorf("eig[%d] = %g, want %g", i, eig[i], want[i])
+		}
+	}
+	// Eigenvectors are unit vectors: first components are (0, 0, 1) in
+	// sorted order (eigenvalue 3 belongs to e_0).
+	gotSq := 0.0
+	for _, f := range first {
+		gotSq += f * f
+	}
+	if math.Abs(gotSq-1) > 1e-12 {
+		t.Errorf("sum of squared first components = %g, want 1", gotSq)
+	}
+	if math.Abs(first[2]*first[2]-1) > 1e-12 {
+		t.Errorf("first component of e-vec for eigenvalue 3 should be +-1, got %g", first[2])
+	}
+}
+
+func TestSymTridiagEigenKnown2x2(t *testing.T) {
+	// [[2, 1], [1, 2]] has eigenvalues 1 and 3, eigenvectors
+	// (1,-1)/sqrt2 and (1,1)/sqrt2.
+	eig, first, err := SymTridiagEigen([]float64{2, 2}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-1) > 1e-14 || math.Abs(eig[1]-3) > 1e-14 {
+		t.Fatalf("eig = %v, want [1 3]", eig)
+	}
+	for i, f := range first {
+		if math.Abs(f*f-0.5) > 1e-12 {
+			t.Errorf("first[%d]^2 = %g, want 0.5", i, f*f)
+		}
+	}
+}
+
+// Jacobi matrix of probabilists' Hermite polynomials: diag 0, offdiag
+// sqrt(k). Its eigenvalues are Gauss-Hermite nodes, symmetric about 0, and
+// the first-component squares are the quadrature weights (summing to 1).
+func TestSymTridiagEigenHermite(t *testing.T) {
+	n := 7
+	diag := make([]float64, n)
+	off := make([]float64, n-1)
+	for k := 1; k < n; k++ {
+		off[k-1] = math.Sqrt(float64(k))
+	}
+	eig, first, err := SymTridiagEigen(diag, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(eig) {
+		t.Error("eigenvalues not sorted")
+	}
+	var wsum, mean, second float64
+	for i := range eig {
+		w := first[i] * first[i]
+		wsum += w
+		mean += w * eig[i]
+		second += w * eig[i] * eig[i]
+	}
+	if math.Abs(wsum-1) > 1e-12 {
+		t.Errorf("weights sum to %g, want 1", wsum)
+	}
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("first moment = %g, want 0", mean)
+	}
+	if math.Abs(second-1) > 1e-10 {
+		t.Errorf("second moment = %g, want 1", second)
+	}
+	// Symmetry of nodes.
+	for i := range eig {
+		if math.Abs(eig[i]+eig[n-1-i]) > 1e-10 {
+			t.Errorf("nodes not symmetric: %g vs %g", eig[i], eig[n-1-i])
+		}
+	}
+}
+
+func TestSymTridiagEigenSizeMismatch(t *testing.T) {
+	_, _, err := SymTridiagEigen([]float64{1, 2}, []float64{1, 2})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestSymTridiagEigenEmptyAndSingle(t *testing.T) {
+	eig, first, err := SymTridiagEigen(nil, nil)
+	if err != nil || len(eig) != 0 || len(first) != 0 {
+		t.Errorf("empty: %v %v %v", eig, first, err)
+	}
+	eig, first, err = SymTridiagEigen([]float64{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eig[0] != 5 || math.Abs(first[0]*first[0]-1) > 1e-15 {
+		t.Errorf("single: eig=%v first=%v", eig, first)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = L L^T with L = [[2,0],[1,3]] => A = [[4,2],[2,10]].
+	a := mustFromRows(t, [][]float64{{4, 2}, {2, 10}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.At(0, 0)-2) > 1e-14 || math.Abs(l.At(1, 0)-1) > 1e-14 || math.Abs(l.At(1, 1)-3) > 1e-14 {
+		t.Errorf("L = %v", l.Data)
+	}
+	if l.At(0, 1) != 0 {
+		t.Error("upper part of L must be zero")
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {2, 1}})
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("indefinite: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewDense(2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	// Hankel moment matrix of the standard normal (moments 1,0,1,0,3):
+	// positive definite.
+	a := mustFromRows(t, [][]float64{
+		{1, 0, 1},
+		{0, 1, 0},
+		{1, 0, 3},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := l.Mul(l.Transpose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := back.MaxAbsDiff(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-13 {
+		t.Errorf("L L^T deviates from A by %g", d)
+	}
+}

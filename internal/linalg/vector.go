@@ -1,0 +1,183 @@
+// Package linalg provides the dense linear-algebra kernels used by the
+// second-order Markov reward model solvers: vectors, dense matrices, LU
+// factorizations (real and complex), Cholesky, and a symmetric tridiagonal
+// eigensolver used for moment-based quadrature.
+//
+// The package is deliberately small and dependency-free; it implements only
+// what the reward-model analysis needs, with a bias toward numerical
+// robustness (partial pivoting, compensated summation) over raw speed.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operand sizes are incompatible.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector of float64 values.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector {
+	return make(Vector, n)
+}
+
+// Ones returns a vector of length n with every element set to one.
+// It corresponds to the column vector h in the paper.
+func Ones(n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every element of v to zero.
+func (v Vector) Zero() { v.Fill(0) }
+
+// Scale multiplies every element of v by a in place.
+func (v Vector) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Scaled returns a new vector equal to a*v.
+func (v Vector) Scaled(a float64) Vector {
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = a * x
+	}
+	return out
+}
+
+// AddScaled sets v = v + a*w in place (BLAS axpy).
+func (v Vector) AddScaled(a float64, w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: axpy %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+	return nil
+}
+
+// Dot returns the inner product of v and w using compensated (Neumaier)
+// summation so long Poisson-weighted accumulations stay accurate even when
+// large terms cancel.
+func Dot(v, w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: dot %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var sum, comp float64
+	for i := range v {
+		x := v[i] * w[i]
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp, nil
+}
+
+// Sum returns the compensated (Neumaier) sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var sum, comp float64
+	for _, x := range v {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// MaxAbs returns the infinity norm of v. It returns 0 for an empty vector.
+func (v Vector) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow.
+func (v Vector) Norm2() float64 {
+	scale := v.MaxAbs()
+	if scale == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range v {
+		r := x / scale
+		ss += r * r
+	}
+	return scale * math.Sqrt(ss)
+}
+
+// Min returns the smallest element of v. It panics on an empty vector.
+func (v Vector) Min() float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of v. It panics on an empty vector.
+func (v Vector) Max() float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// IsFinite reports whether every element of v is finite (no NaN or Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether every element of v is >= 0.
+func (v Vector) NonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnes(t *testing.T) {
+	v := Ones(4)
+	if len(v) != 4 {
+		t.Fatalf("len = %d, want 4", len(v))
+	}
+	for i, x := range v {
+		if x != 1 {
+			t.Errorf("v[%d] = %g, want 1", i, x)
+		}
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("clone aliases original: v[0] = %g", v[0])
+	}
+}
+
+func TestVectorScaleAndScaled(t *testing.T) {
+	v := Vector{1, -2, 4}
+	got := v.Scaled(0.5)
+	want := Vector{0.5, -1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Scaled[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	v.Scale(2)
+	want = Vector{2, -4, 8}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("Scale[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	v := Vector{1, 2}
+	if err := v.AddScaled(3, Vector{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 31 || v[1] != 62 {
+		t.Errorf("AddScaled = %v, want [31 62]", v)
+	}
+	if err := v.AddScaled(1, Vector{1}); err == nil {
+		t.Error("AddScaled with mismatched length: want error")
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot(Vector{1, 2, 3}, Vector{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if _, err := Dot(Vector{1}, Vector{1, 2}); err == nil {
+		t.Error("Dot with mismatched length: want error")
+	}
+}
+
+func TestDotCompensated(t *testing.T) {
+	// A sum that plain accumulation gets wrong: many tiny values plus a
+	// large one that cancels.
+	n := 1 << 20
+	v := make(Vector, n+2)
+	w := make(Vector, n+2)
+	for i := 0; i < n; i++ {
+		v[i] = 1e-8
+		w[i] = 1
+	}
+	v[n], w[n] = 1e8, 1
+	v[n+1], w[n+1] = -1e8, 1
+	got, err := Dot(v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-8 * float64(n)
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("compensated Dot = %.15g, want %.15g", got, want)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := v.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %g, want 4", got)
+	}
+	var empty Vector
+	if got := empty.Norm2(); got != 0 {
+		t.Errorf("empty Norm2 = %g, want 0", got)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	v := Vector{1e200, 1e200}
+	got := v.Norm2()
+	want := 1e200 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want) > 1e-10*want {
+		t.Errorf("Norm2 overflow guard: got %g, want %g", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := Vector{2, -7, 5}
+	if got := v.Min(); got != -7 {
+		t.Errorf("Min = %g, want -7", got)
+	}
+	if got := v.Max(); got != 5 {
+		t.Errorf("Max = %g, want 5", got)
+	}
+}
+
+func TestIsFiniteNonNegative(t *testing.T) {
+	if !(Vector{0, 1}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vector{math.Inf(1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+	if !(Vector{0, 2}).NonNegative() {
+		t.Error("non-negative vector reported negative")
+	}
+	if (Vector{-1e-300}).NonNegative() {
+		t.Error("negative vector reported non-negative")
+	}
+}
+
+func TestSumMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		v := Vector(xs)
+		for i := range v {
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				v[i] = 0
+			}
+			// Keep magnitudes sane so naive summation is a valid oracle.
+			v[i] = math.Mod(v[i], 1e6)
+		}
+		var naive float64
+		for _, x := range v {
+			naive += x
+		}
+		got := v.Sum()
+		scale := math.Max(1, math.Abs(naive))
+		return math.Abs(got-naive) <= 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotLinearityProperty(t *testing.T) {
+	f := func(a float64, xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		a = math.Mod(a, 100)
+		v := make(Vector, len(xs))
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Mod(x, 1e3)
+		}
+		w := Ones(len(v))
+		d1, err1 := Dot(v.Scaled(a), w)
+		d2, err2 := Dot(v, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		scale := math.Max(1, math.Abs(a*d2))
+		return math.Abs(d1-a*d2) <= 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+package models
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/core"
+)
+
+func TestPaperParameterSets(t *testing.T) {
+	small := PaperSmall(1)
+	if small.C != 32 || small.N != 32 || small.Alpha != 4 || small.Beta != 3 || small.R != 1 || small.Sigma2 != 1 {
+		t.Errorf("PaperSmall = %+v", small)
+	}
+	large := PaperLarge()
+	if large.N != 200_000 || large.C != 200_000 || large.Sigma2 != 10 {
+		t.Errorf("PaperLarge = %+v", large)
+	}
+}
+
+func TestOnOffStructure(t *testing.T) {
+	m, err := OnOff(OnOffParams{C: 10, N: 4, Alpha: 4, Beta: 3, R: 1, Sigma2: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 5 {
+		t.Fatalf("states = %d, want 5", m.N())
+	}
+	gen := m.Generator()
+	// State i -> i+1 at (N-i)*beta; i -> i-1 at i*alpha.
+	if got := gen.At(0, 1); got != 12 {
+		t.Errorf("q(0,1) = %g, want 12", got)
+	}
+	if got := gen.At(2, 3); got != 6 {
+		t.Errorf("q(2,3) = %g, want 6", got)
+	}
+	if got := gen.At(3, 2); got != 12 {
+		t.Errorf("q(3,2) = %g, want 12", got)
+	}
+	rates := m.Rates()
+	vars := m.Variances()
+	for i := 0; i <= 4; i++ {
+		if rates[i] != 10-float64(i) {
+			t.Errorf("r[%d] = %g", i, rates[i])
+		}
+		if vars[i] != 2*float64(i) {
+			t.Errorf("s2[%d] = %g", i, vars[i])
+		}
+	}
+	pi := m.Initial()
+	if pi[0] != 1 {
+		t.Errorf("initial = %v, want all-OFF", pi)
+	}
+	// The paper's q for the small model: max exit rate is max(N*beta, N*alpha)
+	// over interior states; for N=4, alpha=4, beta=3 the max is 16 (state 4).
+	if got := gen.MaxExitRate(); got != 16 {
+		t.Errorf("q = %g, want 16", got)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	bad := []OnOffParams{
+		{C: 1, N: 0, Alpha: 1, Beta: 1},
+		{C: 1, N: 1, Alpha: 0, Beta: 1},
+		{C: 1, N: 1, Alpha: 1, Beta: -1},
+		{C: 1, N: 1, Alpha: 1, Beta: 1, Sigma2: -2},
+	}
+	for i, p := range bad {
+		if _, err := OnOff(p); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("case %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestOnOffStationaryBinomial(t *testing.T) {
+	p := OnOffParams{C: 8, N: 8, Alpha: 4, Beta: 3, R: 1}
+	pi, err := OnOffStationary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := p.Beta / (p.Alpha + p.Beta)
+	for i := 0; i <= p.N; i++ {
+		want := binomPMF(p.N, i, on)
+		if math.Abs(pi[i]-want) > 1e-12 {
+			t.Errorf("pi[%d] = %.14g, want %.14g", i, pi[i], want)
+		}
+	}
+	if _, err := OnOffStationary(OnOffParams{N: 0, Alpha: 1, Beta: 1}); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("bad params: %v", err)
+	}
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+// The paper's steady-state rate: C - N*r*beta/(alpha+beta) = 32*4/7.
+func TestOnOffSteadyStateRate(t *testing.T) {
+	m, err := OnOff(PaperSmall(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := m.SteadyStateMeanRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 32.0 * 4 / 7
+	if math.Abs(rate-want) > 1e-9 {
+		t.Errorf("steady rate = %.10g, want %.10g", rate, want)
+	}
+}
+
+func TestMultiprocessor(t *testing.T) {
+	m, err := Multiprocessor(MultiprocessorParams{P: 3, Lambda: 0.2, Mu: 1, Work: 2, Sigma2: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 4 {
+		t.Fatalf("states = %d", m.N())
+	}
+	// Starts with all processors up.
+	if m.Initial()[3] != 1 {
+		t.Errorf("initial = %v", m.Initial())
+	}
+	// Failures: 3 -> 2 at 3*lambda.
+	if got := m.Generator().At(3, 2); math.Abs(got-0.6) > 1e-15 {
+		t.Errorf("q(3,2) = %g", got)
+	}
+	// Single repairman: 0 -> 1 at mu.
+	if got := m.Generator().At(0, 1); got != 1 {
+		t.Errorf("q(0,1) = %g", got)
+	}
+	if m.HasImpulses() {
+		t.Error("no repair cost requested")
+	}
+	mi, err := Multiprocessor(MultiprocessorParams{P: 3, Lambda: 0.2, Mu: 1, Work: 2, Sigma2: 0.5, RepairCost: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mi.HasImpulses() {
+		t.Error("repair cost not attached")
+	}
+}
+
+func TestMultiprocessorValidation(t *testing.T) {
+	bad := []MultiprocessorParams{
+		{P: 0, Lambda: 1, Mu: 1},
+		{P: 1, Lambda: 0, Mu: 1},
+		{P: 1, Lambda: 1, Mu: -1},
+		{P: 1, Lambda: 1, Mu: 1, Sigma2: -1},
+		{P: 1, Lambda: 1, Mu: 1, RepairCost: -1},
+	}
+	for i, p := range bad {
+		if _, err := Multiprocessor(p); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("case %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	m, err := QueueDrain(QueueDrainParams{
+		ArrivalRate: 2, FastRate: 3, SlowRate: 0.5,
+		FailRate: 1, FixRate: 2, Sigma2Fast: 0.1, Sigma2Slow: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Rates()
+	if r[0] != 1 || r[1] != -1.5 {
+		t.Errorf("net drifts = %v", r)
+	}
+	// Negative drift must be handled by the solver.
+	res, err := m.AccumulatedReward(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shift != -1.5 {
+		t.Errorf("shift = %g", res.Stats.Shift)
+	}
+}
+
+func TestQueueDrainValidation(t *testing.T) {
+	if _, err := QueueDrain(QueueDrainParams{FailRate: 0, FixRate: 1}); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("zero fail rate: %v", err)
+	}
+	if _, err := QueueDrain(QueueDrainParams{FailRate: 1, FixRate: 1, Sigma2Fast: -1}); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative variance: %v", err)
+	}
+}
+
+// The mean of the ON-OFF model at small t is close to C*t (all sources
+// start OFF, full capacity available).
+func TestOnOffShortTimeMean(t *testing.T) {
+	m, err := OnOff(PaperSmall(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.AccumulatedReward(0.001, 1, &core.Options{Epsilon: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Moments[1]-0.032) > 0.002 {
+		t.Errorf("short-time mean = %g, want ~0.032", res.Moments[1])
+	}
+}

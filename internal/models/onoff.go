@@ -1,0 +1,121 @@
+// Package models provides ready-made second-order Markov reward models:
+// the paper's ON-OFF multiplexer example (section 7) and performability
+// models used by the example programs and tests.
+package models
+
+import (
+	"errors"
+	"fmt"
+
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+)
+
+// ErrBadParameter is returned for invalid model parameters.
+var ErrBadParameter = errors.New("models: invalid parameter")
+
+// OnOffParams parameterizes the paper's tentative telecommunication system:
+// a channel of capacity C serving N ON-OFF class-1 sources with exponential
+// ON (rate Alpha) and OFF (rate Beta) periods; an ON source transmits at
+// rate R with variance Sigma2; the reward is the channel capacity left for
+// class-2 traffic.
+type OnOffParams struct {
+	// C is the channel capacity.
+	C float64
+	// N is the number of ON-OFF sources.
+	N int
+	// Alpha is the rate parameter of the exponential ON period (ON -> OFF).
+	Alpha float64
+	// Beta is the rate parameter of the exponential OFF period (OFF -> ON).
+	Beta float64
+	// R is the per-source transmission rate while ON.
+	R float64
+	// Sigma2 is the per-source transmission variance while ON; zero yields
+	// a first-order model.
+	Sigma2 float64
+}
+
+// PaperSmall returns the Table 1 parameter set with the given variance
+// (the paper evaluates sigma2 in {0, 1, 10}).
+func PaperSmall(sigma2 float64) OnOffParams {
+	return OnOffParams{C: 32, N: 32, Alpha: 4, Beta: 3, R: 1, Sigma2: sigma2}
+}
+
+// PaperLarge returns the Table 2 parameter set (N = 200,000 sources,
+// sigma2 = 10).
+func PaperLarge() OnOffParams {
+	return OnOffParams{C: 200_000, N: 200_000, Alpha: 4, Beta: 3, R: 1, Sigma2: 10}
+}
+
+// Validate checks the parameter set.
+func (p OnOffParams) Validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("%w: N=%d", ErrBadParameter, p.N)
+	case p.Alpha <= 0:
+		return fmt.Errorf("%w: alpha=%g", ErrBadParameter, p.Alpha)
+	case p.Beta <= 0:
+		return fmt.Errorf("%w: beta=%g", ErrBadParameter, p.Beta)
+	case p.Sigma2 < 0:
+		return fmt.Errorf("%w: sigma2=%g", ErrBadParameter, p.Sigma2)
+	}
+	return nil
+}
+
+// OnOff builds the second-order reward model of section 7: the background
+// CTMC is a birth-death chain whose state i counts the sources in the ON
+// phase (i -> i+1 at rate (N-i)*beta, i -> i-1 at rate i*alpha), the drift
+// in state i is r_i = C - i*R and the variance is sigma_i^2 = i*Sigma2.
+// All sources start OFF, so the initial distribution is concentrated on
+// state 0.
+func OnOff(p OnOffParams) (*core.Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N + 1
+	up := make([]float64, p.N)
+	down := make([]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		up[i] = float64(p.N-i) * p.Beta // one more source turns ON
+		down[i] = float64(i+1) * p.Alpha
+	}
+	gen, err := ctmc.NewBirthDeath(up, down)
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	rates := make([]float64, n)
+	vars := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rates[i] = p.C - float64(i)*p.R
+		vars[i] = float64(i) * p.Sigma2
+	}
+	initial, err := ctmc.UnitDistribution(n, 0)
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	m, err := core.New(gen, rates, vars, initial)
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	return m, nil
+}
+
+// OnOffStationary returns the stationary distribution of the background
+// chain in O(N) via the birth-death product form; each source is ON with
+// probability beta/(alpha+beta) independently, so this is Binomial(N, p).
+func OnOffStationary(p OnOffParams) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	up := make([]float64, p.N)
+	down := make([]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		up[i] = float64(p.N-i) * p.Beta
+		down[i] = float64(i+1) * p.Alpha
+	}
+	pi, err := ctmc.BirthDeathStationary(up, down)
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	return pi, nil
+}

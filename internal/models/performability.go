@@ -1,0 +1,131 @@
+package models
+
+import (
+	"fmt"
+
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/sparse"
+)
+
+// MultiprocessorParams parameterizes a classic performability model: a
+// system of P processors that fail (rate Lambda each) and are repaired by a
+// single repair facility (rate Mu). With i processors up the system
+// delivers computational work at rate i*Work; a noisy workload adds a
+// per-processor variance Sigma2. The accumulated reward is the total work
+// done in (0, t) — a canonical MRM performability measure, here enriched
+// with second-order noise.
+type MultiprocessorParams struct {
+	// P is the number of processors.
+	P int
+	// Lambda is the per-processor failure rate, Mu the repair rate.
+	Lambda, Mu float64
+	// Work is the processing rate contributed by one up processor.
+	Work float64
+	// Sigma2 is the per-processor throughput variance.
+	Sigma2 float64
+	// RepairCost, when positive, is charged as an impulse reward on every
+	// repair completion (exercises the impulse extension).
+	RepairCost float64
+}
+
+// Multiprocessor builds the repairable multiprocessor model. State i counts
+// the processors currently up (0..P); the system starts with all P up.
+func Multiprocessor(p MultiprocessorParams) (*core.Model, error) {
+	switch {
+	case p.P < 1:
+		return nil, fmt.Errorf("%w: P=%d", ErrBadParameter, p.P)
+	case p.Lambda <= 0 || p.Mu <= 0:
+		return nil, fmt.Errorf("%w: lambda=%g mu=%g", ErrBadParameter, p.Lambda, p.Mu)
+	case p.Sigma2 < 0:
+		return nil, fmt.Errorf("%w: sigma2=%g", ErrBadParameter, p.Sigma2)
+	case p.RepairCost < 0:
+		return nil, fmt.Errorf("%w: repair cost %g", ErrBadParameter, p.RepairCost)
+	}
+	n := p.P + 1
+	// State i = number of processors up. up: repair i -> i+1 (single
+	// repairman); down: failure i -> i-1 with rate i*lambda.
+	up := make([]float64, p.P)
+	down := make([]float64, p.P)
+	for i := 0; i < p.P; i++ {
+		up[i] = p.Mu
+		down[i] = float64(i+1) * p.Lambda
+	}
+	gen, err := ctmc.NewBirthDeath(up, down)
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	rates := make([]float64, n)
+	vars := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rates[i] = float64(i) * p.Work
+		vars[i] = float64(i) * p.Sigma2
+	}
+	initial, err := ctmc.UnitDistribution(n, p.P)
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	m, err := core.New(gen, rates, vars, initial)
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	if p.RepairCost > 0 {
+		b := sparse.NewBuilder(n, n)
+		for i := 0; i < p.P; i++ {
+			if err := b.Add(i, i+1, p.RepairCost); err != nil {
+				return nil, fmt.Errorf("models: %w", err)
+			}
+		}
+		m, err = m.WithImpulses(b.Build())
+		if err != nil {
+			return nil, fmt.Errorf("models: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// QueueDrainParams parameterizes a fluid-style buffer drain model with a
+// net (possibly negative) drift per state, exercising the solver's shift
+// transformation: a server alternates between a fast and a degraded mode,
+// while work arrives at a constant rate. The reward is the net amount of
+// work drained in (0, t); in the degraded mode the net drift is negative.
+type QueueDrainParams struct {
+	// ArrivalRate is the constant input rate of work.
+	ArrivalRate float64
+	// FastRate and SlowRate are the service rates of the two modes.
+	FastRate, SlowRate float64
+	// FailRate is the fast -> slow rate, FixRate the slow -> fast rate.
+	FailRate, FixRate float64
+	// Sigma2Fast and Sigma2Slow are the service variance parameters.
+	Sigma2Fast, Sigma2Slow float64
+}
+
+// QueueDrain builds the two-mode drain model; state 0 is the fast mode
+// (start state), state 1 the degraded mode.
+func QueueDrain(p QueueDrainParams) (*core.Model, error) {
+	switch {
+	case p.FailRate <= 0 || p.FixRate <= 0:
+		return nil, fmt.Errorf("%w: fail=%g fix=%g", ErrBadParameter, p.FailRate, p.FixRate)
+	case p.Sigma2Fast < 0 || p.Sigma2Slow < 0:
+		return nil, fmt.Errorf("%w: sigma2 fast=%g slow=%g", ErrBadParameter, p.Sigma2Fast, p.Sigma2Slow)
+	}
+	gen, err := ctmc.NewGeneratorFromRates(2, func(i, j int) float64 {
+		if i == 0 && j == 1 {
+			return p.FailRate
+		}
+		if i == 1 && j == 0 {
+			return p.FixRate
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	rates := []float64{p.FastRate - p.ArrivalRate, p.SlowRate - p.ArrivalRate}
+	vars := []float64{p.Sigma2Fast, p.Sigma2Slow}
+	m, err := core.New(gen, rates, vars, []float64{1, 0})
+	if err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	return m, nil
+}

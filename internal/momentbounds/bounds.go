@@ -1,0 +1,108 @@
+package momentbounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounds is a sharp lower/upper pair for the CDF value F(c).
+type Bounds struct {
+	Lower, Upper float64
+}
+
+// Width returns Upper - Lower.
+func (b Bounds) Width() float64 { return b.Upper - b.Lower }
+
+// CDFBounds returns sharp moment bounds on F(c) = P(X <= c) using the
+// canonical representation anchored at c with MaxNodes() internal nodes
+// (the tightest available from the supplied moments).
+func (e *Estimator) CDFBounds(c float64) (Bounds, error) {
+	return e.CDFBoundsWithNodes(c, e.maxNodes)
+}
+
+// CDFBoundsWithNodes returns the Chebyshev-Markov bounds computed from the
+// canonical representation with the given number of internal nodes
+// (1..MaxNodes). Fewer nodes use fewer moments and give looser bounds,
+// which is how the moment-count sensitivity in EXPERIMENTS.md is produced.
+func (e *Estimator) CDFBoundsWithNodes(c float64, nodes int) (Bounds, error) {
+	if math.IsNaN(c) {
+		return Bounds{}, fmt.Errorf("%w: point is NaN", ErrBadMoments)
+	}
+	if math.IsInf(c, -1) {
+		return Bounds{Lower: 0, Upper: 0}, nil
+	}
+	if math.IsInf(c, 1) {
+		return Bounds{Lower: 1, Upper: 1}, nil
+	}
+	zc := (c - e.mean) / e.sd
+
+	q, err := e.radauAvoidingSingularity(nodes, zc)
+	if err != nil {
+		return Bounds{}, err
+	}
+
+	// Identify the anchored atom (the node closest to c) and sum masses.
+	zcBack := e.mean + e.sd*zc
+	anchor := 0
+	best := math.Inf(1)
+	for i, x := range q.Nodes {
+		if d := math.Abs(x - zcBack); d < best {
+			best = d
+			anchor = i
+		}
+	}
+	var lower float64
+	for i, x := range q.Nodes {
+		if i == anchor {
+			continue
+		}
+		if x < zcBack {
+			lower += q.Weights[i]
+		}
+	}
+	upper := lower + q.Weights[anchor]
+	return clampBounds(lower, upper), nil
+}
+
+// radauAvoidingSingularity computes the Radau rule at zc, nudging the
+// anchor by a few ulps when zc coincides with a Gauss node (which makes the
+// shifted tridiagonal solve singular).
+func (e *Estimator) radauAvoidingSingularity(nodes int, zc float64) (*Quadrature, error) {
+	var lastErr error
+	nudge := 0.0
+	for attempt := 0; attempt < 4; attempt++ {
+		q, err := e.radauQuadrature(nodes, zc+nudge)
+		if err == nil {
+			return q, nil
+		}
+		lastErr = err
+		if nudge == 0 {
+			nudge = 1e-9 * math.Max(1, math.Abs(zc))
+		} else {
+			nudge *= 100
+		}
+	}
+	return nil, lastErr
+}
+
+// TailBounds returns sharp bounds on P(X > c) = 1 - F(c).
+func (e *Estimator) TailBounds(c float64) (Bounds, error) {
+	b, err := e.CDFBounds(c)
+	if err != nil {
+		return Bounds{}, err
+	}
+	return clampBounds(1-b.Upper, 1-b.Lower), nil
+}
+
+func clampBounds(lower, upper float64) Bounds {
+	if lower < 0 {
+		lower = 0
+	}
+	if upper > 1 {
+		upper = 1
+	}
+	if upper < lower {
+		upper = lower
+	}
+	return Bounds{Lower: lower, Upper: upper}
+}

@@ -1,0 +1,330 @@
+package momentbounds
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"somrm/internal/brownian"
+)
+
+func normalMoments(t *testing.T, mu, s2 float64, count int) []float64 {
+	t.Helper()
+	raw := make([]float64, count)
+	for j := range raw {
+		var err error
+		raw[j], err = brownian.NormalRawMoment(j, mu, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return raw
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := New([]float64{1, 0}); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("too short: %v", err)
+	}
+	if _, err := New([]float64{2, 0, 1}); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("m0 != 1: %v", err)
+	}
+	if _, err := New([]float64{1, 0, math.NaN()}); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("NaN moment: %v", err)
+	}
+	if _, err := New([]float64{1, 2, 1}); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("negative variance: %v", err)
+	}
+	if _, err := New([]float64{1, 3, 9}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("degenerate: %v", err)
+	}
+}
+
+func TestEstimatorBasics(t *testing.T) {
+	est, err := New(normalMoments(t, 1, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean()-1) > 1e-12 {
+		t.Errorf("Mean = %g", est.Mean())
+	}
+	if math.Abs(est.StdDev()-2) > 1e-12 {
+		t.Errorf("StdDev = %g", est.StdDev())
+	}
+	if est.MaxNodes() < 3 {
+		t.Errorf("MaxNodes = %d, want >= 3 for 9 moments", est.MaxNodes())
+	}
+}
+
+func TestGaussQuadratureReproducesMoments(t *testing.T) {
+	raw := normalMoments(t, -2, 3, 14)
+	est, err := New(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := est.MaxNodes()
+	q, err := est.GaussQuadrature(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n-node Gauss quadrature matches moments 0..2n-1.
+	for j := 0; j < 2*n && j < len(raw); j++ {
+		got := q.Moment(j)
+		scale := 1 + math.Abs(raw[j])
+		if math.Abs(got-raw[j]) > 1e-7*scale {
+			t.Errorf("moment %d: quad %.12g vs exact %.12g", j, got, raw[j])
+		}
+	}
+	// Weights positive, sum to 1, nodes sorted.
+	var sum float64
+	for i, w := range q.Weights {
+		if w <= 0 {
+			t.Errorf("weight %d = %g", i, w)
+		}
+		sum += w
+		if i > 0 && q.Nodes[i] <= q.Nodes[i-1] {
+			t.Errorf("nodes not sorted at %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %.14g", sum)
+	}
+}
+
+func TestGaussQuadratureRangeErrors(t *testing.T) {
+	est, err := New(normalMoments(t, 0, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.GaussQuadrature(0); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("0 nodes: %v", err)
+	}
+	if _, err := est.GaussQuadrature(est.MaxNodes() + 1); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("too many nodes: %v", err)
+	}
+}
+
+func TestCDFBoundsBracketNormal(t *testing.T) {
+	mu, s2 := 1.0, 4.0
+	est, err := New(normalMoments(t, mu, s2, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{-5, -2, 0, 0.5, 1, 2, 3.7, 6} {
+		b, err := est.CDFBounds(c)
+		if err != nil {
+			t.Fatalf("c=%g: %v", c, err)
+		}
+		truth := brownian.NormalCDF(c, mu, s2)
+		if b.Lower > truth+1e-9 || truth > b.Upper+1e-9 {
+			t.Errorf("c=%g: [%g, %g] does not bracket %g", c, b.Lower, b.Upper, truth)
+		}
+		if b.Lower < 0 || b.Upper > 1 || b.Lower > b.Upper {
+			t.Errorf("c=%g: malformed bounds [%g, %g]", c, b.Lower, b.Upper)
+		}
+	}
+}
+
+func TestCDFBoundsBracketExponentialMixture(t *testing.T) {
+	// Moments of 0.5*Exp(1) + 0.5*Exp(1/3): E[X^j] = 0.5 j! (1 + 3^j).
+	raw := make([]float64, 12)
+	fact := 1.0
+	for j := range raw {
+		if j > 0 {
+			fact *= float64(j)
+		}
+		raw[j] = 0.5 * fact * (1 + math.Pow(3, float64(j)))
+	}
+	est, err := New(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 0.5*(1-math.Exp(-x)) + 0.5*(1-math.Exp(-x/3))
+	}
+	for _, c := range []float64{0.2, 1, 2, 5, 10} {
+		b, err := est.CDFBounds(c)
+		if err != nil {
+			t.Fatalf("c=%g: %v", c, err)
+		}
+		truth := cdf(c)
+		if b.Lower > truth+1e-9 || truth > b.Upper+1e-9 {
+			t.Errorf("c=%g: [%g, %g] does not bracket %g", c, b.Lower, b.Upper, truth)
+		}
+	}
+}
+
+func TestCDFBoundsMonotoneInNodes(t *testing.T) {
+	est, err := New(normalMoments(t, 0, 1, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevWidth := math.Inf(1)
+	for nodes := 2; nodes <= est.MaxNodes(); nodes += 2 {
+		b, err := est.CDFBoundsWithNodes(0.5, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := b.Width()
+		if w > prevWidth+1e-9 {
+			t.Errorf("bounds widened with more nodes: %g -> %g at %d", prevWidth, w, nodes)
+		}
+		prevWidth = w
+	}
+}
+
+func TestCDFBoundsSpecialPoints(t *testing.T) {
+	est, err := New(normalMoments(t, 0, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.CDFBounds(math.NaN()); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("NaN point: %v", err)
+	}
+	b, err := est.CDFBounds(math.Inf(-1))
+	if err != nil || b.Upper != 0 {
+		t.Errorf("-Inf: %v %v", b, err)
+	}
+	b, err = est.CDFBounds(math.Inf(1))
+	if err != nil || b.Lower != 1 {
+		t.Errorf("+Inf: %v %v", b, err)
+	}
+}
+
+func TestCDFBoundsAtGaussNode(t *testing.T) {
+	// Anchoring exactly at an existing Gauss node makes the Radau shift
+	// singular; the nudge logic must recover.
+	est, err := New(normalMoments(t, 0, 1, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := est.GaussQuadrature(est.MaxNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range q.Nodes {
+		b, err := est.CDFBounds(node)
+		if err != nil {
+			t.Fatalf("anchor at node %g: %v", node, err)
+		}
+		truth := brownian.NormalCDF(node, 0, 1)
+		if b.Lower > truth+1e-6 || truth > b.Upper+1e-6 {
+			t.Errorf("node %g: [%g, %g] vs %g", node, b.Lower, b.Upper, truth)
+		}
+	}
+}
+
+func TestTailBounds(t *testing.T) {
+	est, err := New(normalMoments(t, 0, 1, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := est.CDFBounds(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := est.TailBounds(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tail.Lower-(1-cdf.Upper)) > 1e-14 || math.Abs(tail.Upper-(1-cdf.Lower)) > 1e-14 {
+		t.Errorf("tail bounds inconsistent: %v vs cdf %v", tail, cdf)
+	}
+}
+
+// Property: bounds bracket the empirical CDF of randomly generated
+// discrete distributions (whose moments we can compute exactly).
+func TestBoundsBracketDiscreteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(4)
+		xs := make([]float64, k)
+		ws := make([]float64, k)
+		var tot float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 5
+			ws[i] = 0.1 + rng.Float64()
+			tot += ws[i]
+		}
+		for i := range ws {
+			ws[i] /= tot
+		}
+		raw := make([]float64, 2*k+2)
+		for j := range raw {
+			var s float64
+			for i := range xs {
+				s += ws[i] * math.Pow(xs[i], float64(j))
+			}
+			raw[j] = s
+		}
+		est, err := New(raw)
+		if err != nil {
+			// Nearly-coincident atoms can make the Hankel matrix
+			// numerically singular at full depth; skip those draws.
+			return errors.Is(err, ErrBadMoments) || errors.Is(err, ErrDegenerate)
+		}
+		cdf := func(x float64) float64 {
+			var s float64
+			for i := range xs {
+				if xs[i] <= x {
+					s += ws[i]
+				}
+			}
+			return s
+		}
+		for trial := 0; trial < 5; trial++ {
+			c := rng.NormFloat64() * 6
+			b, err := est.CDFBounds(c)
+			if err != nil {
+				continue // nudge may fail on pathological anchors
+			}
+			// Bounds are sharp for F(c^-) and F(c); allow the half-open
+			// convention slack at atoms.
+			if b.Lower > cdf(c)+1e-6 {
+				return false
+			}
+			if cdfMinus(xs, ws, c) > b.Upper+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func cdfMinus(xs, ws []float64, c float64) float64 {
+	var s float64
+	for i := range xs {
+		if xs[i] < c {
+			s += ws[i]
+		}
+	}
+	return s
+}
+
+func TestBoundsWidthShrinksWithMoreMoments(t *testing.T) {
+	widths := make([]float64, 0, 3)
+	for _, count := range []int{6, 10, 16} {
+		est, err := New(normalMoments(t, 0, 1, count))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := est.CDFBounds(0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		widths = append(widths, b.Width())
+	}
+	if !(widths[0] > widths[1] && widths[1] > widths[2]) {
+		t.Errorf("widths not shrinking: %v", widths)
+	}
+}

@@ -1,0 +1,152 @@
+package momentbounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgeworthEstimate is a smooth density/CDF approximation built from the
+// first moments (Gram-Charlier A series). It complements the hard
+// Chebyshev-Markov bounds of the Estimator: the bounds are guaranteed but
+// wide, the series is pointwise approximate but smooth — the paper's
+// section 7 notes that the distribution may also be "approximate[d] ...
+// based on its moments".
+type EdgeworthEstimate struct {
+	mean, sd float64
+	// coef[j] is the Gram-Charlier coefficient of the degree-j Hermite
+	// term; coef[0] = 1, coef[1] = coef[2] = 0.
+	coef []float64
+}
+
+// NewEdgeworth builds a Gram-Charlier A estimate from raw moments
+// (raw[0] = 1), using terms up to the given order (3..6; higher-order
+// terms use moments up to the same order). The distribution must have
+// positive variance.
+func NewEdgeworth(raw []float64, order int) (*EdgeworthEstimate, error) {
+	if order < 2 {
+		order = 2
+	}
+	if order > 6 {
+		return nil, fmt.Errorf("%w: Gram-Charlier order %d > 6 is not supported", ErrBadMoments, order)
+	}
+	if len(raw) < order+1 {
+		return nil, fmt.Errorf("%w: need %d moments for order %d, got %d", ErrBadMoments, order+1, order, len(raw))
+	}
+	if math.Abs(raw[0]-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: m0=%g, want 1", ErrBadMoments, raw[0])
+	}
+	mean := raw[1]
+	variance := raw[2] - mean*mean
+	if variance <= 0 {
+		return nil, fmt.Errorf("%w: variance %g", ErrDegenerate, variance)
+	}
+	sd := math.Sqrt(variance)
+	std, err := standardize(raw[:order+1], mean, sd)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gram-Charlier coefficients c_j = E[He_j(Z)]/j! of the standardized
+	// variable Z, with He_j the probabilists' Hermite polynomials.
+	coef := make([]float64, order+1)
+	coef[0] = 1
+	fact := 1.0
+	for j := 1; j <= order; j++ {
+		fact *= float64(j)
+		coef[j] = hermiteExpectation(j, std) / fact
+	}
+	// By construction c_1 = c_2 = 0 for standardized moments; snap exact.
+	if order >= 1 {
+		coef[1] = 0
+	}
+	if order >= 2 {
+		coef[2] = 0
+	}
+	return &EdgeworthEstimate{mean: mean, sd: sd, coef: coef}, nil
+}
+
+// hermiteExpectation computes E[He_j(Z)] from the standardized raw moments
+// using the explicit Hermite coefficient recursion.
+func hermiteExpectation(j int, std []float64) float64 {
+	// He_j(x) = sum_k h_k x^k with the recursion He_{j+1} = x He_j - j He_{j-1}.
+	prev := []float64{1}   // He_0
+	cur := []float64{0, 1} // He_1
+	if j == 0 {
+		return 1
+	}
+	for d := 1; d < j; d++ {
+		next := make([]float64, d+2)
+		for k, c := range cur {
+			next[k+1] += c // x * He_d
+		}
+		for k, c := range prev {
+			next[k] -= float64(d) * c // - d He_{d-1}
+		}
+		prev, cur = cur, next
+	}
+	var s float64
+	for k, c := range cur {
+		s += c * std[k]
+	}
+	return s
+}
+
+// Density evaluates the Gram-Charlier density estimate at x. It can be
+// slightly negative in the tails (a known artifact of the series); values
+// are clipped at zero.
+func (e *EdgeworthEstimate) Density(x float64) float64 {
+	z := (x - e.mean) / e.sd
+	phi := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+	s := e.seriesAt(z)
+	d := phi * s / e.sd
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// CDF evaluates the Gram-Charlier CDF estimate at x, clipped to [0, 1].
+// It uses the identity integral phi(z) He_j(z) dz = -phi(z) He_{j-1}(z).
+func (e *EdgeworthEstimate) CDF(x float64) float64 {
+	z := (x - e.mean) / e.sd
+	phi := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+	out := 0.5 * math.Erfc(-z/math.Sqrt2)
+	for j := 3; j < len(e.coef); j++ {
+		if e.coef[j] == 0 {
+			continue
+		}
+		out -= e.coef[j] * phi * hermiteAt(j-1, z)
+	}
+	if out < 0 {
+		return 0
+	}
+	if out > 1 {
+		return 1
+	}
+	return out
+}
+
+func (e *EdgeworthEstimate) seriesAt(z float64) float64 {
+	s := 1.0
+	for j := 3; j < len(e.coef); j++ {
+		if e.coef[j] != 0 {
+			s += e.coef[j] * hermiteAt(j, z)
+		}
+	}
+	return s
+}
+
+// hermiteAt evaluates the probabilists' Hermite polynomial He_j at z.
+func hermiteAt(j int, z float64) float64 {
+	switch j {
+	case 0:
+		return 1
+	case 1:
+		return z
+	}
+	prev, cur := 1.0, z
+	for d := 1; d < j; d++ {
+		prev, cur = cur, z*cur-float64(d)*prev
+	}
+	return cur
+}

@@ -1,0 +1,120 @@
+package momentbounds
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/brownian"
+)
+
+func TestEdgeworthExactForNormal(t *testing.T) {
+	mu, s2 := 1.5, 4.0
+	raw := normalMoments(t, mu, s2, 7)
+	e, err := NewEdgeworth(raw, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-3, 0, 1.5, 4, 7} {
+		wantD := brownian.NormalPDF(x, mu, s2)
+		if got := e.Density(x); math.Abs(got-wantD) > 1e-10 {
+			t.Errorf("density(%g) = %.12g, want %.12g", x, got, wantD)
+		}
+		wantC := brownian.NormalCDF(x, mu, s2)
+		if got := e.CDF(x); math.Abs(got-wantC) > 1e-10 {
+			t.Errorf("cdf(%g) = %.12g, want %.12g", x, got, wantC)
+		}
+	}
+}
+
+func TestEdgeworthCapturesSkewness(t *testing.T) {
+	// Exponential(1): raw moments j!. The order-3 series must shift
+	// probability toward the right tail relative to the normal fit.
+	raw := []float64{1, 1, 2, 6}
+	e, err := NewEdgeworth(raw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True CDF at the mean: 1 - e^{-1} ~ 0.632; normal fit says 0.5.
+	got := e.CDF(1)
+	if got <= 0.52 {
+		t.Errorf("skew-corrected CDF at mean = %g, want > 0.52 (normal fit 0.5, truth 0.632)", got)
+	}
+	// Density integrates to ~1 on a wide grid.
+	var mass float64
+	for x := -4.0; x < 10; x += 0.01 {
+		mass += e.Density(x) * 0.01
+	}
+	if math.Abs(mass-1) > 0.05 {
+		t.Errorf("density mass = %g", mass)
+	}
+}
+
+func TestEdgeworthAgainstTrueCDFOnMixture(t *testing.T) {
+	// A mildly skewed two-point-drift mixture: compare the order-4 series
+	// against the exact CDF within a coarse tolerance (the series is an
+	// approximation, not a bound).
+	raw := normalMixtureMoments(0.7, 0, 1, 0.3, 2, 1.5, 7)
+	e, err := NewEdgeworth(raw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := func(x float64) float64 {
+		return 0.7*brownian.NormalCDF(x, 0, 1) + 0.3*brownian.NormalCDF(x, 2, 1.5)
+	}
+	for _, x := range []float64{-1, 0, 0.6, 1.5, 3} {
+		if got := e.CDF(x); math.Abs(got-cdf(x)) > 0.03 {
+			t.Errorf("cdf(%g) = %.4f, exact %.4f", x, got, cdf(x))
+		}
+	}
+}
+
+// normalMixtureMoments returns raw moments of w1 N(mu1, s1) + w2 N(mu2, s2).
+func normalMixtureMoments(w1, mu1, s1, w2, mu2, s2 float64, count int) []float64 {
+	raw := make([]float64, count)
+	for j := range raw {
+		m1, _ := brownian.NormalRawMoment(j, mu1, s1)
+		m2, _ := brownian.NormalRawMoment(j, mu2, s2)
+		raw[j] = w1*m1 + w2*m2
+	}
+	return raw
+}
+
+func TestEdgeworthErrors(t *testing.T) {
+	raw := normalMoments(t, 0, 1, 7)
+	if _, err := NewEdgeworth(raw, 7); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("order 7: %v", err)
+	}
+	if _, err := NewEdgeworth(raw[:3], 4); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("too few moments: %v", err)
+	}
+	if _, err := NewEdgeworth([]float64{2, 0, 1, 0}, 3); !errors.Is(err, ErrBadMoments) {
+		t.Errorf("m0 != 1: %v", err)
+	}
+	if _, err := NewEdgeworth([]float64{1, 2, 4, 8}, 3); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("zero variance: %v", err)
+	}
+	// Low orders clamp to 2 (pure normal fit).
+	e, err := NewEdgeworth(raw[:4], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("normal-fit CDF(mean) = %g", got)
+	}
+}
+
+func TestHermitePolynomials(t *testing.T) {
+	// He_3(x) = x^3 - 3x; He_4 = x^4 - 6x^2 + 3.
+	for _, z := range []float64{-2, 0.5, 3} {
+		if got := hermiteAt(3, z); math.Abs(got-(z*z*z-3*z)) > 1e-12 {
+			t.Errorf("He_3(%g) = %g", z, got)
+		}
+		if got := hermiteAt(4, z); math.Abs(got-(z*z*z*z-6*z*z+3)) > 1e-12 {
+			t.Errorf("He_4(%g) = %g", z, got)
+		}
+	}
+	if hermiteAt(0, 2) != 1 || hermiteAt(1, 2) != 2 {
+		t.Error("He_0/He_1 wrong")
+	}
+}

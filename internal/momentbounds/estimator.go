@@ -1,0 +1,167 @@
+// Package momentbounds bounds the distribution of a random variable from
+// its raw moments, reproducing the moment-based distribution estimation the
+// paper cites as reference [12] (Rácz, Tari, Telek) and uses for
+// Figures 5-7: sharp Chebyshev-Markov bounds
+//
+//	sum_{x_i < c} w_i  <=  F(c)  <=  sum_{x_i <= c} w_i
+//
+// computed from the canonical (principal) representation of the moment
+// sequence anchored at the point c. The machinery is classical orthogonal
+// polynomial theory: a Jacobi matrix recovered from the Hankel moment
+// matrix by Cholesky factorization (Golub-Welsch), Gauss quadrature from
+// its eigendecomposition, and a Gauss-Radau modification to prescribe the
+// node at c.
+//
+// Hankel matrices of high-order raw moments are notoriously
+// ill-conditioned; the estimator first standardizes the variable to zero
+// mean and unit variance (which the bounds are equivariant under) and
+// automatically reduces the representation size until the Cholesky
+// factorization succeeds, exposing the usable depth via MaxNodes.
+package momentbounds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"somrm/internal/linalg"
+)
+
+var (
+	// ErrBadMoments is returned when the input is not a plausible moment
+	// sequence of a probability distribution.
+	ErrBadMoments = errors.New("momentbounds: invalid moment sequence")
+	// ErrDegenerate is returned when the distribution is (numerically) a
+	// point mass, for which the bounds are a step function.
+	ErrDegenerate = errors.New("momentbounds: degenerate (zero variance) distribution")
+)
+
+// Estimator computes distribution bounds from a raw moment sequence.
+type Estimator struct {
+	mean, sd float64
+	// std[j] = E[((X-mean)/sd)^j], j = 0..len-1.
+	std []float64
+	// Jacobi recurrence of the standardized measure: alpha[k] diagonal
+	// terms and b[k] (k >= 1) off-diagonal terms, with b[0] unused.
+	alpha []float64
+	b     []float64
+	// maxNodes is the largest usable Gauss quadrature size.
+	maxNodes int
+}
+
+// New builds an estimator from raw moments raw[j] = E[X^j], with
+// raw[0] = 1. At least moments up to order 2 are required; more moments
+// tighten the bounds (the paper uses 23).
+func New(raw []float64) (*Estimator, error) {
+	if len(raw) < 3 {
+		return nil, fmt.Errorf("%w: need at least m0..m2, got %d values", ErrBadMoments, len(raw))
+	}
+	if math.Abs(raw[0]-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: m0=%g, want 1", ErrBadMoments, raw[0])
+	}
+	for j, m := range raw {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return nil, fmt.Errorf("%w: m%d=%g", ErrBadMoments, j, m)
+		}
+	}
+	mean := raw[1]
+	variance := raw[2] - mean*mean
+	if variance < 0 {
+		if variance < -1e-9*math.Abs(raw[2]) {
+			return nil, fmt.Errorf("%w: negative variance %g", ErrBadMoments, variance)
+		}
+		variance = 0
+	}
+	if variance == 0 {
+		return nil, fmt.Errorf("%w: mean %g", ErrDegenerate, mean)
+	}
+	sd := math.Sqrt(variance)
+
+	std, err := standardize(raw, mean, sd)
+	if err != nil {
+		return nil, err
+	}
+	e := &Estimator{mean: mean, sd: sd, std: std}
+	if err := e.buildJacobi(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// standardize converts raw moments of X into raw moments of
+// Z = (X - mean)/sd by the binomial shift theorem.
+func standardize(raw []float64, mean, sd float64) ([]float64, error) {
+	n := len(raw) - 1
+	out := make([]float64, n+1)
+	binom := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		binom[j] = 1
+		for l := j - 1; l > 0; l-- {
+			binom[l] += binom[l-1]
+		}
+		var s float64
+		for l := 0; l <= j; l++ {
+			s += binom[l] * raw[l] * math.Pow(-mean, float64(j-l))
+		}
+		out[j] = s / math.Pow(sd, float64(j))
+		if math.IsNaN(out[j]) || math.IsInf(out[j], 0) {
+			return nil, fmt.Errorf("%w: standardized m%d overflowed", ErrBadMoments, j)
+		}
+	}
+	// By construction out[0] = 1, out[1] ~ 0, out[2] ~ 1; snap the first
+	// three to their exact values to avoid rounding residue.
+	out[0], out[1], out[2] = 1, 0, 1
+	return out, nil
+}
+
+// buildJacobi recovers the three-term recurrence of the orthonormal
+// polynomials of the standardized measure from the Cholesky factor of its
+// Hankel moment matrix, shrinking the matrix until the factorization
+// succeeds (numerical positive definiteness is exactly the usable depth of
+// the moment information).
+func (e *Estimator) buildJacobi() error {
+	// Largest k with all needed moments available: Hankel of size
+	// (k+1)x(k+1) uses moments up to 2k.
+	maxK := (len(e.std) - 1) / 2
+	for k := maxK; k >= 1; k-- {
+		h := linalg.NewDense(k+1, k+1)
+		for i := 0; i <= k; i++ {
+			for j := 0; j <= k; j++ {
+				h.Set(i, j, e.std[i+j])
+			}
+		}
+		l, err := linalg.Cholesky(h)
+		if err != nil {
+			continue // not numerically PD at this depth; shrink
+		}
+		// R = L^T (upper). alpha_j = r_{j,j+1}/r_{j,j} - r_{j-1,j}/r_{j-1,j-1};
+		// b_j = r_{j,j}/r_{j-1,j-1}.
+		r := func(i, j int) float64 { return l.At(j, i) }
+		e.alpha = make([]float64, k)
+		e.b = make([]float64, k+1) // b[1..k]
+		for j := 0; j < k; j++ {
+			a := r(j, j+1) / r(j, j)
+			if j > 0 {
+				a -= r(j-1, j) / r(j-1, j-1)
+			}
+			e.alpha[j] = a
+		}
+		for j := 1; j <= k; j++ {
+			e.b[j] = r(j, j) / r(j-1, j-1)
+		}
+		e.maxNodes = k
+		return nil
+	}
+	return fmt.Errorf("%w: Hankel matrix not positive definite at any depth", ErrBadMoments)
+}
+
+// MaxNodes returns the largest usable Gauss quadrature size (the number of
+// support points of the canonical representations). It is limited by both
+// the number of supplied moments and their numerical conditioning.
+func (e *Estimator) MaxNodes() int { return e.maxNodes }
+
+// Mean returns E[X] from the input moments.
+func (e *Estimator) Mean() float64 { return e.mean }
+
+// StdDev returns the standard deviation from the input moments.
+func (e *Estimator) StdDev() float64 { return e.sd }

@@ -1,0 +1,116 @@
+package momentbounds
+
+import (
+	"fmt"
+	"math"
+
+	"somrm/internal/linalg"
+)
+
+// Quadrature is a discrete distribution (nodes and probability masses) that
+// matches the input moment sequence — a canonical representation of the
+// moment problem.
+type Quadrature struct {
+	// Nodes are support points in ascending order, Weights the matching
+	// probability masses (summing to 1).
+	Nodes, Weights []float64
+}
+
+// GaussQuadrature returns the n-point Gauss quadrature of the moment
+// sequence: the unique discrete distribution with n atoms matching moments
+// m_0..m_{2n-1} (the "lower principal representation"). n must be between
+// 1 and MaxNodes().
+func (e *Estimator) GaussQuadrature(n int) (*Quadrature, error) {
+	if n < 1 || n > e.maxNodes {
+		return nil, fmt.Errorf("%w: %d nodes, usable range 1..%d", ErrBadMoments, n, e.maxNodes)
+	}
+	diag := append([]float64(nil), e.alpha[:n]...)
+	off := append([]float64(nil), e.b[1:n]...)
+	return e.quadFromJacobi(diag, off)
+}
+
+// RadauQuadrature returns the canonical representation with one atom
+// prescribed at the standardized point zc and n free atoms: the Gauss-Radau
+// rule. It needs n <= MaxNodes().
+func (e *Estimator) radauQuadrature(n int, zc float64) (*Quadrature, error) {
+	if n < 1 || n > e.maxNodes {
+		return nil, fmt.Errorf("%w: %d internal nodes, usable range 1..%d", ErrBadMoments, n, e.maxNodes)
+	}
+	// Solve (J_n - zc I) y = e_n (last unit vector); the modified last
+	// diagonal entry is alpha*_n = zc + b_n^2 * y_{n-1}.
+	y, err := solveTridiagShifted(e.alpha[:n], e.b[1:n], zc)
+	if err != nil {
+		return nil, err
+	}
+	bn := e.b[n]
+	alphaStar := zc + bn*bn*y[n-1]
+
+	diag := make([]float64, n+1)
+	copy(diag, e.alpha[:n])
+	diag[n] = alphaStar
+	off := make([]float64, n)
+	copy(off, e.b[1:n])
+	off[n-1] = bn
+	return e.quadFromJacobi(diag, off)
+}
+
+// quadFromJacobi eigen-decomposes the Jacobi matrix and maps nodes back to
+// the original variable scale.
+func (e *Estimator) quadFromJacobi(diag, off []float64) (*Quadrature, error) {
+	eig, first, err := linalg.SymTridiagEigen(diag, off)
+	if err != nil {
+		return nil, fmt.Errorf("momentbounds: %w", err)
+	}
+	q := &Quadrature{
+		Nodes:   make([]float64, len(eig)),
+		Weights: make([]float64, len(eig)),
+	}
+	var total float64
+	for i, z := range eig {
+		q.Nodes[i] = e.mean + e.sd*z
+		w := first[i] * first[i]
+		q.Weights[i] = w
+		total += w
+	}
+	// The first-component squares of a symmetric tridiagonal eigenbasis sum
+	// to 1; renormalize to absorb rounding.
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: vanishing quadrature weights", ErrBadMoments)
+	}
+	for i := range q.Weights {
+		q.Weights[i] /= total
+	}
+	return q, nil
+}
+
+// Moment returns the j-th raw moment of the quadrature (for verification).
+func (q *Quadrature) Moment(j int) float64 {
+	var s float64
+	for i, x := range q.Nodes {
+		s += q.Weights[i] * math.Pow(x, float64(j))
+	}
+	return s
+}
+
+// solveTridiagShifted solves (T - c I) y = e_last for the symmetric
+// tridiagonal matrix T with the given diagonal and off-diagonal, using
+// dense LU with partial pivoting for robustness when c is close to an
+// eigenvalue (the caller nudges c in that case).
+func solveTridiagShifted(diag, off []float64, c float64) ([]float64, error) {
+	n := len(diag)
+	a := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, diag[i]-c)
+		if i+1 < n {
+			a.Set(i, i+1, off[i])
+			a.Set(i+1, i, off[i])
+		}
+	}
+	rhs := linalg.NewVector(n)
+	rhs[n-1] = 1
+	y, err := linalg.SolveLinear(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("momentbounds: radau shift: %w", err)
+	}
+	return y, nil
+}

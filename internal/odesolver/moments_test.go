@@ -1,0 +1,147 @@
+package odesolver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/brownian"
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/sparse"
+)
+
+func buildModel(t *testing.T, a, b float64, r, s []float64) *core.Model {
+	t.Helper()
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-a, a, b, -b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(gen, r, s, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMomentsByODEMatchesNormalClosedForm(t *testing.T) {
+	// Equal parameters in both states: B(t) ~ Normal(rt, s2 t).
+	m := buildModel(t, 3, 3, []float64{1.5, 1.5}, []float64{2, 2})
+	const tt = 0.7
+	for _, method := range []Method{MethodHeun, MethodRK4, MethodRK45} {
+		vm, err := MomentsByODE(m, tt, 4, &MomentOptions{Method: method})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		for j := 0; j <= 4; j++ {
+			want, _ := brownian.NormalRawMoment(j, 1.5*tt, 2*tt)
+			got := vm[j][0]
+			tol := 1e-6 * (1 + math.Abs(want))
+			if method != MethodHeun {
+				tol = 1e-8 * (1 + math.Abs(want))
+			}
+			if math.Abs(got-want) > tol {
+				t.Errorf("%v j=%d: got %.12g, want %.12g", method, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMomentsByODEMatchesRandomization(t *testing.T) {
+	// Asymmetric second-order model with negative drift.
+	m := buildModel(t, 2, 5, []float64{-1, 3}, []float64{0.5, 2})
+	const tt = 1.2
+	res, err := m.AccumulatedReward(tt, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := MomentsByODE(m, tt, 4, &MomentOptions{Method: MethodRK4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 4; j++ {
+		for i := 0; i < 2; i++ {
+			want := res.VectorMoments[j][i]
+			got := vm[j][i]
+			if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+				t.Errorf("j=%d state=%d: ODE %.12g vs randomization %.12g", j, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMomentsByODEWithImpulses(t *testing.T) {
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-2, 2, 3, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.New(gen, []float64{1, 0.5}, []float64{0.2, 0.4}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sparse.NewBuilder(2, 2)
+	if err := b.Add(0, 1, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	m, err := base.WithImpulses(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 1.0
+	res, err := m.AccumulatedReward(tt, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := MomentsByODE(m, tt, 3, &MomentOptions{Method: MethodRK4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 3; j++ {
+		want := res.Moments[j]
+		got := vm[j][0]
+		if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+			t.Errorf("impulse j=%d: ODE %.12g vs randomization %.12g", j, got, want)
+		}
+	}
+}
+
+func TestMomentsByODEZeroTime(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 2}, []float64{0, 0})
+	vm, err := MomentsByODE(m, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm[0][0] != 1 || vm[1][0] != 0 || vm[2][0] != 0 {
+		t.Errorf("t=0: %v", vm)
+	}
+}
+
+func TestMomentsByODEErrors(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 2}, []float64{0, 0})
+	if _, err := MomentsByODE(nil, 1, 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil model: %v", err)
+	}
+	if _, err := MomentsByODE(m, -1, 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative t: %v", err)
+	}
+	if _, err := MomentsByODE(m, math.NaN(), 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("NaN t: %v", err)
+	}
+	if _, err := MomentsByODE(m, 1, -2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative order: %v", err)
+	}
+	if _, err := MomentsByODE(m, 1, 2, &MomentOptions{Method: Method(42)}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("unknown method: %v", err)
+	}
+}
+
+func TestMomentsByODEExplicitSteps(t *testing.T) {
+	m := buildModel(t, 3, 3, []float64{1, 1}, []float64{1, 1})
+	vm, err := MomentsByODE(m, 0.5, 1, &MomentOptions{Method: MethodHeun, Steps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vm[1][0]-0.5) > 1e-7 {
+		t.Errorf("mean = %.10g, want 0.5", vm[1][0])
+	}
+}

@@ -1,0 +1,230 @@
+// Package odesolver provides the ordinary differential equation integrators
+// used as the paper's comparison baseline: the moments of the accumulated
+// reward satisfy the linear ODE system of Theorem 2 (eq. 6), which the
+// authors cross-checked with a trapezoid-rule solver. The package offers
+// fixed-step Heun (explicit trapezoid) and classical RK4 integrators plus
+// an adaptive Dormand–Prince RK45, and a driver that assembles eq. (6)
+// for a second-order Markov reward model.
+package odesolver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadArgument is returned for invalid integrator arguments.
+var ErrBadArgument = errors.New("odesolver: invalid argument")
+
+// ErrStepLimit is returned when the adaptive integrator exceeds its step
+// budget.
+var ErrStepLimit = errors.New("odesolver: step limit exceeded")
+
+// DerivFunc evaluates dy = f(t, y). Implementations must treat y as
+// read-only and fully overwrite dy.
+type DerivFunc func(t float64, y, dy []float64)
+
+// Heun integrates y' = f(t, y) from t0 to t1 with the explicit trapezoid
+// (Heun) method over the given number of uniform steps. This is the
+// "numerical ODE solver working based on eq. 6 using trapezoid rule" the
+// paper compares against.
+func Heun(f DerivFunc, y0 []float64, t0, t1 float64, steps int) ([]float64, error) {
+	if err := checkFixedStep(f, y0, t0, t1, steps); err != nil {
+		return nil, err
+	}
+	n := len(y0)
+	y := append([]float64(nil), y0...)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	pred := make([]float64, n)
+	h := (t1 - t0) / float64(steps)
+	for s := 0; s < steps; s++ {
+		t := t0 + float64(s)*h
+		f(t, y, k1)
+		for i := 0; i < n; i++ {
+			pred[i] = y[i] + h*k1[i]
+		}
+		f(t+h, pred, k2)
+		for i := 0; i < n; i++ {
+			y[i] += h / 2 * (k1[i] + k2[i])
+		}
+	}
+	return y, nil
+}
+
+// RK4 integrates with the classical fourth-order Runge–Kutta method over
+// uniform steps.
+func RK4(f DerivFunc, y0 []float64, t0, t1 float64, steps int) ([]float64, error) {
+	if err := checkFixedStep(f, y0, t0, t1, steps); err != nil {
+		return nil, err
+	}
+	n := len(y0)
+	y := append([]float64(nil), y0...)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	h := (t1 - t0) / float64(steps)
+	for s := 0; s < steps; s++ {
+		t := t0 + float64(s)*h
+		f(t, y, k1)
+		for i := range tmp {
+			tmp[i] = y[i] + h/2*k1[i]
+		}
+		f(t+h/2, tmp, k2)
+		for i := range tmp {
+			tmp[i] = y[i] + h/2*k2[i]
+		}
+		f(t+h/2, tmp, k3)
+		for i := range tmp {
+			tmp[i] = y[i] + h*k3[i]
+		}
+		f(t+h, tmp, k4)
+		for i := range y {
+			y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+	}
+	return y, nil
+}
+
+func checkFixedStep(f DerivFunc, y0 []float64, t0, t1 float64, steps int) error {
+	if f == nil {
+		return fmt.Errorf("%w: nil derivative", ErrBadArgument)
+	}
+	if steps < 1 {
+		return fmt.Errorf("%w: steps=%d", ErrBadArgument, steps)
+	}
+	if t1 < t0 {
+		return fmt.Errorf("%w: t1=%g < t0=%g", ErrBadArgument, t1, t0)
+	}
+	if len(y0) == 0 {
+		return fmt.Errorf("%w: empty state", ErrBadArgument)
+	}
+	return nil
+}
+
+// RK45Options configures the adaptive Dormand–Prince integrator.
+type RK45Options struct {
+	// RelTol and AbsTol control the per-step error test. Defaults: 1e-8
+	// and 1e-10.
+	RelTol, AbsTol float64
+	// InitialStep is the first attempted step (default (t1-t0)/100).
+	InitialStep float64
+	// MaxSteps bounds the number of accepted+rejected steps (default 1e6).
+	MaxSteps int
+}
+
+// RK45Stats reports adaptive-integration work.
+type RK45Stats struct {
+	Accepted, Rejected int
+}
+
+// Dormand–Prince RK45 coefficients.
+var (
+	dpC = [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
+	dpA = [7][6]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+	}
+	dpB5 = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+	dpB4 = [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+)
+
+// RK45 integrates with the adaptive Dormand–Prince 5(4) method.
+func RK45(f DerivFunc, y0 []float64, t0, t1 float64, opts *RK45Options) ([]float64, RK45Stats, error) {
+	var stats RK45Stats
+	if err := checkFixedStep(f, y0, t0, t1, 1); err != nil {
+		return nil, stats, err
+	}
+	cfg := RK45Options{RelTol: 1e-8, AbsTol: 1e-10, MaxSteps: 1_000_000}
+	if opts != nil {
+		if opts.RelTol > 0 {
+			cfg.RelTol = opts.RelTol
+		}
+		if opts.AbsTol > 0 {
+			cfg.AbsTol = opts.AbsTol
+		}
+		if opts.InitialStep > 0 {
+			cfg.InitialStep = opts.InitialStep
+		}
+		if opts.MaxSteps > 0 {
+			cfg.MaxSteps = opts.MaxSteps
+		}
+	}
+	if t1 == t0 {
+		return append([]float64(nil), y0...), stats, nil
+	}
+	h := cfg.InitialStep
+	if h == 0 {
+		h = (t1 - t0) / 100
+	}
+
+	n := len(y0)
+	y := append([]float64(nil), y0...)
+	k := make([][]float64, 7)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	tmp := make([]float64, n)
+	y5 := make([]float64, n)
+	t := t0
+
+	for t < t1 {
+		if stats.Accepted+stats.Rejected >= cfg.MaxSteps {
+			return nil, stats, fmt.Errorf("%w: %d steps at t=%g", ErrStepLimit, cfg.MaxSteps, t)
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		// Stages.
+		f(t, y, k[0])
+		for s := 1; s < 7; s++ {
+			for i := 0; i < n; i++ {
+				acc := y[i]
+				for j := 0; j < s; j++ {
+					if a := dpA[s][j]; a != 0 {
+						acc += h * a * k[j][i]
+					}
+				}
+				tmp[i] = acc
+			}
+			f(t+dpC[s]*h, tmp, k[s])
+		}
+		// 5th order solution and error estimate.
+		var errNorm float64
+		for i := 0; i < n; i++ {
+			var s5, s4 float64
+			for s := 0; s < 7; s++ {
+				s5 += dpB5[s] * k[s][i]
+				s4 += dpB4[s] * k[s][i]
+			}
+			y5[i] = y[i] + h*s5
+			sc := cfg.AbsTol + cfg.RelTol*math.Max(math.Abs(y[i]), math.Abs(y5[i]))
+			e := h * (s5 - s4) / sc
+			errNorm += e * e
+		}
+		errNorm = math.Sqrt(errNorm / float64(n))
+
+		if errNorm <= 1 {
+			t += h
+			copy(y, y5)
+			stats.Accepted++
+		} else {
+			stats.Rejected++
+		}
+		// Step-size controller.
+		fac := 0.9 * math.Pow(1/math.Max(errNorm, 1e-10), 0.2)
+		fac = math.Min(5, math.Max(0.2, fac))
+		h *= fac
+		if h <= 0 || math.IsNaN(h) {
+			return nil, stats, fmt.Errorf("%w: step collapsed at t=%g", ErrStepLimit, t)
+		}
+	}
+	return y, stats, nil
+}

@@ -1,0 +1,132 @@
+package odesolver
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Exponential decay y' = -y, y(0) = 1: y(t) = e^{-t}.
+func decay(_ float64, y, dy []float64) { dy[0] = -y[0] }
+
+// Harmonic oscillator y” = -y as a 2-dim system.
+func oscillator(_ float64, y, dy []float64) {
+	dy[0] = y[1]
+	dy[1] = -y[0]
+}
+
+func TestHeunDecay(t *testing.T) {
+	y, err := Heun(decay, []float64{1}, 0, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-1)
+	if math.Abs(y[0]-want) > 1e-6 {
+		t.Errorf("Heun e^-1 = %.10g, want %.10g", y[0], want)
+	}
+}
+
+func TestHeunSecondOrderConvergence(t *testing.T) {
+	errAt := func(steps int) float64 {
+		y, err := Heun(decay, []float64{1}, 0, 1, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - math.Exp(-1))
+	}
+	e1 := errAt(100)
+	e2 := errAt(200)
+	ratio := e1 / e2
+	// Second order: halving the step divides the error by ~4.
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("Heun convergence ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	errAt := func(steps int) float64 {
+		y, err := RK4(decay, []float64{1}, 0, 2, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - math.Exp(-2))
+	}
+	e1 := errAt(10)
+	e2 := errAt(20)
+	ratio := e1 / e2
+	if ratio < 12 || ratio > 20 {
+		t.Errorf("RK4 convergence ratio = %.2f, want ~16", ratio)
+	}
+}
+
+func TestRK4Oscillator(t *testing.T) {
+	y, err := RK4(oscillator, []float64{1, 0}, 0, 2*math.Pi, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-9 || math.Abs(y[1]) > 1e-9 {
+		t.Errorf("full period: y = %v, want [1 0]", y)
+	}
+}
+
+func TestFixedStepErrors(t *testing.T) {
+	if _, err := Heun(nil, []float64{1}, 0, 1, 10); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil f: %v", err)
+	}
+	if _, err := Heun(decay, []float64{1}, 0, 1, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero steps: %v", err)
+	}
+	if _, err := RK4(decay, []float64{1}, 1, 0, 10); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t1 < t0: %v", err)
+	}
+	if _, err := RK4(decay, nil, 0, 1, 10); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("empty state: %v", err)
+	}
+}
+
+func TestRK45Decay(t *testing.T) {
+	y, stats, err := RK45(decay, []float64{1}, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-5)
+	if math.Abs(y[0]-want) > 1e-7*(1+want) {
+		t.Errorf("RK45 e^-5 = %.12g, want %.12g", y[0], want)
+	}
+	if stats.Accepted == 0 {
+		t.Error("no accepted steps recorded")
+	}
+}
+
+func TestRK45Oscillator(t *testing.T) {
+	y, _, err := RK45(oscillator, []float64{1, 0}, 0, 2*math.Pi, &RK45Options{RelTol: 1e-10, AbsTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-8 || math.Abs(y[1]) > 1e-8 {
+		t.Errorf("RK45 full period: %v", y)
+	}
+}
+
+func TestRK45StepLimit(t *testing.T) {
+	_, _, err := RK45(decay, []float64{1}, 0, 1, &RK45Options{MaxSteps: 2, RelTol: 1e-14, AbsTol: 1e-16})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("step limit: %v", err)
+	}
+}
+
+func TestRK45ZeroInterval(t *testing.T) {
+	y, _, err := RK45(decay, []float64{3}, 2, 2, nil)
+	if err != nil || y[0] != 3 {
+		t.Errorf("zero interval: y=%v err=%v", y, err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodHeun.String() != "heun" || MethodRK4.String() != "rk4" || MethodRK45.String() != "rk45" {
+		t.Error("method names wrong")
+	}
+	if Method(99).String() == "" {
+		t.Error("unknown method should still render")
+	}
+}

@@ -1,0 +1,218 @@
+package pde
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/brownian"
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/sparse"
+)
+
+func buildModel(t *testing.T, a, b float64, r, s []float64) *core.Model {
+	t.Helper()
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-a, a, b, -b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(gen, r, s, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSolveDensityNormalModel(t *testing.T) {
+	// Equal (r, sigma2) in both states: the density is exactly normal.
+	m := buildModel(t, 3, 3, []float64{2, 2}, []float64{1.5, 1.5})
+	const tt = 0.5
+	sol, err := SolveDensity(m, tt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.2, 1.0, 1.8} {
+		got, err := sol.DensityAt(0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brownian.NormalPDF(x, 2*tt, 1.5*tt)
+		if math.Abs(got-want) > 0.02*(1+want) {
+			t.Errorf("x=%g: pde %g vs exact %g", x, got, want)
+		}
+	}
+	mass, err := sol.TotalMass(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mass-1) > 0.01 {
+		t.Errorf("total mass = %g", mass)
+	}
+	mean, err := sol.Mean(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-2*tt) > 0.02 {
+		t.Errorf("pde mean = %g, want %g", mean, 2*tt)
+	}
+}
+
+func TestSolveDensityMatchesMomentSolver(t *testing.T) {
+	m := buildModel(t, 2, 4, []float64{3, -1}, []float64{0.8, 1.4})
+	const tt = 0.7
+	sol, err := SolveDensity(m, tt, &Options{GridPoints: 1201})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.AccumulatedReward(tt, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N(); i++ {
+		mass, err := sol.TotalMass(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mass-1) > 0.02 {
+			t.Errorf("state %d mass = %g", i, mass)
+		}
+		mean, err := sol.Mean(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.VectorMoments[1][i]
+		if math.Abs(mean-want) > 0.03*(1+math.Abs(want)) {
+			t.Errorf("state %d mean: pde %g vs moments %g", i, mean, want)
+		}
+	}
+}
+
+func TestSolveDensityArgumentErrors(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{1, 1})
+	if _, err := SolveDensity(nil, 1, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil model: %v", err)
+	}
+	if _, err := SolveDensity(m, 0, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0: %v", err)
+	}
+	if _, err := SolveDensity(m, -1, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative t: %v", err)
+	}
+	if _, err := SolveDensity(m, 1, &Options{GridPoints: 3}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("tiny grid: %v", err)
+	}
+	if _, err := SolveDensity(m, 1, &Options{WarmupFraction: 1.5}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("warmup >= 1: %v", err)
+	}
+	if _, err := SolveDensity(m, 1, &Options{XMin: 1, XMax: -1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("inverted domain: %v", err)
+	}
+
+	zeroVar := buildModel(t, 1, 1, []float64{1, 1}, []float64{0, 1})
+	if _, err := SolveDensity(zeroVar, 1, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero variance: %v", err)
+	}
+
+	b := sparse.NewBuilder(2, 2)
+	if err := b.Add(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	mi, err := m.WithImpulses(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveDensity(mi, 1, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("impulses: %v", err)
+	}
+}
+
+func TestSolutionAccessors(t *testing.T) {
+	m := buildModel(t, 3, 3, []float64{1, 1}, []float64{1, 1})
+	sol, err := SolveDensity(m, 0.4, &Options{GridPoints: 301})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range state indices.
+	if _, err := sol.DensityAt(5, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("DensityAt bad state: %v", err)
+	}
+	if _, err := sol.CDFAt(-1, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("CDFAt bad state: %v", err)
+	}
+	if _, err := sol.TotalMass(9); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("TotalMass bad state: %v", err)
+	}
+	if _, err := sol.Mean(9); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("Mean bad state: %v", err)
+	}
+	// Outside the grid.
+	if d, err := sol.DensityAt(0, sol.X[0]-10); err != nil || d != 0 {
+		t.Errorf("density outside grid: %g %v", d, err)
+	}
+	if c, err := sol.CDFAt(0, sol.X[0]-10); err != nil || c != 0 {
+		t.Errorf("cdf below grid: %g %v", c, err)
+	}
+	if c, err := sol.CDFAt(0, sol.X[len(sol.X)-1]+10); err != nil || math.Abs(c-1) > 0.02 {
+		t.Errorf("cdf above grid: %g %v", c, err)
+	}
+	// CDF monotone.
+	prev := -1.0
+	for _, x := range []float64{-1, 0, 0.3, 0.6, 1.2} {
+		c, err := sol.CDFAt(0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev-1e-9 {
+			t.Errorf("CDF decreasing at %g", x)
+		}
+		prev = c
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	m := buildModel(t, 3, 3, []float64{1, 1}, []float64{1, 1})
+	sol, err := SolveDensity(m, 0.4, &Options{GridPoints: 201})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := sol.Aggregate([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != len(sol.X) {
+		t.Fatalf("aggregate length %d", len(agg))
+	}
+	if _, err := sol.Aggregate([]float64{1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("bad weights length: %v", err)
+	}
+	if _, err := sol.Aggregate([]float64{-1, 2}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative weight: %v", err)
+	}
+}
+
+func TestCDFAgainstTransformInversion(t *testing.T) {
+	// Cross-validate the PDE CDF against the Gil-Pelaez route on an
+	// asymmetric model.
+	m := buildModel(t, 2, 4, []float64{3, -1}, []float64{0.8, 1.4})
+	const tt = 0.5
+	sol, err := SolveDensity(m, tt, &Options{GridPoints: 1001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.AccumulatedReward(tt, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.VectorMoments[1][0]
+	sd := math.Sqrt(res.VectorMoments[2][0] - mean*mean)
+	for _, x := range []float64{mean - sd, mean, mean + sd} {
+		c, err := sol.CDFAt(0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < 0.01 || c > 0.99 {
+			t.Errorf("CDF at mean+/-sd should be interior, got %g at %g", c, x)
+		}
+	}
+}

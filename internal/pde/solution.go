@@ -1,0 +1,106 @@
+package pde
+
+import (
+	"fmt"
+	"math"
+)
+
+// DensityAt linearly interpolates the density of initial state i at x.
+// Outside the grid it returns 0.
+func (s *Solution) DensityAt(i int, x float64) (float64, error) {
+	if i < 0 || i >= len(s.Density) {
+		return 0, fmt.Errorf("%w: state %d of %d", ErrBadArgument, i, len(s.Density))
+	}
+	n := len(s.X)
+	if x <= s.X[0] || x >= s.X[n-1] {
+		return 0, nil
+	}
+	dx := s.X[1] - s.X[0]
+	j := int((x - s.X[0]) / dx)
+	if j >= n-1 {
+		j = n - 2
+	}
+	frac := (x - s.X[j]) / dx
+	row := s.Density[i]
+	return row[j]*(1-frac) + row[j+1]*frac, nil
+}
+
+// CDFAt integrates the density of initial state i up to x with the
+// trapezoid rule.
+func (s *Solution) CDFAt(i int, x float64) (float64, error) {
+	if i < 0 || i >= len(s.Density) {
+		return 0, fmt.Errorf("%w: state %d of %d", ErrBadArgument, i, len(s.Density))
+	}
+	n := len(s.X)
+	if x <= s.X[0] {
+		return 0, nil
+	}
+	dx := s.X[1] - s.X[0]
+	row := s.Density[i]
+	var acc float64
+	for j := 0; j+1 < n && s.X[j+1] <= x; j++ {
+		acc += dx / 2 * (row[j] + row[j+1])
+	}
+	// Partial final cell: X[j] <= x < X[j+1].
+	j := int((x - s.X[0]) / dx)
+	if j >= 0 && j+1 < n && s.X[j] < x {
+		end, _ := s.DensityAt(i, x)
+		acc += (x - s.X[j]) / 2 * (row[j] + end)
+	}
+	if acc > 1 {
+		acc = 1
+	}
+	return acc, nil
+}
+
+// TotalMass returns the integral of the density for initial state i; a
+// value close to 1 indicates the truncated domain captured the
+// distribution.
+func (s *Solution) TotalMass(i int) (float64, error) {
+	if i < 0 || i >= len(s.Density) {
+		return 0, fmt.Errorf("%w: state %d of %d", ErrBadArgument, i, len(s.Density))
+	}
+	dx := s.X[1] - s.X[0]
+	row := s.Density[i]
+	var acc float64
+	for j := 0; j+1 < len(row); j++ {
+		acc += dx / 2 * (row[j] + row[j+1])
+	}
+	return acc, nil
+}
+
+// Mean returns the mean of the density for initial state i (a consistency
+// check against the moment solver).
+func (s *Solution) Mean(i int) (float64, error) {
+	if i < 0 || i >= len(s.Density) {
+		return 0, fmt.Errorf("%w: state %d of %d", ErrBadArgument, i, len(s.Density))
+	}
+	dx := s.X[1] - s.X[0]
+	row := s.Density[i]
+	var acc float64
+	for j := 0; j+1 < len(row); j++ {
+		acc += dx / 2 * (row[j]*s.X[j] + row[j+1]*s.X[j+1])
+	}
+	return acc, nil
+}
+
+// Aggregate returns the initial-distribution-weighted density over the
+// grid: sum_i pi_i b_i(t, x_j).
+func (s *Solution) Aggregate(pi []float64) ([]float64, error) {
+	if len(pi) != len(s.Density) {
+		return nil, fmt.Errorf("%w: %d weights for %d states", ErrBadArgument, len(pi), len(s.Density))
+	}
+	out := make([]float64, len(s.X))
+	for i, p := range pi {
+		if p == 0 {
+			continue
+		}
+		if math.IsNaN(p) || p < 0 {
+			return nil, fmt.Errorf("%w: weight pi[%d]=%g", ErrBadArgument, i, p)
+		}
+		for j, v := range s.Density[i] {
+			out[j] += p * v
+		}
+	}
+	return out, nil
+}

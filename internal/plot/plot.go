@@ -1,0 +1,225 @@
+// Package plot renders simple line/step charts as standalone SVG files,
+// used by cmd/somrm-experiments to emit the paper's figures directly
+// (mean/moment curves, bound staircases, sampled trajectories). It is a
+// minimal, dependency-free renderer: linear axes, nice-number ticks, a
+// color cycle and a legend.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrBadChart is returned for charts that cannot be rendered.
+var ErrBadChart = errors.New("plot: invalid chart")
+
+// Style selects how a series is drawn.
+type Style int
+
+// Series styles.
+const (
+	// StyleLine connects points directly.
+	StyleLine Style = iota + 1
+	// StyleStep draws a right-continuous staircase (bounds, state paths).
+	StyleStep
+)
+
+// Series is one named curve.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Style Style
+}
+
+// Chart is a 2D chart with linear axes.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	Series         []Series
+	// Width and Height are the SVG dimensions in pixels (defaults 720x440).
+	Width, Height int
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// RenderSVG writes the chart as a standalone SVG document.
+func (c *Chart) RenderSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("%w: no series", ErrBadChart)
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 440
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	if plotW < 50 || plotH < 50 {
+		return fmt.Errorf("%w: %dx%d too small", ErrBadChart, width, height)
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for si, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("%w: series %d has %d x vs %d y", ErrBadChart, si, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("%w: series %d empty", ErrBadChart, si)
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return fmt.Errorf("%w: series %d has non-finite point %d", ErrBadChart, si, i)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y-range slightly.
+	pad := 0.05 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	sx := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*float64(plotW) }
+	sy := func(y float64) float64 { return float64(marginT+plotH) - (y-ymin)/(ymax-ymin)*float64(plotH) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			width/2, escape(c.Title))
+	}
+
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333" stroke-width="1"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	// Ticks and grid.
+	for _, tx := range NiceTicks(xmin, xmax, 7) {
+		px := sx(tx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", px, marginT, px, marginT+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, marginT+plotH+16, formatTick(tx))
+	}
+	for _, ty := range NiceTicks(ymin, ymax, 6) {
+		py := sy(ty)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, py, marginL+plotW, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+4, formatTick(ty))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts strings.Builder
+		for i := range s.X {
+			px, py := sx(s.X[i]), sy(s.Y[i])
+			if i == 0 {
+				fmt.Fprintf(&pts, "M%.2f %.2f", px, py)
+				continue
+			}
+			if s.Style == StyleStep {
+				fmt.Fprintf(&pts, " H%.2f V%.2f", px, py)
+			} else {
+				fmt.Fprintf(&pts, " L%.2f %.2f", px, py)
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", pts.String(), color)
+	}
+
+	// Legend.
+	ly := marginT + 12
+	for si, s := range c.Series {
+		if s.Name == "" {
+			continue
+		}
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+10, ly, marginL+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginL+40, ly+4, escape(s.Name))
+		ly += 16
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// NiceTicks returns up to about n "nice" tick positions covering
+// [lo, hi] (multiples of 1, 2, or 5 times a power of ten).
+func NiceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 || !(hi > lo) {
+		return nil
+	}
+	span := hi - lo
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var out []float64
+	for v := first; v <= hi+step*1e-9; v += step {
+		// Snap tiny rounding residue to zero.
+		if math.Abs(v) < step*1e-9 {
+			v = 0
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e5 || a < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	default:
+		s := fmt.Sprintf("%.4f", v)
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+		return s
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,134 @@
+package plot
+
+import (
+	"encoding/xml"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title:  "Test & Chart",
+		XLabel: "t",
+		YLabel: "value",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}, Style: StyleStep},
+		},
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	var sb strings.Builder
+	if err := simpleChart().RenderSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "</svg>", "Test &amp; Chart", "<path", "stroke="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Two series -> two path elements.
+	if got := strings.Count(out, "<path"); got != 2 {
+		t.Errorf("paths = %d, want 2", got)
+	}
+	// Step series uses H/V commands.
+	if !strings.Contains(out, " H") || !strings.Contains(out, " V") {
+		t.Error("step series not rendered as staircase")
+	}
+}
+
+func TestRenderSVGErrors(t *testing.T) {
+	var sb strings.Builder
+	c := &Chart{}
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrBadChart) {
+		t.Errorf("no series: %v", err)
+	}
+	c = &Chart{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrBadChart) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	c = &Chart{Series: []Series{{X: nil, Y: nil}}}
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrBadChart) {
+		t.Errorf("empty series: %v", err)
+	}
+	c = &Chart{Series: []Series{{X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrBadChart) {
+		t.Errorf("NaN point: %v", err)
+	}
+	c = simpleChart()
+	c.Width, c.Height = 50, 50
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrBadChart) {
+		t.Errorf("tiny canvas: %v", err)
+	}
+}
+
+func TestRenderSVGDegenerateRanges(t *testing.T) {
+	var sb strings.Builder
+	c := &Chart{Series: []Series{{X: []float64{1, 1}, Y: []float64{2, 2}}}}
+	if err := c.RenderSVG(&sb); err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := NiceTicks(0, 1, 7)
+	if len(ticks) < 4 || len(ticks) > 12 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 1+1e-9 {
+		t.Errorf("ticks outside range: %v", ticks)
+	}
+	// Zero snapping.
+	ticks = NiceTicks(-1, 1, 5)
+	foundZero := false
+	for _, v := range ticks {
+		if v == 0 {
+			foundZero = true
+		}
+	}
+	if !foundZero {
+		t.Errorf("no exact zero in %v", ticks)
+	}
+	// Degenerate inputs.
+	if NiceTicks(1, 1, 5) != nil {
+		t.Error("degenerate range should yield nil")
+	}
+	if NiceTicks(0, 1, 1) != nil {
+		t.Error("n<2 should yield nil")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5",
+		2:       "2",
+		1e6:     "1.0e+06",
+		0.00001: "1.0e-05",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

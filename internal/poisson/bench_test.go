@@ -1,0 +1,56 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+)
+
+// Ablation (DESIGN.md): log-space weight evaluation vs the recursive
+// product with running normalization. The log-space route costs one
+// Lgamma+Exp per weight but never under/overflows; the recursion is
+// cheaper per term but needs a carefully chosen starting point.
+
+func BenchmarkWeightsLogSpace(b *testing.B) {
+	const lambda = 40_000.0
+	lo, hi := 39_000, 41_000
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for k := lo; k <= hi; k++ {
+			sum += math.Exp(LogPMF(k, lambda))
+		}
+		if sum <= 0 {
+			b.Fatal("vanished")
+		}
+	}
+}
+
+func BenchmarkWeightsRecursive(b *testing.B) {
+	const lambda = 40_000.0
+	lo, hi := 39_000, 41_000
+	for i := 0; i < b.N; i++ {
+		// Start from the mode in linear space and recur outward.
+		w := math.Exp(LogPMF(lo, lambda))
+		sum := w
+		for k := lo + 1; k <= hi; k++ {
+			w *= lambda / float64(k)
+			sum += w
+		}
+		if sum <= 0 {
+			b.Fatal("vanished")
+		}
+	}
+}
+
+func BenchmarkWindowLargeLambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Window(40_000, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTailProb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = TailProb(41_000, 40_000)
+	}
+}

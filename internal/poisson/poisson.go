@@ -1,0 +1,193 @@
+// Package poisson computes Poisson probabilities and tail sums in a
+// numerically stable way. Randomization (uniformization) methods weight
+// matrix-vector iterates by Poisson(qt) probabilities; the paper's large
+// example uses qt = 40,000, where the naive recursion starting from
+// e^{-qt} underflows immediately. All probabilities here are computed in
+// log space via the log-gamma function.
+package poisson
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadRate is returned for negative or non-finite rates.
+var ErrBadRate = errors.New("poisson: rate must be finite and non-negative")
+
+// LogPMF returns ln P(X = k) for X ~ Poisson(lambda). LogPMF(0, 0) = 0.
+// It returns -Inf for k < 0.
+func LogPMF(k int, lambda float64) float64 {
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	if lambda == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return -lambda + float64(k)*math.Log(lambda) - lg
+}
+
+// PMF returns P(X = k) for X ~ Poisson(lambda), evaluated via log space so
+// it degrades gracefully (to 0) instead of producing NaN for extreme inputs.
+func PMF(k int, lambda float64) float64 {
+	return math.Exp(LogPMF(k, lambda))
+}
+
+// CDF returns P(X <= k).
+func CDF(k int, lambda float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	return 1 - TailProb(k, lambda)
+}
+
+// TailProb returns P(X > g) for X ~ Poisson(lambda).
+//
+// For g below the mean it accumulates the head probabilities and
+// complements; for g at or above the mean it sums the rapidly decreasing
+// tail directly. Both paths use compensated summation.
+func TailProb(g int, lambda float64) float64 {
+	if g < 0 {
+		return 1
+	}
+	if lambda == 0 {
+		return 0
+	}
+	if float64(g) < lambda {
+		// Head sum: p_0 + ... + p_g, then complement.
+		var sum, comp float64
+		for k := 0; k <= g; k++ {
+			p := PMF(k, lambda)
+			y := p - comp
+			t := sum + y
+			comp = (t - sum) - y
+			sum = t
+		}
+		if sum >= 1 {
+			return 0
+		}
+		return 1 - sum
+	}
+	// Tail sum starting at g+1. Terms decay at least geometrically with
+	// ratio lambda/(g+2) < 1.
+	p := PMF(g+1, lambda)
+	var sum, comp float64
+	k := g + 1
+	for p > 0 {
+		y := p - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+		if p < sum*1e-18 {
+			break
+		}
+		k++
+		p *= lambda / float64(k)
+	}
+	return sum
+}
+
+// LogTailProb returns ln P(X > g). For tails that underflow float64 it
+// falls back to a log-sum-exp over the leading terms plus a geometric
+// remainder bound, so the randomization error-bound search (eq. 11 of the
+// paper) can run entirely in log space.
+func LogTailProb(g int, lambda float64) float64 {
+	if g < 0 {
+		return 0
+	}
+	if lambda == 0 {
+		return math.Inf(-1)
+	}
+	if p := TailProb(g, lambda); p > 0 {
+		return math.Log(p)
+	}
+	// Underflowed: work in log space. ln(sum_{k>g} p_k) with
+	// p_{k+1}/p_k = lambda/(k+1) and ratio < 1 once k >= lambda.
+	lead := LogPMF(g+1, lambda)
+	ratio := lambda / float64(g+2)
+	if ratio >= 1 {
+		// Should not happen for underflowing tails, but stay safe.
+		return lead
+	}
+	// sum <= p_{g+1} / (1 - ratio); also sum >= p_{g+1}. Use the
+	// geometric upper bound, which is what the error bound needs
+	// (a conservative G).
+	return lead - math.Log1p(-ratio)
+}
+
+// Weights holds a truncated window of Poisson probabilities.
+type Weights struct {
+	// Left is the first index of the window; Prob[i] = P(X = Left+i).
+	Left int
+	Prob []float64
+	// MassDropped is the probability mass outside the window.
+	MassDropped float64
+}
+
+// Window computes a probability window covering all k with cumulative mass
+// at least 1-eps: the left truncation drops at most eps/2 head mass and the
+// right truncation at most eps/2 tail mass. It is the weight source for the
+// uniformized transient solution of the CTMC.
+func Window(lambda, eps float64) (*Weights, error) {
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) || lambda < 0 {
+		return nil, fmt.Errorf("%w: lambda=%v", ErrBadRate, lambda)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("poisson: eps must be in (0,1), got %g", eps)
+	}
+	if lambda == 0 {
+		return &Weights{Left: 0, Prob: []float64{1}}, nil
+	}
+
+	mode := int(lambda)
+	// Right edge: smallest g >= mode with P(X > g) <= eps/2.
+	right := mode
+	step := 1 + int(math.Sqrt(lambda))
+	for TailProb(right, lambda) > eps/2 {
+		right += step
+	}
+	// Left edge: largest l with P(X < l) <= eps/2, found by scanning down
+	// from the mode. For small lambda the left edge is 0.
+	left := 0
+	if lambda > 25 {
+		lo := mode - int(10*math.Sqrt(lambda)+10)
+		if lo < 0 {
+			lo = 0
+		}
+		var head, comp float64
+		for k := lo; k < mode; k++ {
+			p := PMF(k, lambda)
+			y := p - comp
+			t := head + y
+			comp = (t - head) - y
+			head = t
+			if head > eps/2 {
+				left = k // keep from k on: P(X < k) <= eps/2 held before adding p_k
+				break
+			}
+		}
+		if left == 0 && lo > 0 {
+			left = lo
+		}
+	}
+
+	w := &Weights{Left: left, Prob: make([]float64, right-left+1)}
+	var kept, comp float64
+	for k := left; k <= right; k++ {
+		p := PMF(k, lambda)
+		w.Prob[k-left] = p
+		y := p - comp
+		t := kept + y
+		comp = (t - kept) - y
+		kept = t
+	}
+	w.MassDropped = 1 - kept
+	if w.MassDropped < 0 {
+		w.MassDropped = 0
+	}
+	return w, nil
+}

@@ -1,0 +1,129 @@
+// Package report renders the experiment harness output: fixed-width ASCII
+// tables for terminal reading and CSV series for plotting, matching the
+// rows and series of the paper's tables and figures.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrBadTable is returned for inconsistent table construction.
+var ErrBadTable = errors.New("report: inconsistent table")
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row of pre-formatted cells.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.headers) {
+		return fmt.Errorf("%w: %d cells for %d columns", ErrBadTable, len(cells), len(t.headers))
+	}
+	t.rows = append(t.rows, cells)
+	return nil
+}
+
+// AddFloatRow appends a row with a string label followed by float cells.
+func (t *Table) AddFloatRow(label string, values ...float64) error {
+	cells := make([]string, 0, len(values)+1)
+	cells = append(cells, label)
+	for _, v := range values {
+		cells = append(cells, FormatFloat(v))
+	}
+	return t.AddRow(cells...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// FormatFloat renders a float compactly (up to 6 significant digits).
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// CSV streams comma-separated series, one row per call.
+type CSV struct {
+	w    io.Writer
+	cols int
+}
+
+// NewCSV writes a header row and returns the writer.
+func NewCSV(w io.Writer, headers ...string) (*CSV, error) {
+	if len(headers) == 0 {
+		return nil, fmt.Errorf("%w: no columns", ErrBadTable)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return nil, err
+	}
+	return &CSV{w: w, cols: len(headers)}, nil
+}
+
+// Row writes one row of float values.
+func (c *CSV) Row(values ...float64) error {
+	if len(values) != c.cols {
+		return fmt.Errorf("%w: %d values for %d columns", ErrBadTable, len(values), c.cols)
+	}
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = strconv.FormatFloat(v, 'g', 17, 64)
+	}
+	_, err := fmt.Fprintln(c.w, strings.Join(cells, ","))
+	return err
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "a", "b")
+	if err := tab.AddRow("x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddFloatRow("y", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Title", "a", "b", "x", "1", "y", "2.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCellCountMismatch(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	if err := tab.AddRow("only-one"); !errors.Is(err, ErrBadTable) {
+		t.Errorf("err = %v", err)
+	}
+	if err := tab.AddFloatRow("l", 1, 2, 3); !errors.Is(err, ErrBadTable) {
+		t.Errorf("float row: %v", err)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "col")
+	_ = tab.AddRow("v")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := FormatFloat(0.5); got != "0.5" {
+		t.Errorf("FormatFloat(0.5) = %q", got)
+	}
+	if got := FormatFloat(1234567.0); !strings.Contains(got, "e+06") {
+		t.Errorf("FormatFloat(1234567) = %q", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	c, err := NewCSV(&sb, "t", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(1); !errors.Is(err, ErrBadTable) {
+		t.Errorf("short row: %v", err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t,v\n") {
+		t.Errorf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "1,2.5") {
+		t.Errorf("row missing: %q", out)
+	}
+	if _, err := NewCSV(&sb); !errors.Is(err, ErrBadTable) {
+		t.Errorf("no columns: %v", err)
+	}
+}

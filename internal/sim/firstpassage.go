@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// FirstPassage is the outcome of one first-passage replication: whether
+// the accumulated reward reached the level within the horizon, and when.
+type FirstPassage struct {
+	Hit  bool
+	Time float64 // valid when Hit
+}
+
+// FirstPassageTime simulates T(level) = inf{t : B(t) >= level} for one
+// replication, truncated at the horizon.
+//
+// Unlike first-order models, a second-order reward path is not monotone,
+// so the completion time is a genuine first-passage problem. Within each
+// exponential sojourn the endpoint increment is sampled exactly, and a
+// crossing *inside* the segment is detected with the exact Brownian-bridge
+// crossing probability
+//
+//	P(max_{u<=D} W(u) >= c | W(0)=w0, W(D)=w1, w0,w1 < c)
+//	  = exp(-2 (c-w0)(c-w1) / (sigma^2 D)).
+//
+// The crossing instant is then located by recursive bridge bisection down
+// to timeTol. The hit/no-hit decision is exact; the located instant is
+// approximate (each bisection level samples an unconditioned bridge
+// midpoint and re-tests crossing), which the test suite validates against
+// the inverse-Gaussian closed form.
+func (s *Simulator) FirstPassageTime(level, horizon, timeTol float64) (*FirstPassage, error) {
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("%w: horizon %g", ErrBadArgument, horizon)
+	}
+	if timeTol <= 0 {
+		return nil, fmt.Errorf("%w: time tolerance %g", ErrBadArgument, timeTol)
+	}
+	if math.IsNaN(level) {
+		return nil, fmt.Errorf("%w: level is NaN", ErrBadArgument)
+	}
+	rates := s.model.Rates()
+	vars := s.model.Variances()
+	imp := s.model.Impulses()
+
+	state := s.sampleInitial()
+	now := 0.0
+	reward := 0.0
+	if reward >= level {
+		return &FirstPassage{Hit: true, Time: 0}, nil
+	}
+
+	for now < horizon {
+		exit := s.exitRate[state]
+		var sojourn float64
+		if exit == 0 {
+			sojourn = horizon - now
+		} else {
+			sojourn = s.rng.ExpFloat64() / exit
+		}
+		seg := math.Min(sojourn, horizon-now)
+		if seg > 0 {
+			hit, tHit, endReward := s.segmentPassage(reward, level, rates[state], vars[state], seg, timeTol)
+			if hit {
+				return &FirstPassage{Hit: true, Time: now + tHit}, nil
+			}
+			reward = endReward
+			now += seg
+		}
+		if sojourn >= seg && now >= horizon {
+			break
+		}
+		next := s.sampleNext(state)
+		if imp != nil {
+			reward += imp.At(state, next)
+			if reward >= level {
+				return &FirstPassage{Hit: true, Time: now}, nil
+			}
+		}
+		state = next
+	}
+	return &FirstPassage{}, nil
+}
+
+// segmentPassage simulates one Brownian segment of length seg starting at
+// w0 (< level): it reports whether the path crosses level within the
+// segment, the crossing time offset, and the endpoint value when it does
+// not cross.
+func (s *Simulator) segmentPassage(w0, level, drift, variance, seg, timeTol float64) (hit bool, tHit, end float64) {
+	if variance == 0 {
+		// Deterministic ramp.
+		end = w0 + drift*seg
+		if end >= level && drift > 0 {
+			return true, (level - w0) / drift, level
+		}
+		if w0 >= level { // defensive; caller guarantees w0 < level
+			return true, 0, w0
+		}
+		return false, 0, end
+	}
+	end = w0 + drift*seg + math.Sqrt(variance*seg)*s.rng.NormFloat64()
+	switch {
+	case end >= level:
+		hit = true
+	default:
+		// Both endpoints below the level: bridge crossing probability.
+		p := math.Exp(-2 * (level - w0) * (level - end) / (variance * seg))
+		hit = s.rng.Float64() < p
+	}
+	if !hit {
+		return false, 0, end
+	}
+	// Locate the crossing by bridge bisection.
+	t0, w0b := 0.0, w0
+	t1, w1b := seg, end
+	for t1-t0 > timeTol {
+		tm := (t0 + t1) / 2
+		// Bridge midpoint of the segment (w0b at t0, w1b at t1).
+		mean := (w0b + w1b) / 2
+		sd := math.Sqrt(variance * (t1 - t0) / 4)
+		wm := mean + sd*s.rng.NormFloat64()
+		// Does the first half contain a crossing?
+		var firstHalf bool
+		switch {
+		case wm >= level:
+			firstHalf = true
+		default:
+			p := math.Exp(-2 * (level - w0b) * (level - wm) / (variance * (tm - t0)))
+			firstHalf = s.rng.Float64() < p
+		}
+		if firstHalf {
+			t1, w1b = tm, wm
+		} else {
+			t0, w0b = tm, wm
+		}
+	}
+	return true, (t0 + t1) / 2, level
+}
+
+// PassageEstimate aggregates first-passage replications.
+type PassageEstimate struct {
+	// HitProbability estimates P(T(level) <= horizon), with standard
+	// error HitStdErr.
+	HitProbability, HitStdErr float64
+	// MeanTime estimates E[T | T <= horizon] with standard error
+	// TimeStdErr; NaN when no replication hit.
+	MeanTime, TimeStdErr float64
+	Reps, Hits           int
+}
+
+// EstimateFirstPassage runs independent first-passage replications.
+func (s *Simulator) EstimateFirstPassage(level, horizon, timeTol float64, reps int) (*PassageEstimate, error) {
+	if reps < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 replications, got %d", ErrBadArgument, reps)
+	}
+	var hits int
+	var tSum, tSumSq float64
+	for i := 0; i < reps; i++ {
+		fp, err := s.FirstPassageTime(level, horizon, timeTol)
+		if err != nil {
+			return nil, err
+		}
+		if fp.Hit {
+			hits++
+			tSum += fp.Time
+			tSumSq += fp.Time * fp.Time
+		}
+	}
+	out := &PassageEstimate{Reps: reps, Hits: hits}
+	p := float64(hits) / float64(reps)
+	out.HitProbability = p
+	out.HitStdErr = math.Sqrt(p * (1 - p) / float64(reps))
+	if hits > 1 {
+		mean := tSum / float64(hits)
+		out.MeanTime = mean
+		v := (tSumSq/float64(hits) - mean*mean) * float64(hits) / float64(hits-1)
+		if v < 0 {
+			v = 0
+		}
+		out.TimeStdErr = math.Sqrt(v / float64(hits))
+	} else {
+		out.MeanTime = math.NaN()
+		out.TimeStdErr = math.NaN()
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/brownian"
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+)
+
+func singleStateModel(t *testing.T, r, s2 float64) *core.Model {
+	t.Helper()
+	gen, err := ctmc.NewGeneratorFromDense(1, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(gen, []float64{r}, []float64{s2}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFirstPassageDeterministicRamp(t *testing.T) {
+	m := singleStateModel(t, 2, 0)
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.FirstPassageTime(3, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Hit || math.Abs(fp.Time-1.5) > 1e-9 {
+		t.Errorf("ramp passage = %+v, want hit at 1.5", fp)
+	}
+	// Level above reach within horizon.
+	fp, err = s.FirstPassageTime(100, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Hit {
+		t.Error("unreachable level reported hit")
+	}
+	// Level already met at time 0.
+	fp, err = s.FirstPassageTime(-1, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Hit || fp.Time != 0 {
+		t.Errorf("level below start: %+v", fp)
+	}
+}
+
+// For pure Brownian motion with drift mu > 0 and variance s2 the passage
+// probability to level c within time t is the inverse-Gaussian CDF:
+// P(T <= t) = Phi((mu t - c)/sqrt(s2 t)) + e^{2 mu c/s2} Phi((-c - mu t)/sqrt(s2 t)).
+func inverseGaussianCDF(c, mu, s2, t float64) float64 {
+	sd := math.Sqrt(s2 * t)
+	return brownian.NormalCDF((mu*t-c)/sd, 0, 1) +
+		math.Exp(2*mu*c/s2)*brownian.NormalCDF((-c-mu*t)/sd, 0, 1)
+}
+
+func TestFirstPassageBrownianClosedForm(t *testing.T) {
+	const (
+		mu, s2, level, horizon = 1.0, 1.0, 1.5, 2.0
+		reps                   = 60_000
+	)
+	m := singleStateModel(t, mu, s2)
+	s, err := New(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateFirstPassage(level, horizon, 1e-4, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inverseGaussianCDF(level, mu, s2, horizon)
+	if math.Abs(est.HitProbability-want) > 4*est.HitStdErr+1e-3 {
+		t.Errorf("hit prob = %.4f +/- %.4f, closed form %.4f", est.HitProbability, est.HitStdErr, want)
+	}
+}
+
+func TestFirstPassageModulatedLowerBound(t *testing.T) {
+	// P(T(x) <= t) >= P(B(t) >= x): validate the completion-time
+	// inequality against the moment-based bound from the core package.
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-2, 2, 3, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(gen, []float64{2, 0.5}, []float64{0.5, 1.5}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		level, horizon = 1.8, 1.5
+	)
+	est, err := s.EstimateFirstPassage(level, horizon, 1e-4, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := m.CompletionProbability(level, horizon, 14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Exact {
+		t.Error("second-order model must not claim exact completion duality")
+	}
+	if est.HitProbability+4*est.HitStdErr < cb.Lower {
+		t.Errorf("simulated P(T<=t) = %.4f below moment lower bound %.4f", est.HitProbability, cb.Lower)
+	}
+	// Mean passage time is within the horizon and positive.
+	if est.Hits > 1 && !(est.MeanTime > 0 && est.MeanTime < horizon) {
+		t.Errorf("mean passage time = %g", est.MeanTime)
+	}
+}
+
+func TestFirstPassageErrors(t *testing.T) {
+	m := singleStateModel(t, 1, 1)
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FirstPassageTime(1, 0, 1e-4); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero horizon: %v", err)
+	}
+	if _, err := s.FirstPassageTime(1, 1, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero tol: %v", err)
+	}
+	if _, err := s.FirstPassageTime(math.NaN(), 1, 1e-4); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("NaN level: %v", err)
+	}
+	if _, err := s.EstimateFirstPassage(1, 1, 1e-4, 1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("reps=1: %v", err)
+	}
+}
+
+func TestFirstPassageWithImpulses(t *testing.T) {
+	// Unit impulse on 0->1 with no continuous reward: passage to level 0.5
+	// happens exactly at the first 0->1 jump.
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-2, 2, 3, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.New(gen, []float64{0, 0}, []float64{0, 0}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newImpulseBuilder(t, 2, 0, 1, 1.0)
+	m, err := base.WithImpulses(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateFirstPassage(0.5, 3, 1e-4, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 0->1 jump is Exp(2): P(T <= 3) = 1 - e^{-6}; E[T | T<=3] ~ 1/2.
+	want := 1 - math.Exp(-6)
+	if math.Abs(est.HitProbability-want) > 4*est.HitStdErr+1e-3 {
+		t.Errorf("hit prob = %.4f, want %.4f", est.HitProbability, want)
+	}
+	wantMean := (0.5 - math.Exp(-6)*(3+0.5)) / want // E[min jump | <= 3]
+	if math.Abs(est.MeanTime-wantMean) > 4*est.TimeStdErr+1e-2 {
+		t.Errorf("mean time = %.4f, want %.4f", est.MeanTime, wantMean)
+	}
+}

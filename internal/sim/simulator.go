@@ -1,0 +1,201 @@
+// Package sim implements a Monte Carlo simulator for second-order Markov
+// reward models. It is the third solution method the paper validates
+// against ("a second-order reward model simulation tool"): state sojourns
+// are sampled exactly from the exponential holding times and the reward
+// increment of each sojourn segment is drawn exactly from its normal
+// distribution, so the estimator has no discretization bias — only
+// statistical error, which the moment estimator reports.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"somrm/internal/core"
+)
+
+// ErrBadArgument is returned for invalid simulation parameters.
+var ErrBadArgument = errors.New("sim: invalid argument")
+
+// Simulator draws trajectories of a second-order Markov reward model.
+type Simulator struct {
+	model *core.Model
+	rng   *rand.Rand
+
+	// Cached per-state transition data.
+	exitRate []float64
+	nextIdx  [][]int
+	nextCum  [][]float64 // cumulative probabilities for next-state sampling
+	initCum  []float64
+}
+
+// New builds a simulator with a deterministic seed (reproducible runs).
+func New(m *core.Model, seed int64) (*Simulator, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadArgument)
+	}
+	n := m.N()
+	s := &Simulator{
+		model:    m,
+		rng:      rand.New(rand.NewSource(seed)),
+		exitRate: make([]float64, n),
+		nextIdx:  make([][]int, n),
+		nextCum:  make([][]float64, n),
+	}
+	gen := m.Generator()
+	for i := 0; i < n; i++ {
+		var idx []int
+		var rates []float64
+		var exit float64
+		gen.Matrix().Range(i, func(j int, v float64) {
+			if j == i || v <= 0 {
+				return
+			}
+			idx = append(idx, j)
+			rates = append(rates, v)
+			exit += v
+		})
+		s.exitRate[i] = exit
+		s.nextIdx[i] = idx
+		cum := make([]float64, len(rates))
+		var acc float64
+		for k, r := range rates {
+			acc += r / exit
+			cum[k] = acc
+		}
+		if len(cum) > 0 {
+			cum[len(cum)-1] = 1
+		}
+		s.nextCum[i] = cum
+	}
+	s.initCum = make([]float64, n)
+	var acc float64
+	for i, p := range m.Initial() {
+		acc += p
+		s.initCum[i] = acc
+	}
+	s.initCum[n-1] = 1
+	return s, nil
+}
+
+func (s *Simulator) sampleInitial() int {
+	u := s.rng.Float64()
+	for i, c := range s.initCum {
+		if u <= c {
+			return i
+		}
+	}
+	return len(s.initCum) - 1
+}
+
+func (s *Simulator) sampleNext(i int) int {
+	u := s.rng.Float64()
+	cum := s.nextCum[i]
+	for k, c := range cum {
+		if u <= c {
+			return s.nextIdx[i][k]
+		}
+	}
+	return s.nextIdx[i][len(cum)-1]
+}
+
+// SampleReward draws one exact realization of B(t).
+func (s *Simulator) SampleReward(t float64) (float64, error) {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return 0, fmt.Errorf("%w: time %g", ErrBadArgument, t)
+	}
+	rates := s.model.Rates()
+	vars := s.model.Variances()
+	imp := s.model.Impulses()
+
+	state := s.sampleInitial()
+	var reward float64
+	remaining := t
+	for remaining > 0 {
+		exit := s.exitRate[state]
+		var sojourn float64
+		if exit == 0 {
+			sojourn = remaining // absorbing: stays until the horizon
+		} else {
+			sojourn = s.rng.ExpFloat64() / exit
+		}
+		seg := math.Min(sojourn, remaining)
+		if seg > 0 {
+			mean := rates[state] * seg
+			sd := math.Sqrt(vars[state] * seg)
+			reward += mean + sd*s.rng.NormFloat64()
+		}
+		remaining -= seg
+		if sojourn >= seg && remaining <= 0 {
+			break
+		}
+		next := s.sampleNext(state)
+		if imp != nil {
+			reward += imp.At(state, next)
+		}
+		state = next
+	}
+	return reward, nil
+}
+
+// Estimate holds Monte Carlo moment estimates with standard errors.
+type Estimate struct {
+	// Moments[j] estimates E[B(t)^j] for j = 0..Order.
+	Moments []float64
+	// StdErr[j] is the standard error of Moments[j].
+	StdErr []float64
+	// Order is the highest estimated moment, Reps the replication count.
+	Order, Reps int
+}
+
+// HalfWidth95 returns the ~95% confidence half-width of moment j.
+func (e *Estimate) HalfWidth95(j int) (float64, error) {
+	if j < 0 || j > e.Order {
+		return 0, fmt.Errorf("%w: moment %d of %d", ErrBadArgument, j, e.Order)
+	}
+	return 1.96 * e.StdErr[j], nil
+}
+
+// EstimateMoments estimates raw moments of B(t) up to the given order from
+// independent replications.
+func (s *Simulator) EstimateMoments(t float64, order, reps int) (*Estimate, error) {
+	if order < 0 {
+		return nil, fmt.Errorf("%w: order %d", ErrBadArgument, order)
+	}
+	if reps < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 replications, got %d", ErrBadArgument, reps)
+	}
+	sums := make([]float64, order+1)
+	sumsSq := make([]float64, order+1)
+	for r := 0; r < reps; r++ {
+		b, err := s.SampleReward(t)
+		if err != nil {
+			return nil, err
+		}
+		pow := 1.0
+		for j := 0; j <= order; j++ {
+			sums[j] += pow
+			sumsSq[j] += pow * pow
+			pow *= b
+		}
+	}
+	est := &Estimate{
+		Moments: make([]float64, order+1),
+		StdErr:  make([]float64, order+1),
+		Order:   order,
+		Reps:    reps,
+	}
+	nf := float64(reps)
+	for j := 0; j <= order; j++ {
+		mean := sums[j] / nf
+		est.Moments[j] = mean
+		variance := (sumsSq[j]/nf - mean*mean) * nf / (nf - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		est.StdErr[j] = math.Sqrt(variance / nf)
+	}
+	return est, nil
+}

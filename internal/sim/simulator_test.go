@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/sparse"
+)
+
+func buildModel(t *testing.T, a, b float64, r, s []float64, pi []float64) *core.Model {
+	t.Helper()
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-a, a, b, -b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(gen, r, s, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newImpulseBuilder(t *testing.T, n, from, to int, y float64) *sparse.CSR {
+	t.Helper()
+	b := sparse.NewBuilder(n, n)
+	if err := b.Add(from, to, y); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil model: %v", err)
+	}
+}
+
+func TestSampleRewardErrors(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{0, 0}, []float64{1, 0})
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SampleReward(-1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative t: %v", err)
+	}
+	if _, err := s.SampleReward(math.NaN()); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("NaN t: %v", err)
+	}
+}
+
+func TestSampleRewardDeterministic(t *testing.T) {
+	// Zero variance and equal drifts: B(t) = r*t exactly regardless of the
+	// trajectory.
+	m := buildModel(t, 2, 3, []float64{2, 2}, []float64{0, 0}, []float64{1, 0})
+	s, err := New(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		b, err := s.SampleReward(1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b-3) > 1e-12 {
+			t.Fatalf("deterministic reward = %.15g, want 3", b)
+		}
+	}
+}
+
+func TestSampleRewardZeroHorizon(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{5, 5}, []float64{1, 1}, []float64{1, 0})
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SampleReward(0)
+	if err != nil || b != 0 {
+		t.Errorf("t=0: b=%g err=%v", b, err)
+	}
+}
+
+func TestEstimateMatchesRandomization(t *testing.T) {
+	m := buildModel(t, 2, 5, []float64{-1, 3}, []float64{0.5, 2}, []float64{0.7, 0.3})
+	const tt = 0.8
+	res, err := m.AccumulatedReward(tt, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateMoments(tt, 3, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 3; j++ {
+		hw, err := est.HalfWidth95(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow 3.5 sigma (99.95%) to keep the test stable.
+		slack := hw / 1.96 * 3.5
+		if math.Abs(est.Moments[j]-res.Moments[j]) > slack {
+			t.Errorf("j=%d: sim %.6g vs analytic %.6g (+/- %.3g)", j, est.Moments[j], res.Moments[j], slack)
+		}
+	}
+}
+
+func TestEstimateWithImpulses(t *testing.T) {
+	m := buildModel(t, 2, 3, []float64{0, 0}, []float64{0, 0}, []float64{1, 0})
+	b := sparse.NewBuilder(2, 2)
+	if err := b.Add(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	mi, err := m.WithImpulses(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 2.0
+	res, err := mi.AccumulatedReward(tt, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(mi, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateMoments(tt, 1, 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := est.HalfWidth95(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Moments[1]-res.Moments[1]) > hw/1.96*3.5 {
+		t.Errorf("impulse mean: sim %.5g vs analytic %.5g", est.Moments[1], res.Moments[1])
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{0, 0}, []float64{1, 0})
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EstimateMoments(1, -1, 100); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative order: %v", err)
+	}
+	if _, err := s.EstimateMoments(1, 2, 1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("reps=1: %v", err)
+	}
+	est, err := s.EstimateMoments(1, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.HalfWidth95(3); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("out-of-range moment: %v", err)
+	}
+	if _, err := est.HalfWidth95(-1); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative moment: %v", err)
+	}
+}
+
+func TestAbsorbingChain(t *testing.T) {
+	// State 1 is absorbing with zero reward; state 0 accumulates drift 2.
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(gen, []float64{2, 0}, []float64{0, 0}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[B(t)] = 2 * E[min(T, t)] with T ~ Exp(1):
+	// E[min(T,t)] = 1 - e^{-t}.
+	const tt = 3.0
+	est, err := s.EstimateMoments(tt, 1, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (1 - math.Exp(-tt))
+	hw, err := est.HalfWidth95(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Moments[1]-want) > hw/1.96*3.5 {
+		t.Errorf("absorbing mean = %.5g, want %.5g", est.Moments[1], want)
+	}
+	// And the analytic solver agrees.
+	res, err := m.AccumulatedReward(tt, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Moments[1]-want) > 1e-9 {
+		t.Errorf("randomization absorbing mean = %.10g, want %.10g", res.Moments[1], want)
+	}
+}
+
+func TestReproducibleSeeding(t *testing.T) {
+	m := buildModel(t, 2, 3, []float64{1, -1}, []float64{1, 2}, []float64{1, 0})
+	s1, err := New(m, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(m, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b1, err1 := s1.SampleReward(1)
+		b2, err2 := s2.SampleReward(1)
+		if err1 != nil || err2 != nil || b1 != b2 {
+			t.Fatalf("same seed diverged at %d: %g vs %g", i, b1, b2)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trajectory is a jointly sampled structure-state path and reward path on a
+// uniform observation grid, the data behind Figure 1 of the paper.
+type Trajectory struct {
+	// Times[i] is the i-th grid time; Reward[i] the accumulated reward at
+	// that time; States[i] the structure state during [Times[i], Times[i+1]).
+	Times  []float64
+	Reward []float64
+	States []int
+	// Jumps lists the exact transition instants of the structure process.
+	Jumps []float64
+}
+
+// SampleTrajectory draws one realization on a grid with the given spacing.
+// Within a sojourn the reward path is refined with exact Brownian
+// increments at every grid point, so the plotted path has the correct joint
+// law at the grid resolution.
+func (s *Simulator) SampleTrajectory(t, dt float64) (*Trajectory, error) {
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("%w: horizon %g", ErrBadArgument, t)
+	}
+	if dt <= 0 || dt > t {
+		return nil, fmt.Errorf("%w: grid spacing %g for horizon %g", ErrBadArgument, dt, t)
+	}
+	rates := s.model.Rates()
+	vars := s.model.Variances()
+	imp := s.model.Impulses()
+
+	steps := int(math.Ceil(t / dt))
+	tr := &Trajectory{
+		Times:  make([]float64, 0, steps+1),
+		Reward: make([]float64, 0, steps+1),
+		States: make([]int, 0, steps+1),
+	}
+
+	state := s.sampleInitial()
+	now := 0.0
+	var reward float64
+	tr.Times = append(tr.Times, 0)
+	tr.Reward = append(tr.Reward, 0)
+	tr.States = append(tr.States, state)
+
+	nextJump := math.Inf(1)
+	if exit := s.exitRate[state]; exit > 0 {
+		nextJump = s.rng.ExpFloat64() / exit
+	}
+	nextGrid := dt
+
+	for now < t {
+		switch {
+		case nextJump <= nextGrid && nextJump <= t:
+			// Advance to the jump.
+			seg := nextJump - now
+			reward += s.segmentIncrement(rates[state], vars[state], seg)
+			now = nextJump
+			next := s.sampleNext(state)
+			if imp != nil {
+				reward += imp.At(state, next)
+			}
+			state = next
+			tr.Jumps = append(tr.Jumps, now)
+			if exit := s.exitRate[state]; exit > 0 {
+				nextJump = now + s.rng.ExpFloat64()/exit
+			} else {
+				nextJump = math.Inf(1)
+			}
+		default:
+			// Advance to the next grid point (or the horizon).
+			target := math.Min(nextGrid, t)
+			seg := target - now
+			reward += s.segmentIncrement(rates[state], vars[state], seg)
+			now = target
+			tr.Times = append(tr.Times, now)
+			tr.Reward = append(tr.Reward, reward)
+			tr.States = append(tr.States, state)
+			nextGrid += dt
+		}
+	}
+	return tr, nil
+}
+
+func (s *Simulator) segmentIncrement(rate, variance, seg float64) float64 {
+	if seg <= 0 {
+		return 0
+	}
+	return rate*seg + math.Sqrt(variance*seg)*s.rng.NormFloat64()
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSampleTrajectoryShape(t *testing.T) {
+	m := buildModel(t, 2, 3, []float64{1, -1}, []float64{0.5, 1}, []float64{1, 0})
+	s, err := New(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.SampleTrajectory(1.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Times[0] != 0 || tr.Reward[0] != 0 {
+		t.Error("trajectory must start at (0, 0)")
+	}
+	if len(tr.Times) != len(tr.Reward) || len(tr.Times) != len(tr.States) {
+		t.Fatal("parallel arrays of different length")
+	}
+	// Grid spacing respected and times increasing up to the horizon.
+	for i := 1; i < len(tr.Times); i++ {
+		if tr.Times[i] <= tr.Times[i-1] {
+			t.Fatalf("times not increasing at %d", i)
+		}
+	}
+	last := tr.Times[len(tr.Times)-1]
+	if math.Abs(last-1.0) > 0.011 {
+		t.Errorf("last grid time %g, want ~1.0", last)
+	}
+	// States are valid indices.
+	for _, st := range tr.States {
+		if st < 0 || st >= 2 {
+			t.Fatalf("invalid state %d", st)
+		}
+	}
+	// Jumps are within the horizon and ordered.
+	for i, j := range tr.Jumps {
+		if j <= 0 || j > 1.0 {
+			t.Errorf("jump %d at %g outside (0, 1]", i, j)
+		}
+		if i > 0 && j <= tr.Jumps[i-1] {
+			t.Errorf("jumps not ordered at %d", i)
+		}
+	}
+}
+
+func TestSampleTrajectoryDeterministicDrift(t *testing.T) {
+	// One effective state (both states identical, zero variance): the
+	// reward path is exactly r*t at grid points.
+	m := buildModel(t, 1, 1, []float64{2, 2}, []float64{0, 0}, []float64{1, 0})
+	s, err := New(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.SampleTrajectory(0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Times {
+		want := 2 * tr.Times[i]
+		if math.Abs(tr.Reward[i]-want) > 1e-12 {
+			t.Errorf("reward at t=%g is %g, want %g", tr.Times[i], tr.Reward[i], want)
+		}
+	}
+}
+
+func TestSampleTrajectoryErrors(t *testing.T) {
+	m := buildModel(t, 1, 1, []float64{1, 1}, []float64{0, 0}, []float64{1, 0})
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SampleTrajectory(0, 0.01); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("t=0: %v", err)
+	}
+	if _, err := s.SampleTrajectory(1, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("dt=0: %v", err)
+	}
+	if _, err := s.SampleTrajectory(1, 2); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("dt > t: %v", err)
+	}
+}
+
+func TestSampleTrajectoryStatesMatchJumps(t *testing.T) {
+	m := buildModel(t, 5, 5, []float64{1, -1}, []float64{0, 0}, []float64{1, 0})
+	s, err := New(m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.SampleTrajectory(2, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The number of observed state changes on the grid cannot exceed the
+	// number of jumps.
+	changes := 0
+	for i := 1; i < len(tr.States); i++ {
+		if tr.States[i] != tr.States[i-1] {
+			changes++
+		}
+	}
+	if changes > len(tr.Jumps) {
+		t.Errorf("%d grid state changes but only %d jumps", changes, len(tr.Jumps))
+	}
+	if len(tr.Jumps) == 0 {
+		t.Error("rate-5 chain over 2 time units should jump at least once")
+	}
+}

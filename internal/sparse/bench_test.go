@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation (DESIGN.md): sparse CSR vs dense mat-vec in the randomization
+// loop. The tridiagonal ON-OFF generator has 3 nonzeros per row, so CSR
+// should win by ~n/3 flops per product.
+func benchmarkTridiagonal(n int) (*CSR, []float64, []float64) {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			_ = b.Add(i, i-1, 1.5)
+		}
+		_ = b.Add(i, i, -3)
+		if i < n-1 {
+			_ = b.Add(i, i+1, 1.5)
+		}
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return b.Build(), x, y
+}
+
+func BenchmarkCSRMatVecTridiagonal(b *testing.B) {
+	m, x, y := benchmarkTridiagonal(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MatVec(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseMatVecTridiagonal(b *testing.B) {
+	const n = 2_000 // dense n=10k would be 800 MB; compare per-op at 2k
+	m, x, _ := benchmarkTridiagonal(n)
+	dense := m.Dense()
+	y := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < n; r++ {
+			var sum float64
+			row := dense[r*n : (r+1)*n]
+			for c, v := range row {
+				sum += v * x[c]
+			}
+			y[r] = sum
+		}
+	}
+}
+
+func BenchmarkCSRMatVecAt2k(b *testing.B) {
+	m, x, y := benchmarkTridiagonal(2_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MatVec(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, _, _ := benchmarkTridiagonal(5_000)
+		if m.NNZ() == 0 {
+			b.Fatal("empty build")
+		}
+	}
+}

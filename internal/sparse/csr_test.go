@@ -1,0 +1,297 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildKnown(t *testing.T) *CSR {
+	t.Helper()
+	b := NewBuilder(3, 3)
+	entries := []Triplet{
+		{0, 0, 1}, {0, 2, 2},
+		{1, 1, 3},
+		{2, 0, 4}, {2, 1, 5}, {2, 2, 6},
+	}
+	for _, e := range entries {
+		if err := b.Add(e.Row, e.Col, e.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderAndAt(t *testing.T) {
+	m := buildKnown(t)
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6", m.NNZ())
+	}
+	cases := []struct {
+		i, j int
+		want float64
+	}{{0, 0, 1}, {0, 1, 0}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 2, 6}}
+	for _, c := range cases {
+		if got := m.At(c.i, c.j); got != c.want {
+			t.Errorf("At(%d,%d) = %g, want %g", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestBuilderDuplicatesSum(t *testing.T) {
+	b := NewBuilder(2, 2)
+	_ = b.Add(0, 1, 1.5)
+	_ = b.Add(0, 1, 2.5)
+	m := b.Build()
+	if got := m.At(0, 1); got != 4 {
+		t.Errorf("duplicate sum = %g, want 4", got)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestBuilderDuplicateCancellationDropped(t *testing.T) {
+	b := NewBuilder(1, 1)
+	_ = b.Add(0, 0, 1)
+	_ = b.Add(0, 0, -1)
+	m := b.Build()
+	if m.NNZ() != 0 {
+		t.Errorf("cancelled entry kept: NNZ = %d", m.NNZ())
+	}
+}
+
+func TestBuilderOutOfRange(t *testing.T) {
+	b := NewBuilder(2, 2)
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		if err := b.Add(c[0], c[1], 1); !errors.Is(err, ErrBadTriplet) {
+			t.Errorf("Add(%d,%d): err = %v, want ErrBadTriplet", c[0], c[1], err)
+		}
+	}
+}
+
+func TestBuilderZeroSkipped(t *testing.T) {
+	b := NewBuilder(2, 2)
+	_ = b.Add(0, 0, 0)
+	if m := b.Build(); m.NNZ() != 0 {
+		t.Errorf("zero entry stored")
+	}
+}
+
+func TestMatVecKnown(t *testing.T) {
+	m := buildKnown(t)
+	y := make([]float64, 3)
+	if err := m.MatVec([]float64{1, 2, 3}, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 6, 32}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMatVecAdd(t *testing.T) {
+	m := buildKnown(t)
+	y := []float64{1, 1, 1}
+	if err := m.MatVecAdd(2, []float64{1, 2, 3}, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{15, 13, 65}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	// a=0 must be a no-op.
+	before := append([]float64(nil), y...)
+	if err := m.MatVecAdd(0, []float64{9, 9, 9}, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if y[i] != before[i] {
+			t.Error("MatVecAdd with a=0 modified y")
+		}
+	}
+}
+
+func TestVecMatKnown(t *testing.T) {
+	m := buildKnown(t)
+	y := make([]float64, 3)
+	if err := m.VecMat([]float64{1, 2, 3}, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{13, 21, 20}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	m := buildKnown(t)
+	if err := m.MatVec(make([]float64, 2), make([]float64, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MatVec: %v", err)
+	}
+	if err := m.MatVecAdd(1, make([]float64, 3), make([]float64, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MatVecAdd: %v", err)
+	}
+	if err := m.VecMat(make([]float64, 2), make([]float64, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("VecMat: %v", err)
+	}
+	if _, err := m.AddDiagonal(make([]float64, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("AddDiagonal: %v", err)
+	}
+	if _, err := NewCSRFromDense(2, 2, make([]float64, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("NewCSRFromDense: %v", err)
+	}
+}
+
+func TestScaledAndRowSums(t *testing.T) {
+	m := buildKnown(t)
+	s := m.Scaled(0.5)
+	if got := s.At(2, 2); got != 3 {
+		t.Errorf("Scaled At(2,2) = %g, want 3", got)
+	}
+	// Original untouched.
+	if got := m.At(2, 2); got != 6 {
+		t.Errorf("Scaled mutated receiver")
+	}
+	sums := m.RowSums()
+	want := []float64{3, 3, 15}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Errorf("RowSums[%d] = %g, want %g", i, sums[i], want[i])
+		}
+	}
+}
+
+func TestAddDiagonal(t *testing.T) {
+	m := buildKnown(t)
+	d, err := m.AddDiagonal([]float64{10, 0, -6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.At(0, 0); got != 11 {
+		t.Errorf("At(0,0) = %g, want 11", got)
+	}
+	if got := d.At(1, 1); got != 3 {
+		t.Errorf("At(1,1) = %g, want 3", got)
+	}
+	if got := d.At(2, 2); got != 0 {
+		t.Errorf("At(2,2) = %g, want 0", got)
+	}
+}
+
+func TestIsSubstochastic(t *testing.T) {
+	b := NewBuilder(2, 2)
+	_ = b.Add(0, 0, 0.5)
+	_ = b.Add(0, 1, 0.5)
+	_ = b.Add(1, 0, 0.25)
+	m := b.Build()
+	if !m.IsSubstochastic(1e-12) {
+		t.Error("stochastic/substochastic matrix rejected")
+	}
+	b2 := NewBuilder(1, 1)
+	_ = b2.Add(0, 0, 1.1)
+	if b2.Build().IsSubstochastic(1e-12) {
+		t.Error("row sum > 1 accepted")
+	}
+	b3 := NewBuilder(1, 2)
+	_ = b3.Add(0, 0, -0.1)
+	_ = b3.Add(0, 1, 0.5)
+	if b3.Build().IsSubstochastic(1e-12) {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestDenseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		data := make([]float64, rows*cols)
+		for i := range data {
+			if rng.Float64() < 0.5 {
+				data[i] = math.Round(rng.NormFloat64()*10) / 4
+			}
+		}
+		m, err := NewCSRFromDense(rows, cols, data)
+		if err != nil {
+			return false
+		}
+		back := m.Dense()
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSR MatVec agrees with a naive dense multiply.
+func TestMatVecMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		data := make([]float64, rows*cols)
+		for i := range data {
+			if rng.Float64() < 0.4 {
+				data[i] = rng.NormFloat64()
+			}
+		}
+		m, err := NewCSRFromDense(rows, cols, data)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, rows)
+		if err := m.MatVec(x, y); err != nil {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			var want float64
+			for j := 0; j < cols; j++ {
+				want += data[i*cols+j] * x[j]
+			}
+			if math.Abs(y[i]-want) > 1e-12*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := buildKnown(t)
+	var cols []int
+	var vals []float64
+	m.Range(2, func(j int, v float64) {
+		cols = append(cols, j)
+		vals = append(vals, v)
+	})
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 1 || cols[2] != 2 {
+		t.Errorf("Range cols = %v", cols)
+	}
+	if vals[0] != 4 || vals[1] != 5 || vals[2] != 6 {
+		t.Errorf("Range vals = %v", vals)
+	}
+}

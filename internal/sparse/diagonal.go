@@ -1,0 +1,106 @@
+package sparse
+
+import "fmt"
+
+// Diagonal is a diagonal matrix stored as its diagonal vector. The reward
+// rate matrix R and variance matrix S of the paper are diagonal, so the
+// randomization step R'·U and S'·U cost one vector-vector multiplication
+// each.
+type Diagonal struct {
+	d []float64
+}
+
+// NewDiagonal wraps the given diagonal (copied).
+func NewDiagonal(d []float64) *Diagonal {
+	return &Diagonal{d: append([]float64(nil), d...)}
+}
+
+// Len returns the matrix dimension.
+func (m *Diagonal) Len() int { return len(m.d) }
+
+// At returns the i-th diagonal entry.
+func (m *Diagonal) At(i int) float64 { return m.d[i] }
+
+// Values returns a copy of the diagonal.
+func (m *Diagonal) Values() []float64 { return append([]float64(nil), m.d...) }
+
+// Scaled returns a new Diagonal equal to a*m.
+func (m *Diagonal) Scaled(a float64) *Diagonal {
+	out := make([]float64, len(m.d))
+	for i, v := range m.d {
+		out[i] = a * v
+	}
+	return &Diagonal{d: out}
+}
+
+// Shifted returns a new Diagonal equal to m - c*I.
+func (m *Diagonal) Shifted(c float64) *Diagonal {
+	out := make([]float64, len(m.d))
+	for i, v := range m.d {
+		out[i] = v - c
+	}
+	return &Diagonal{d: out}
+}
+
+// MatVec computes y = m*x in place into y. x and y may alias.
+func (m *Diagonal) MatVec(x, y []float64) error {
+	if len(x) != len(m.d) || len(y) != len(m.d) {
+		return fmt.Errorf("%w: diagonal matvec dim %d with x=%d y=%d", ErrDimensionMismatch, len(m.d), len(x), len(y))
+	}
+	for i, v := range m.d {
+		y[i] = v * x[i]
+	}
+	return nil
+}
+
+// MatVecAdd computes y += a*m*x. x and y may alias only if identical slices.
+func (m *Diagonal) MatVecAdd(a float64, x, y []float64) error {
+	if len(x) != len(m.d) || len(y) != len(m.d) {
+		return fmt.Errorf("%w: diagonal matvecadd dim %d with x=%d y=%d", ErrDimensionMismatch, len(m.d), len(x), len(y))
+	}
+	if a == 0 {
+		return nil
+	}
+	for i, v := range m.d {
+		y[i] += a * v * x[i]
+	}
+	return nil
+}
+
+// Max returns the largest diagonal entry (0 for an empty matrix).
+func (m *Diagonal) Max() float64 {
+	if len(m.d) == 0 {
+		return 0
+	}
+	mx := m.d[0]
+	for _, v := range m.d[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Min returns the smallest diagonal entry (0 for an empty matrix).
+func (m *Diagonal) Min() float64 {
+	if len(m.d) == 0 {
+		return 0
+	}
+	mn := m.d[0]
+	for _, v := range m.d[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// NonNegative reports whether every diagonal entry is >= 0.
+func (m *Diagonal) NonNegative() bool {
+	for _, v := range m.d {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}

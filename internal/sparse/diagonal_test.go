@@ -1,0 +1,85 @@
+package sparse
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDiagonalBasics(t *testing.T) {
+	d := NewDiagonal([]float64{1, -2, 3})
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.At(1) != -2 {
+		t.Errorf("At(1) = %g", d.At(1))
+	}
+	if d.Max() != 3 || d.Min() != -2 {
+		t.Errorf("Max/Min = %g/%g", d.Max(), d.Min())
+	}
+	if d.NonNegative() {
+		t.Error("NonNegative with a negative entry")
+	}
+	if !NewDiagonal([]float64{0, 1}).NonNegative() {
+		t.Error("NonNegative rejected non-negative diagonal")
+	}
+}
+
+func TestDiagonalCopiesInput(t *testing.T) {
+	src := []float64{1, 2}
+	d := NewDiagonal(src)
+	src[0] = 99
+	if d.At(0) != 1 {
+		t.Error("NewDiagonal shares caller storage")
+	}
+	vals := d.Values()
+	vals[1] = 77
+	if d.At(1) != 2 {
+		t.Error("Values shares internal storage")
+	}
+}
+
+func TestDiagonalMatVec(t *testing.T) {
+	d := NewDiagonal([]float64{2, 3})
+	y := make([]float64, 2)
+	if err := d.MatVec([]float64{4, 5}, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 8 || y[1] != 15 {
+		t.Errorf("MatVec = %v", y)
+	}
+	if err := d.MatVecAdd(2, []float64{1, 1}, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 12 || y[1] != 21 {
+		t.Errorf("MatVecAdd = %v", y)
+	}
+	if err := d.MatVec(make([]float64, 3), y); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MatVec mismatch: %v", err)
+	}
+	if err := d.MatVecAdd(1, []float64{1, 1}, make([]float64, 1)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MatVecAdd mismatch: %v", err)
+	}
+}
+
+func TestDiagonalScaledShifted(t *testing.T) {
+	d := NewDiagonal([]float64{1, 2})
+	s := d.Scaled(3)
+	if s.At(0) != 3 || s.At(1) != 6 {
+		t.Errorf("Scaled = %v", s.Values())
+	}
+	sh := d.Shifted(1)
+	if sh.At(0) != 0 || sh.At(1) != 1 {
+		t.Errorf("Shifted = %v", sh.Values())
+	}
+	// Original unchanged.
+	if d.At(0) != 1 {
+		t.Error("Scaled/Shifted mutated receiver")
+	}
+}
+
+func TestDiagonalEmpty(t *testing.T) {
+	d := NewDiagonal(nil)
+	if d.Max() != 0 || d.Min() != 0 {
+		t.Error("empty diagonal Max/Min should be 0")
+	}
+}

@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the row count above which MatVecAuto fans out; below
+// it the goroutine overhead dominates the tridiagonal product.
+const parallelThreshold = 16_384
+
+// MatVecParallel computes y = m*x using up to `workers` goroutines over
+// contiguous row ranges (workers <= 0 selects GOMAXPROCS). Rows are
+// disjoint so no synchronization beyond the final join is needed. x and y
+// must not alias.
+func (m *CSR) MatVecParallel(x, y []float64, workers int) error {
+	if len(x) != m.cols || len(y) != m.rows {
+		return fmt.Errorf("%w: matvec %dx%d with x=%d y=%d", ErrDimensionMismatch, m.rows, m.cols, len(x), len(y))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.rows {
+		workers = m.rows
+	}
+	if workers <= 1 {
+		return m.MatVec(x, y)
+	}
+	var wg sync.WaitGroup
+	chunk := (m.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.rows {
+			hi = m.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+					sum += m.val[k] * x[m.colIdx[k]]
+				}
+				y[i] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// MatVecAuto picks the serial or parallel kernel by matrix size. It is the
+// product used in the randomization solver's hot loop.
+func (m *CSR) MatVecAuto(x, y []float64) error {
+	if m.rows >= parallelThreshold {
+		return m.MatVecParallel(x, y, 0)
+	}
+	return m.MatVec(x, y)
+}

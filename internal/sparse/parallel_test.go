@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatVecParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 7, 100, 5000} {
+		b := NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			for k := 0; k < 4; k++ {
+				_ = b.Add(i, rng.Intn(n), rng.NormFloat64())
+			}
+		}
+		m := b.Build()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		serial := make([]float64, n)
+		parallel := make([]float64, n)
+		if err := m.MatVec(x, serial); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 7} {
+			if err := m.MatVecParallel(x, parallel, workers); err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range serial {
+				if math.Abs(parallel[i]-serial[i]) > 1e-15*(1+math.Abs(serial[i])) {
+					t.Fatalf("n=%d workers=%d row %d: %g vs %g", n, workers, i, parallel[i], serial[i])
+				}
+			}
+		}
+		if err := m.MatVecAuto(x, parallel); err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] && math.Abs(parallel[i]-serial[i]) > 1e-15 {
+				t.Fatalf("auto mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestMatVecParallelDimensionErrors(t *testing.T) {
+	m := buildKnown(t)
+	if err := m.MatVecParallel(make([]float64, 2), make([]float64, 3), 2); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("bad x: %v", err)
+	}
+	if err := m.MatVecParallel(make([]float64, 3), make([]float64, 1), 2); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("bad y: %v", err)
+	}
+}
+
+func TestMatVecParallelMoreWorkersThanRows(t *testing.T) {
+	m := buildKnown(t)
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	if err := m.MatVecParallel(x, y, 64); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 6, 32}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func BenchmarkCSRMatVecParallel100k(b *testing.B) {
+	m, x, y := benchmarkTridiagonal(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MatVecParallel(x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSRMatVecSerial100k(b *testing.B) {
+	m, x, y := benchmarkTridiagonal(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MatVec(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package spec
+
+import "testing"
+
+// FuzzParseBuild ensures arbitrary JSON never panics the parser or the
+// model builder: every input either round-trips into a valid model or
+// returns an error.
+func FuzzParseBuild(f *testing.F) {
+	f.Add([]byte(valid))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"states": -1}`))
+	f.Add([]byte(`{"states": 1, "rates": [1e308], "variances": [0], "initial": [1]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		model, err := m.Build()
+		if err != nil {
+			return
+		}
+		// A successfully built model must be internally consistent.
+		if model.N() != m.States {
+			t.Fatalf("built model has %d states, spec says %d", model.N(), m.States)
+		}
+		if _, err := FromModel(model); err != nil {
+			t.Fatalf("round-trip of valid model failed: %v", err)
+		}
+	})
+}

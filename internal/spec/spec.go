@@ -1,0 +1,158 @@
+// Package spec defines the JSON interchange format for second-order Markov
+// reward models, shared by the command-line tools and usable as a library
+// serialization surface. A spec is self-describing and validated on load:
+//
+//	{
+//	  "states": 2,
+//	  "transitions": [{"from": 0, "to": 1, "rate": 2.0},
+//	                  {"from": 1, "to": 0, "rate": 3.0}],
+//	  "rates":     [1.5, -0.5],
+//	  "variances": [0.2, 1.0],
+//	  "initial":   [1, 0],
+//	  "impulses":  [{"from": 0, "to": 1, "reward": 0.1}]
+//	}
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+	"somrm/internal/sparse"
+)
+
+// ErrBadSpec is returned when a spec fails structural validation.
+var ErrBadSpec = errors.New("spec: invalid model specification")
+
+// Transition is one off-diagonal generator entry.
+type Transition struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Rate float64 `json:"rate"`
+}
+
+// Impulse is one impulse-reward entry attached to a transition.
+type Impulse struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Reward float64 `json:"reward"`
+}
+
+// Model is the JSON representation of a second-order Markov reward model.
+type Model struct {
+	States      int          `json:"states"`
+	Transitions []Transition `json:"transitions"`
+	Rates       []float64    `json:"rates"`
+	Variances   []float64    `json:"variances"`
+	Initial     []float64    `json:"initial"`
+	Impulses    []Impulse    `json:"impulses,omitempty"`
+}
+
+// Parse decodes a JSON spec.
+func Parse(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return &m, nil
+}
+
+// Read decodes a JSON spec from a reader.
+func Read(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("spec: read: %w", err)
+	}
+	return Parse(data)
+}
+
+// Encode renders the spec as indented JSON.
+func (m *Model) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: encode: %w", err)
+	}
+	return out, nil
+}
+
+// Build validates the spec and constructs the reward model.
+func (m *Model) Build() (*core.Model, error) {
+	if m.States < 1 {
+		return nil, fmt.Errorf("%w: states=%d", ErrBadSpec, m.States)
+	}
+	b := sparse.NewBuilder(m.States, m.States)
+	exits := make([]float64, m.States)
+	for _, tr := range m.Transitions {
+		if tr.From == tr.To {
+			return nil, fmt.Errorf("%w: self-transition on state %d", ErrBadSpec, tr.From)
+		}
+		if err := b.Add(tr.From, tr.To, tr.Rate); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		exits[tr.From] += tr.Rate
+	}
+	for i, e := range exits {
+		if e != 0 {
+			if err := b.Add(i, i, -e); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			}
+		}
+	}
+	gen, err := ctmc.NewGenerator(b.Build())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	model, err := core.New(gen, m.Rates, m.Variances, m.Initial)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if len(m.Impulses) > 0 {
+		ib := sparse.NewBuilder(m.States, m.States)
+		for _, im := range m.Impulses {
+			if err := ib.Add(im.From, im.To, im.Reward); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			}
+		}
+		model, err = model.WithImpulses(ib.Build())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	return model, nil
+}
+
+// FromModel converts a built model back to its JSON representation (the
+// inverse of Build, modulo ordering of entries).
+func FromModel(m *core.Model) (*Model, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadSpec)
+	}
+	n := m.N()
+	out := &Model{
+		States:    n,
+		Rates:     m.Rates(),
+		Variances: m.Variances(),
+		Initial:   m.Initial(),
+	}
+	gen := m.Generator().Matrix()
+	for i := 0; i < n; i++ {
+		gen.Range(i, func(j int, v float64) {
+			if i != j && v > 0 {
+				out.Transitions = append(out.Transitions, Transition{From: i, To: j, Rate: v})
+			}
+		})
+	}
+	if imp := m.Impulses(); imp != nil {
+		for i := 0; i < n; i++ {
+			imp.Range(i, func(j int, y float64) {
+				if y > 0 {
+					out.Impulses = append(out.Impulses, Impulse{From: i, To: j, Reward: y})
+				}
+			})
+		}
+	}
+	return out, nil
+}

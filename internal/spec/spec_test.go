@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"somrm/internal/core"
+	"somrm/internal/ctmc"
+)
+
+const valid = `{
+  "states": 2,
+  "transitions": [{"from":0,"to":1,"rate":2},{"from":1,"to":0,"rate":3}],
+  "rates": [1.5, -0.5],
+  "variances": [0.2, 1.0],
+  "initial": [1, 0],
+  "impulses": [{"from":0,"to":1,"reward":0.25}]
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	m, err := Parse([]byte(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.N() != 2 {
+		t.Fatalf("states = %d", model.N())
+	}
+	if !model.HasImpulses() {
+		t.Error("impulses dropped")
+	}
+	if got := model.Generator().At(0, 1); got != 2 {
+		t.Errorf("rate(0,1) = %g", got)
+	}
+	if got := model.Generator().At(1, 1); got != -3 {
+		t.Errorf("diag(1) = %g", got)
+	}
+}
+
+func TestReadFromReader(t *testing.T) {
+	m, err := Read(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 2 {
+		t.Errorf("states = %d", m.States)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{nope")); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("garbage: %v", err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := map[string]Model{
+		"no states":  {States: 0},
+		"self loop":  {States: 1, Transitions: []Transition{{0, 0, 1}}, Rates: []float64{1}, Variances: []float64{0}, Initial: []float64{1}},
+		"bad index":  {States: 2, Transitions: []Transition{{0, 7, 1}}, Rates: []float64{1, 1}, Variances: []float64{0, 0}, Initial: []float64{1, 0}},
+		"neg rate":   {States: 2, Transitions: []Transition{{0, 1, -1}}, Rates: []float64{1, 1}, Variances: []float64{0, 0}, Initial: []float64{1, 0}},
+		"bad pi":     {States: 2, Transitions: []Transition{{0, 1, 1}, {1, 0, 1}}, Rates: []float64{1, 1}, Variances: []float64{0, 0}, Initial: []float64{0.9, 0.9}},
+		"bad var":    {States: 2, Transitions: []Transition{{0, 1, 1}, {1, 0, 1}}, Rates: []float64{1, 1}, Variances: []float64{-1, 0}, Initial: []float64{1, 0}},
+		"bad imp":    {States: 2, Transitions: []Transition{{0, 1, 1}, {1, 0, 1}}, Rates: []float64{1, 1}, Variances: []float64{0, 0}, Initial: []float64{1, 0}, Impulses: []Impulse{{1, 0, -2}}},
+		"imp no arc": {States: 2, Transitions: []Transition{{0, 1, 1}, {1, 0, 1}}, Rates: []float64{1, 1}, Variances: []float64{0, 0}, Initial: []float64{1, 0}, Impulses: []Impulse{{0, 0, 1}}},
+	}
+	for name, m := range cases {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			if _, err := m.Build(); !errors.Is(err, ErrBadSpec) {
+				t.Errorf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	parsed, err := Parse([]byte(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := parsed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model2, err := reparsed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two models must produce identical moments.
+	r1, err := model.AccumulatedReward(0.7, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := model2.AccumulatedReward(0.7, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= 3; j++ {
+		if math.Abs(r1.Moments[j]-r2.Moments[j]) > 1e-14*(1+math.Abs(r1.Moments[j])) {
+			t.Errorf("round-trip moment %d changed: %g vs %g", j, r1.Moments[j], r2.Moments[j])
+		}
+	}
+}
+
+func TestFromModelNil(t *testing.T) {
+	if _, err := FromModel(nil); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("nil model: %v", err)
+	}
+}
+
+func TestFromModelWithoutImpulses(t *testing.T) {
+	gen, err := ctmc.NewGeneratorFromDense(2, []float64{-1, 1, 2, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.New(gen, []float64{1, 2}, []float64{0, 0}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Impulses) != 0 {
+		t.Errorf("spurious impulses: %v", s.Impulses)
+	}
+	if len(s.Transitions) != 2 {
+		t.Errorf("transitions = %v", s.Transitions)
+	}
+}

