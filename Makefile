@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench cover experiments fuzz clean
+.PHONY: all build test vet ci serve bench bench-server cover experiments fuzz clean
 
 all: build test
 
@@ -13,8 +13,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The gate CI runs on every push: build, vet, and the full test suite
+# under the race detector.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Run the solver HTTP service (see README "Running the server").
+serve:
+	$(GO) run ./cmd/somrm-serve $(SERVE_FLAGS)
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The serving baseline tracked in BENCHMARKS.md.
+bench-server:
+	$(GO) test -bench BenchmarkServerSolve -benchmem -run '^$$' ./internal/server
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,109 @@
+// Command somrm-serve runs the somrm solver service: an HTTP JSON API
+// over the model interchange format of internal/spec, with a bounded
+// worker pool, an LRU result cache, in-flight deduplication of identical
+// requests, and graceful shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	somrm-serve [-addr :8639] [-workers N] [-queue N] [-cache N]
+//	            [-timeout 30s] [-max-order 12] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/solve   solve a model (see README "Running the server")
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /metrics    JSON counters and solve latency histogram
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"somrm/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "somrm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until the context-cancelling signal
+// arrives (or, in tests, until ready has been consumed and stop fires).
+// ready, when non-nil, receives the bound address once listening.
+func run(args []string, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("somrm-serve", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8639", "listen address")
+	workers := fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "solve queue capacity (0 = default 64)")
+	cache := fs.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
+	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	svc := server.New(server.Options{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxOrder:       *maxOrder,
+	})
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (draining up to %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections and let in-flight HTTP exchanges finish,
+	// then drain the solver pool (queued solves 503 immediately).
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"extra"}, &sb, nil); err == nil || !strings.Contains(err.Error(), "unexpected argument") {
+		t.Errorf("positional argument accepted: %v", err)
+	}
+	if err := run([]string{"-addr", "999.999.999.999:0"}, &sb, nil); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestRunServeAndSignalShutdown boots the real binary entry point on an
+// ephemeral port, solves once over HTTP, and shuts it down via SIGTERM.
+func TestRunServeAndSignalShutdown(t *testing.T) {
+	var logbuf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &logbuf, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v\n%s", err, logbuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	base := "http://" + addr
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", hresp.StatusCode)
+	}
+
+	body := `{"model": {"states": 2,
+	  "transitions": [{"from":0,"to":1,"rate":2},{"from":1,"to":0,"rate":3}],
+	  "rates": [1.5,-0.5], "variances": [0.2,1], "initial": [1,0]},
+	  "t": 1, "order": 3}`
+	sresp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(sresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", sresp.StatusCode, out.String())
+	}
+	if !strings.Contains(out.String(), `"moments"`) {
+		t.Errorf("solve response missing moments: %s", out.String())
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, logbuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+	if !strings.Contains(logbuf.String(), "shutting down") {
+		t.Errorf("shutdown not logged:\n%s", logbuf.String())
+	}
+}

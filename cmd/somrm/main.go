@@ -51,6 +51,9 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unknown subcommand or stray argument %q (somrm takes flags only)", fs.Arg(0))
+	}
 	if *modelPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -model")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -119,5 +120,81 @@ func TestRunBadBoundsPoint(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-model", path, "-bounds", "abc"}, &sb); err == nil {
 		t.Error("unparseable bounds point accepted")
+	}
+}
+
+// TestHelperProcess re-executes the test binary as the somrm CLI so the
+// exit-path tests below can observe the real process exit code and
+// stderr. It is not a test; the parent drives it via SOMRM_HELPER.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("SOMRM_HELPER") != "1" {
+		t.Skip("helper process for exit-code tests")
+	}
+	args := []string{"somrm"}
+	if packed := os.Getenv("SOMRM_ARGS"); packed != "" {
+		args = append(args, strings.Split(packed, "\x1f")...)
+	}
+	os.Args = args
+	main()
+	os.Exit(0)
+}
+
+// runBinary re-executes this test binary as `somrm args...` and returns
+// the exit code and stderr.
+func runBinary(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		"SOMRM_HELPER=1",
+		"SOMRM_ARGS="+strings.Join(args, "\x1f"))
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), stderr.String()
+	}
+	t.Fatalf("re-exec failed: %v", err)
+	return -1, ""
+}
+
+// TestExitCodes asserts the contract the shell sees: every error path
+// exits non-zero with a "somrm:" diagnostic on stderr, and the happy path
+// exits zero.
+func TestExitCodes(t *testing.T) {
+	valid := writeSpec(t, validSpec)
+	malformed := writeSpec(t, `{"states": 2, "transitions": [`)
+	cases := []struct {
+		name      string
+		args      []string
+		wantInErr string
+	}{
+		{"malformed spec file", []string{"-model", malformed}, "invalid model specification"},
+		{"missing spec file", []string{"-model", filepath.Join(t.TempDir(), "gone.json")}, "no such file"},
+		{"negative t", []string{"-model", valid, "-t", "-2"}, "invalid argument"},
+		{"unknown subcommand", []string{"solve", "-model", valid}, "unknown subcommand"},
+		{"unknown flag", []string{"-model", valid, "-frobnicate"}, "flag provided but not defined"},
+		{"missing -model", nil, "missing -model"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, stderr := runBinary(t, c.args...)
+			if code == 0 {
+				t.Fatalf("exit code 0, want non-zero; stderr:\n%s", stderr)
+			}
+			if !strings.Contains(stderr, c.wantInErr) {
+				t.Errorf("stderr missing %q:\n%s", c.wantInErr, stderr)
+			}
+			// Every failure must carry the program-name prefix except
+			// flag-package usage errors, which print their own text.
+			if c.wantInErr != "flag provided but not defined" && !strings.Contains(stderr, "somrm:") {
+				t.Errorf("stderr missing somrm: prefix:\n%s", stderr)
+			}
+		})
+	}
+	if code, stderr := runBinary(t, "-model", valid, "-t", "1", "-order", "2"); code != 0 {
+		t.Errorf("happy path exit code %d; stderr:\n%s", code, stderr)
 	}
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"somrm/internal/ctmc"
+)
+
+// heavyModel builds a model whose solve needs many randomization
+// iterations (large qt), so cancellation has a window to land in.
+func heavyModel(t *testing.T) *Model {
+	t.Helper()
+	n := 64
+	gen, err := ctmc.NewGeneratorFromRates(n, func(i, j int) float64 {
+		switch {
+		case j == i+1:
+			return 50
+		case j == i-1:
+			return 80
+		default:
+			return 0
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make([]float64, n)
+	vars := make([]float64, n)
+	initial := make([]float64, n)
+	for i := range rates {
+		rates[i] = float64(i) / float64(n)
+		vars[i] = 0.5
+	}
+	initial[0] = 1
+	model, err := New(gen, rates, vars, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestAccumulatedRewardContextCanceledBeforeStart(t *testing.T) {
+	m := onOffSource(t, 1, 2, 1.5, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.AccumulatedRewardContext(ctx, 1, 2, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestAccumulatedRewardContextDeadline(t *testing.T) {
+	m := heavyModel(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	// qt = 130*500 = 65,000, so tens of thousands of iterations: the
+	// microsecond deadline must be observed mid-loop.
+	_, err := m.AccumulatedRewardContext(ctx, 500, 4, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestAccumulatedRewardContextNilAndBackground(t *testing.T) {
+	m := onOffSource(t, 1, 2, 1.5, 0.5)
+	want, err := m.AccumulatedReward(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		got, err := m.AccumulatedRewardContext(ctx, 2, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Moments {
+			if got.Moments[j] != want.Moments[j] {
+				t.Fatalf("ctx solve moment %d = %g, want %g", j, got.Moments[j], want.Moments[j])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -79,13 +80,34 @@ type Result struct {
 	Stats Stats
 }
 
+// cancelCheckStride is how many randomization iterations run between
+// context polls in AccumulatedRewardContext. Polling has a small fixed cost
+// (a mutex acquisition for cancelable contexts), so amortize it over a
+// batch of iterations; 32 keeps the cancellation latency far below any
+// observable request deadline even for tiny models.
+const cancelCheckStride = 32
+
 // AccumulatedReward computes the raw moments of the accumulated reward
 // B(t) up to the given order with the randomization method of Theorems 3-4.
 // Negative drifts are handled with the paper's shift transformation
 // (B(t) = B̌(t) + ř·t with ř = min_i r_i), which keeps every matrix in the
 // recursion substochastic and every vector non-negative.
 func (m *Model) AccumulatedReward(t float64, order int, opts *Options) (*Result, error) {
+	return m.AccumulatedRewardContext(context.Background(), t, order, opts)
+}
+
+// AccumulatedRewardContext is AccumulatedReward with cooperative
+// cancellation: the context is polled every few randomization iterations,
+// and the context's error is returned as soon as it is observed. This is
+// the hook long-running server solves use to honor per-request deadlines.
+func (m *Model) AccumulatedRewardContext(ctx context.Context, t float64, order int, opts *Options) (*Result, error) {
 	cfg := opts.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, fmt.Errorf("%w: time %g", ErrBadArgument, t)
 	}
@@ -219,6 +241,11 @@ func (m *Model) AccumulatedReward(t float64, order int, opts *Options) (*Result,
 	stats.FlopsPerIteration = int64(qPrime.NNZ()+2*n) * int64(order+1)
 
 	for k := 1; k <= g; k++ {
+		if k%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for j := order; j >= 0; j-- {
 			if err := qPrime.MatVecAuto(cur[j], next[j]); err != nil {
 				return nil, fmt.Errorf("core: %w", err)

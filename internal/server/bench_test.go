@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchServer mounts the handler without a TCP listener so the benchmark
+// measures the service stack (decode, hash, cache, pool, solve, encode)
+// rather than loopback networking.
+func benchServer(b *testing.B) (*Server, http.Handler) {
+	b.Helper()
+	s := New(Options{Workers: 2, CacheSize: 4096})
+	b.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	return s, s.Handler()
+}
+
+func benchBody(b *testing.B, t float64) []byte {
+	b.Helper()
+	body, err := json.Marshal(&SolveRequest{Model: testSpec(0), T: t, Order: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func post(b *testing.B, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec
+}
+
+// BenchmarkServerSolve records the serving baseline on the two paths every
+// later scaling PR cares about: cache hits (pure service overhead) and
+// cache misses (service overhead + a real two-state randomization solve).
+func BenchmarkServerSolve(b *testing.B) {
+	b.Run("cache-hit", func(b *testing.B) {
+		s, h := benchServer(b)
+		body := benchBody(b, 1)
+		post(b, h, body) // prime
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h, body)
+		}
+		b.StopTimer()
+		if s.metrics.Solves.Load() != 1 {
+			b.Fatalf("cache-hit path solved %d times", s.metrics.Solves.Load())
+		}
+	})
+	b.Run("cache-miss", func(b *testing.B) {
+		s, h := benchServer(b)
+		// Distinct t per iteration defeats the cache while keeping the
+		// solve cost constant (same qt regime).
+		bodies := make([][]byte, b.N)
+		for i := range bodies {
+			bodies[i] = benchBody(b, 1+float64(i)*1e-9)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h, bodies[i])
+		}
+		b.StopTimer()
+		if int(s.metrics.Solves.Load()) != b.N {
+			b.Fatalf("cache-miss path solved %d times for %d requests", s.metrics.Solves.Load(), b.N)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the solve
+// latency histogram; the final implicit bucket is +Inf.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Metrics holds the server's expvar-style counters. All fields are
+// updated atomically and may be read while the server is live.
+type Metrics struct {
+	// Requests counts /v1/solve requests accepted for processing.
+	Requests atomic.Int64
+	// Solves counts actual solver executions: requests that were neither
+	// cache hits nor deduplicated onto another request's solve.
+	Solves atomic.Int64
+	// CacheHits / CacheMisses count result-cache lookups.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// DedupShared counts requests served by another in-flight identical
+	// request (single-flight followers).
+	DedupShared atomic.Int64
+	// Rejected counts requests turned away with 503 (full queue or
+	// shutdown in progress).
+	Rejected atomic.Int64
+	// Failures counts requests that reached the solver and failed, or
+	// timed out.
+	Failures atomic.Int64
+
+	latencyCount atomic.Int64
+	latencySumUS atomic.Int64 // microseconds, to keep the sum integral
+	latency      [14]atomic.Int64
+}
+
+// ObserveLatency records one end-to-end solve latency.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.latencyCount.Add(1)
+	m.latencySumUS.Add(int64(d / time.Microsecond))
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBucketsMS)].Add(1)
+}
+
+// HistogramBucket is one cumulative-style histogram bucket in the
+// /metrics payload. LE is the bucket's inclusive upper bound in
+// milliseconds; the +Inf bucket is rendered with LE = 0 and Inf = true.
+type HistogramBucket struct {
+	LE    float64 `json:"le_ms"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// LatencySnapshot is the solve latency histogram in the /metrics payload.
+type LatencySnapshot struct {
+	Count   int64             `json:"count"`
+	SumMS   float64           `json:"sum_ms"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	Requests    int64 `json:"requests"`
+	Solves      int64 `json:"solves"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	DedupShared int64 `json:"dedup_shared"`
+	Rejected    int64 `json:"rejected"`
+	Failures    int64 `json:"failures"`
+
+	QueueDepth    int     `json:"queue_depth"`
+	Workers       int     `json:"workers"`
+	CacheEntries  int     `json:"cache_entries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	SolveLatency LatencySnapshot `json:"solve_latency"`
+}
+
+// Snapshot returns a consistent-enough point-in-time copy of the
+// counters (each counter is read atomically; the set is not fenced).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Requests:    m.Requests.Load(),
+		Solves:      m.Solves.Load(),
+		CacheHits:   m.CacheHits.Load(),
+		CacheMisses: m.CacheMisses.Load(),
+		DedupShared: m.DedupShared.Load(),
+		Rejected:    m.Rejected.Load(),
+		Failures:    m.Failures.Load(),
+	}
+	snap.SolveLatency.Count = m.latencyCount.Load()
+	snap.SolveLatency.SumMS = float64(m.latencySumUS.Load()) / 1000
+	var cum int64
+	for i := range m.latency {
+		cum += m.latency[i].Load()
+		b := HistogramBucket{Count: cum}
+		if i < len(latencyBucketsMS) {
+			b.LE = latencyBucketsMS[i]
+		} else {
+			b.Inf = true
+		}
+		snap.SolveLatency.Buckets = append(snap.SolveLatency.Buckets, b)
+	}
+	return snap
+}

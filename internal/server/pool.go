@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// ErrQueueFull is returned by pool.Do when the request queue is at
+	// capacity; handlers surface it as 503.
+	ErrQueueFull = errors.New("server: solve queue full")
+	// ErrShuttingDown is returned for work that had not started when
+	// Shutdown began; handlers surface it as 503.
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// pool is a bounded worker pool: a fixed number of workers drain a
+// fixed-capacity queue. It bounds solver concurrency (solves are CPU- and
+// memory-heavy) independently of HTTP connection concurrency.
+type pool struct {
+	queue   chan *poolTask
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	stopped atomic.Bool
+}
+
+type poolTask struct {
+	ctx  context.Context
+	fn   func(ctx context.Context)
+	err  error
+	done chan struct{}
+}
+
+func newPool(workers, queueSize int) *pool {
+	p := &pool{queue: make(chan *poolTask, queueSize)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		switch {
+		case p.stopped.Load():
+			// Queued before Shutdown but never started: fail cleanly
+			// rather than running work nobody is waiting for.
+			t.err = ErrShuttingDown
+		case t.ctx.Err() != nil:
+			// The caller's deadline expired while the task sat queued.
+			t.err = t.ctx.Err()
+		default:
+			t.fn(t.ctx)
+		}
+		close(t.done)
+	}
+}
+
+// Do runs fn on a pool worker and waits for it to finish. It returns
+// ErrQueueFull when the queue is at capacity, ErrShuttingDown once
+// Shutdown has begun, or the context error if the deadline expired
+// before a worker picked the task up. fn itself is responsible for
+// honoring ctx once running.
+func (p *pool) Do(ctx context.Context, fn func(ctx context.Context)) error {
+	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed || p.stopped.Load() {
+		p.mu.Unlock()
+		return ErrShuttingDown
+	}
+	select {
+	case p.queue <- t:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+	<-t.done
+	return t.err
+}
+
+// Depth returns the number of queued-but-unstarted tasks.
+func (p *pool) Depth() int { return len(p.queue) }
+
+// Shutdown stops accepting work, fails queued-but-unstarted tasks with
+// ErrShuttingDown, lets in-flight tasks run to completion, and waits for
+// the workers until the context expires.
+func (p *pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.stopped.Store(true)
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,247 @@
+// Package server turns the somrm solvers into an HTTP JSON service: a
+// bounded worker pool executes solves with per-request deadlines, an LRU
+// cache keyed by a canonical (model, params) hash serves repeated
+// requests, and concurrent identical requests are deduplicated onto a
+// single solve. The package is stdlib-only, like the rest of the module.
+//
+// Endpoints:
+//
+//	POST /v1/solve   — solve one model (see SolveRequest / SolveResponse)
+//	GET  /healthz    — liveness; 503 while draining
+//	GET  /metrics    — counters and the solve latency histogram (JSON)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Server. The zero value selects sensible defaults.
+type Options struct {
+	// Workers is the solver pool size (default GOMAXPROCS). Solves are
+	// CPU-bound, so more workers than cores only adds contention.
+	Workers int
+	// QueueSize bounds the number of solves waiting for a worker
+	// (default 64). A full queue rejects with 503 rather than building an
+	// unbounded backlog.
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity in entries
+	// (default 256; negative disables caching).
+	CacheSize int
+	// DefaultTimeout caps per-request solve time (default 30s). Requests
+	// may ask for less via timeout_ms, never more.
+	DefaultTimeout time.Duration
+	// MaxOrder bounds the requested moment order (default 12).
+	MaxOrder int
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxOrder <= 0 {
+		o.MaxOrder = 12
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the solver service. Create it with New, mount Handler on an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	opts     Options
+	pool     *pool
+	cache    *lruCache
+	flight   *flightGroup
+	metrics  *Metrics
+	start    time.Time
+	draining atomic.Bool
+
+	// solve is the request executor; tests substitute it to control
+	// timing and count executions.
+	solve func(ctx context.Context, req *SolveRequest) (*SolveResponse, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	return &Server{
+		opts:    o,
+		pool:    newPool(o.Workers, o.QueueSize),
+		cache:   newLRU(o.CacheSize),
+		flight:  newFlightGroup(),
+		metrics: &Metrics{},
+		start:   time.Now(),
+		solve:   runSolve,
+	}
+}
+
+// Metrics exposes the server's live counters (primarily for tests and
+// embedding binaries; HTTP clients use /metrics).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown drains the server: new and queued requests are rejected with
+// 503 while in-flight solves run to completion (or the context expires).
+// The HTTP listener itself is the caller's to close; call this after
+// http.Server.Shutdown has stopped accepting connections, or before to
+// fail fast.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Shutdown(ctx)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.QueueDepth = s.pool.Depth()
+	snap.Workers = s.opts.Workers
+	snap.CacheEntries = s.cache.Len()
+	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	if s.draining.Load() {
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown.Error())
+		return
+	}
+
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := req.normalize(s.opts.MaxOrder); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := req.cacheKey()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	started := time.Now()
+	if resp, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		hit := *resp
+		hit.Cached = true
+		hit.ElapsedMS = msSince(started)
+		writeJSON(w, http.StatusOK, &hit)
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp, shared, err := s.flight.Do(ctx, key, func() (*SolveResponse, error) {
+		var solved *SolveResponse
+		var solveErr error
+		if poolErr := s.pool.Do(ctx, func(ctx context.Context) {
+			s.metrics.Solves.Add(1)
+			solved, solveErr = s.solve(ctx, &req)
+		}); poolErr != nil {
+			return nil, poolErr
+		}
+		if solveErr != nil {
+			return nil, solveErr
+		}
+		solved.ElapsedMS = msSince(started)
+		s.cache.Put(key, solved)
+		s.metrics.ObserveLatency(time.Since(started))
+		return solved, nil
+	})
+	if shared {
+		s.metrics.DedupShared.Add(1)
+	}
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	if shared {
+		// Don't mutate the cached response other callers may be reading.
+		dup := *resp
+		dup.Deduped = true
+		resp = &dup
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSolveError maps solve failures to HTTP statuses: capacity and
+// shutdown to 503, deadlines to 504, malformed input to 400, anything
+// else to 500.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	var bad *errBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.metrics.Failures.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
+	case errors.As(err, &bad):
+		s.metrics.Failures.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		s.metrics.Failures.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical work: while a solve for a
+// key is in flight, later callers for the same key wait for its result
+// instead of solving again (a minimal single-flight, stdlib-only).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *SolveResponse
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn once per key among concurrent callers. Followers block
+// until the leader finishes or their own context expires; shared reports
+// whether the result came from another caller's execution. A follower
+// that gives up early leaves the leader running (its result still lands
+// in the cache for future requests).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*SolveResponse, error)) (resp *SolveResponse, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.resp, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.resp, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, false, c.err
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"somrm/internal/core"
+	"somrm/internal/momentbounds"
+	"somrm/internal/odesolver"
+	"somrm/internal/sim"
+	"somrm/internal/spec"
+)
+
+// Solve methods accepted by the API.
+const (
+	MethodRandomization = "randomization"
+	MethodODE           = "ode"
+	MethodSimulation    = "simulation"
+)
+
+// Limits applied during request validation (beyond Options).
+const (
+	maxSimReps     = 1_000_000
+	defaultSimReps = 4000
+	maxBoundsAt    = 64
+)
+
+// SimParams parameterizes the Monte Carlo baseline. The seed makes the
+// estimate deterministic, which is what lets simulation results be cached.
+type SimParams struct {
+	// Seed is the RNG seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Reps is the replication count (default 4000, max 1e6).
+	Reps int `json:"reps,omitempty"`
+}
+
+// ODEParams parameterizes the ODE baseline.
+type ODEParams struct {
+	// Method is one of "heun", "rk4" (default), "rk45".
+	Method string `json:"method,omitempty"`
+	// Steps is the fixed step count for heun/rk4 (0 = automatic).
+	Steps int `json:"steps,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Model is the JSON model spec (internal/spec schema).
+	Model *spec.Model `json:"model"`
+	// T is the accumulation time, Order the highest moment order.
+	T     float64 `json:"t"`
+	Order int     `json:"order"`
+	// Epsilon is the randomization truncation accuracy (default 1e-9).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Method selects the solver: randomization (default), ode, simulation.
+	Method string `json:"method,omitempty"`
+	// BoundsAt lists reward levels at which to return moment-based CDF
+	// bounds alongside the moments.
+	BoundsAt []float64 `json:"bounds_at,omitempty"`
+	// Sim and ODE carry method-specific parameters.
+	Sim *SimParams `json:"sim,omitempty"`
+	ODE *ODEParams `json:"ode,omitempty"`
+	// TimeoutMS caps this request's solve time in milliseconds; it is
+	// clamped to the server's default timeout and excluded from the cache
+	// key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SolverStats mirrors core.Stats on the wire (randomization only).
+type SolverStats struct {
+	Q                 float64 `json:"q"`
+	QT                float64 `json:"qt"`
+	D                 float64 `json:"d"`
+	Shift             float64 `json:"shift"`
+	G                 int     `json:"g"`
+	ErrorBound        float64 `json:"error_bound"`
+	MatVecs           int64   `json:"matvecs"`
+	FlopsPerIteration int64   `json:"flops_per_iteration"`
+}
+
+// BoundPoint is one moment-based CDF bound evaluation.
+type BoundPoint struct {
+	X     float64 `json:"x"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve.
+type SolveResponse struct {
+	Method string  `json:"method"`
+	T      float64 `json:"t"`
+	Order  int     `json:"order"`
+	// Moments[j] = E[B(t)^j] under the model's initial distribution.
+	Moments []float64 `json:"moments"`
+	// Stats is present for the randomization method.
+	Stats *SolverStats `json:"stats,omitempty"`
+	// StdErr is present for the simulation method.
+	StdErr []float64 `json:"std_err,omitempty"`
+	// Bounds echoes BoundsAt with CDF bounds, when requested.
+	Bounds []BoundPoint `json:"bounds,omitempty"`
+	// Cached reports the response was served from the result cache;
+	// Deduped that it was shared with a concurrent identical request.
+	Cached  bool `json:"cached"`
+	Deduped bool `json:"deduped,omitempty"`
+	// ElapsedMS is the server-side processing time of the request that
+	// actually solved (cache hits report their own, much smaller, time).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errBadRequest marks client errors (HTTP 400).
+type errBadRequest struct{ msg string }
+
+func (e *errBadRequest) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &errBadRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// normalize applies defaults and validates everything that can be checked
+// without building the model. It must be called before cacheKey.
+func (r *SolveRequest) normalize(maxOrder int) error {
+	if r.Model == nil {
+		return badRequestf("missing model")
+	}
+	if r.T < 0 || math.IsNaN(r.T) || math.IsInf(r.T, 0) {
+		return badRequestf("bad t=%g", r.T)
+	}
+	if r.Order < 0 || r.Order > maxOrder {
+		return badRequestf("order %d outside [0, %d]", r.Order, maxOrder)
+	}
+	if r.Epsilon == 0 {
+		r.Epsilon = core.DefaultEpsilon
+	}
+	if r.Epsilon <= 0 || r.Epsilon >= 1 || math.IsNaN(r.Epsilon) {
+		return badRequestf("epsilon %g not in (0,1)", r.Epsilon)
+	}
+	if r.Method == "" {
+		r.Method = MethodRandomization
+	}
+	switch r.Method {
+	case MethodRandomization:
+	case MethodODE:
+		if r.ODE == nil {
+			r.ODE = &ODEParams{}
+		}
+		if r.ODE.Method == "" {
+			r.ODE.Method = "rk4"
+		}
+		switch r.ODE.Method {
+		case "heun", "rk4", "rk45":
+		default:
+			return badRequestf("unknown ode method %q", r.ODE.Method)
+		}
+		if r.ODE.Steps < 0 {
+			return badRequestf("ode steps %d < 0", r.ODE.Steps)
+		}
+	case MethodSimulation:
+		if r.Sim == nil {
+			r.Sim = &SimParams{}
+		}
+		if r.Sim.Seed == 0 {
+			r.Sim.Seed = 1
+		}
+		if r.Sim.Reps == 0 {
+			r.Sim.Reps = defaultSimReps
+		}
+		if r.Sim.Reps < 2 || r.Sim.Reps > maxSimReps {
+			return badRequestf("sim reps %d outside [2, %d]", r.Sim.Reps, maxSimReps)
+		}
+	default:
+		return badRequestf("unknown method %q", r.Method)
+	}
+	if len(r.BoundsAt) > maxBoundsAt {
+		return badRequestf("%d bounds points exceed the limit of %d", len(r.BoundsAt), maxBoundsAt)
+	}
+	for _, x := range r.BoundsAt {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return badRequestf("bad bounds point %g", x)
+		}
+	}
+	if r.TimeoutMS < 0 {
+		return badRequestf("timeout_ms %d < 0", r.TimeoutMS)
+	}
+	return nil
+}
+
+// cacheKey returns the canonical content hash of (model, solve params).
+// Everything that affects the numerical result participates; the timeout
+// does not. Requests normalize before hashing, so spelled-out defaults
+// and omitted defaults collide onto the same key, as do permutations of
+// the spec's transition/impulse lists.
+func (r *SolveRequest) cacheKey() (string, error) {
+	specHash, err := r.Model.Hash()
+	if err != nil {
+		return "", badRequestf("unhashable model: %v", err)
+	}
+	params, err := json.Marshal(struct {
+		T        float64    `json:"t"`
+		Order    int        `json:"order"`
+		Epsilon  float64    `json:"epsilon"`
+		Method   string     `json:"method"`
+		BoundsAt []float64  `json:"bounds_at,omitempty"`
+		Sim      *SimParams `json:"sim,omitempty"`
+		ODE      *ODEParams `json:"ode,omitempty"`
+	}{r.T, r.Order, r.Epsilon, r.Method, r.BoundsAt, r.Sim, r.ODE})
+	if err != nil {
+		return "", fmt.Errorf("server: cache key: %w", err)
+	}
+	h := sha256.New()
+	h.Write(specHash[:])
+	h.Write(params)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// runSolve executes a normalized request. It builds the model (reporting
+// spec errors as 400s), dispatches to the selected solver, and attaches
+// distribution bounds when requested.
+func runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	model, err := req.Model.Build()
+	if err != nil {
+		return nil, badRequestf("bad model: %v", err)
+	}
+	resp := &SolveResponse{Method: req.Method, T: req.T, Order: req.Order}
+	switch req.Method {
+	case MethodRandomization:
+		res, err := model.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon})
+		if err != nil {
+			return nil, err
+		}
+		resp.Moments = res.Moments
+		resp.Stats = &SolverStats{
+			Q: res.Stats.Q, QT: res.Stats.QT, D: res.Stats.D, Shift: res.Stats.Shift,
+			G: res.Stats.G, ErrorBound: res.Stats.ErrorBound,
+			MatVecs: res.Stats.MatVecs, FlopsPerIteration: res.Stats.FlopsPerIteration,
+		}
+	case MethodODE:
+		// The ODE integrator has no internal cancellation hook yet; honor
+		// the deadline at the dispatch boundary.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		opts := &odesolver.MomentOptions{Steps: req.ODE.Steps}
+		switch req.ODE.Method {
+		case "heun":
+			opts.Method = odesolver.MethodHeun
+		case "rk4":
+			opts.Method = odesolver.MethodRK4
+		case "rk45":
+			opts.Method = odesolver.MethodRK45
+		}
+		vm, err := odesolver.MomentsByODE(model, req.T, req.Order, opts)
+		if err != nil {
+			return nil, err
+		}
+		pi := model.Initial()
+		resp.Moments = make([]float64, req.Order+1)
+		for j := 0; j <= req.Order; j++ {
+			var s float64
+			for i, p := range pi {
+				s += p * vm[j][i]
+			}
+			resp.Moments[j] = s
+		}
+	case MethodSimulation:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		simulator, err := sim.New(model, req.Sim.Seed)
+		if err != nil {
+			return nil, err
+		}
+		est, err := simulator.EstimateMoments(req.T, req.Order, req.Sim.Reps)
+		if err != nil {
+			return nil, err
+		}
+		resp.Moments = est.Moments
+		resp.StdErr = est.StdErr
+	}
+	if len(req.BoundsAt) > 0 {
+		est, err := momentbounds.New(resp.Moments)
+		if err != nil {
+			return nil, badRequestf("distribution bounds: %v", err)
+		}
+		for _, x := range req.BoundsAt {
+			b, err := est.CDFBounds(x)
+			if err != nil {
+				return nil, badRequestf("distribution bounds at %g: %v", x, err)
+			}
+			resp.Bounds = append(resp.Bounds, BoundPoint{X: x, Lower: b.Lower, Upper: b.Upper})
+		}
+	}
+	return resp, nil
+}

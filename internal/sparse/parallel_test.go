@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -45,6 +46,78 @@ func TestMatVecParallelMatchesSerial(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestWorkerSelectionUnified pins the shared worker-selection policy of
+// MatVecParallel and MatVecAuto: workers <= 0 (automatic), workers == 1,
+// and workers > rows must all agree with the serial MatVec bit for bit on
+// a fixed seeded matrix, and the automatic path must match an explicit
+// request on both sides of parallelThreshold.
+func TestWorkerSelectionUnified(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for _, rows := range []int{1, 3, 257, parallelThreshold - 1, parallelThreshold, parallelThreshold + 1} {
+		b := NewBuilder(rows, rows)
+		for i := 0; i < rows; i++ {
+			for k := 0; k < 3; k++ {
+				_ = b.Add(i, rng.Intn(rows), rng.NormFloat64())
+			}
+		}
+		m := b.Build()
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		serial := make([]float64, rows)
+		if err := m.MatVec(x, serial); err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, f func(x, y []float64) error) {
+			t.Helper()
+			got := make([]float64, rows)
+			if err := f(x, got); err != nil {
+				t.Fatalf("rows=%d %s: %v", rows, name, err)
+			}
+			for i := range serial {
+				if got[i] != serial[i] {
+					t.Fatalf("rows=%d %s row %d: %g != serial %g (not bit-for-bit)",
+						rows, name, i, got[i], serial[i])
+				}
+			}
+		}
+		check("workers=-1", func(x, y []float64) error { return m.MatVecParallel(x, y, -1) })
+		check("workers=0", func(x, y []float64) error { return m.MatVecParallel(x, y, 0) })
+		check("workers=1", func(x, y []float64) error { return m.MatVecParallel(x, y, 1) })
+		check("workers=rows+7", func(x, y []float64) error { return m.MatVecParallel(x, y, rows+7) })
+		check("auto", m.MatVecAuto)
+	}
+}
+
+func TestWorkersForPolicy(t *testing.T) {
+	big := parallelThreshold * 2
+	cases := []struct {
+		requested, rows, want int
+	}{
+		{0, parallelThreshold - 1, 1},   // auto below threshold: serial
+		{-5, 10, 1},                     // any non-positive request is auto
+		{0, big, runtime.GOMAXPROCS(0)}, // auto above threshold: all cores
+		{3, 10, 3},                      // explicit requests are honored
+		{3, parallelThreshold - 1, 3},   // ...even below the threshold
+		{1, big, 1},                     // explicit serial
+		{100, 10, 10},                   // never more workers than rows
+		{0, parallelThreshold, minInt(runtime.GOMAXPROCS(0), parallelThreshold)},
+	}
+	for _, c := range cases {
+		if got := workersFor(c.requested, c.rows); got != c.want {
+			t.Errorf("workersFor(%d, %d) = %d, want %d", c.requested, c.rows, got, c.want)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func TestMatVecParallelDimensionErrors(t *testing.T) {

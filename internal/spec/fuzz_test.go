@@ -10,6 +10,13 @@ func FuzzParseBuild(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"states": -1}`))
 	f.Add([]byte(`{"states": 1, "rates": [1e308], "variances": [0], "initial": [1]}`))
+	// Impulse-bearing seeds: a valid impulse, an impulse on an absent
+	// transition, a diagonal impulse, and an out-of-range endpoint.
+	f.Add([]byte(`{"states": 2, "transitions": [{"from":0,"to":1,"rate":2},{"from":1,"to":0,"rate":3}], "rates": [1,0], "variances": [0.1,0.2], "initial": [1,0], "impulses": [{"from":0,"to":1,"reward":0.5}]}`))
+	f.Add([]byte(`{"states": 2, "transitions": [{"from":0,"to":1,"rate":2},{"from":1,"to":0,"rate":3}], "rates": [1,0], "variances": [0,0], "initial": [0,1], "impulses": [{"from":1,"to":0,"reward":1e-300},{"from":0,"to":1,"reward":7}]}`))
+	f.Add([]byte(`{"states": 3, "transitions": [{"from":0,"to":1,"rate":1}], "rates": [1,1,1], "variances": [0,0,0], "initial": [1,0,0], "impulses": [{"from":1,"to":2,"reward":0.25}]}`))
+	f.Add([]byte(`{"states": 2, "transitions": [{"from":0,"to":1,"rate":1},{"from":1,"to":0,"rate":1}], "rates": [0,0], "variances": [0,0], "initial": [1,0], "impulses": [{"from":0,"to":0,"reward":1}]}`))
+	f.Add([]byte(`{"states": 1, "rates": [0], "variances": [0], "initial": [1], "impulses": [{"from":0,"to":9,"reward":2}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Parse(data)
 		if err != nil {

@@ -14,10 +14,12 @@
 package spec
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"somrm/internal/core"
 	"somrm/internal/ctmc"
@@ -76,6 +78,70 @@ func (m *Model) Encode() ([]byte, error) {
 		return nil, fmt.Errorf("spec: encode: %w", err)
 	}
 	return out, nil
+}
+
+// Write encodes the spec as indented JSON to w. Write followed by Parse
+// reproduces the spec exactly: float64 values survive because Go's JSON
+// encoder emits the shortest representation that round-trips.
+func (m *Model) Write(w io.Writer) error {
+	out, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("spec: write: %w", err)
+	}
+	return nil
+}
+
+// Canonical returns a deterministic compact serialization of the spec:
+// transitions and impulses are sorted by (from, to) and the JSON is
+// emitted without whitespace, so two specs describing the same model in a
+// different entry order serialize identically. It is the basis for
+// content-addressed caching of solve results.
+func (m *Model) Canonical() ([]byte, error) {
+	c := Model{
+		States:    m.States,
+		Rates:     m.Rates,
+		Variances: m.Variances,
+		Initial:   m.Initial,
+	}
+	if len(m.Transitions) > 0 {
+		c.Transitions = append([]Transition(nil), m.Transitions...)
+		sort.Slice(c.Transitions, func(i, j int) bool {
+			a, b := c.Transitions[i], c.Transitions[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			return a.To < b.To
+		})
+	}
+	if len(m.Impulses) > 0 {
+		c.Impulses = append([]Impulse(nil), m.Impulses...)
+		sort.Slice(c.Impulses, func(i, j int) bool {
+			a, b := c.Impulses[i], c.Impulses[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			return a.To < b.To
+		})
+	}
+	out, err := json.Marshal(&c)
+	if err != nil {
+		return nil, fmt.Errorf("spec: canonical: %w", err)
+	}
+	return out, nil
+}
+
+// Hash returns the SHA-256 digest of the canonical serialization. Two
+// specs with the same hash describe the same model (up to entry order).
+func (m *Model) Hash() ([32]byte, error) {
+	c, err := m.Canonical()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(c), nil
 }
 
 // Build validates the spec and constructs the reward model.

@@ -1,0 +1,67 @@
+package somrm_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"somrm"
+)
+
+// TestServerFacade exercises the public serving surface: NewServer,
+// Handler, the wire types, and Shutdown.
+func TestServerFacade(t *testing.T) {
+	s := somrm.NewServer(somrm.ServerOptions{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"model": {"states": 2,
+	  "transitions": [{"from":0,"to":1,"rate":0.4},{"from":1,"to":0,"rate":1.5}],
+	  "rates": [2,0.5], "variances": [0.5,1.5], "initial": [1,0]},
+	  "t": 10, "order": 2, "bounds_at": [15]}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out somrm.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Moments) != 3 || out.Moments[1] <= 0 {
+		t.Errorf("bad moments: %v", out.Moments)
+	}
+	if len(out.Bounds) != 1 {
+		t.Errorf("bounds missing: %+v", out.Bounds)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccumulatedRewardWithContext covers the facade cancellation helper.
+func TestAccumulatedRewardWithContext(t *testing.T) {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := somrm.AccumulatedRewardWithContext(ctx, model, 1, 2, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	res, err := somrm.AccumulatedRewardWithContext(context.Background(), model, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Moments) != 3 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}

@@ -20,11 +20,16 @@
 //   - NewTransformer evaluates/inverts the transform-domain descriptions of
 //     eq. (2) and (5), and SolveDensityPDE solves the density PDE of eq. (4)
 //     for small models.
+//   - NewServer (and the cmd/somrm-serve binary) exposes the solvers as an
+//     HTTP JSON service with a bounded worker pool, result caching, and
+//     in-flight request deduplication.
 //
 // The package is pure Go with no dependencies outside the standard library.
 package somrm
 
 import (
+	"context"
+
 	"somrm/internal/core"
 	"somrm/internal/ctmc"
 	"somrm/internal/laplace"
@@ -32,6 +37,7 @@ import (
 	"somrm/internal/momentbounds"
 	"somrm/internal/odesolver"
 	"somrm/internal/pde"
+	"somrm/internal/server"
 	"somrm/internal/sim"
 	"somrm/internal/sparse"
 	"somrm/internal/spec"
@@ -96,6 +102,17 @@ type (
 	PDEOptions = pde.Options
 	// PDESolution is the PDE density on a grid.
 	PDESolution = pde.Solution
+
+	// Server is the solver HTTP service: a worker pool, result cache, and
+	// request deduplication around the solvers (see cmd/somrm-serve).
+	Server = server.Server
+	// ServerOptions configures NewServer.
+	ServerOptions = server.Options
+	// SolveRequest / SolveResponse are the POST /v1/solve wire types.
+	SolveRequest  = server.SolveRequest
+	SolveResponse = server.SolveResponse
+	// ServerMetrics is the JSON document served at /metrics.
+	ServerMetrics = server.MetricsSnapshot
 
 	// OnOffParams parameterizes the paper's ON-OFF multiplexer example.
 	OnOffParams = models.OnOffParams
@@ -225,6 +242,17 @@ func ModelToJSON(m *Model) ([]byte, error) {
 		return nil, err
 	}
 	return s.Encode()
+}
+
+// NewServer builds the solver HTTP service; mount Handler() on an
+// http.Server and call Shutdown to drain (cmd/somrm-serve does both).
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// AccumulatedRewardWithContext computes accumulated-reward moments with
+// cooperative cancellation: the randomization loop polls ctx and aborts
+// with its error on cancellation or deadline expiry.
+func AccumulatedRewardWithContext(ctx context.Context, m *Model, t float64, order int, opts *SolveOptions) (*Result, error) {
+	return m.AccumulatedRewardContext(ctx, t, order, opts)
 }
 
 // Compose builds the joint model of two independent models with additive
