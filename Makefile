@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet ci serve bench bench-server cover experiments fuzz clean
+.PHONY: all build test vet ci serve bench bench-server bench-batch cover experiments fuzz clean
 
 all: build test
 
@@ -13,12 +13,13 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The gate CI runs on every push: build, vet, and the full test suite
-# under the race detector.
+# The gate CI runs on every push: build, vet, the full test suite under
+# the race detector, and the fuzz seed corpora as plain tests.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run Fuzz ./internal/spec/ ./internal/specfn/
 
 # Run the solver HTTP service (see README "Running the server").
 serve:
@@ -30,6 +31,10 @@ bench:
 # The serving baseline tracked in BENCHMARKS.md.
 bench-server:
 	$(GO) test -bench BenchmarkServerSolve -benchmem -run '^$$' ./internal/server
+
+# The batch-vs-sequential comparison tracked in BENCHMARKS.md.
+bench-batch:
+	$(GO) test -bench BenchmarkBatchSolve -benchmem -run '^$$' ./internal/server
 
 cover:
 	$(GO) test -cover ./...

@@ -6,13 +6,15 @@
 // Usage:
 //
 //	somrm-serve [-addr :8639] [-workers N] [-queue N] [-cache N]
-//	            [-timeout 30s] [-max-order 12] [-drain-timeout 30s]
+//	            [-prepared-cache N] [-timeout 30s] [-max-order 12]
+//	            [-drain-timeout 30s]
 //
 // Endpoints:
 //
-//	POST /v1/solve   solve a model (see README "Running the server")
-//	GET  /healthz    liveness (503 while draining)
-//	GET  /metrics    JSON counters and solve latency histogram
+//	POST /v1/solve        solve a model (see README "Running the server")
+//	POST /v1/solve/batch  solve one model at many time grids in one request
+//	GET  /healthz         liveness (503 while draining)
+//	GET  /metrics         JSON counters and solve latency histogram
 package main
 
 import (
@@ -49,6 +51,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	workers := fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "solve queue capacity (0 = default 64)")
 	cache := fs.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
+	prepCache := fs.Int("prepared-cache", 0, "prepared-model cache entries (0 = default 128, negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
@@ -60,11 +63,12 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	}
 
 	svc := server.New(server.Options{
-		Workers:        *workers,
-		QueueSize:      *queue,
-		CacheSize:      *cache,
-		DefaultTimeout: *timeout,
-		MaxOrder:       *maxOrder,
+		Workers:           *workers,
+		QueueSize:         *queue,
+		CacheSize:         *cache,
+		PreparedCacheSize: *prepCache,
+		DefaultTimeout:    *timeout,
+		MaxOrder:          *maxOrder,
 	})
 	httpSrv := &http.Server{
 		Handler:           svc.Handler(),

@@ -17,9 +17,17 @@
 // Usage:
 //
 //	somrm -model model.json -t 1.0 -order 4 [-eps 1e-9] [-per-state] [-bounds x1,x2,...]
+//	somrm -model model.json -times 0.5,1,2 -order 4   # CSV series, one shared sweep
+//	somrm -model model.json -t 1.0 -server http://localhost:8639   # solve remotely
+//
+// With -server the model is shipped to a running somrm-serve instance:
+// -times maps onto a single POST /v1/solve/batch (the whole grid shares
+// one randomization sweep server-side), everything else onto POST
+// /v1/solve. Output is identical to the in-process path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
+	serverURL := fs.String("server", "", "base URL of a somrm-serve instance: solve there instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,13 +68,33 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("missing -model")
 	}
 
-	model, err := loadModel(*modelPath)
+	sp, err := loadSpec(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	if *serverURL != "" {
+		if *perState {
+			return fmt.Errorf("-per-state is not available with -server (vector moments stay server-side)")
+		}
+		return runRemote(*serverURL, sp, *timesAt, *t, *order, *eps, *boundsAt, out)
+	}
+
+	model, err := sp.Build()
 	if err != nil {
 		return err
 	}
 
 	if *timesAt != "" {
-		return runSeries(model, *timesAt, *order, *eps, out)
+		times, err := parseFloats(*timesAt)
+		if err != nil {
+			return fmt.Errorf("bad -times: %w", err)
+		}
+		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps})
+		if err != nil {
+			return err
+		}
+		return writeSeries(results, *order, out)
 	}
 
 	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps})
@@ -132,7 +161,7 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func loadModel(path string) (*somrm.Model, error) {
+func loadSpec(path string) (*spec.Model, error) {
 	var raw []byte
 	var err error
 	if path == "-" {
@@ -143,28 +172,23 @@ func loadModel(path string) (*somrm.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	parsed, err := spec.Parse(raw)
-	if err != nil {
-		return nil, err
-	}
-	return parsed.Build()
+	return spec.Parse(raw)
 }
 
-// runSeries evaluates a whole time grid in one shared randomization sweep
-// and emits the moments as CSV.
-func runSeries(model *somrm.Model, timesArg string, order int, eps float64, out io.Writer) error {
-	var times []float64
-	for _, tok := range strings.Split(timesArg, ",") {
+func parseFloats(arg string) ([]float64, error) {
+	var vals []float64
+	for _, tok := range strings.Split(arg, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil {
-			return fmt.Errorf("bad time %q: %w", tok, err)
+			return nil, fmt.Errorf("bad value %q: %w", tok, err)
 		}
-		times = append(times, v)
+		vals = append(vals, v)
 	}
-	results, err := model.AccumulatedRewardAt(times, order, &somrm.SolveOptions{Epsilon: eps})
-	if err != nil {
-		return err
-	}
+	return vals, nil
+}
+
+// writeSeries emits one CSV row of moments per time point.
+func writeSeries(results []*somrm.Result, order int, out io.Writer) error {
 	headers := make([]string, 0, order+2)
 	headers = append(headers, "t")
 	for j := 0; j <= order; j++ {
@@ -179,6 +203,75 @@ func runSeries(model *somrm.Model, timesArg string, order int, eps float64, out 
 		row = append(row, res.T)
 		row = append(row, res.Moments...)
 		if err := csv.Row(row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRemote ships the model to a somrm-serve instance. A -times grid maps
+// onto one batch request so the whole series shares a single randomization
+// sweep server-side; a single -t maps onto POST /v1/solve.
+func runRemote(baseURL string, sp *spec.Model, timesArg string, t float64, order int, eps float64, boundsArg string, out io.Writer) error {
+	client := somrm.NewServerClient(baseURL)
+	ctx := context.Background()
+
+	if timesArg != "" {
+		times, err := parseFloats(timesArg)
+		if err != nil {
+			return fmt.Errorf("bad -times: %w", err)
+		}
+		resp, err := client.SolveBatch(ctx, &somrm.BatchRequest{
+			Model: sp,
+			Items: []somrm.BatchItem{{Times: times, Order: order, Epsilon: eps}},
+		})
+		if err != nil {
+			return err
+		}
+		item := resp.Items[0]
+		if item.Status != "ok" {
+			return fmt.Errorf("server: %s", item.Error)
+		}
+		results := make([]*somrm.Result, len(item.Points))
+		for i, pt := range item.Points {
+			results[i] = &somrm.Result{T: pt.T, Moments: pt.Moments}
+		}
+		return writeSeries(results, order, out)
+	}
+
+	req := &somrm.SolveRequest{Model: sp, T: t, Order: order, Epsilon: eps}
+	if boundsArg != "" {
+		bounds, err := parseFloats(boundsArg)
+		if err != nil {
+			return fmt.Errorf("bad -bounds: %w", err)
+		}
+		req.BoundsAt = bounds
+	}
+	resp, err := client.Solve(ctx, req)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("Moments of the accumulated reward at t=%g", t), "order", "E[B^j]")
+	for j := 0; j <= order; j++ {
+		if err := tab.AddFloatRow(strconv.Itoa(j), resp.Moments[j]); err != nil {
+			return err
+		}
+	}
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+	if st := resp.Stats; st != nil {
+		fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g\n",
+			st.Q, st.QT, st.D, st.G, st.Shift, st.ErrorBound)
+	}
+	if len(resp.Bounds) > 0 {
+		bt := report.NewTable("CDF bounds", "x", "lower", "upper")
+		for _, b := range resp.Bounds {
+			if err := bt.AddFloatRow(report.FormatFloat(b.X), b.Lower, b.Upper); err != nil {
+				return err
+			}
+		}
+		if err := bt.Render(out); err != nil {
 			return err
 		}
 	}

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"somrm"
 )
 
 const validSpec = `{
@@ -196,5 +200,46 @@ func TestExitCodes(t *testing.T) {
 	}
 	if code, stderr := runBinary(t, "-model", valid, "-t", "1", "-order", "2"); code != 0 {
 		t.Errorf("happy path exit code %d; stderr:\n%s", code, stderr)
+	}
+}
+
+// TestRunAgainstServer drives the -server path end to end against an
+// in-process solver service: the -times grid must produce CSV identical to
+// the local shared-sweep path, and single solves must match too.
+func TestRunAgainstServer(t *testing.T) {
+	svc := somrm.NewServer(somrm.ServerOptions{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	path := writeSpec(t, validSpec)
+
+	var local, remote strings.Builder
+	if err := run([]string{"-model", path, "-times", "0.5,1,2", "-order", "3"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", path, "-times", "0.5,1,2", "-order", "3", "-server", ts.URL}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("remote series differs from local:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+
+	var single strings.Builder
+	if err := run([]string{"-model", path, "-t", "1", "-order", "2", "-bounds", "0,1", "-server", ts.URL}, &single); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Moments of the accumulated reward", "CDF bounds", "solver: q=3"} {
+		if !strings.Contains(single.String(), want) {
+			t.Errorf("remote solve output missing %q:\n%s", want, single.String())
+		}
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-t", "1", "-per-state", "-server", ts.URL}, &sb); err == nil {
+		t.Error("-per-state with -server accepted")
+	}
+	if err := run([]string{"-model", path, "-t", "1", "-server", "http://127.0.0.1:1"}, &sb); err == nil {
+		t.Error("unreachable server accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,26 +20,30 @@ import (
 // allowed). The error bound of eq. (11) is enforced at every time point:
 // G is the maximum of the per-time truncation points, and each time point
 // uses its own Poisson weights.
+//
+// This is the solver engine: AccumulatedReward(t, ...) is exactly
+// AccumulatedRewardAt([t], ...)[0], so batch results are bitwise identical
+// to per-point solves.
 func (m *Model) AccumulatedRewardAt(times []float64, order int, opts *Options) ([]*Result, error) {
+	return m.AccumulatedRewardAtContext(context.Background(), times, order, opts)
+}
+
+// AccumulatedRewardAtContext is AccumulatedRewardAt with cooperative
+// cancellation: the context is polled every few randomization iterations of
+// the shared sweep, and the context's error is returned as soon as it is
+// observed.
+func (m *Model) AccumulatedRewardAtContext(ctx context.Context, times []float64, order int, opts *Options) ([]*Result, error) {
 	cfg := opts.withDefaults()
-	if len(times) == 0 {
-		return nil, fmt.Errorf("%w: empty time list", ErrBadArgument)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if order < 0 {
-		return nil, fmt.Errorf("%w: moment order %d", ErrBadArgument, order)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
-		return nil, fmt.Errorf("%w: epsilon %g not in (0,1)", ErrBadArgument, cfg.Epsilon)
-	}
-	for _, t := range times {
-		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-			return nil, fmt.Errorf("%w: time %g", ErrBadArgument, t)
-		}
+	if err := validateSolveArgs(times, order, cfg); err != nil {
+		return nil, err
 	}
 
-	// Fall back to the single-point solver for the degenerate paths
-	// (frozen chain, zero horizon): they are cheap and keep this function
-	// focused on the shared-sweep case.
 	q := m.gen.MaxExitRate()
 	if cfg.UniformizationRate != 0 {
 		if cfg.UniformizationRate < q {
@@ -46,60 +51,90 @@ func (m *Model) AccumulatedRewardAt(times []float64, order int, opts *Options) (
 		}
 		q = cfg.UniformizationRate
 	}
-	maxT := 0.0
-	for _, t := range times {
-		if t > maxT {
-			maxT = t
-		}
+	if q == 0 {
+		return m.frozenResults(times, order)
 	}
-	if q == 0 || maxT == 0 {
-		return m.solvePointwise(times, order, opts)
-	}
-
-	// Shift and scaling exactly as in AccumulatedReward.
-	shift := 0.0
-	for _, r := range m.rates {
-		if r < shift {
-			shift = r
-		}
-	}
-	n := m.N()
-	shifted := make([]float64, n)
-	sigma := make([]float64, n)
-	d := 0.0
-	for i := range m.rates {
-		shifted[i] = m.rates[i] - shift
-		sigma[i] = math.Sqrt(m.vars[i])
-		if v := shifted[i] / q; v > d {
-			d = v
-		}
-		if v := sigma[i] / q; v > d {
-			d = v
-		}
-	}
-	if m.impulses != nil && m.maxImp > d {
-		d = m.maxImp
-	}
-	if d == 0 {
-		return m.solvePointwise(times, order, opts)
-	}
-
-	qPrime, err := m.gen.Uniformized(q)
+	u, err := m.uniformize(q)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	rPrime := make([]float64, n)
-	sPrime := make([]float64, n)
-	for i := 0; i < n; i++ {
-		rPrime[i] = shifted[i] / (q * d)
-		sPrime[i] = m.vars[i] / (q * d * d)
-	}
-	var impPrime []*sparse.CSR
-	if m.impulses != nil && order >= 1 {
-		impPrime, err = m.impulseMatrices(q, d, order)
+	var imp []*sparse.CSR
+	if m.impulses != nil && order >= 1 && u.d > 0 {
+		imp, err = m.impulseMatrices(q, u.d, order)
 		if err != nil {
 			return nil, err
 		}
+	}
+	return m.solveAt(ctx, times, order, cfg, u, imp)
+}
+
+// validateSolveArgs checks the user-facing solver arguments shared by every
+// randomization entry point.
+func validateSolveArgs(times []float64, order int, cfg Options) error {
+	if len(times) == 0 {
+		return fmt.Errorf("%w: empty time list", ErrBadArgument)
+	}
+	for _, t := range times {
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("%w: time %g", ErrBadArgument, t)
+		}
+	}
+	if order < 0 {
+		return fmt.Errorf("%w: moment order %d", ErrBadArgument, order)
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		return fmt.Errorf("%w: epsilon %g not in (0,1)", ErrBadArgument, cfg.Epsilon)
+	}
+	if cfg.MaxG < 1 {
+		return fmt.Errorf("%w: MaxG %d", ErrBadArgument, cfg.MaxG)
+	}
+	return nil
+}
+
+// frozenResults handles the no-transition chain (q == 0): per state the
+// accumulated reward is exactly Normal(r_i t, sigma_i^2 t) at every time.
+func (m *Model) frozenResults(times []float64, order int) ([]*Result, error) {
+	results := make([]*Result, len(times))
+	for idx, t := range times {
+		res := &Result{T: t, Order: order}
+		if t == 0 {
+			res.VectorMoments = trivialMoments(m.N(), order)
+		} else {
+			vm, err := frozenMoments(m, t, order)
+			if err != nil {
+				return nil, err
+			}
+			res.VectorMoments = vm
+		}
+		res.finish(m.initial)
+		results[idx] = res
+	}
+	return results, nil
+}
+
+// solveAt runs the shared randomization sweep over a prepared
+// uniformization. It is the single implementation behind AccumulatedReward,
+// AccumulatedRewardAt and Prepared: callers have validated the arguments
+// and handled the q == 0 (frozen chain) case.
+func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Options, u *uniformization, imp []*sparse.CSR) ([]*Result, error) {
+	n := m.N()
+	q, d, shift := u.q, u.d, u.shift
+
+	if d == 0 {
+		// All shifted drifts, variances and impulses are zero: B̌ == 0.
+		results := make([]*Result, len(times))
+		for idx, t := range times {
+			res := &Result{T: t, Order: order}
+			if t == 0 {
+				res.VectorMoments = trivialMoments(n, order)
+			} else {
+				res.VectorMoments = unshift(trivialMoments(n, order), shift, t, order)
+				res.Stats = Stats{Q: q, QT: q * t, Shift: shift}
+			}
+			res.finish(m.initial)
+			results[idx] = res
+		}
+		return results, nil
 	}
 
 	// Per-time truncation points and weights.
@@ -116,7 +151,7 @@ func (m *Model) AccumulatedRewardAt(times []float64, order int, opts *Options) (
 			plans[idx] = timePlan{t: 0}
 			continue
 		}
-		g, bound, err := truncationPoint(order, d, q*t, cfg.Epsilon, impPrime != nil, cfg.MaxG)
+		g, bound, err := truncationPoint(order, d, q*t, cfg.Epsilon, imp != nil, cfg.MaxG)
 		if err != nil {
 			return nil, err
 		}
@@ -160,26 +195,31 @@ func (m *Model) AccumulatedRewardAt(times []float64, order int, opts *Options) (
 	}
 	var matVecs int64
 	for k := 1; k <= gMax; k++ {
+		if k%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for j := order; j >= 0; j-- {
-			if err := qPrime.MatVecAuto(cur[j], next[j]); err != nil {
+			if err := u.qPrime.MatVecAuto(cur[j], next[j]); err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
 			matVecs++
 			if j >= 1 {
 				for i := 0; i < n; i++ {
-					next[j][i] += rPrime[i] * cur[j-1][i]
+					next[j][i] += u.rPrime[i] * cur[j-1][i]
 				}
 			}
 			if j >= 2 {
 				for i := 0; i < n; i++ {
-					next[j][i] += 0.5 * sPrime[i] * cur[j-2][i]
+					next[j][i] += 0.5 * u.sPrime[i] * cur[j-2][i]
 				}
 			}
-			if impPrime != nil {
+			if imp != nil {
 				invFact := 1.0
 				for mm := 1; mm <= j; mm++ {
 					invFact /= float64(mm)
-					if err := impPrime[mm-1].MatVecAdd(invFact, cur[j-mm], next[j]); err != nil {
+					if err := imp[mm-1].MatVecAdd(invFact, cur[j-mm], next[j]); err != nil {
 						return nil, fmt.Errorf("core: %w", err)
 					}
 					matVecs++
@@ -221,6 +261,9 @@ func (m *Model) AccumulatedRewardAt(times []float64, order int, opts *Options) (
 			if j > 0 {
 				scale *= float64(j) * d
 			}
+			if math.IsInf(scale, 0) {
+				return nil, fmt.Errorf("%w: scale j!*d^j at order %d", ErrOverflow, j)
+			}
 			vm[j] = make([]float64, n)
 			for i := 0; i < n; i++ {
 				vm[j][i] = scale * accs[idx][j][i]
@@ -234,22 +277,10 @@ func (m *Model) AccumulatedRewardAt(times []float64, order int, opts *Options) (
 			Q: q, QT: q * plan.t, D: d, Shift: shift,
 			G: plan.g, ErrorBound: plan.bound,
 			MatVecs:           matVecs,
-			FlopsPerIteration: int64(qPrime.NNZ()+2*n) * int64(order+1),
+			FlopsPerIteration: int64(u.qPrime.NNZ()+2*n) * int64(order+1),
 		}
 		res.finish(m.initial)
 		results[idx] = res
 	}
 	return results, nil
-}
-
-func (m *Model) solvePointwise(times []float64, order int, opts *Options) ([]*Result, error) {
-	out := make([]*Result, len(times))
-	for i, t := range times {
-		res, err := m.AccumulatedReward(t, order, opts)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = res
-	}
-	return out, nil
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"somrm/internal/sparse"
+)
+
+// Prepared bundles a Model with the reusable precomputation of the
+// randomization solver: the drift shift, the scaling constant d, and the
+// uniformized matrices Q', R', S' of Theorem 3. Solving through a Prepared
+// skips that setup, which is what lets a server amortize model preparation
+// across repeated solve and batch requests against the same model.
+//
+// Impulse matrices additionally depend on the moment order; they are built
+// lazily for the highest order seen so far and cached. A Prepared is safe
+// for concurrent use.
+type Prepared struct {
+	m *Model
+	u *uniformization // nil when the chain has no transitions (q == 0)
+
+	mu  sync.Mutex
+	imp []*sparse.CSR // impulse matrices for orders 1..len(imp), grown on demand
+}
+
+// Prepare validates nothing new — the model is already validated — but
+// performs the solver's model-only setup once so subsequent solves skip it.
+func Prepare(m *Model) (*Prepared, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadModel)
+	}
+	q := m.gen.MaxExitRate()
+	if q == 0 {
+		return &Prepared{m: m}, nil
+	}
+	u, err := m.uniformize(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{m: m, u: u}, nil
+}
+
+// Model returns the underlying model (shared; treat as read-only).
+func (p *Prepared) Model() *Model { return p.m }
+
+// impulseMatrices returns the cached scaled impulse matrices for orders
+// 1..order, building and growing the cache under the lock when a higher
+// order is requested than any seen before.
+func (p *Prepared) impulseMatrices(order int) ([]*sparse.CSR, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.imp) < order {
+		imp, err := p.m.impulseMatrices(p.u.q, p.u.d, order)
+		if err != nil {
+			return nil, err
+		}
+		p.imp = imp
+	}
+	return p.imp[:order], nil
+}
+
+// AccumulatedRewardAt is Model.AccumulatedRewardAt against the prepared
+// matrices.
+func (p *Prepared) AccumulatedRewardAt(times []float64, order int, opts *Options) ([]*Result, error) {
+	return p.AccumulatedRewardAtContext(context.Background(), times, order, opts)
+}
+
+// AccumulatedRewardAtContext is Model.AccumulatedRewardAtContext against
+// the prepared matrices: identical results, minus the per-call setup. A
+// custom Options.UniformizationRate different from the prepared rate falls
+// back to the model path (the prepared matrices assume the automatic rate).
+func (p *Prepared) AccumulatedRewardAtContext(ctx context.Context, times []float64, order int, opts *Options) ([]*Result, error) {
+	cfg := opts.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.UniformizationRate != 0 && (p.u == nil || cfg.UniformizationRate != p.u.q) {
+		return p.m.AccumulatedRewardAtContext(ctx, times, order, opts)
+	}
+	if err := validateSolveArgs(times, order, cfg); err != nil {
+		return nil, err
+	}
+	if p.u == nil {
+		return p.m.frozenResults(times, order)
+	}
+	var imp []*sparse.CSR
+	if p.m.impulses != nil && order >= 1 && p.u.d > 0 {
+		var err error
+		imp, err = p.impulseMatrices(order)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.m.solveAt(ctx, times, order, cfg, p.u, imp)
+}
+
+// AccumulatedReward is Model.AccumulatedReward against the prepared
+// matrices.
+func (p *Prepared) AccumulatedReward(t float64, order int, opts *Options) (*Result, error) {
+	return p.AccumulatedRewardContext(context.Background(), t, order, opts)
+}
+
+// AccumulatedRewardContext is Model.AccumulatedRewardContext against the
+// prepared matrices; results are bitwise identical to the unprepared path.
+func (p *Prepared) AccumulatedRewardContext(ctx context.Context, t float64, order int, opts *Options) (*Result, error) {
+	results, err := p.AccumulatedRewardAtContext(ctx, []float64{t}, order, opts)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPreparedMatchesModelBitwise(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 2, 5), []float64{-1, 3}, []float64{0.5, 2}, []float64{0.6, 0.4})
+	p, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0, 0.1, 0.5, 1.2}
+	want, err := m.AccumulatedRewardAt(times, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.AccumulatedRewardAt(times, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range times {
+		for j := 0; j <= 4; j++ {
+			if got[idx].Moments[j] != want[idx].Moments[j] {
+				t.Errorf("t=%g j=%d: prepared %.17g vs model %.17g", times[idx], j, got[idx].Moments[j], want[idx].Moments[j])
+			}
+		}
+	}
+	single, err := p.AccumulatedReward(1.2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.AccumulatedReward(1.2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.Moments {
+		if single.Moments[j] != ref.Moments[j] {
+			t.Errorf("single j=%d: prepared %.17g vs model %.17g", j, single.Moments[j], ref.Moments[j])
+		}
+	}
+}
+
+func TestPreparedImpulsesAndOrderGrowth(t *testing.T) {
+	base := mustModel(t, cyclic2(t, 2, 3), []float64{1, 0.5}, []float64{0.2, 0.4}, []float64{1, 0})
+	m, err := base.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, 0.7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low order first, then a higher order forcing the impulse-matrix cache
+	// to grow, then the low order again reusing the grown cache.
+	for _, order := range []int{2, 4, 2} {
+		got, err := p.AccumulatedReward(0.9, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.AccumulatedReward(0.9, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Moments {
+			if got.Moments[j] != want.Moments[j] {
+				t.Errorf("order %d j=%d: prepared %.17g vs model %.17g", order, j, got.Moments[j], want.Moments[j])
+			}
+		}
+	}
+}
+
+func TestPreparedFrozenChain(t *testing.T) {
+	gen, err := reducibleFrozen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, gen, []float64{2, 1}, []float64{1, 0}, []float64{0.5, 0.5})
+	p, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.AccumulatedReward(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.AccumulatedReward(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Moments {
+		if got.Moments[j] != want.Moments[j] {
+			t.Errorf("frozen j=%d: %g vs %g", j, got.Moments[j], want.Moments[j])
+		}
+	}
+}
+
+func TestPreparedCustomRateFallsBack(t *testing.T) {
+	m := mustModel(t, cyclic2(t, 2, 5), []float64{1, 2}, []float64{0.5, 0.5}, []float64{1, 0})
+	p, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &Options{UniformizationRate: 50}
+	got, err := p.AccumulatedReward(1, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.AccumulatedReward(1, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Q != 50 || got.Stats.Q != want.Stats.Q {
+		t.Errorf("custom rate not honored: prepared q=%g, model q=%g", got.Stats.Q, want.Stats.Q)
+	}
+	for j := range want.Moments {
+		if got.Moments[j] != want.Moments[j] {
+			t.Errorf("custom-rate j=%d mismatch", j)
+		}
+	}
+}
+
+func TestPreparedValidation(t *testing.T) {
+	if _, err := Prepare(nil); !errors.Is(err, ErrBadModel) {
+		t.Errorf("nil model: %v", err)
+	}
+	m := mustModel(t, cyclic2(t, 1, 1), []float64{1, 1}, []float64{1, 1}, []float64{1, 0})
+	p, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AccumulatedRewardAt(nil, 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("empty times: %v", err)
+	}
+	if _, err := p.AccumulatedReward(-1, 2, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative time: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.AccumulatedRewardContext(ctx, 1, 2, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: %v", err)
+	}
+}
+
+func TestPreparedConcurrentUse(t *testing.T) {
+	base := mustModel(t, cyclic2(t, 2, 3), []float64{1, -0.5}, []float64{0.2, 0.4}, []float64{1, 0})
+	m, err := base.WithImpulses(impulseMatrix(t, 2, [3]float64{0, 1, 0.3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.AccumulatedReward(0.7, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(order int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				got, err := p.AccumulatedReward(0.7, order, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if order == 3 && got.Moments[3] != want.Moments[3] {
+					t.Errorf("concurrent solve diverged: %g vs %g", got.Moments[3], want.Moments[3])
+				}
+			}
+		}(1 + g%4)
+	}
+	wg.Wait()
+}

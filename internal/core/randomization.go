@@ -100,55 +100,35 @@ func (m *Model) AccumulatedReward(t float64, order int, opts *Options) (*Result,
 // cancellation: the context is polled every few randomization iterations,
 // and the context's error is returned as soon as it is observed. This is
 // the hook long-running server solves use to honor per-request deadlines.
+//
+// It is a single-time-point view of the shared-sweep engine behind
+// AccumulatedRewardAt, so solving a time grid in one call and solving its
+// points one by one produce bitwise identical moments.
 func (m *Model) AccumulatedRewardContext(ctx context.Context, t float64, order int, opts *Options) (*Result, error) {
-	cfg := opts.withDefaults()
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
+	results, err := m.AccumulatedRewardAtContext(ctx, []float64{t}, order, opts)
+	if err != nil {
 		return nil, err
 	}
-	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-		return nil, fmt.Errorf("%w: time %g", ErrBadArgument, t)
-	}
-	if order < 0 {
-		return nil, fmt.Errorf("%w: moment order %d", ErrBadArgument, order)
-	}
-	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
-		return nil, fmt.Errorf("%w: epsilon %g not in (0,1)", ErrBadArgument, cfg.Epsilon)
-	}
-	if cfg.MaxG < 1 {
-		return nil, fmt.Errorf("%w: MaxG %d", ErrBadArgument, cfg.MaxG)
-	}
+	return results[0], nil
+}
 
+// uniformization holds the time- and order-independent precomputation of
+// the randomization solver: the drift shift, the scaling constant d, and
+// the scaled matrices Q' (uniformized generator), R', S' of Theorem 3.
+// Building one costs a pass over the model plus a copy of the generator;
+// reusing it across solves (see Prepared) skips exactly that work.
+type uniformization struct {
+	q, d, shift float64
+	qPrime      *sparse.CSR
+	rPrime      []float64
+	sPrime      []float64
+}
+
+// uniformize computes the shift transformation and the substochastic
+// matrices of Theorem 3 for uniformization rate q > 0. When d == 0 (the
+// shifted process is identically zero) the matrices are left nil.
+func (m *Model) uniformize(q float64) (*uniformization, error) {
 	n := m.N()
-	res := &Result{T: t, Order: order}
-
-	// Trivial cases: t = 0, or a chain that never transitions.
-	if t == 0 {
-		res.VectorMoments = trivialMoments(n, order)
-		res.finish(m.initial)
-		return res, nil
-	}
-	q := m.gen.MaxExitRate()
-	if cfg.UniformizationRate != 0 {
-		if cfg.UniformizationRate < q {
-			return nil, fmt.Errorf("%w: uniformization rate %g below max exit rate %g", ErrBadArgument, cfg.UniformizationRate, q)
-		}
-		q = cfg.UniformizationRate
-	}
-	if q == 0 {
-		// No transitions: B(t) | Z(0)=i is exactly Normal(r_i t, sigma_i^2 t).
-		vm, err := frozenMoments(m, t, order)
-		if err != nil {
-			return nil, err
-		}
-		res.VectorMoments = vm
-		res.finish(m.initial)
-		return res, nil
-	}
-
-	// Shift transformation for negative drifts.
 	shift := 0.0
 	for _, r := range m.rates {
 		if r < shift {
@@ -156,156 +136,35 @@ func (m *Model) AccumulatedRewardContext(ctx context.Context, t float64, order i
 		}
 	}
 	shifted := make([]float64, n)
-	sigma := make([]float64, n)
 	d := 0.0
 	for i := range m.rates {
 		shifted[i] = m.rates[i] - shift
-		sigma[i] = math.Sqrt(m.vars[i])
 		if v := shifted[i] / q; v > d {
 			d = v
 		}
-		if v := sigma[i] / q; v > d {
+		if v := math.Sqrt(m.vars[i]) / q; v > d {
 			d = v
 		}
 	}
 	if m.impulses != nil && m.maxImp > d {
 		d = m.maxImp
 	}
-
+	u := &uniformization{q: q, d: d, shift: shift}
 	if d == 0 {
-		// All shifted drifts, variances and impulses are zero: B̌ == 0.
-		res.VectorMoments = unshift(trivialMoments(n, order), shift, t, order)
-		res.Stats = Stats{Q: q, QT: q * t, Shift: shift}
-		res.finish(m.initial)
-		return res, nil
+		return u, nil
 	}
-
-	stats := Stats{Q: q, QT: q * t, D: d, Shift: shift}
-
-	// Substochastic matrices of Theorem 3.
 	qPrime, err := m.gen.Uniformized(q)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	rPrime := make([]float64, n)
-	sPrime := make([]float64, n)
+	u.qPrime = qPrime
+	u.rPrime = make([]float64, n)
+	u.sPrime = make([]float64, n)
 	for i := 0; i < n; i++ {
-		rPrime[i] = shifted[i] / (q * d)
-		sPrime[i] = m.vars[i] / (q * d * d)
+		u.rPrime[i] = shifted[i] / (q * d)
+		u.sPrime[i] = m.vars[i] / (q * d * d)
 	}
-	var impPrime []*sparse.CSR // impPrime[m-1] = Q^(m)/(q d^m), m = 1..order
-	if m.impulses != nil && order >= 1 {
-		impPrime, err = m.impulseMatrices(q, d, order)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Truncation point from the error bound.
-	g, bound, err := truncationPoint(order, d, q*t, cfg.Epsilon, impPrime != nil, cfg.MaxG)
-	if err != nil {
-		return nil, err
-	}
-	stats.G = g
-	stats.ErrorBound = bound
-
-	// Poisson weights for k = 0..G (log-space; entries below underflow are 0).
-	weights := make([]float64, g+1)
-	for k := 0; k <= g; k++ {
-		weights[k] = math.Exp(poisson.LogPMF(k, q*t))
-	}
-
-	// Iteration state: cur[j] = U^(j)(k), acc[j] = running weighted sum.
-	cur := make([][]float64, order+1)
-	next := make([][]float64, order+1)
-	acc := make([][]float64, order+1)
-	for j := 0; j <= order; j++ {
-		cur[j] = make([]float64, n)
-		next[j] = make([]float64, n)
-		acc[j] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		cur[0][i] = 1
-	}
-	// k = 0 contribution.
-	w0 := weights[0]
-	if w0 > 0 {
-		for i := 0; i < n; i++ {
-			acc[0][i] = w0
-		}
-	}
-
-	// Multiplications per iteration: NNZ(Q') per Q'-product plus one per
-	// state for each of R' and S', for each of the order+1 vectors. For the
-	// paper's large model this is (3+1+1) * 200,001 * 4 as in section 7.
-	stats.FlopsPerIteration = int64(qPrime.NNZ()+2*n) * int64(order+1)
-
-	for k := 1; k <= g; k++ {
-		if k%cancelCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		for j := order; j >= 0; j-- {
-			if err := qPrime.MatVecAuto(cur[j], next[j]); err != nil {
-				return nil, fmt.Errorf("core: %w", err)
-			}
-			stats.MatVecs++
-			if j >= 1 {
-				for i := 0; i < n; i++ {
-					next[j][i] += rPrime[i] * cur[j-1][i]
-				}
-			}
-			if j >= 2 {
-				for i := 0; i < n; i++ {
-					next[j][i] += 0.5 * sPrime[i] * cur[j-2][i]
-				}
-			}
-			if impPrime != nil {
-				invFact := 1.0
-				for mm := 1; mm <= j; mm++ {
-					invFact /= float64(mm)
-					if err := impPrime[mm-1].MatVecAdd(invFact, cur[j-mm], next[j]); err != nil {
-						return nil, fmt.Errorf("core: %w", err)
-					}
-					stats.MatVecs++
-				}
-			}
-		}
-		cur, next = next, cur
-		if w := weights[k]; w > 0 {
-			for j := 0; j <= order; j++ {
-				cj := cur[j]
-				aj := acc[j]
-				for i := 0; i < n; i++ {
-					aj[i] += w * cj[i]
-				}
-			}
-		}
-	}
-
-	// Scale: V̌^(j) = j! d^j * acc[j].
-	scale := 1.0
-	vm := make([][]float64, order+1)
-	for j := 0; j <= order; j++ {
-		if j > 0 {
-			scale *= float64(j) * d
-		}
-		if math.IsInf(scale, 0) {
-			return nil, fmt.Errorf("%w: scale j!*d^j at order %d", ErrOverflow, j)
-		}
-		vm[j] = make([]float64, n)
-		for i := 0; i < n; i++ {
-			vm[j][i] = scale * acc[j][i]
-			if math.IsInf(vm[j][i], 0) || math.IsNaN(vm[j][i]) {
-				return nil, fmt.Errorf("%w: moment order %d, state %d", ErrOverflow, j, i)
-			}
-		}
-	}
-	res.VectorMoments = unshift(vm, shift, t, order)
-	res.Stats = stats
-	res.finish(m.initial)
-	return res, nil
+	return u, nil
 }
 
 // impulseMatrices builds Q'^(m) = Q∘Y^m / (q d^m) for m = 1..order, where

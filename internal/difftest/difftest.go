@@ -1,0 +1,172 @@
+// Package difftest cross-checks the solver stack against itself: it
+// generates random second-order Markov reward models from fixed seeds and
+// asserts that the randomization solver (the paper's algorithm), the ODE
+// integrator baseline, and — where a closed form exists — the normal-moment
+// recurrence all agree. A bug in any one solver's constants breaks the
+// agreement; a bug shared by all three would have to be introduced three
+// times independently.
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"somrm/internal/brownian"
+	"somrm/internal/odesolver"
+	"somrm/internal/spec"
+)
+
+// Generate returns a random valid model spec drawn from rng: 2–40 states
+// on a ring (for irreducibility) with extra random transitions, drift
+// rates of mixed sign in [-3, 3], variances that are exactly zero with
+// probability ~0.3 (exercising the first-order/degenerate paths) and
+// positive otherwise, optional impulse rewards on existing transitions,
+// and an initial distribution that is a unit vector half the time and a
+// normalized random vector otherwise.
+func Generate(rng *rand.Rand) *spec.Model {
+	n := 2 + rng.Intn(39)
+	sp := &spec.Model{
+		States:    n,
+		Rates:     make([]float64, n),
+		Variances: make([]float64, n),
+		Initial:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		sp.Rates[i] = (rng.Float64()*2 - 1) * 3
+		if rng.Float64() >= 0.3 {
+			sp.Variances[i] = 0.05 + rng.Float64()*1.5
+		}
+	}
+
+	// Ring backbone keeps every state reachable; extras densify.
+	for i := 0; i < n; i++ {
+		sp.Transitions = append(sp.Transitions, spec.Transition{
+			From: i, To: (i + 1) % n, Rate: 0.2 + rng.Float64()*2.8,
+		})
+	}
+	for e := rng.Intn(2 * n); e > 0; e-- {
+		from, to := rng.Intn(n), rng.Intn(n)
+		if from == to {
+			continue
+		}
+		sp.Transitions = append(sp.Transitions, spec.Transition{
+			From: from, To: to, Rate: 0.1 + rng.Float64()*2,
+		})
+	}
+
+	if rng.Float64() < 0.4 {
+		for _, k := range rng.Perm(len(sp.Transitions))[:1+rng.Intn(3)] {
+			tr := sp.Transitions[k]
+			sp.Impulses = append(sp.Impulses, spec.Impulse{
+				From: tr.From, To: tr.To, Reward: rng.Float64(),
+			})
+		}
+	}
+
+	if rng.Float64() < 0.5 {
+		sp.Initial[rng.Intn(n)] = 1
+	} else {
+		var sum float64
+		for i := range sp.Initial {
+			sp.Initial[i] = 0.1 + rng.Float64()
+			sum += sp.Initial[i]
+		}
+		imax := 0
+		for i := range sp.Initial {
+			sp.Initial[i] /= sum
+			if sp.Initial[i] > sp.Initial[imax] {
+				imax = i
+			}
+		}
+		// Absorb rounding so the distribution sums to 1 exactly.
+		var rest float64
+		for i, p := range sp.Initial {
+			if i != imax {
+				rest += p
+			}
+		}
+		sp.Initial[imax] = 1 - rest
+	}
+	return sp
+}
+
+// Tolerances for cross-solver agreement. The ODE baseline integrates with
+// RK4 at its automatic step count, so its error dominates; the closed-form
+// comparison is tighter.
+const (
+	odeRelTol    = 1e-6
+	closedRelTol = 1e-10
+)
+
+// CheckModel solves sp at every time in times up to moment order with the
+// randomization solver and the RK4 ODE baseline and returns an error on
+// the first disagreement. For single-state models it additionally checks
+// both against the exact normal-moment recurrence.
+func CheckModel(sp *spec.Model, times []float64, order int) error {
+	model, err := sp.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	randRes, err := model.AccumulatedRewardAt(times, order, nil)
+	if err != nil {
+		return fmt.Errorf("randomization: %w", err)
+	}
+	pi := model.Initial()
+	for k, t := range times {
+		vm, err := odesolver.MomentsByODE(model, t, order, nil)
+		if err != nil {
+			return fmt.Errorf("ode at t=%g: %w", t, err)
+		}
+		for j := 0; j <= order; j++ {
+			var odeM float64
+			for i, p := range pi {
+				odeM += p * vm[j][i]
+			}
+			if err := agree(randRes[k].Moments[j], odeM, odeRelTol); err != nil {
+				return fmt.Errorf("t=%g moment %d: randomization vs ode: %w", t, j, err)
+			}
+		}
+		if sp.States == 1 {
+			for j := 0; j <= order; j++ {
+				exact, err := brownian.NormalRawMoment(j, sp.Rates[0]*t, sp.Variances[0]*t)
+				if err != nil {
+					return fmt.Errorf("closed form: %w", err)
+				}
+				if err := agree(randRes[k].Moments[j], exact, closedRelTol); err != nil {
+					return fmt.Errorf("t=%g moment %d: randomization vs closed form: %w", t, j, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// agree reports whether a and b match within rel (relative to their
+// magnitude, with an absolute floor of the same size for values near zero).
+func agree(a, b, rel float64) error {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return fmt.Errorf("%g vs %g", a, b)
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	if math.Abs(a-b) > rel*scale {
+		return fmt.Errorf("%g vs %g (diff %g, tol %g)", a, b, math.Abs(a-b), rel*scale)
+	}
+	return nil
+}
+
+// CheckSeed generates the model for seed and cross-checks it on a small
+// random time grid and moment order drawn from the same seed.
+func CheckSeed(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	sp := Generate(rng)
+	order := 1 + rng.Intn(4)
+	times := make([]float64, 1+rng.Intn(3))
+	for i := range times {
+		times[i] = 0.1 + rng.Float64()*1.9
+	}
+	if err := CheckModel(sp, times, order); err != nil {
+		return fmt.Errorf("seed %d (%d states, order %d): %w", seed, sp.States, order, err)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package difftest
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"somrm/internal/spec"
+)
+
+// corpusSize seeds always run; longCorpusSize more are added outside
+// -short. The seeds are fixed (0..N) so failures reproduce exactly.
+const (
+	corpusSize     = 50
+	longCorpusSize = 200
+)
+
+// TestDiffSeedCorpus is the differential harness: every seed generates a
+// random model and cross-checks randomization vs the RK4 ODE baseline
+// (vs the closed form too, when one exists).
+func TestDiffSeedCorpus(t *testing.T) {
+	n := corpusSize
+	if !testing.Short() {
+		n = longCorpusSize
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		if err := CheckSeed(int64(seed)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestDiffSingleStateClosedForm pins the solvers to the exact normal
+// moments E[B(t)^n] for B(t) ~ Normal(r t, sigma^2 t) on single-state
+// models, the one case with a textbook answer.
+func TestDiffSingleStateClosedForm(t *testing.T) {
+	cases := []struct {
+		name     string
+		r, sigma float64
+	}{
+		{"drift only", 1.5, 0},
+		{"negative drift", -2, 0.5},
+		{"diffusion only", 0, 1},
+		{"both", 0.7, 1.3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := &spec.Model{States: 1, Rates: []float64{tc.r}, Variances: []float64{tc.sigma * tc.sigma}, Initial: []float64{1}}
+			if err := CheckModel(sp, []float64{0.3, 1, 2.5}, 5); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDiffFrozenChain: a model with no transitions is a mixture of
+// independent normals; the solver's degenerate path must agree with the
+// ODE baseline there too.
+func TestDiffFrozenChain(t *testing.T) {
+	sp := &spec.Model{
+		States:    3,
+		Rates:     []float64{1, -0.5, 2},
+		Variances: []float64{0.2, 0, 1},
+		Initial:   []float64{0.25, 0.5, 0.25},
+	}
+	if err := CheckModel(sp, []float64{0.5, 1.5}, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiffPermutationInvariance: AccumulatedRewardAt must return bitwise
+// identical results regardless of the order the time grid is presented
+// in — the shared sweep may not couple the points.
+func TestDiffPermutationInvariance(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := Generate(rng)
+		model, err := sp.Build()
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		order := 1 + rng.Intn(3)
+		times := make([]float64, 2+rng.Intn(5))
+		for i := range times {
+			times[i] = rng.Float64() * 3
+		}
+		base, err := model.AccumulatedRewardAt(times, order, nil)
+		if err != nil {
+			t.Logf("seed %d: solve: %v", seed, err)
+			return false
+		}
+
+		perm := rng.Perm(len(times))
+		shuffled := make([]float64, len(times))
+		for i, p := range perm {
+			shuffled[i] = times[p]
+		}
+		permuted, err := model.AccumulatedRewardAt(shuffled, order, nil)
+		if err != nil {
+			t.Logf("seed %d: permuted solve: %v", seed, err)
+			return false
+		}
+		for i, p := range perm {
+			if !reflect.DeepEqual(permuted[i].Moments, base[p].Moments) {
+				t.Logf("seed %d: t=%g differs under permutation: %v vs %v",
+					seed, shuffled[i], permuted[i].Moments, base[p].Moments)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if !testing.Short() {
+		cfg.MaxCount = 60
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiffGeneratorProducesValidModels: every corpus seed must build; a
+// generator that silently emits invalid specs would shrink the harness's
+// coverage to nothing.
+func TestDiffGeneratorProducesValidModels(t *testing.T) {
+	var states, impulses, zeroVar int
+	for seed := 0; seed < 500; seed++ {
+		sp := Generate(rand.New(rand.NewSource(int64(seed))))
+		if _, err := sp.Build(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		states += sp.States
+		if len(sp.Impulses) > 0 {
+			impulses++
+		}
+		for _, v := range sp.Variances {
+			if v == 0 {
+				zeroVar++
+			}
+		}
+	}
+	// The generator must actually exercise the advertised variety.
+	if impulses < 100 {
+		t.Errorf("only %d/500 models carry impulses", impulses)
+	}
+	if zeroVar == 0 {
+		t.Error("no zero-variance states generated")
+	}
+	t.Logf("500 models: %.1f avg states, %d with impulses, %d zero-variance states",
+		float64(states)/500, impulses, zeroVar)
+}

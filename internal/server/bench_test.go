@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"somrm/internal/spec"
 )
 
 // benchServer mounts the handler without a TCP listener so the benchmark
@@ -74,6 +76,87 @@ func BenchmarkServerSolve(b *testing.B) {
 		b.StopTimer()
 		if int(s.metrics.Solves.Load()) != b.N {
 			b.Fatalf("cache-miss path solved %d times for %d requests", s.metrics.Solves.Load(), b.N)
+		}
+	})
+}
+
+// benchBatchSpec is a birth-death model big enough that solver work, not
+// HTTP plumbing, dominates the measurement.
+func benchBatchSpec(k int) *spec.Model {
+	n := 50
+	sp := &spec.Model{States: n, Rates: make([]float64, n), Variances: make([]float64, n), Initial: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		sp.Rates[i] = float64(i) / float64(n)
+		sp.Variances[i] = 0.1
+		if i+1 < n {
+			sp.Transitions = append(sp.Transitions,
+				spec.Transition{From: i, To: i + 1, Rate: 1 + float64(k)*1e-9},
+				spec.Transition{From: i + 1, To: i, Rate: 2})
+		}
+	}
+	sp.Initial[0] = 1
+	return sp
+}
+
+// batchGrid is the 16-point grid of the BENCHMARKS.md comparison.
+func batchGrid() []float64 {
+	grid := make([]float64, 16)
+	for i := range grid {
+		grid[i] = 0.5 * float64(i+1)
+	}
+	return grid
+}
+
+// BenchmarkBatchSolve compares one POST /v1/solve/batch carrying a
+// 16-point time grid against 16 sequential POST /v1/solve calls for the
+// same points. The result cache is disabled and the model varies per
+// iteration, so every iteration starts cold: the batch pays one prepare
+// plus one shared coefficient-vector sweep, the loop pays one prepare
+// plus sixteen sweeps.
+func BenchmarkBatchSolve(b *testing.B) {
+	grid := batchGrid()
+	b.Run("batch-16pt", func(b *testing.B) {
+		s, h := benchServer(b)
+		s.cache = newLRU(-1)
+		bodies := make([][]byte, b.N)
+		for i := range bodies {
+			var err error
+			bodies[i], err = json.Marshal(&BatchRequest{Model: benchBatchSpec(i), Items: []BatchItem{{Times: grid, Order: 3}}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/solve/batch", bytes.NewReader(bodies[i]))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	b.Run("sequential-16pt", func(b *testing.B) {
+		_, h := benchServer(b)
+		bodies := make([][][]byte, b.N)
+		for i := range bodies {
+			bodies[i] = make([][]byte, len(grid))
+			for k, t := range grid {
+				var err error
+				bodies[i][k], err = json.Marshal(&SolveRequest{Model: benchBatchSpec(i), T: t, Order: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := range bodies[i] {
+				post(b, h, bodies[i][k])
+			}
 		}
 	})
 }

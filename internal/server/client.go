@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a minimal HTTP client for the solver service. The zero value
+// is not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080" (no
+	// trailing slash required).
+	BaseURL string
+	// HTTPClient is the transport; defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response from the service, decoded from its
+// {"error": "..."} body when present.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// do POSTs (or GETs, with nil in) JSON and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Solve runs one solve via POST /v1/solve.
+func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	var resp SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SolveBatch runs one model against many time grids via
+// POST /v1/solve/batch. The returned response may contain per-item errors;
+// inspect each BatchItemResult's Status.
+func (c *Client) SolveBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the live counters via GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	var snap MetricsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Health probes GET /healthz; it returns nil when the service is live and
+// an *APIError (503) while it is draining.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -24,15 +24,85 @@ type Metrics struct {
 	// request (single-flight followers).
 	DedupShared atomic.Int64
 	// Rejected counts requests turned away with 503 (full queue or
-	// shutdown in progress).
+	// shutdown in progress), including whole batches rejected up front and
+	// individual batch items that found the queue full.
 	Rejected atomic.Int64
 	// Failures counts requests that reached the solver and failed, or
-	// timed out.
+	// timed out (batch items count individually).
 	Failures atomic.Int64
+
+	// BatchRequests counts /v1/solve/batch requests accepted for
+	// processing.
+	BatchRequests atomic.Int64
+	// PreparedHits / PreparedMisses count prepared-model cache lookups
+	// (hits include joining an in-flight single-flight build).
+	PreparedHits   atomic.Int64
+	PreparedMisses atomic.Int64
+	// BatchItems is the items-per-batch histogram; SweepPoints is the
+	// time-points-per-shared-sweep histogram (randomization items only).
+	BatchItems  sizeHistogram
+	SweepPoints sizeHistogram
 
 	latencyCount atomic.Int64
 	latencySumUS atomic.Int64 // microseconds, to keep the sum integral
 	latency      [14]atomic.Int64
+}
+
+// sizeBucketBounds are the upper bounds of the size histograms (items per
+// batch, time points per sweep); the final implicit bucket is +Inf.
+var sizeBucketBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// sizeHistogram counts small integer sizes (batch fan-out widths, sweep
+// grid lengths) into power-of-two-ish buckets.
+type sizeHistogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [10]atomic.Int64
+}
+
+// Observe records one size observation.
+func (h *sizeHistogram) Observe(n int) {
+	h.count.Add(1)
+	h.sum.Add(int64(n))
+	for i, ub := range sizeBucketBounds {
+		if int64(n) <= ub {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(sizeBucketBounds)].Add(1)
+}
+
+// SizeBucket is one cumulative-style bucket of a size histogram. LE is the
+// bucket's inclusive upper bound (a count, not a duration); the +Inf bucket
+// is rendered with LE = 0 and Inf = true.
+type SizeBucket struct {
+	LE    int64 `json:"le"`
+	Inf   bool  `json:"inf,omitempty"`
+	Count int64 `json:"count"`
+}
+
+// SizeSnapshot is a size histogram in the /metrics payload.
+type SizeSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []SizeBucket `json:"buckets"`
+}
+
+func (h *sizeHistogram) snapshot() SizeSnapshot {
+	snap := SizeSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		b := SizeBucket{Count: cum}
+		if i < len(sizeBucketBounds) {
+			b.LE = sizeBucketBounds[i]
+		} else {
+			b.Inf = true
+		}
+		snap.Buckets = append(snap.Buckets, b)
+	}
+	return snap
 }
 
 // ObserveLatency records one end-to-end solve latency.
@@ -75,11 +145,18 @@ type MetricsSnapshot struct {
 	Rejected    int64 `json:"rejected"`
 	Failures    int64 `json:"failures"`
 
-	QueueDepth    int     `json:"queue_depth"`
-	Workers       int     `json:"workers"`
-	CacheEntries  int     `json:"cache_entries"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	BatchRequests  int64 `json:"batch_requests"`
+	PreparedHits   int64 `json:"prepared_hits"`
+	PreparedMisses int64 `json:"prepared_misses"`
 
+	QueueDepth      int     `json:"queue_depth"`
+	Workers         int     `json:"workers"`
+	CacheEntries    int     `json:"cache_entries"`
+	PreparedEntries int     `json:"prepared_entries"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+
+	BatchItems   SizeSnapshot    `json:"batch_items"`
+	SweepPoints  SizeSnapshot    `json:"sweep_points"`
 	SolveLatency LatencySnapshot `json:"solve_latency"`
 }
 
@@ -87,13 +164,18 @@ type MetricsSnapshot struct {
 // counters (each counter is read atomically; the set is not fenced).
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		Requests:    m.Requests.Load(),
-		Solves:      m.Solves.Load(),
-		CacheHits:   m.CacheHits.Load(),
-		CacheMisses: m.CacheMisses.Load(),
-		DedupShared: m.DedupShared.Load(),
-		Rejected:    m.Rejected.Load(),
-		Failures:    m.Failures.Load(),
+		Requests:       m.Requests.Load(),
+		Solves:         m.Solves.Load(),
+		CacheHits:      m.CacheHits.Load(),
+		CacheMisses:    m.CacheMisses.Load(),
+		DedupShared:    m.DedupShared.Load(),
+		Rejected:       m.Rejected.Load(),
+		Failures:       m.Failures.Load(),
+		BatchRequests:  m.BatchRequests.Load(),
+		PreparedHits:   m.PreparedHits.Load(),
+		PreparedMisses: m.PreparedMisses.Load(),
+		BatchItems:     m.BatchItems.snapshot(),
+		SweepPoints:    m.SweepPoints.snapshot(),
 	}
 	snap.SolveLatency.Count = m.latencyCount.Load()
 	snap.SolveLatency.SumMS = float64(m.latencySumUS.Load()) / 1000

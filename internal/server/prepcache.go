@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"somrm/internal/core"
+)
+
+// preparedCache is a fixed-capacity LRU of prepared models keyed by the
+// canonical spec hash. It is the layer that lets repeated requests against
+// the same model skip parsing, validation, and the solver's matrix scaling.
+//
+// Concurrent misses on the same key are collapsed onto a single build
+// (single-flight): followers wait for the leader's result instead of
+// preparing the same model again. Failed builds are not cached, so a later
+// request retries. A zero or negative capacity disables caching; every
+// caller then builds its own prepared model.
+type preparedCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	// builds counts actual Prepare executions — the quantity the
+	// single-flight guarantee bounds (at most one per distinct key while the
+	// key stays resident).
+	builds atomic.Int64
+}
+
+type prepEntry struct {
+	key   string
+	ready chan struct{} // closed when prep/err are set
+	prep  *core.Prepared
+	err   error
+}
+
+func newPreparedCache(capacity int) *preparedCache {
+	return &preparedCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// GetOrBuild returns the prepared model for key, building it with build at
+// most once among concurrent callers. hit reports whether the key was
+// already resident (possibly still building; the call then waits for the
+// in-flight build instead of duplicating it).
+func (c *preparedCache) GetOrBuild(key string, build func() (*core.Prepared, error)) (prep *core.Prepared, hit bool, err error) {
+	if c.cap <= 0 {
+		c.builds.Add(1)
+		prep, err = build()
+		return prep, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*prepEntry)
+		c.mu.Unlock()
+		<-e.ready
+		return e.prep, true, e.err
+	}
+	e := &prepEntry{key: key, ready: make(chan struct{})}
+	c.items[key] = c.order.PushFront(e)
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*prepEntry).key)
+	}
+	c.mu.Unlock()
+
+	c.builds.Add(1)
+	e.prep, e.err = build()
+	if e.err != nil {
+		// Drop failed builds (only if the slot still holds this entry).
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok && el.Value.(*prepEntry) == e {
+			c.order.Remove(el)
+			delete(c.items, key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.prep, false, e.err
+}
+
+// Len returns the current number of cached entries (including in-flight
+// builds).
+func (c *preparedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Builds returns the number of Prepare executions performed through the
+// cache.
+func (c *preparedCache) Builds() int64 { return c.builds.Load() }

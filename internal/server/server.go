@@ -6,9 +6,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve   — solve one model (see SolveRequest / SolveResponse)
-//	GET  /healthz    — liveness; 503 while draining
-//	GET  /metrics    — counters and the solve latency histogram (JSON)
+//	POST /v1/solve        — solve one model (see SolveRequest / SolveResponse)
+//	POST /v1/solve/batch  — solve one model at many time grids in one request
+//	                        (see BatchRequest / BatchResponse)
+//	GET  /healthz         — liveness; 503 while draining
+//	GET  /metrics         — counters and the solve latency histogram (JSON)
 package server
 
 import (
@@ -19,6 +21,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"somrm/internal/core"
 )
 
 // Options configures a Server. The zero value selects sensible defaults.
@@ -33,6 +37,11 @@ type Options struct {
 	// CacheSize is the LRU result-cache capacity in entries
 	// (default 256; negative disables caching).
 	CacheSize int
+	// PreparedCacheSize is the prepared-model LRU capacity in entries
+	// (default 128; negative disables). Prepared models carry the validated
+	// model plus its uniformized matrices, so repeated solves and batches
+	// against the same model skip parsing, validation, and matrix scaling.
+	PreparedCacheSize int
 	// DefaultTimeout caps per-request solve time (default 30s). Requests
 	// may ask for less via timeout_ms, never more.
 	DefaultTimeout time.Duration
@@ -52,6 +61,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize == 0 {
 		o.CacheSize = 256
 	}
+	if o.PreparedCacheSize == 0 {
+		o.PreparedCacheSize = 128
+	}
 	if o.DefaultTimeout <= 0 {
 		o.DefaultTimeout = 30 * time.Second
 	}
@@ -70,6 +82,7 @@ type Server struct {
 	opts     Options
 	pool     *pool
 	cache    *lruCache
+	prepared *preparedCache
 	flight   *flightGroup
 	metrics  *Metrics
 	start    time.Time
@@ -78,20 +91,25 @@ type Server struct {
 	// solve is the request executor; tests substitute it to control
 	// timing and count executions.
 	solve func(ctx context.Context, req *SolveRequest) (*SolveResponse, error)
+	// solveItem is the batch-item executor; tests substitute it likewise.
+	solveItem func(ctx context.Context, prep *core.Prepared, item *BatchItem) ([]BatchPoint, error)
 }
 
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
 	o := opts.withDefaults()
-	return &Server{
-		opts:    o,
-		pool:    newPool(o.Workers, o.QueueSize),
-		cache:   newLRU(o.CacheSize),
-		flight:  newFlightGroup(),
-		metrics: &Metrics{},
-		start:   time.Now(),
-		solve:   runSolve,
+	s := &Server{
+		opts:     o,
+		pool:     newPool(o.Workers, o.QueueSize),
+		cache:    newLRU(o.CacheSize),
+		prepared: newPreparedCache(o.PreparedCacheSize),
+		flight:   newFlightGroup(),
+		metrics:  &Metrics{},
+		start:    time.Now(),
 	}
+	s.solve = s.preparedSolve
+	s.solveItem = s.runBatchItem
+	return s
 }
 
 // Metrics exposes the server's live counters (primarily for tests and
@@ -102,6 +120,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -130,6 +149,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.QueueDepth = s.pool.Depth()
 	snap.Workers = s.opts.Workers
 	snap.CacheEntries = s.cache.Len()
+	snap.PreparedEntries = s.prepared.Len()
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
 	writeJSON(w, http.StatusOK, snap)
 }

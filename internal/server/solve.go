@@ -67,6 +67,19 @@ type SolveRequest struct {
 	// clamped to the server's default timeout and excluded from the cache
 	// key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// specHash memoizes the canonical model hash (hex) once cacheKey has
+	// computed it, so the prepared-model cache does not re-canonicalize.
+	specHash string
+}
+
+// newSolverStats copies core solver statistics onto the wire type.
+func newSolverStats(st core.Stats) *SolverStats {
+	return &SolverStats{
+		Q: st.Q, QT: st.QT, D: st.D, Shift: st.Shift,
+		G: st.G, ErrorBound: st.ErrorBound,
+		MatVecs: st.MatVecs, FlopsPerIteration: st.FlopsPerIteration,
+	}
 }
 
 // SolverStats mirrors core.Stats on the wire (randomization only).
@@ -197,6 +210,7 @@ func (r *SolveRequest) cacheKey() (string, error) {
 	if err != nil {
 		return "", badRequestf("unhashable model: %v", err)
 	}
+	r.specHash = hex.EncodeToString(specHash[:])
 	params, err := json.Marshal(struct {
 		T        float64    `json:"t"`
 		Order    int        `json:"order"`
@@ -215,27 +229,80 @@ func (r *SolveRequest) cacheKey() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// runSolve executes a normalized request. It builds the model (reporting
-// spec errors as 400s), dispatches to the selected solver, and attaches
-// distribution bounds when requested.
-func runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
-	model, err := req.Model.Build()
+// buildPrepared parses and validates the spec and runs the solver's
+// model-only setup; it is the build function fed to the prepared cache.
+func buildPrepared(sp *spec.Model) (*core.Prepared, error) {
+	model, err := sp.Build()
 	if err != nil {
 		return nil, badRequestf("bad model: %v", err)
 	}
+	prep, err := core.Prepare(model)
+	if err != nil {
+		return nil, badRequestf("bad model: %v", err)
+	}
+	return prep, nil
+}
+
+// preparedFor resolves the prepared model for a request's spec through the
+// single-flight LRU, counting hits and misses.
+func (s *Server) preparedFor(specHash string, sp *spec.Model) (*core.Prepared, error) {
+	prep, hit, err := s.prepared.GetOrBuild(specHash, func() (*core.Prepared, error) {
+		return buildPrepared(sp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.metrics.PreparedHits.Add(1)
+	} else {
+		s.metrics.PreparedMisses.Add(1)
+	}
+	return prep, nil
+}
+
+// preparedSolve is the default request executor: it resolves the prepared
+// model through the cache and solves against it.
+func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	specHash := req.specHash
+	if specHash == "" {
+		h, err := req.Model.Hash()
+		if err != nil {
+			return nil, badRequestf("unhashable model: %v", err)
+		}
+		specHash = hex.EncodeToString(h[:])
+	}
+	prep, err := s.preparedFor(specHash, req.Model)
+	if err != nil {
+		return nil, err
+	}
+	return runSolvePrepared(ctx, req, prep)
+}
+
+// runSolve executes a normalized request without a prepared-model cache:
+// it builds and prepares the model from scratch. Tests substitute it for
+// the server's cached executor to control timing and count executions.
+func runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	prep, err := buildPrepared(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	return runSolvePrepared(ctx, req, prep)
+}
+
+// runSolvePrepared executes a normalized request against a prepared model,
+// dispatching to the selected solver and attaching distribution bounds when
+// requested.
+func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepared) (*SolveResponse, error) {
+	model := prep.Model()
 	resp := &SolveResponse{Method: req.Method, T: req.T, Order: req.Order}
 	switch req.Method {
 	case MethodRandomization:
-		res, err := model.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon})
+		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon})
 		if err != nil {
 			return nil, err
 		}
 		resp.Moments = res.Moments
-		resp.Stats = &SolverStats{
-			Q: res.Stats.Q, QT: res.Stats.QT, D: res.Stats.D, Shift: res.Stats.Shift,
-			G: res.Stats.G, ErrorBound: res.Stats.ErrorBound,
-			MatVecs: res.Stats.MatVecs, FlopsPerIteration: res.Stats.FlopsPerIteration,
-		}
+		resp.Stats = newSolverStats(res.Stats)
 	case MethodODE:
 		// The ODE integrator has no internal cancellation hook yet; honor
 		// the deadline at the dispatch boundary.

@@ -65,3 +65,88 @@ func TestAccumulatedRewardWithContext(t *testing.T) {
 		t.Fatalf("bad result: %+v", res)
 	}
 }
+
+// TestBatchAndClientFacade exercises the batch wire types, the HTTP
+// client, and the prepared-model helper through the public surface only.
+func TestBatchAndClientFacade(t *testing.T) {
+	s := somrm.NewServer(somrm.ServerOptions{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := somrm.ModelToJSON(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// External callers name the model by its JSON interchange form.
+	var sp somrm.BatchRequest
+	body := `{"model": ` + string(raw) + `, "items": [{"times": [0.5, 1, 2], "order": 2}]}`
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		t.Fatal(err)
+	}
+
+	client := somrm.NewServerClient(ts.URL)
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	resp, err := client.SolveBatch(context.Background(), &sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 1 || resp.Items[0].Status != "ok" {
+		t.Fatalf("bad batch response: %+v", resp.Items)
+	}
+
+	// The batch points must equal the prepared-model shared sweep exactly.
+	prep, err := somrm.PrepareModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prep.AccumulatedRewardAt([]float64{0.5, 1, 2}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, pt := range resp.Items[0].Points {
+		for j := range pt.Moments {
+			if pt.Moments[j] != want[k].Moments[j] {
+				t.Errorf("point %d moment %d: %g want %g", k, j, pt.Moments[j], want[k].Moments[j])
+			}
+		}
+	}
+
+	snap, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.BatchRequests != 1 || snap.BatchItems.Sum != 1 {
+		t.Errorf("batch metrics: %+v", snap)
+	}
+}
+
+// TestAccumulatedRewardAtFacade covers the multi-time facade helper.
+func TestAccumulatedRewardAtFacade(t *testing.T) {
+	model, err := somrm.OnOffModel(somrm.OnOffPaperSmall(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := somrm.AccumulatedRewardAt(model, []float64{1, 2, 3}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(results))
+	}
+	single, err := model.AccumulatedReward(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range single.Moments {
+		if results[1].Moments[j] != single.Moments[j] {
+			t.Errorf("moment %d: grid %g vs single %g", j, results[1].Moments[j], single.Moments[j])
+		}
+	}
+}

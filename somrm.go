@@ -21,8 +21,10 @@
 //     eq. (2) and (5), and SolveDensityPDE solves the density PDE of eq. (4)
 //     for small models.
 //   - NewServer (and the cmd/somrm-serve binary) exposes the solvers as an
-//     HTTP JSON service with a bounded worker pool, result caching, and
-//     in-flight request deduplication.
+//     HTTP JSON service with a bounded worker pool, result caching,
+//     prepared-model caching, in-flight request deduplication, and a batch
+//     endpoint that solves whole time grids in one shared randomization
+//     sweep; NewServerClient talks to it.
 //
 // The package is pure Go with no dependencies outside the standard library.
 package somrm
@@ -103,16 +105,33 @@ type (
 	// PDESolution is the PDE density on a grid.
 	PDESolution = pde.Solution
 
-	// Server is the solver HTTP service: a worker pool, result cache, and
-	// request deduplication around the solvers (see cmd/somrm-serve).
+	// Server is the solver HTTP service: a worker pool, result cache,
+	// prepared-model cache, and request deduplication around the solvers
+	// (see cmd/somrm-serve).
 	Server = server.Server
 	// ServerOptions configures NewServer.
 	ServerOptions = server.Options
 	// SolveRequest / SolveResponse are the POST /v1/solve wire types.
 	SolveRequest  = server.SolveRequest
 	SolveResponse = server.SolveResponse
+	// BatchRequest / BatchResponse are the POST /v1/solve/batch wire types:
+	// one model solved at many time grids, with per-item status (BatchItem,
+	// BatchItemResult, BatchPoint).
+	BatchRequest    = server.BatchRequest
+	BatchResponse   = server.BatchResponse
+	BatchItem       = server.BatchItem
+	BatchItemResult = server.BatchItemResult
+	BatchPoint      = server.BatchPoint
+	// Client is an HTTP client for the solver service (Solve, SolveBatch,
+	// Metrics, Health).
+	Client = server.Client
 	// ServerMetrics is the JSON document served at /metrics.
 	ServerMetrics = server.MetricsSnapshot
+
+	// PreparedModel is a model with its uniformized solver matrices
+	// precomputed; repeated and multi-time solves against it skip the
+	// model-only setup (PrepareModel).
+	PreparedModel = core.Prepared
 
 	// OnOffParams parameterizes the paper's ON-OFF multiplexer example.
 	OnOffParams = models.OnOffParams
@@ -247,6 +266,23 @@ func ModelToJSON(m *Model) ([]byte, error) {
 // NewServer builds the solver HTTP service; mount Handler() on an
 // http.Server and call Shutdown to drain (cmd/somrm-serve does both).
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// NewServerClient returns an HTTP client for a solver service rooted at
+// baseURL (e.g. "http://localhost:8080").
+func NewServerClient(baseURL string) *Client { return server.NewClient(baseURL) }
+
+// PrepareModel precomputes the uniformized solver matrices for m so that
+// repeated solves (and multi-time grids via AccumulatedRewardAt) skip the
+// model-only setup. The server threads all solves through an LRU of these.
+func PrepareModel(m *Model) (*PreparedModel, error) { return core.Prepare(m) }
+
+// AccumulatedRewardAt computes accumulated-reward moments at every time in
+// times with one shared randomization sweep: the coefficient vectors of
+// Theorem 4 are time-independent, so a grid of time points costs one sweep
+// to the largest truncation depth instead of one sweep per point.
+func AccumulatedRewardAt(m *Model, times []float64, order int, opts *SolveOptions) ([]*Result, error) {
+	return m.AccumulatedRewardAt(times, order, opts)
+}
 
 // AccumulatedRewardWithContext computes accumulated-reward moments with
 // cooperative cancellation: the randomization loop polls ctx and aborts
