@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"somrm/internal/core"
@@ -53,13 +54,58 @@ type Model struct {
 	Impulses    []Impulse    `json:"impulses,omitempty"`
 }
 
-// Parse decodes a JSON spec.
+// Parse decodes a JSON spec and rejects non-finite numeric fields.
 func Parse(data []byte) (*Model, error) {
 	var m Model
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
 	return &m, nil
+}
+
+// Validate rejects NaN and ±Inf anywhere in the spec's numeric fields with
+// an error naming the offending field path (e.g. "transitions[2].rate").
+// Specs arriving as JSON cannot encode NaN/Inf literals, but specs built
+// programmatically (including every request the solver service receives as
+// a Go value) can; this is the single chokepoint that keeps non-finite
+// values out of the solvers. Structural validation (index ranges, lengths,
+// distribution sums) stays in Build.
+func (m *Model) Validate() error {
+	check := func(path string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s=%g is not finite", ErrBadSpec, path, v)
+		}
+		return nil
+	}
+	for i, tr := range m.Transitions {
+		if err := check(fmt.Sprintf("transitions[%d].rate", i), tr.Rate); err != nil {
+			return err
+		}
+	}
+	for i, r := range m.Rates {
+		if err := check(fmt.Sprintf("rates[%d]", i), r); err != nil {
+			return err
+		}
+	}
+	for i, v := range m.Variances {
+		if err := check(fmt.Sprintf("variances[%d]", i), v); err != nil {
+			return err
+		}
+	}
+	for i, p := range m.Initial {
+		if err := check(fmt.Sprintf("initial[%d]", i), p); err != nil {
+			return err
+		}
+	}
+	for i, im := range m.Impulses {
+		if err := check(fmt.Sprintf("impulses[%d].reward", i), im.Reward); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Read decodes a JSON spec from a reader.
@@ -148,6 +194,9 @@ func (m *Model) Hash() ([32]byte, error) {
 func (m *Model) Build() (*core.Model, error) {
 	if m.States < 1 {
 		return nil, fmt.Errorf("%w: states=%d", ErrBadSpec, m.States)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	b := sparse.NewBuilder(m.States, m.States)
 	exits := make([]float64, m.States)

@@ -1,0 +1,70 @@
+package spec
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// finiteSpec returns a valid two-state spec that each case below corrupts.
+func finiteSpec() Model {
+	return Model{
+		States: 2,
+		Transitions: []Transition{
+			{From: 0, To: 1, Rate: 2},
+			{From: 1, To: 0, Rate: 3},
+		},
+		Rates:     []float64{1.5, -0.5},
+		Variances: []float64{0.2, 1},
+		Initial:   []float64{1, 0},
+		Impulses:  []Impulse{{From: 0, To: 1, Reward: 0.1}},
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name    string
+		corrupt func(*Model)
+		path    string // expected substring of the error: the field path
+	}{
+		{"NaN transition rate", func(m *Model) { m.Transitions[1].Rate = nan }, "transitions[1].rate"},
+		{"+Inf transition rate", func(m *Model) { m.Transitions[0].Rate = inf }, "transitions[0].rate"},
+		{"NaN drift", func(m *Model) { m.Rates[0] = nan }, "rates[0]"},
+		{"-Inf drift", func(m *Model) { m.Rates[1] = -inf }, "rates[1]"},
+		{"NaN variance", func(m *Model) { m.Variances[1] = nan }, "variances[1]"},
+		{"+Inf variance", func(m *Model) { m.Variances[0] = inf }, "variances[0]"},
+		{"NaN initial", func(m *Model) { m.Initial[0] = nan }, "initial[0]"},
+		{"Inf initial", func(m *Model) { m.Initial[1] = inf }, "initial[1]"},
+		{"NaN impulse", func(m *Model) { m.Impulses[0].Reward = nan }, "impulses[0].reward"},
+		{"-Inf impulse", func(m *Model) { m.Impulses[0].Reward = -inf }, "impulses[0].reward"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := finiteSpec()
+			tc.corrupt(&m)
+			err := m.Validate()
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("Validate() = %v, want ErrBadSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.path) {
+				t.Errorf("error %q does not name field path %q", err, tc.path)
+			}
+			// Build must reject the same spec: Validate is its chokepoint.
+			if _, err := m.Build(); !errors.Is(err, ErrBadSpec) {
+				t.Errorf("Build() = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsFiniteSpec(t *testing.T) {
+	m := finiteSpec()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+	if _, err := m.Build(); err != nil {
+		t.Fatalf("Build() = %v, want nil", err)
+	}
+}
