@@ -23,7 +23,10 @@
 // With -server the model is shipped to a running somrm-serve instance:
 // -times maps onto a single POST /v1/solve/batch (the whole grid shares
 // one randomization sweep server-side), everything else onto POST
-// /v1/solve. Output is identical to the in-process path.
+// /v1/solve. Output is identical to the in-process path. Transient
+// failures (503s, connection errors) are retried with jittered
+// exponential backoff behind a circuit breaker; tune with -retries,
+// -retry-base, -retry-max, -no-breaker.
 package main
 
 import (
@@ -57,6 +60,10 @@ func run(args []string, out io.Writer) error {
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
 	serverURL := fs.String("server", "", "base URL of a somrm-serve instance: solve there instead of in-process")
+	retries := fs.Int("retries", 0, "with -server: total attempts per request, 1 disables retries (0 = default 4)")
+	retryBase := fs.Duration("retry-base", 0, "with -server: base backoff delay (0 = default 50ms)")
+	retryMax := fs.Duration("retry-max", 0, "with -server: backoff delay cap (0 = default 2s)")
+	noBreaker := fs.Bool("no-breaker", false, "with -server: disable the client circuit breaker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,7 +84,16 @@ func run(args []string, out io.Writer) error {
 		if *perState {
 			return fmt.Errorf("-per-state is not available with -server (vector moments stay server-side)")
 		}
-		return runRemote(*serverURL, sp, *timesAt, *t, *order, *eps, *boundsAt, out)
+		var clientOpts []somrm.ClientOption
+		if *retries != 0 || *retryBase != 0 || *retryMax != 0 {
+			clientOpts = append(clientOpts, somrm.WithClientRetryPolicy(somrm.RetryPolicy{
+				MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax,
+			}))
+		}
+		if *noBreaker {
+			clientOpts = append(clientOpts, somrm.WithoutClientBreaker())
+		}
+		return runRemote(*serverURL, sp, *timesAt, *t, *order, *eps, *boundsAt, clientOpts, out)
 	}
 
 	model, err := sp.Build()
@@ -212,8 +228,8 @@ func writeSeries(results []*somrm.Result, order int, out io.Writer) error {
 // runRemote ships the model to a somrm-serve instance. A -times grid maps
 // onto one batch request so the whole series shares a single randomization
 // sweep server-side; a single -t maps onto POST /v1/solve.
-func runRemote(baseURL string, sp *spec.Model, timesArg string, t float64, order int, eps float64, boundsArg string, out io.Writer) error {
-	client := somrm.NewServerClient(baseURL)
+func runRemote(baseURL string, sp *spec.Model, timesArg string, t float64, order int, eps float64, boundsArg string, clientOpts []somrm.ClientOption, out io.Writer) error {
+	client := somrm.NewServerClient(baseURL, clientOpts...)
 	ctx := context.Background()
 
 	if timesArg != "" {

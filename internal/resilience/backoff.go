@@ -1,0 +1,80 @@
+// Package resilience provides the client-side fault-tolerance primitives of
+// the solver service: exponential backoff with full jitter, a token-bucket
+// retry budget, a sliding-window circuit breaker, and a Retryer that
+// composes the three around an idempotent operation.
+//
+// The package is transport-agnostic: it never imports net/http. Callers
+// classify their own errors by wrapping retryable ones with Transient; the
+// Retryer treats everything else as permanent and returns it immediately.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy is an exponential backoff schedule with full jitter
+// (delay_k uniform in [0, min(MaxDelay, BaseDelay*2^k))), the AWS
+// architecture-blog variant that decorrelates retry storms better than
+// equal or proportional jitter. The zero value selects the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay of the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter delay growth (default 2s).
+	MaxDelay time.Duration
+
+	// rnd overrides the jitter source (tests); nil uses a shared
+	// rand.Rand seeded from the global source.
+	rnd func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// jitterSource is the default shared jitter RNG. math/rand's global
+// functions are already mutex-protected; a dedicated locked source keeps
+// the policy independent of global reseeding.
+var jitterSource = struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}{r: rand.New(rand.NewSource(rand.Int63()))}
+
+func defaultJitter() float64 {
+	jitterSource.mu.Lock()
+	defer jitterSource.mu.Unlock()
+	return jitterSource.r.Float64()
+}
+
+// Delay returns the jittered backoff delay after the given zero-based
+// failed attempt: uniform in [0, min(MaxDelay, BaseDelay*2^attempt)).
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	// Double up to the ceiling instead of shifting, so large attempt
+	// counts cannot overflow the duration.
+	ceil := p.BaseDelay
+	for i := 0; i < attempt && ceil < p.MaxDelay; i++ {
+		ceil *= 2
+	}
+	if ceil > p.MaxDelay || ceil <= 0 {
+		ceil = p.MaxDelay
+	}
+	rnd := p.rnd
+	if rnd == nil {
+		rnd = defaultJitter
+	}
+	return time.Duration(rnd() * float64(ceil))
+}

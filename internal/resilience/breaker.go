@@ -1,0 +1,245 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow (and by Retryer.Do) while
+// the circuit is open: the recent failure rate tripped the breaker and the
+// cooldown has not yet elapsed.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig configures a sliding-window circuit breaker. The zero
+// value selects the defaults.
+type BreakerConfig struct {
+	// Window is the number of most recent outcomes considered (default 20).
+	Window int
+	// FailureRatio opens the circuit when failures/window-size reaches it
+	// with at least MinSamples outcomes recorded (default 0.5).
+	FailureRatio float64
+	// MinSamples is the minimum number of recorded outcomes before the
+	// ratio can trip the breaker (default 5), so a single failure on a
+	// cold window does not open the circuit.
+	MinSamples int
+	// Cooldown is how long the circuit stays open before probing
+	// (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes is both the number of concurrent trial requests
+	// admitted in the half-open state and the number of consecutive probe
+	// successes required to close the circuit (default 1).
+	HalfOpenProbes int
+
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.FailureRatio <= 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// BreakerStats counts state transitions and rejections; the chaos suite
+// asserts at least one full open -> half-open -> close cycle from these.
+type BreakerStats struct {
+	// Opens counts closed/half-open -> open transitions.
+	Opens int64 `json:"opens"`
+	// HalfOpens counts open -> half-open transitions.
+	HalfOpens int64 `json:"half_opens"`
+	// Closes counts half-open -> closed transitions.
+	Closes int64 `json:"closes"`
+	// Rejected counts calls refused with ErrBreakerOpen.
+	Rejected int64 `json:"rejected"`
+}
+
+// Breaker is a sliding-window circuit breaker. Closed, it admits every
+// call and records outcomes into a fixed ring; when the windowed failure
+// ratio trips it opens and rejects calls for the cooldown, then goes
+// half-open and admits a limited number of probes. Probe successes close
+// it (clearing the window); a probe failure re-opens it.
+//
+// A nil *Breaker is valid: it admits everything and records nothing.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	inited   bool
+	state    int
+	ring     []bool // true = failure
+	next     int    // ring write index
+	size     int    // outcomes recorded, <= len(ring)
+	failures int    // failures currently in the ring
+	openedAt time.Time
+	inflight int // half-open probes admitted and not yet recorded
+	probeOK  int // consecutive probe successes in half-open
+	stats    BreakerStats
+}
+
+// NewBreaker returns a breaker with the given configuration (zero fields
+// select defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg}
+}
+
+func (b *Breaker) init() {
+	if !b.inited {
+		b.cfg = b.cfg.withDefaults()
+		b.ring = make([]bool, b.cfg.Window)
+		b.inited = true
+	}
+}
+
+// Allow reports whether a call may proceed. It returns ErrBreakerOpen
+// while the circuit is open; once the cooldown elapses it transitions to
+// half-open and admits up to HalfOpenProbes concurrent probes. Every
+// admitted call must be matched by exactly one Record.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.stats.Rejected++
+			return ErrBreakerOpen
+		}
+		b.state = stateHalfOpen
+		b.stats.HalfOpens++
+		b.inflight = 0
+		b.probeOK = 0
+		fallthrough
+	default: // half-open
+		if b.inflight >= b.cfg.HalfOpenProbes {
+			b.stats.Rejected++
+			return ErrBreakerOpen
+		}
+		b.inflight++
+		return nil
+	}
+}
+
+// Record reports the outcome of an admitted call. In the closed state it
+// slides the outcome into the window and trips the breaker when the
+// failure ratio is reached; in the half-open state a failure re-opens the
+// circuit immediately and enough successes close it.
+func (b *Breaker) Record(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	switch b.state {
+	case stateClosed:
+		b.push(!success)
+		if b.size >= b.cfg.MinSamples &&
+			float64(b.failures) >= b.cfg.FailureRatio*float64(b.size) {
+			b.open()
+		}
+	case stateHalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
+		if !success {
+			b.open()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.state = stateClosed
+			b.stats.Closes++
+			b.reset()
+		}
+	case stateOpen:
+		// A straggler from before the trip; the window is void now.
+	}
+}
+
+// push slides one outcome into the ring.
+func (b *Breaker) push(failure bool) {
+	if b.size == len(b.ring) {
+		if b.ring[b.next] {
+			b.failures--
+		}
+	} else {
+		b.size++
+	}
+	b.ring[b.next] = failure
+	if failure {
+		b.failures++
+	}
+	b.next = (b.next + 1) % len(b.ring)
+}
+
+func (b *Breaker) open() {
+	b.state = stateOpen
+	b.openedAt = b.cfg.now()
+	b.stats.Opens++
+	b.reset()
+}
+
+// reset clears the sliding window (entering open or closed anew).
+func (b *Breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.next, b.size, b.failures = 0, 0, 0
+	b.inflight, b.probeOK = 0, 0
+}
+
+// State returns "closed", "open", or "half-open".
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	switch b.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Stats returns a snapshot of the transition counters.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

@@ -1,0 +1,85 @@
+package resilience
+
+import "sync"
+
+// Budget is a token-bucket retry budget in the style of gRPC's retry
+// throttling: every successful call deposits DepositRatio tokens (capped
+// at Max), every retry withdraws one, and a retry is forbidden when less
+// than one token remains. Under a sustained outage the bucket drains and
+// the client stops amplifying load with retries, while occasional
+// transient failures always have budget.
+//
+// A nil *Budget is valid and never throttles.
+type Budget struct {
+	// Max is the bucket capacity in tokens (default 10).
+	Max float64
+	// DepositRatio is the fraction of a token returned per success
+	// (default 0.1: one retry earned per ten successes).
+	DepositRatio float64
+
+	mu     sync.Mutex
+	tokens float64
+	inited bool
+}
+
+// NewBudget returns a budget with the given capacity and per-success
+// deposit ratio; zero values select the defaults. The bucket starts full.
+func NewBudget(max, depositRatio float64) *Budget {
+	return &Budget{Max: max, DepositRatio: depositRatio}
+}
+
+// init applies defaults and fills the bucket on first use.
+func (b *Budget) init() {
+	if b.inited {
+		return
+	}
+	if b.Max <= 0 {
+		b.Max = 10
+	}
+	if b.DepositRatio <= 0 {
+		b.DepositRatio = 0.1
+	}
+	b.tokens = b.Max
+	b.inited = true
+}
+
+// Withdraw consumes one token for a retry. It reports false, leaving the
+// bucket untouched, when less than one token remains.
+func (b *Budget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Deposit returns DepositRatio tokens to the bucket after a success.
+func (b *Budget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	b.tokens += b.DepositRatio
+	if b.tokens > b.Max {
+		b.tokens = b.Max
+	}
+}
+
+// Tokens returns the current token count (for tests and metrics).
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	return b.tokens
+}

@@ -1,0 +1,325 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDelayFullJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt := 0; attempt < 64; attempt++ {
+		ceil := 100 * time.Millisecond << uint(min(attempt, 10))
+		if ceil > time.Second || ceil <= 0 {
+			ceil = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Delay(attempt)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestDelayDeterministicWithInjectedRand(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 80 * time.Millisecond, MaxDelay: time.Second, rnd: func() float64 { return 0.5 }}
+	want := []time.Duration{40, 80, 160, 320, 500, 500, 500}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(2, 0.5)
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("full bucket refused withdrawals")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty bucket allowed a withdrawal")
+	}
+	b.Deposit() // 0.5: still below one token
+	if b.Withdraw() {
+		t.Fatal("withdrawal below one token")
+	}
+	b.Deposit() // 1.0
+	if !b.Withdraw() {
+		t.Fatal("bucket refused after refill")
+	}
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens = %v, want capped at 2", got)
+	}
+	var nilBudget *Budget
+	if !nilBudget.Withdraw() {
+		t.Fatal("nil budget must never throttle")
+	}
+	nilBudget.Deposit() // must not panic
+}
+
+// testClock is a manually advanced clock for breaker cooldown tests.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *testClock) {
+	clk := &testClock{t: time.Unix(0, 0)}
+	cfg.now = clk.now
+	return NewBreaker(cfg), clk
+}
+
+func TestBreakerFullCycle(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		Window: 10, FailureRatio: 0.5, MinSamples: 4,
+		Cooldown: time.Second, HalfOpenProbes: 2,
+	})
+
+	// Healthy traffic keeps it closed.
+	for i := 0; i < 20; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+		b.Record(true)
+	}
+	// Failures trip it at the ratio.
+	for i := 0; i < 10; i++ {
+		if b.Allow() != nil {
+			break
+		}
+		b.Record(false)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+
+	// Cooldown elapses: half-open admits exactly HalfOpenProbes probes.
+	clk.advance(time.Second + time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused first probe: %v", err)
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused second probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open admitted a third concurrent probe: %v", err)
+	}
+	b.Record(true)
+	b.Record(true)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after probe successes = %q, want closed", got)
+	}
+
+	st := b.Stats()
+	if st.Opens != 1 || st.HalfOpens != 1 || st.Closes != 1 {
+		t.Errorf("stats = %+v, want exactly one open/half-open/close", st)
+	}
+	if st.Rejected == 0 {
+		t.Error("no rejections counted while open")
+	}
+}
+
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		Window: 4, FailureRatio: 0.5, MinSamples: 2, Cooldown: time.Second,
+	})
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state = %q, want open", b.State())
+	}
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Record(false)
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %q, want open", b.State())
+	}
+	if st := b.Stats(); st.Opens != 2 {
+		t.Errorf("opens = %d, want 2", st.Opens)
+	}
+}
+
+func TestBreakerMinSamplesGuard(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 10, FailureRatio: 0.5, MinSamples: 5})
+	// Four straight failures: below MinSamples, must stay closed.
+	for i := 0; i < 4; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("tripped before MinSamples: %v", err)
+		}
+		b.Record(false)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state = %q, want closed below MinSamples", b.State())
+	}
+}
+
+func TestNilBreakerIsNoop(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false)
+	if b.State() != "closed" {
+		t.Fatal("nil breaker not closed")
+	}
+}
+
+// instantRetryer returns a Retryer whose backoff sleeps are recorded, not
+// slept.
+func instantRetryer(policy RetryPolicy, budget *Budget, breaker *Breaker) (*Retryer, *[]time.Duration) {
+	var slept []time.Duration
+	r := &Retryer{Policy: policy, Budget: budget, Breaker: breaker,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return ctx.Err()
+		}}
+	return r, &slept
+}
+
+func TestRetryerRetriesTransientUntilSuccess(t *testing.T) {
+	r, slept := instantRetryer(RetryPolicy{MaxAttempts: 5}, nil, nil)
+	calls := 0
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("boom"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on third call", err, calls)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+func TestRetryerStopsAtMaxAttempts(t *testing.T) {
+	r, _ := instantRetryer(RetryPolicy{MaxAttempts: 3}, nil, nil)
+	calls := 0
+	boom := errors.New("boom")
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return Transient(boom)
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the wrapped boom", err)
+	}
+}
+
+func TestRetryerPermanentErrorNotRetried(t *testing.T) {
+	r, _ := instantRetryer(RetryPolicy{MaxAttempts: 5}, nil, nil)
+	calls := 0
+	perm := errors.New("bad request")
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return perm
+	})
+	if calls != 1 || !errors.Is(err, perm) {
+		t.Fatalf("calls=%d err=%v, want single attempt returning the error", calls, err)
+	}
+}
+
+func TestRetryerBudgetExhaustion(t *testing.T) {
+	budget := NewBudget(1, 0.1)
+	r, _ := instantRetryer(RetryPolicy{MaxAttempts: 10}, budget, nil)
+	calls := 0
+	boom := errors.New("boom")
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return Transient(boom)
+	})
+	// One token: first retry allowed, second refused.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted wrapping boom", err)
+	}
+}
+
+func TestRetryerBreakerShortCircuits(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 4, FailureRatio: 0.5, MinSamples: 2, Cooldown: time.Hour})
+	r, _ := instantRetryer(RetryPolicy{MaxAttempts: 10}, nil, b)
+	calls := 0
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return Transient(errors.New("boom"))
+	})
+	// Two recorded failures trip the breaker; the third attempt is refused.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 before the breaker opened", calls)
+	}
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestRetryerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Retryer{Policy: RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond}}
+	calls := 0
+	boom := errors.New("boom")
+	err := r.Do(ctx, func(ctx context.Context) error {
+		calls++
+		cancel()
+		return Transient(boom)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (context canceled between attempts)", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want last operation error", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+	base := errors.New("x")
+	wrapped := fmt.Errorf("context: %w", Transient(base))
+	if !IsTransient(wrapped) {
+		t.Fatal("transient mark lost through wrapping")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("errors.Is lost the base error")
+	}
+	if IsTransient(base) {
+		t.Fatal("unmarked error reported transient")
+	}
+}

@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBudgetExhausted is returned by Retryer.Do when a retry was warranted
+// but the retry budget had run dry; the underlying error is wrapped
+// alongside it.
+var ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err to mark it retryable for Retryer.Do. Wrapping nil
+// returns nil. errors.Is / errors.As see through the wrapper.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked with
+// Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Retryer composes a backoff policy, an optional retry budget, and an
+// optional circuit breaker around an idempotent operation. Only use it
+// for operations that are safe to repeat; the solver service's solves are
+// idempotent by construction (content-addressed, side-effect free).
+type Retryer struct {
+	Policy  RetryPolicy
+	Budget  *Budget  // nil: unlimited retries within Policy.MaxAttempts
+	Breaker *Breaker // nil: no circuit breaking
+
+	// sleep overrides the backoff wait (tests). The default honors ctx.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs op, retrying errors marked Transient with jittered exponential
+// backoff until the policy's attempt limit, the retry budget, the circuit
+// breaker, or the context stops it. Errors not marked Transient are
+// returned immediately. The breaker observes every attempt's outcome
+// (transient failures count against it; permanent errors count as
+// successes — the service answered).
+func (r *Retryer) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	policy := r.Policy.withDefaults()
+	sleep := r.sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if brkErr := r.Breaker.Allow(); brkErr != nil {
+			if err != nil {
+				// Mid-loop trip: surface what we were retrying too.
+				return fmt.Errorf("%w (last error: %w)", brkErr, err)
+			}
+			return brkErr
+		}
+		err = op(ctx)
+		r.Breaker.Record(err == nil || !IsTransient(err))
+		if err == nil {
+			r.Budget.Deposit()
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		if attempt+1 >= policy.MaxAttempts {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if !r.Budget.Withdraw() {
+			return fmt.Errorf("%w: %w", ErrBudgetExhausted, err)
+		}
+		if slErr := sleep(ctx, policy.Delay(attempt)); slErr != nil {
+			return err
+		}
+	}
+}

@@ -4,24 +4,109 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+
+	"somrm/internal/resilience"
 )
 
-// Client is a minimal HTTP client for the solver service. The zero value
-// is not usable; construct with NewClient.
+// Client is an HTTP client for the solver service with built-in
+// resilience: transient failures (503s, connection errors, truncated
+// responses) are retried with jittered exponential backoff under a retry
+// budget, and a sliding-window circuit breaker sheds calls to a service
+// that keeps failing. Retries are safe because every retried request is
+// idempotent by construction — solves are content-addressed and
+// side-effect free. 4xx responses are never retried.
+//
+// The zero value performs single attempts with http.DefaultClient;
+// construct with NewClient for the resilience defaults.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://localhost:8080" (no
 	// trailing slash required).
 	BaseURL string
 	// HTTPClient is the transport; defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	// retryer wraps retryable calls; nil means single-attempt.
+	retryer *resilience.Retryer
 }
 
-// NewClient returns a Client for the service at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+// ClientOption configures a Client built by NewClient.
+type ClientOption func(*Client)
+
+// WithHTTPClient sets the HTTP transport.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.HTTPClient = h }
+}
+
+// WithRetryPolicy overrides the backoff schedule (attempts, base and max
+// delay). Zero fields keep the package defaults.
+func WithRetryPolicy(p resilience.RetryPolicy) ClientOption {
+	return func(c *Client) {
+		if c.retryer == nil {
+			c.retryer = &resilience.Retryer{}
+		}
+		c.retryer.Policy = p
+	}
+}
+
+// WithRetryBudget overrides the token-bucket retry budget: max tokens and
+// the fraction of a token returned per success. Zero values keep the
+// defaults.
+func WithRetryBudget(max, depositRatio float64) ClientOption {
+	return func(c *Client) {
+		if c.retryer == nil {
+			c.retryer = &resilience.Retryer{}
+		}
+		c.retryer.Budget = resilience.NewBudget(max, depositRatio)
+	}
+}
+
+// WithBreaker overrides the circuit-breaker configuration. Zero fields
+// keep the defaults.
+func WithBreaker(cfg resilience.BreakerConfig) ClientOption {
+	return func(c *Client) {
+		if c.retryer == nil {
+			c.retryer = &resilience.Retryer{}
+		}
+		c.retryer.Breaker = resilience.NewBreaker(cfg)
+	}
+}
+
+// WithoutBreaker disables the circuit breaker, keeping retries.
+func WithoutBreaker() ClientOption {
+	return func(c *Client) {
+		if c.retryer != nil {
+			c.retryer.Breaker = nil
+		}
+	}
+}
+
+// WithoutRetry disables retries, the budget, and the breaker: every call
+// is a single attempt (the pre-resilience behavior).
+func WithoutRetry() ClientOption {
+	return func(c *Client) { c.retryer = nil }
+}
+
+// NewClient returns a Client for the service at baseURL with the default
+// resilience stack: 4 attempts of full-jitter backoff (50ms base, 2s
+// cap), a 10-token retry budget refilled at 0.1 per success, and a
+// sliding-window breaker (20 outcomes, 50% failure ratio, 1s cooldown).
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		BaseURL:    baseURL,
+		HTTPClient: http.DefaultClient,
+		retryer: &resilience.Retryer{
+			Budget:  resilience.NewBudget(0, 0),
+			Breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -29,6 +114,24 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+// BreakerStats returns the client breaker's transition counters (zero
+// when the breaker is disabled).
+func (c *Client) BreakerStats() resilience.BreakerStats {
+	if c.retryer == nil {
+		return resilience.BreakerStats{}
+	}
+	return c.retryer.Breaker.Stats()
+}
+
+// BreakerState returns "closed", "open", or "half-open" ("closed" when
+// the breaker is disabled).
+func (c *Client) BreakerState() string {
+	if c.retryer == nil {
+		return "closed"
+	}
+	return c.retryer.Breaker.State()
 }
 
 // APIError is a non-2xx response from the service, decoded from its
@@ -42,43 +145,90 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("server: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
-// do POSTs (or GETs, with nil in) JSON and decodes the response into out.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// maxDrainBytes bounds how much of an abandoned response body is read
+// before closing, so connection reuse cannot be weaponized into an
+// unbounded read.
+const maxDrainBytes = 256 << 10
+
+// drainClose reads the remainder of body (up to maxDrainBytes) and closes
+// it. Closing without draining forces the transport to discard the
+// connection; draining first lets it be reused. Deferring this once right
+// after a successful Do covers every return path.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, maxDrainBytes))
+	_ = body.Close()
+}
+
+// do performs one logical API call: POST (or GET, with nil in) JSON and
+// decode the response into out. When retryable is true and the client has
+// a retryer, transient failures are retried with backoff under the budget
+// and breaker.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, retryable bool) error {
+	var payload []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		var err error
+		payload, err = json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		body = bytes.NewReader(buf)
+	}
+	if retryable && c.retryer != nil {
+		return c.retryer.Do(ctx, func(ctx context.Context) error {
+			return c.doOnce(ctx, method, path, payload, out)
+		})
+	}
+	return c.doOnce(ctx, method, path, payload, out)
+}
+
+// doOnce performs a single HTTP attempt and classifies its failure:
+// connection errors, 503s, and truncated/garbled success bodies are
+// marked Transient for the retryer; context expiry and every other status
+// (including all 4xx) are permanent.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		// Dial failures, resets, aborted responses: the request may never
+		// have reached a solver, and solves are idempotent — retryable.
+		return resilience.Transient(err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var apiErr struct {
 			Error string `json:"error"`
 		}
 		msg := resp.Status
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxDrainBytes)).Decode(&apiErr); err == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		e := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Queue full, draining, or injected fault: retry with backoff.
+			return resilience.Transient(e)
+		}
+		return e
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode response: %w", err)
+		// A 2xx whose body does not decode was truncated or corrupted in
+		// flight; the solve itself succeeded server-side, so repeating it
+		// is safe and will likely hit the result cache.
+		return resilience.Transient(fmt.Errorf("client: decode response: %w", err))
 	}
 	return nil
 }
@@ -86,7 +236,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // Solve runs one solve via POST /v1/solve.
 func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
 	var resp SolveResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -97,7 +247,7 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 // inspect each BatchItemResult's Status.
 func (c *Client) SolveBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
 	var resp BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/solve/batch", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/solve/batch", req, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -106,14 +256,15 @@ func (c *Client) SolveBatch(ctx context.Context, req *BatchRequest) (*BatchRespo
 // Metrics fetches the live counters via GET /metrics.
 func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
 	var snap MetricsSnapshot
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap, true); err != nil {
 		return nil, err
 	}
 	return &snap, nil
 }
 
 // Health probes GET /healthz; it returns nil when the service is live and
-// an *APIError (503) while it is draining.
+// an *APIError (503) while it is draining. Health is never retried: its
+// 503 is the answer, not a fault.
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, false)
 }

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"somrm/internal/resilience"
+)
+
+// fastRetry is an aggressive retry schedule for tests: micro backoffs so
+// retried paths stay fast.
+func fastRetry(attempts int) ClientOption {
+	return WithRetryPolicy(resilience.RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   200 * time.Microsecond,
+		MaxDelay:    2 * time.Millisecond,
+	})
+}
+
+// okSolveJSON is a minimal valid SolveResponse body.
+func okSolveJSON(t *testing.T) []byte {
+	t.Helper()
+	body, err := json.Marshal(&SolveResponse{Method: MethodRandomization, Moments: []float64{1, 2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestClientRetries503ThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ok := okSolveJSON(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeError(w, http.StatusServiceUnavailable, "queue full")
+			return
+		}
+		w.Write(ok)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, fastRetry(4))
+	resp, err := c.Solve(context.Background(), &SolveRequest{})
+	if err != nil {
+		t.Fatalf("Solve after transient 503s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (two retried 503s)", got)
+	}
+	if len(resp.Moments) != 3 || resp.Moments[2] != 5 {
+		t.Errorf("bad decoded response: %+v", resp)
+	}
+}
+
+func TestClientNeverRetries4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusBadRequest, "bad t")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, fastRetry(5))
+	_, err := c.Solve(context.Background(), &SolveRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want exactly 1 (4xx is permanent)", got)
+	}
+}
+
+func TestClientRetriesTruncatedResponse(t *testing.T) {
+	var calls atomic.Int64
+	ok := okSolveJSON(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Half a JSON body, then abort the connection mid-response.
+			w.Write(ok[:len(ok)/2])
+			if f, okf := w.(http.Flusher); okf {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		w.Write(ok)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, fastRetry(4))
+	resp, err := c.Solve(context.Background(), &SolveRequest{})
+	if err != nil {
+		t.Fatalf("Solve after truncated body: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+	if len(resp.Moments) != 3 {
+		t.Errorf("bad decoded response: %+v", resp)
+	}
+}
+
+func TestClientHealthNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, fastRetry(5))
+	err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("health probe sent %d requests, want exactly 1", got)
+	}
+}
+
+func TestClientBreakerOpensAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var calls atomic.Int64
+	ok := okSolveJSON(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if failing.Load() {
+			writeError(w, http.StatusServiceUnavailable, "injected outage")
+			return
+		}
+		w.Write(ok)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL,
+		fastRetry(2),
+		WithRetryBudget(1000, 1), // don't let the budget mask the breaker
+		WithBreaker(resilience.BreakerConfig{
+			Window: 8, FailureRatio: 0.5, MinSamples: 4,
+			Cooldown: 30 * time.Millisecond, HalfOpenProbes: 1,
+		}))
+
+	// Outage: calls fail until the breaker opens, then fail fast.
+	sawOpen := false
+	for i := 0; i < 20 && !sawOpen; i++ {
+		_, err := c.Solve(context.Background(), &SolveRequest{})
+		if err == nil {
+			t.Fatal("solve succeeded during outage")
+		}
+		if errors.Is(err, resilience.ErrBreakerOpen) {
+			sawOpen = true
+		}
+	}
+	if !sawOpen {
+		t.Fatalf("breaker never opened; stats %+v", c.BreakerStats())
+	}
+	atServer := calls.Load()
+	if _, err := c.Solve(context.Background(), &SolveRequest{}); !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("expected fail-fast while open, got %v", err)
+	}
+	if calls.Load() != atServer {
+		t.Error("open breaker still sent requests to the server")
+	}
+
+	// Recovery: service heals, cooldown elapses, a probe closes the circuit.
+	failing.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Solve(context.Background(), &SolveRequest{}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered; state %s stats %+v", c.BreakerState(), c.BreakerStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := c.BreakerStats()
+	if st.Opens < 1 || st.HalfOpens < 1 || st.Closes < 1 {
+		t.Errorf("stats = %+v, want a full open -> half-open -> close cycle", st)
+	}
+}
+
+func TestClientWithoutRetrySingleAttempt(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "queue full")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, WithoutRetry())
+	_, err := c.Solve(context.Background(), &SolveRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1", got)
+	}
+}

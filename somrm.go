@@ -39,6 +39,7 @@ import (
 	"somrm/internal/momentbounds"
 	"somrm/internal/odesolver"
 	"somrm/internal/pde"
+	"somrm/internal/resilience"
 	"somrm/internal/server"
 	"somrm/internal/sim"
 	"somrm/internal/sparse"
@@ -123,8 +124,20 @@ type (
 	BatchItemResult = server.BatchItemResult
 	BatchPoint      = server.BatchPoint
 	// Client is an HTTP client for the solver service (Solve, SolveBatch,
-	// Metrics, Health).
+	// Metrics, Health) with built-in retry/backoff and a circuit breaker.
 	Client = server.Client
+	// ClientOption configures NewServerClient (retry policy, budget,
+	// breaker, transport).
+	ClientOption = server.ClientOption
+	// RetryPolicy is the client's exponential-backoff-with-full-jitter
+	// schedule.
+	RetryPolicy = resilience.RetryPolicy
+	// RetryBudget is the client's token-bucket retry throttle.
+	RetryBudget = resilience.Budget
+	// BreakerConfig configures the client's sliding-window circuit breaker.
+	BreakerConfig = resilience.BreakerConfig
+	// BreakerStats counts breaker state transitions and rejections.
+	BreakerStats = resilience.BreakerStats
 	// ServerMetrics is the JSON document served at /metrics.
 	ServerMetrics = server.MetricsSnapshot
 
@@ -268,8 +281,32 @@ func ModelToJSON(m *Model) ([]byte, error) {
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 
 // NewServerClient returns an HTTP client for a solver service rooted at
-// baseURL (e.g. "http://localhost:8080").
-func NewServerClient(baseURL string) *Client { return server.NewClient(baseURL) }
+// baseURL (e.g. "http://localhost:8080"). By default transient failures
+// (503s, connection errors, truncated responses) are retried with
+// jittered exponential backoff under a retry budget and a sliding-window
+// circuit breaker; options tune or disable each layer. Solves are
+// idempotent by construction, so retries never duplicate work
+// server-side beyond a cache hit. 4xx responses are never retried.
+func NewServerClient(baseURL string, opts ...ClientOption) *Client {
+	return server.NewClient(baseURL, opts...)
+}
+
+// Client resilience options for NewServerClient.
+var (
+	// WithClientHTTP sets the HTTP transport.
+	WithClientHTTP = server.WithHTTPClient
+	// WithClientRetryPolicy overrides the backoff schedule.
+	WithClientRetryPolicy = server.WithRetryPolicy
+	// WithClientRetryBudget overrides the retry budget (max tokens,
+	// deposit ratio per success).
+	WithClientRetryBudget = server.WithRetryBudget
+	// WithClientBreaker overrides the circuit-breaker configuration.
+	WithClientBreaker = server.WithBreaker
+	// WithoutClientBreaker disables the circuit breaker.
+	WithoutClientBreaker = server.WithoutBreaker
+	// WithoutClientRetry disables retries, the budget, and the breaker.
+	WithoutClientRetry = server.WithoutRetry
+)
 
 // PrepareModel precomputes the uniformized solver matrices for m so that
 // repeated solves (and multi-time grids via AccumulatedRewardAt) skip the
