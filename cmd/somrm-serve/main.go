@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	somrm-serve [-addr :8639] [-workers N] [-queue N] [-cache N]
-//	            [-prepared-cache N] [-timeout 30s] [-max-order 12]
-//	            [-drain-timeout 30s]
+//	somrm-serve [-addr :8639] [-workers N] [-queue N] [-batch-reserve N]
+//	            [-cache N] [-prepared-cache N] [-timeout 30s]
+//	            [-max-order 12] [-drain-timeout 30s]
 //
 // Endpoints:
 //
@@ -50,6 +50,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	addr := fs.String("addr", ":8639", "listen address")
 	workers := fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "solve queue capacity (0 = default 64)")
+	batchReserve := fs.Int("batch-reserve", 0, "queue slots reserved for single solves; batch items are shed first (0 = default queue/4, negative disables)")
 	cache := fs.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
 	prepCache := fs.Int("prepared-cache", 0, "prepared-model cache entries (0 = default 128, negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
@@ -65,6 +66,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	svc := server.New(server.Options{
 		Workers:           *workers,
 		QueueSize:         *queue,
+		BatchQueueReserve: *batchReserve,
 		CacheSize:         *cache,
 		PreparedCacheSize: *prepCache,
 		DefaultTimeout:    *timeout,

@@ -210,6 +210,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A panic in the item runner itself (outside the pool, which
+			// has its own recovery) must not kill the process: convert it
+			// to a sanitized per-item error like any other failure.
+			defer func() {
+				if v := recover(); v != nil {
+					s.metrics.Panics.Add(1)
+					s.metrics.Failures.Add(1)
+					results[i] = BatchItemResult{
+						Status: BatchStatusError,
+						Error:  (&PanicError{Value: v}).Error(),
+					}
+				}
+			}()
 			results[i] = s.solveBatchItem(r.Context(), prep, &req, i)
 		}(i)
 	}
@@ -243,16 +256,22 @@ func (s *Server) solveBatchItem(ctx context.Context, prep *core.Prepared, req *B
 
 	var points []BatchPoint
 	var solveErr error
-	poolErr := s.pool.Do(itemCtx, func(ctx context.Context) {
+	// Batch items enqueue with the configured reserve: when the queue is
+	// nearly saturated they are shed (503 per item) while single solves
+	// may still use the remaining headroom.
+	poolErr := s.pool.DoReserved(itemCtx, func(ctx context.Context) {
 		s.metrics.Solves.Add(1)
 		points, solveErr = s.solveItem(ctx, prep, item)
-	})
+	}, s.opts.BatchQueueReserve)
 	err := poolErr
 	if err == nil {
 		err = solveErr
 	}
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrShed):
+			s.metrics.BatchShed.Add(1)
+			s.metrics.Rejected.Add(1)
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
 			s.metrics.Rejected.Add(1)
 		default:

@@ -30,6 +30,13 @@ type Metrics struct {
 	// Failures counts requests that reached the solver and failed, or
 	// timed out (batch items count individually).
 	Failures atomic.Int64
+	// Panics counts solver panics recovered by the worker pool and the
+	// batch item runners. The process survives every one of them; each
+	// surfaces to its caller as a sanitized 500.
+	Panics atomic.Int64
+	// BatchShed counts batch items refused admission to keep queue
+	// headroom free for single solves (a subset of Rejected).
+	BatchShed atomic.Int64
 
 	// BatchRequests counts /v1/solve/batch requests accepted for
 	// processing.
@@ -144,6 +151,8 @@ type MetricsSnapshot struct {
 	DedupShared int64 `json:"dedup_shared"`
 	Rejected    int64 `json:"rejected"`
 	Failures    int64 `json:"failures"`
+	Panics      int64 `json:"panics_total"`
+	BatchShed   int64 `json:"batch_shed_total"`
 
 	BatchRequests  int64 `json:"batch_requests"`
 	PreparedHits   int64 `json:"prepared_hits"`
@@ -171,6 +180,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DedupShared:    m.DedupShared.Load(),
 		Rejected:       m.Rejected.Load(),
 		Failures:       m.Failures.Load(),
+		Panics:         m.Panics.Load(),
+		BatchShed:      m.BatchShed.Load(),
 		BatchRequests:  m.BatchRequests.Load(),
 		PreparedHits:   m.PreparedHits.Load(),
 		PreparedMisses: m.PreparedMisses.Load(),

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -14,7 +15,22 @@ var (
 	// ErrShuttingDown is returned for work that had not started when
 	// Shutdown began; handlers surface it as 503.
 	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrShed is returned by DoReserved when the queue has slots left but
+	// not beyond the reserved headroom: low-priority work (batch items) is
+	// shed before the queue can starve single solves. It wraps
+	// ErrQueueFull, so existing 503 mapping and client retry classification
+	// apply unchanged.
+	ErrShed = fmt.Errorf("%w (shed: queue headroom reserved for single solves)", ErrQueueFull)
 )
+
+// PanicError reports that a solve panicked and was recovered by its pool
+// worker instead of killing the process. Error() is deliberately
+// sanitized — it never includes the panic value or any stack contents,
+// which could leak internals to HTTP clients; the recovered value is
+// retained on the field for logs and tests.
+type PanicError struct{ Value any }
+
+func (e *PanicError) Error() string { return "server: internal panic during solve" }
 
 // pool is a bounded worker pool: a fixed number of workers drain a
 // fixed-capacity queue. It bounds solver concurrency (solves are CPU- and
@@ -25,6 +41,9 @@ type pool struct {
 	mu      sync.Mutex
 	closed  bool
 	stopped atomic.Bool
+	// onPanic observes every recovered task panic (metrics/logging hook);
+	// may be nil.
+	onPanic func(v any)
 }
 
 type poolTask struct {
@@ -34,8 +53,8 @@ type poolTask struct {
 	done chan struct{}
 }
 
-func newPool(workers, queueSize int) *pool {
-	p := &pool{queue: make(chan *poolTask, queueSize)}
+func newPool(workers, queueSize int, onPanic func(v any)) *pool {
+	p := &pool{queue: make(chan *poolTask, queueSize), onPanic: onPanic}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -55,23 +74,55 @@ func (p *pool) worker() {
 			// The caller's deadline expired while the task sat queued.
 			t.err = t.ctx.Err()
 		default:
-			t.fn(t.ctx)
+			t.err = p.runTask(t)
 		}
 		close(t.done)
 	}
 }
 
+// runTask executes one task, converting a panic into a *PanicError
+// instead of letting it unwind the worker goroutine (which would kill the
+// whole process). The worker itself survives and picks up the next task.
+func (p *pool) runTask(t *poolTask) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if p.onPanic != nil {
+				p.onPanic(v)
+			}
+			err = &PanicError{Value: v}
+		}
+	}()
+	t.fn(t.ctx)
+	return nil
+}
+
 // Do runs fn on a pool worker and waits for it to finish. It returns
 // ErrQueueFull when the queue is at capacity, ErrShuttingDown once
-// Shutdown has begun, or the context error if the deadline expired
-// before a worker picked the task up. fn itself is responsible for
-// honoring ctx once running.
+// Shutdown has begun, a *PanicError if fn panicked, or the context error
+// if the deadline expired before a worker picked the task up. fn itself
+// is responsible for honoring ctx once running.
 func (p *pool) Do(ctx context.Context, fn func(ctx context.Context)) error {
+	return p.DoReserved(ctx, fn, 0)
+}
+
+// DoReserved is Do with admission control: the task is refused with
+// ErrShed unless, after enqueueing it, at least reserve queue slots would
+// remain free. Handlers enqueue batch items with a positive reserve so a
+// wide batch saturating the queue sheds its items before it can starve
+// interactive single solves (which enqueue with reserve 0).
+func (p *pool) DoReserved(ctx context.Context, fn func(ctx context.Context), reserve int) error {
 	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
 	p.mu.Lock()
 	if p.closed || p.stopped.Load() {
 		p.mu.Unlock()
 		return ErrShuttingDown
+	}
+	// Workers only drain the queue concurrently, so the len read under the
+	// enqueue mutex is conservative: at worst the queue is emptier than
+	// observed and a shed was slightly early — never an overfill.
+	if reserve > 0 && cap(p.queue)-len(p.queue) <= reserve {
+		p.mu.Unlock()
+		return ErrShed
 	}
 	select {
 	case p.queue <- t:

@@ -34,6 +34,12 @@ type Options struct {
 	// (default 64). A full queue rejects with 503 rather than building an
 	// unbounded backlog.
 	QueueSize int
+	// BatchQueueReserve is the number of queue slots batch items may never
+	// consume: when free slots drop to this reserve, batch items are shed
+	// with 503-per-item while single solves still enqueue, so wide batches
+	// cannot starve interactive traffic. Default QueueSize/4 (at least 1);
+	// negative disables the reserve.
+	BatchQueueReserve int
 	// CacheSize is the LRU result-cache capacity in entries
 	// (default 256; negative disables caching).
 	CacheSize int
@@ -57,6 +63,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueSize <= 0 {
 		o.QueueSize = 64
+	}
+	if o.BatchQueueReserve == 0 {
+		o.BatchQueueReserve = max(1, o.QueueSize/4)
+	}
+	if o.BatchQueueReserve < 0 {
+		o.BatchQueueReserve = 0
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 256
@@ -100,13 +112,13 @@ func New(opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
 		opts:     o,
-		pool:     newPool(o.Workers, o.QueueSize),
 		cache:    newLRU(o.CacheSize),
 		prepared: newPreparedCache(o.PreparedCacheSize),
 		flight:   newFlightGroup(),
 		metrics:  &Metrics{},
 		start:    time.Now(),
 	}
+	s.pool = newPool(o.Workers, o.QueueSize, func(any) { s.metrics.Panics.Add(1) })
 	s.solve = s.preparedSolve
 	s.solveItem = s.runBatchItem
 	return s
@@ -232,10 +244,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSolveError maps solve failures to HTTP statuses: capacity and
-// shutdown to 503, deadlines to 504, malformed input to 400, anything
-// else to 500.
+// shutdown to 503, deadlines to 504, malformed input to 400, recovered
+// panics to a sanitized 500, anything else to 500.
 func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	var bad *errBadRequest
+	var pe *PanicError
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
 		s.metrics.Rejected.Add(1)
@@ -246,6 +259,11 @@ func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	case errors.As(err, &bad):
 		s.metrics.Failures.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.As(err, &pe):
+		// PanicError.Error() is sanitized by construction: no panic value,
+		// no stack, nothing internal crosses the wire.
+		s.metrics.Failures.Add(1)
+		writeError(w, http.StatusInternalServerError, pe.Error())
 	default:
 		s.metrics.Failures.Add(1)
 		writeError(w, http.StatusInternalServerError, err.Error())
