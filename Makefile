@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet ci serve bench bench-server bench-batch cover experiments fuzz clean
+.PHONY: all build test vet ci chaos serve bench bench-server bench-batch cover experiments fuzz clean
 
 all: build test
 
@@ -20,6 +20,14 @@ ci:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run Fuzz ./internal/spec/ ./internal/specfn/
+
+# The resilience gate: chaos suite (fault injection against the real
+# server: injected 503s, truncated responses, forced panics, a full
+# outage and recovery) plus the hardening tests, under the race
+# detector, repeated to shake out schedule-dependent bugs.
+chaos:
+	$(GO) vet ./internal/server/ ./internal/resilience/ ./internal/testutil/
+	$(GO) test -race -run 'Chaos|Panic|Shed|Breaker|Hammer' -count=2 ./internal/server/ ./internal/resilience/
 
 # Run the solver HTTP service (see README "Running the server").
 serve:

@@ -8,6 +8,12 @@
 //	somrm-serve [-addr :8639] [-workers N] [-queue N] [-batch-reserve N]
 //	            [-cache N] [-prepared-cache N] [-timeout 30s]
 //	            [-max-order 12] [-drain-timeout 30s]
+//	            [-fault-503 P] [-fault-truncate P] [-fault-panic P]
+//	            [-fault-latency D] [-fault-seed N]
+//
+// The -fault-* flags enable the fault-injection middleware for chaos
+// testing (probabilities in [0,1]); they are never on by default and
+// log a warning when set. Do not use them in production.
 //
 // Endpoints:
 //
@@ -56,6 +62,11 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	fault503 := fs.Float64("fault-503", 0, "TESTING ONLY: probability of injecting a 503 per request")
+	faultTrunc := fs.Float64("fault-truncate", 0, "TESTING ONLY: probability of truncating a response mid-body")
+	faultPanic := fs.Float64("fault-panic", 0, "TESTING ONLY: probability of panicking in the handler")
+	faultLatency := fs.Duration("fault-latency", 0, "TESTING ONLY: fixed latency added to every request")
+	faultSeed := fs.Int64("fault-seed", 0, "TESTING ONLY: fault injection RNG seed (0 = 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,11 +83,25 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		DefaultTimeout:    *timeout,
 		MaxOrder:          *maxOrder,
 	})
+	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
+
+	handler := svc.Handler()
+	faults := server.FaultConfig{
+		FailureRate:  *fault503,
+		TruncateRate: *faultTrunc,
+		PanicRate:    *faultPanic,
+		Latency:      *faultLatency,
+		Seed:         *faultSeed,
+	}
+	if faults != (server.FaultConfig{Seed: faults.Seed}) {
+		logger.Printf("WARNING: fault injection enabled (503 %.2f, truncate %.2f, panic %.2f, latency %s) — testing only",
+			faults.FailureRate, faults.TruncateRate, faults.PanicRate, faults.Latency)
+		handler = server.NewFaultInjector(faults).Middleware(handler)
+	}
 	httpSrv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

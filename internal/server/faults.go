@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig parameterizes the fault-injection middleware. It exists
+// for chaos testing the service and its clients and is never enabled by
+// default: somrm-serve only installs the middleware when a -fault-*
+// flag is set, and then logs a loud warning. All rates are independent
+// per-request probabilities in [0, 1].
+type FaultConfig struct {
+	// FailureRate injects a 503 with an "injected fault" body before the
+	// request reaches a handler (exercises client retry and breaker paths).
+	FailureRate float64
+	// TruncateRate lets the handler run, then aborts the connection after
+	// writing only half of the response body (exercises client handling of
+	// torn responses).
+	TruncateRate float64
+	// PanicRate panics inside the handler goroutine before the handler
+	// runs. net/http recovers it per connection: the client sees the
+	// connection drop, the process survives (exercises exactly that claim).
+	PanicRate float64
+	// Latency is a fixed delay added before the handler runs (exercises
+	// client timeouts and queue buildup).
+	Latency time.Duration
+	// Seed seeds the injector's private RNG so chaos runs are
+	// reproducible (0 selects seed 1).
+	Seed int64
+}
+
+// FaultCounts reports how many faults of each kind an injector has
+// actually fired, so tests can assert the storm they asked for happened.
+type FaultCounts struct {
+	Failures  int64
+	Truncates int64
+	Panics    int64
+	Passed    int64 // requests forwarded unharmed
+}
+
+// FaultInjector injects faults into an http.Handler chain according to
+// its current FaultConfig. The config may be swapped at runtime
+// (SetConfig) so a chaos test can move through phases: storm, full
+// outage, heal.
+type FaultInjector struct {
+	mu  sync.Mutex
+	cfg FaultConfig
+	rnd *rand.Rand
+
+	failures  atomic.Int64
+	truncates atomic.Int64
+	panics    atomic.Int64
+	passed    atomic.Int64
+}
+
+// NewFaultInjector builds an injector with the given initial config.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	f := &FaultInjector{}
+	f.SetConfig(cfg)
+	return f
+}
+
+// SetConfig replaces the injector's fault rates. The RNG is reseeded
+// only when the seed changes, so phase switches don't replay the
+// sequence.
+func (f *FaultInjector) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rnd == nil || cfg.Seed != f.cfg.Seed {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		f.rnd = rand.New(rand.NewSource(seed))
+	}
+	f.cfg = cfg
+}
+
+// Counts returns the number of faults fired so far, by kind.
+func (f *FaultInjector) Counts() FaultCounts {
+	return FaultCounts{
+		Failures:  f.failures.Load(),
+		Truncates: f.truncates.Load(),
+		Panics:    f.panics.Load(),
+		Passed:    f.passed.Load(),
+	}
+}
+
+// roll draws this request's fate under the lock: at most one fault kind
+// fires per request, checked in order 503, panic, truncate.
+func (f *FaultInjector) roll() (fail, panicNow, truncate bool, latency time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	latency = f.cfg.Latency
+	switch {
+	case f.cfg.FailureRate > 0 && f.rnd.Float64() < f.cfg.FailureRate:
+		fail = true
+	case f.cfg.PanicRate > 0 && f.rnd.Float64() < f.cfg.PanicRate:
+		panicNow = true
+	case f.cfg.TruncateRate > 0 && f.rnd.Float64() < f.cfg.TruncateRate:
+		truncate = true
+	}
+	return fail, panicNow, truncate, latency
+}
+
+// Middleware wraps next with fault injection.
+func (f *FaultInjector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fail, panicNow, truncate, latency := f.roll()
+		if latency > 0 {
+			select {
+			case <-time.After(latency):
+			case <-r.Context().Done():
+			}
+		}
+		switch {
+		case fail:
+			f.failures.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "injected fault: service unavailable")
+		case panicNow:
+			f.panics.Add(1)
+			panic("injected fault: handler panic")
+		case truncate:
+			f.truncates.Add(1)
+			f.truncateResponse(w, r, next)
+		default:
+			f.passed.Add(1)
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// truncateResponse runs next against a buffer, then sends the client
+// only half of the body and aborts the connection, simulating a torn
+// response from a dying peer.
+func (f *FaultInjector) truncateResponse(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	rec := &bufferedResponse{header: make(http.Header), code: http.StatusOK}
+	next.ServeHTTP(rec, r)
+	for k, vs := range rec.header {
+		// Drop Content-Length so the runtime doesn't pad or error; the
+		// abort below is what ends the response.
+		if k == "Content-Length" {
+			continue
+		}
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(rec.code)
+	body := rec.body.Bytes()
+	if len(body) > 0 {
+		w.Write(body[:len(body)/2])
+	}
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	// ErrAbortHandler closes the connection without the stack-trace log
+	// a regular handler panic would emit.
+	panic(http.ErrAbortHandler)
+}
+
+// bufferedResponse captures a handler's response so the middleware can
+// replay a mutilated copy of it.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header         { return b.header }
+func (b *bufferedResponse) WriteHeader(code int)        { b.code = code }
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }

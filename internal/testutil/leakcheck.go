@@ -1,0 +1,57 @@
+// Package testutil holds small helpers shared by tests across the
+// module. It is imported only from _test files.
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeaks registers a cleanup that fails the test if
+// goroutines executing this module's code are still alive once the
+// test's own shutdown cleanups have run. Call it FIRST in the test, so
+// its cleanup runs LAST (cleanups run in reverse registration order),
+// after servers have been shut down and clients closed.
+//
+// The check is scoped to goroutines with a somrm frame on their stack:
+// runtime, testing, and net/http housekeeping goroutines (idle
+// keep-alive connections, timer goroutines) are outside this module's
+// control and are ignored.
+func CheckGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = moduleGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("%d goroutine(s) still running somrm code after cleanup:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// moduleGoroutines returns the stacks of all goroutines with a somrm
+// frame, excluding the goroutine running this check itself (its stack
+// contains the testutil frame).
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range bytes.Split(buf[:n], []byte("\n\n")) {
+		if bytes.Contains(g, []byte("somrm/internal")) &&
+			!bytes.Contains(g, []byte("somrm/internal/testutil")) {
+			out = append(out, string(g))
+		}
+	}
+	return out
+}

@@ -140,6 +140,12 @@ type (
 	BreakerStats = resilience.BreakerStats
 	// ServerMetrics is the JSON document served at /metrics.
 	ServerMetrics = server.MetricsSnapshot
+	// FaultConfig / FaultInjector inject probabilistic faults (503s,
+	// truncated responses, handler panics, latency) into a server handler
+	// chain for chaos testing. Never enabled by default; see the
+	// somrm-serve -fault-* flags.
+	FaultConfig   = server.FaultConfig
+	FaultInjector = server.FaultInjector
 
 	// PreparedModel is a model with its uniformized solver matrices
 	// precomputed; repeated and multi-time solves against it skip the
