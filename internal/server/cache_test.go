@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"somrm/internal/testutil"
+)
+
+// TestResultCacheEvictionHammer drives far more distinct models than the
+// result cache can hold through concurrent requests, so entries are
+// evicted and re-inserted continuously while other goroutines read them.
+// It mirrors TestPreparedCacheConcurrentHammer for the result LRU and
+// asserts the invariants that matter under churn: every response carries
+// the moments of the model it asked for (an eviction race returning a
+// stale or cross-wired entry would surface here), the entry count never
+// exceeds capacity, and the hit/miss counters stay consistent with the
+// request count.
+func TestResultCacheEvictionHammer(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+
+	const (
+		cacheCap   = 4
+		distinct   = 12 // 3x the capacity: constant eviction pressure
+		goroutines = 24
+		repsEach   = 6
+		order      = 2
+	)
+
+	s := New(Options{Workers: 4, QueueSize: 256, CacheSize: cacheCap})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	bodies := make([][]byte, distinct)
+	refs := make([][]float64, distinct)
+	for k := 0; k < distinct; k++ {
+		bodies[k] = solveBody(t, &SolveRequest{Model: testSpec(k), T: 1, Order: order})
+		model, err := testSpec(k).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := model.AccumulatedRewardAt([]float64{1}, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[k] = res[0].Moments
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < repsEach; r++ {
+				// Stride by goroutine so reads, inserts, and evictions of
+				// different keys interleave instead of marching in phase.
+				k := (g*5 + r) % distinct
+				resp, out, raw := postSolve(t, ts.URL, bodies[k])
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d rep %d: status %d: %s", g, r, resp.StatusCode, raw)
+					continue
+				}
+				if !reflect.DeepEqual(out.Moments, refs[k]) {
+					t.Errorf("model %d: moments %v, want %v (cache served the wrong entry)",
+						k, out.Moments, refs[k])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := s.cache.Len(); got > cacheCap {
+		t.Errorf("cache holds %d entries, capacity is %d", got, cacheCap)
+	}
+	hits, misses := s.metrics.CacheHits.Load(), s.metrics.CacheMisses.Load()
+	requests := s.metrics.Requests.Load()
+	if requests != goroutines*repsEach {
+		t.Errorf("requests = %d, want %d", requests, goroutines*repsEach)
+	}
+	// Every accepted request is exactly one cache lookup: a hit or a miss
+	// (single-flight followers count as misses).
+	if hits+misses != requests {
+		t.Errorf("cache hits (%d) + misses (%d) = %d, want the request count %d",
+			hits, misses, hits+misses, requests)
+	}
+	// With 3x capacity churn there must be misses beyond the first fill;
+	// with 12 repetitions of each key there must also be some hits.
+	if misses < distinct {
+		t.Errorf("misses = %d, want at least one per distinct model (%d)", misses, distinct)
+	}
+	if hits == 0 {
+		t.Error("no cache hits at all under repeated identical requests")
+	}
+}
