@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet ci chaos serve bench bench-server bench-batch cover experiments fuzz clean
+.PHONY: all build test vet ci chaos serve bench bench-server bench-batch bench-sweep bench-sweep-smoke cover experiments fuzz clean
 
 all: build test
 
@@ -43,6 +43,21 @@ bench-server:
 # The batch-vs-sequential comparison tracked in BENCHMARKS.md.
 bench-batch:
 	$(GO) test -bench BenchmarkBatchSolve -benchmem -run '^$$' ./internal/server
+
+# The randomization-sweep kernel comparison tracked in BENCHMARKS.md:
+# serial reference vs the fused kernel at the paper's large-example shape,
+# recorded as machine-readable JSON (name, ns/op, B/op, allocs/op, cores,
+# commit) for committing and diffing across revisions.
+bench-sweep:
+	$(GO) test -bench BenchmarkSweep -benchmem -benchtime 10x -run '^$$' \
+		-timeout 30m ./internal/core | $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+	@echo wrote BENCH_sweep.json
+
+# CI smoke: one iteration per sweep benchmark, just to prove every kernel
+# variant still runs end to end at the paper shape. Output is discarded.
+bench-sweep-smoke:
+	$(GO) test -bench BenchmarkSweep -benchtime 1x -run '^$$' \
+		-timeout 30m ./internal/core | $(GO) run ./cmd/benchjson -o /dev/null
 
 cover:
 	$(GO) test -cover ./...

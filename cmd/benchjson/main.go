@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark runs can be committed and diffed (see
+// `make bench-sweep`, which records the randomization sweep benchmarks in
+// BENCH_sweep.json).
+//
+// Usage:
+//
+//	go test -bench Sweep -benchmem ./internal/core/ | benchjson -o BENCH_sweep.json
+//
+// The commit hash is taken from -commit, falling back to `git rev-parse
+// HEAD`, falling back to "unknown" — the tool never fails just because
+// the tree is not a checkout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	// Name is the benchmark name without the trailing -P procs suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the line (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	// Commit identifies the source revision the run measured.
+	Commit string `json:"commit"`
+	// Cores is the machine's logical CPU count at conversion time.
+	Cores int `json:"cores"`
+	// GoOS/GoArch/CPU echo the bench header when present.
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	commit := flag.String("commit", "", "commit hash to record (default: git rev-parse HEAD)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Commit = resolveCommit(*commit)
+	rep.Cores = runtime.NumCPU()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveCommit picks the recorded commit hash: the explicit flag, then
+// the git HEAD of the working directory, then "unknown".
+func resolveCommit(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// parse reads `go test -bench` output and collects header fields and
+// benchmark lines. Unrecognized lines (test logs, PASS/ok trailers) are
+// skipped, so piping full `go test` output works.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName[-P] <iters> <ns> ns/op [<bytes> B/op] [<allocs> allocs/op]
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return BenchResult{}, false
+	}
+	res := BenchResult{Name: fields[0], Procs: 1}
+	// Split a trailing -P procs suffix (added when GOMAXPROCS != 1).
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil && p > 0 {
+			res.Name = res.Name[:i]
+			res.Procs = p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		}
+	}
+	if res.NsPerOp == 0 && res.BytesPerOp == nil {
+		return BenchResult{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: somrm/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweep/N100001/reference         	      10	 345862450 ns/op	16059544 B/op	      40 allocs/op
+BenchmarkSweep/N100001/fused-single      	      10	 157680519 ns/op	22465720 B/op	      43 allocs/op
+BenchmarkSweep/N100001/fused-auto-8      	      12	 145756858 ns/op
+PASS
+ok  	somrm/internal/core	21.110s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" {
+		t.Errorf("header: goos=%q goarch=%q", rep.GoOS, rep.GoArch)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu header: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	ref := rep.Benchmarks[0]
+	if ref.Name != "BenchmarkSweep/N100001/reference" || ref.Procs != 1 {
+		t.Errorf("reference: name=%q procs=%d", ref.Name, ref.Procs)
+	}
+	if ref.Iterations != 10 || ref.NsPerOp != 345862450 {
+		t.Errorf("reference: iters=%d ns=%g", ref.Iterations, ref.NsPerOp)
+	}
+	if ref.BytesPerOp == nil || *ref.BytesPerOp != 16059544 {
+		t.Errorf("reference: bytes=%v", ref.BytesPerOp)
+	}
+	if ref.AllocsPerOp == nil || *ref.AllocsPerOp != 40 {
+		t.Errorf("reference: allocs=%v", ref.AllocsPerOp)
+	}
+
+	auto := rep.Benchmarks[2]
+	if auto.Name != "BenchmarkSweep/N100001/fused-auto" || auto.Procs != 8 {
+		t.Errorf("procs suffix not split: name=%q procs=%d", auto.Name, auto.Procs)
+	}
+	if auto.BytesPerOp != nil {
+		t.Errorf("no -benchmem columns, but bytes=%v", auto.BytesPerOp)
+	}
+}
+
+func TestParseNoBenchLines(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok pkg 1s\n")); err == nil {
+		t.Error("expected an error on input without benchmark lines")
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX abc 5 ns/op",
+		"BenchmarkX 10 fast very",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

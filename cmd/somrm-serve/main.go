@@ -61,6 +61,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	prepCache := fs.Int("prepared-cache", 0, "prepared-model cache entries (0 = default 128, negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
+	sweepWorkers := fs.Int("sweep-workers", 0, "per-solve randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	fault503 := fs.Float64("fault-503", 0, "TESTING ONLY: probability of injecting a 503 per request")
 	faultTrunc := fs.Float64("fault-truncate", 0, "TESTING ONLY: probability of truncating a response mid-body")
@@ -82,6 +83,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		PreparedCacheSize: *prepCache,
 		DefaultTimeout:    *timeout,
 		MaxOrder:          *maxOrder,
+		SweepWorkers:      *sweepWorkers,
 	})
 	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
 

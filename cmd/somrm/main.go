@@ -56,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	t := fs.Float64("t", 1, "accumulation time")
 	order := fs.Int("order", 3, "highest moment order")
 	eps := fs.Float64("eps", 1e-9, "randomization truncation accuracy")
+	sweepWorkers := fs.Int("sweep-workers", 0, "randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep (all bitwise identical)")
 	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
@@ -106,14 +107,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("bad -times: %w", err)
 		}
-		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps})
+		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers})
 		if err != nil {
 			return err
 		}
 		return writeSeries(results, *order, out)
 	}
 
-	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps})
+	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers})
 	if err != nil {
 		return err
 	}

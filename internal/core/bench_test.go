@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"somrm/internal/ctmc"
@@ -73,6 +74,48 @@ func BenchmarkComposePair(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Compose(m, m); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep measures the k = 1..G randomization sweep on the paper's
+// large-example shape: a tridiagonal birth-death chain at moment order 3.
+// N = 100,001 is the CI smoke size, N = 200,001 the paper's large
+// example; constant rates keep qt (and with it G) independent of N.
+// Sub-benchmarks select the kernel via Options.SweepWorkers: "reference"
+// is the serial pre-fusion loop, "fused-single" the fused kernel on one worker
+// (isolates the fusion win from parallel speedup), "fused-auto" the
+// production policy (GOMAXPROCS workers above the parallel threshold).
+// Each model is prepared once so an op measures the sweep, not the
+// per-solve uniformization and CSR assembly it shares across kernels.
+func BenchmarkSweep(b *testing.B) {
+	const (
+		order = 3
+		tt    = 8.0 // q = 7 -> qt = 56
+	)
+	for _, n := range []int{100_001, 200_001} {
+		m := largeTridiagModel(b, n)
+		prep, err := Prepare(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bc := range []struct {
+			name    string
+			workers int
+		}{
+			{"reference", -1},
+			{"fused-single", 1},
+			{"fused-auto", 0},
+		} {
+			b.Run(fmt.Sprintf("N%d/%s", n, bc.name), func(b *testing.B) {
+				opts := &Options{SweepWorkers: bc.workers}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := prep.AccumulatedReward(tt, order, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

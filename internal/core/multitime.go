@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"somrm/internal/poisson"
 	"somrm/internal/sparse"
@@ -137,29 +138,36 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 		return results, nil
 	}
 
-	// Per-time truncation points and weights.
+	// Per-time truncation points and Poisson weights. Each plan's
+	// accumulation is clipped to the effective window of its weights —
+	// the first/last k whose pmf is non-zero in float64 — so large-qt
+	// grids skip the underflowed head of the distribution entirely
+	// instead of testing ~0.9·qt zero weights per iteration.
 	type timePlan struct {
-		t      float64
-		g      int
-		bound  float64
-		weight []float64 // weight[k] = Poisson pmf at k
+		t     float64
+		g     int
+		bound float64
 	}
 	plans := make([]timePlan, len(times))
+	sweepPlans := make([]sparse.SweepPlan, len(times))
 	gMax := 0
 	for idx, t := range times {
 		if t == 0 {
 			plans[idx] = timePlan{t: 0}
+			sweepPlans[idx] = sparse.SweepPlan{First: 0, Last: -1}
 			continue
 		}
 		g, bound, err := truncationPoint(order, d, q*t, cfg.Epsilon, imp != nil, cfg.MaxG)
 		if err != nil {
 			return nil, err
 		}
-		w := make([]float64, g+1)
-		for k := 0; k <= g; k++ {
-			w[k] = math.Exp(poisson.LogPMF(k, q*t))
+		w, first, last := poisson.PMFWindow(q*t, g)
+		acc := make([][]float64, order+1)
+		for j := 0; j <= order; j++ {
+			acc[j] = make([]float64, n)
 		}
-		plans[idx] = timePlan{t: t, g: g, bound: bound, weight: w}
+		plans[idx] = timePlan{t: t, g: g, bound: bound}
+		sweepPlans[idx] = sparse.SweepPlan{First: first, Last: last, Weight: w, Acc: acc}
 		if g > gMax {
 			gMax = g
 		}
@@ -168,82 +176,53 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 	// Shared sweep.
 	cur := make([][]float64, order+1)
 	next := make([][]float64, order+1)
-	accs := make([][][]float64, len(times)) // accs[idx][j][state]
 	for j := 0; j <= order; j++ {
 		cur[j] = make([]float64, n)
 		next[j] = make([]float64, n)
 	}
-	for idx := range accs {
-		accs[idx] = make([][]float64, order+1)
-		for j := 0; j <= order; j++ {
-			accs[idx][j] = make([]float64, n)
-		}
-	}
 	for i := 0; i < n; i++ {
 		cur[0][i] = 1
 	}
-	// k = 0 contributions.
-	for idx, plan := range plans {
-		if plan.t == 0 {
+	// k = 0 contributions: U^(0)(0) = 1, higher orders 0.
+	for idx := range sweepPlans {
+		p := &sweepPlans[idx]
+		if plans[idx].t == 0 || p.First > 0 {
 			continue
 		}
-		if w0 := plan.weight[0]; w0 > 0 {
+		if w0 := p.Weight[0]; w0 > 0 {
 			for i := 0; i < n; i++ {
-				accs[idx][0][i] = w0
+				p.Acc[0][i] = w0
 			}
 		}
 	}
+
+	// The k = 1..G recursion runs on the sweep engine: the fused
+	// persistent-worker kernel when the model is large enough to amortize
+	// the iteration barrier (or the caller forced it), the serial
+	// reference kernel otherwise. Both produce bitwise identical moments.
+	workers := sparse.PlanWorkers(cfg.SweepWorkers, n)
+	teamSize := workers
+	if teamSize < 1 {
+		teamSize = 1
+	}
+	sweep, err := sparse.NewSweep(u.qPrime, u.rPrime, u.sHalf, imp, order, teamSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sweepStart := time.Now()
 	var matVecs int64
-	for k := 1; k <= gMax; k++ {
-		if k%cancelCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		for j := order; j >= 0; j-- {
-			if err := u.qPrime.MatVecAuto(cur[j], next[j]); err != nil {
-				return nil, fmt.Errorf("core: %w", err)
-			}
-			matVecs++
-			if j >= 1 {
-				for i := 0; i < n; i++ {
-					next[j][i] += u.rPrime[i] * cur[j-1][i]
-				}
-			}
-			if j >= 2 {
-				for i := 0; i < n; i++ {
-					next[j][i] += 0.5 * u.sPrime[i] * cur[j-2][i]
-				}
-			}
-			if imp != nil {
-				invFact := 1.0
-				for mm := 1; mm <= j; mm++ {
-					invFact /= float64(mm)
-					if err := imp[mm-1].MatVecAdd(invFact, cur[j-mm], next[j]); err != nil {
-						return nil, fmt.Errorf("core: %w", err)
-					}
-					matVecs++
-				}
-			}
-		}
-		cur, next = next, cur
-		for idx, plan := range plans {
-			if plan.t == 0 || k > plan.g {
-				continue
-			}
-			w := plan.weight[k]
-			if w == 0 {
-				continue
-			}
-			for j := 0; j <= order; j++ {
-				cj := cur[j]
-				aj := accs[idx][j]
-				for i := 0; i < n; i++ {
-					aj[i] += w * cj[i]
-				}
-			}
-		}
+	if workers == 0 {
+		matVecs, err = sweep.RunReference(ctx, gMax, cur, next, sweepPlans, cancelCheckStride)
+	} else {
+		matVecs, err = sweep.Run(ctx, gMax, cur, next, sweepPlans, cancelCheckStride)
 	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sweepNS := time.Since(sweepStart).Nanoseconds()
 
 	// Scale, unshift, aggregate per time point.
 	results := make([]*Result, len(times))
@@ -265,8 +244,9 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 				return nil, fmt.Errorf("%w: scale j!*d^j at order %d", ErrOverflow, j)
 			}
 			vm[j] = make([]float64, n)
+			acc := sweepPlans[idx].Acc[j]
 			for i := 0; i < n; i++ {
-				vm[j][i] = scale * accs[idx][j][i]
+				vm[j][i] = scale * acc[i]
 				if math.IsInf(vm[j][i], 0) || math.IsNaN(vm[j][i]) {
 					return nil, fmt.Errorf("%w: t=%g moment order %d", ErrOverflow, plan.t, j)
 				}
@@ -277,6 +257,7 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 			Q: q, QT: q * plan.t, D: d, Shift: shift,
 			G: plan.g, ErrorBound: plan.bound,
 			MatVecs:           matVecs,
+			SweepNS:           sweepNS,
 			FlopsPerIteration: int64(u.qPrime.NNZ()+2*n) * int64(order+1),
 		}
 		res.finish(m.initial)

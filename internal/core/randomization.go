@@ -28,6 +28,20 @@ type Options struct {
 	UniformizationRate float64
 	// MaxG caps the iteration count. Zero means the package default.
 	MaxG int
+	// SweepWorkers controls the parallelism of the randomization sweep
+	// (the k = 1..G recursion behind every solve):
+	//
+	//   - 0 (the default) selects automatically: the serial reference
+	//     sweep for small models, the fused persistent worker team with
+	//     GOMAXPROCS workers once the state count can amortize the
+	//     per-iteration barrier (16,384 states and up);
+	//   - > 0 forces the fused kernel with exactly that many workers at
+	//     any size (tests and benchmarks use this);
+	//   - < 0 forces the serial reference sweep at any size.
+	//
+	// Every setting produces bitwise identical moments; the knob trades
+	// only wall time and goroutines.
+	SweepWorkers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -60,8 +74,19 @@ type Stats struct {
 	// ErrorBound is the value of the provable truncation bound at G. It can
 	// underflow to zero when the bound is far below Epsilon.
 	ErrorBound float64
-	// MatVecs counts sparse matrix-vector products performed.
+	// MatVecs counts the sparse matrix-vector products performed by the
+	// solve's randomization sweep. A multi-time solve shares one sweep
+	// across every time point, so this is the whole-sweep total copied
+	// into each Result of the batch: summing it over a time grid's
+	// Results overcounts the work by the grid length.
 	MatVecs int64
+	// SweepNS is the wall-clock time of the randomization sweep in
+	// nanoseconds — the k = 1..G recursion only, excluding model setup,
+	// the truncation-point search and the final scaling/unshift. Like
+	// MatVecs it is a whole-sweep figure copied into every Result of a
+	// multi-time solve. Serving metrics use it to report solver time
+	// separately from queue and serialization time.
+	SweepNS int64
 	// FlopsPerIteration estimates floating-point multiplications per
 	// iteration step, ((m+2) per moment order) * |S|, as in section 7.
 	FlopsPerIteration int64
@@ -122,6 +147,10 @@ type uniformization struct {
 	qPrime      *sparse.CSR
 	rPrime      []float64
 	sPrime      []float64
+	// sHalf[i] = 0.5 * sPrime[i], the coefficient the recursion actually
+	// applies to cur[j-2]; precomputed so the sweep kernels need one load
+	// per entry instead of a multiply.
+	sHalf []float64
 }
 
 // uniformize computes the shift transformation and the substochastic
@@ -160,9 +189,11 @@ func (m *Model) uniformize(q float64) (*uniformization, error) {
 	u.qPrime = qPrime
 	u.rPrime = make([]float64, n)
 	u.sPrime = make([]float64, n)
+	u.sHalf = make([]float64, n)
 	for i := 0; i < n; i++ {
 		u.rPrime[i] = shifted[i] / (q * d)
 		u.sPrime[i] = m.vars[i] / (q * d * d)
+		u.sHalf[i] = 0.5 * u.sPrime[i]
 	}
 	return u, nil
 }
@@ -226,13 +257,22 @@ func truncationPoint(order int, d, qt, eps float64, impulses bool, maxG int) (in
 		}
 		return logFactor + poisson.LogTailProb(g-j, qt)
 	}
+	// Each logBound evaluation costs order+1 Lgamma-based pmf tails, and
+	// the exponential bracket revisits its probes during the binary search
+	// (and the final bound is re-evaluated at the found G), so memoize
+	// per-g results for the duration of the search.
+	memo := make(map[int]float64)
 	logBound := func(g int) float64 {
+		if v, ok := memo[g]; ok {
+			return v
+		}
 		worst := math.Inf(-1)
 		for j := 0; j <= order; j++ {
 			if b := logBoundAt(g, j); b > worst {
 				worst = b
 			}
 		}
+		memo[g] = worst
 		return worst
 	}
 
@@ -303,6 +343,7 @@ func unshift(vm [][]float64, shift, t float64, order int) [][]float64 {
 	}
 	n := len(vm[0])
 	c := shift * t
+	pow := powTable(c, order)
 	out := make([][]float64, order+1)
 	// Binomial coefficients row by row.
 	binom := make([]float64, order+1)
@@ -314,7 +355,7 @@ func unshift(vm [][]float64, shift, t float64, order int) [][]float64 {
 		}
 		out[j] = make([]float64, n)
 		for l := 0; l <= j; l++ {
-			coef := binom[l] * math.Pow(c, float64(j-l))
+			coef := binom[l] * pow[j-l]
 			if coef == 0 {
 				continue
 			}
@@ -326,6 +367,51 @@ func unshift(vm [][]float64, shift, t float64, order int) [][]float64 {
 		}
 	}
 	return out
+}
+
+// powTable returns p[m] = math.Pow(c, float64(m)) for m = 0..n, bit for
+// bit, replacing the O(n²) Pow calls the unshift double loop used to
+// make. It maintains the powers incrementally with the square-and-multiply
+// ladder math.Pow itself uses for integer exponents, sharing the c^(2^i)
+// squares across entries; for normal (non-over/underflowing)
+// intermediates that ladder performs the identical float64 operation
+// sequence as Pow, so the results match exactly. When |c|^n could leave
+// the comfortably-normal range — where Pow's frexp exponent tracking
+// would round differently than raw multiplication — every entry falls
+// back to math.Pow itself.
+func powTable(c float64, n int) []float64 {
+	p := make([]float64, n+1)
+	p[0] = 1
+	if n == 0 {
+		return p
+	}
+	// |log2(c^n)| < 1000 keeps every square and partial product strictly
+	// inside the normal range (the extremes are bounded by |c|^n and 1).
+	// c = 0 and non-finite c fail the test and take the fallback.
+	if e := math.Log2(math.Abs(c)); !(math.Abs(e)*float64(n) < 1000) {
+		for m := 1; m <= n; m++ {
+			p[m] = math.Pow(c, float64(m))
+		}
+		return p
+	}
+	squares := make([]float64, 0, 8) // squares[i] = c^(2^i)
+	for m := 1; m <= n; m++ {
+		a := 1.0
+		for yi, bit := m, 0; yi != 0; yi, bit = yi>>1, bit+1 {
+			if bit == len(squares) {
+				if bit == 0 {
+					squares = append(squares, c)
+				} else {
+					squares = append(squares, squares[bit-1]*squares[bit-1])
+				}
+			}
+			if yi&1 == 1 {
+				a *= squares[bit]
+			}
+		}
+		p[m] = a
+	}
+	return p
 }
 
 // finish computes the pi-weighted scalar moments from the vector moments.

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"somrm/internal/ctmc"
+	"somrm/internal/poisson"
+	"somrm/internal/sparse"
+)
+
+// largeTridiagModel builds the paper's large-example shape: a tridiagonal
+// birth-death chain with constant rates (so the uniformization rate, and
+// with it qt and G, stay independent of n), drifts of mixed sign (the
+// shift transformation is active) and positive variances.
+func largeTridiagModel(tb testing.TB, n int) *Model {
+	tb.Helper()
+	up := make([]float64, n-1)
+	down := make([]float64, n-1)
+	for i := range up {
+		up[i] = 3
+		down[i] = 4
+	}
+	gen, err := ctmc.NewBirthDeath(up, down)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rates := make([]float64, n)
+	vars := make([]float64, n)
+	for i := range rates {
+		rates[i] = float64(i%7) - 3 // mixed sign: exercises unshift
+		vars[i] = 0.5 + float64(i%3)
+	}
+	pi := make([]float64, n)
+	pi[n/2] = 1
+	m, err := New(gen, rates, vars, pi)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// TestSweepFusedMatchesReferenceLarge runs the paper-scale shape
+// (N = 100,001 tridiagonal states, order 3) through the fused
+// persistent-worker kernel — the model is far above the parallel
+// threshold, so the automatic policy picks it — and demands bitwise
+// agreement with the forced serial reference sweep, across a multi-point
+// time grid including t = 0.
+func TestSweepFusedMatchesReferenceLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large model")
+	}
+	m := largeTridiagModel(t, 100_001)
+	times := []float64{0, 0.5, 2}
+	const order = 3
+
+	ref, err := m.AccumulatedRewardAt(times, order, &Options{SweepWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		got, err := m.AccumulatedRewardAt(times, order, &Options{SweepWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for idx := range times {
+			if got[idx].Stats.MatVecs != ref[idx].Stats.MatVecs {
+				t.Fatalf("workers %d t=%g: matvecs %d != %d", workers, times[idx], got[idx].Stats.MatVecs, ref[idx].Stats.MatVecs)
+			}
+			for j := 0; j <= order; j++ {
+				if math.Float64bits(got[idx].Moments[j]) != math.Float64bits(ref[idx].Moments[j]) {
+					t.Fatalf("workers %d t=%g: moment %d = %x, reference %x",
+						workers, times[idx], j, math.Float64bits(got[idx].Moments[j]), math.Float64bits(ref[idx].Moments[j]))
+				}
+				for i := 0; i < m.N(); i += 997 { // sampled: full vectors are 4×100k
+					if math.Float64bits(got[idx].VectorMoments[j][i]) != math.Float64bits(ref[idx].VectorMoments[j][i]) {
+						t.Fatalf("workers %d t=%g: vm[%d][%d] differs", workers, times[idx], j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepCancellationHammer races the persistent worker team against
+// concurrent cancellation: many solves above the parallel threshold,
+// each cancelled at a random point mid-sweep. Run under -race in CI it
+// checks the team's barrier discipline; every call must either finish
+// with valid moments or return the context's error, and no goroutines
+// may linger.
+func TestSweepCancellationHammer(t *testing.T) {
+	m := largeTridiagModel(t, 20_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for rep := 0; rep < 4; rep++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(3000))*time.Microsecond)
+				res, err := m.AccumulatedRewardAtContext(ctx, []float64{40}, 3, &Options{SweepWorkers: 2})
+				cancel()
+				if err != nil {
+					if ctx.Err() == nil {
+						t.Errorf("goroutine %d: non-cancellation error: %v", g, err)
+					}
+					continue
+				}
+				for j, v := range res[0].Moments {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Errorf("goroutine %d: bad moment %d: %g", g, j, v)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSweepStats pins the documented Stats semantics: MatVecs and SweepNS
+// are whole-sweep figures copied into every Result of a multi-time solve,
+// MatVecs matches the recursion's product count, and the sweep consumed
+// measurable wall time.
+func TestSweepStats(t *testing.T) {
+	m := largeTridiagModel(t, 512)
+	times := []float64{0.5, 1, 4}
+	const order = 3
+	res, err := m.AccumulatedRewardAt(times, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gMax := 0
+	for _, r := range res {
+		if r.Stats.G > gMax {
+			gMax = r.Stats.G
+		}
+	}
+	want := int64(gMax) * int64(order+1) // no impulses in this model
+	for idx, r := range res {
+		if r.Stats.MatVecs != want {
+			t.Errorf("t=%g: MatVecs = %d, want whole-sweep %d", times[idx], r.Stats.MatVecs, want)
+		}
+		if r.Stats.MatVecs != res[0].Stats.MatVecs || r.Stats.SweepNS != res[0].Stats.SweepNS {
+			t.Errorf("t=%g: per-result sweep stats differ within one solve", times[idx])
+		}
+		if r.Stats.SweepNS <= 0 {
+			t.Errorf("t=%g: SweepNS = %d, want > 0", times[idx], r.Stats.SweepNS)
+		}
+	}
+
+	// Impulse models count the triangular impulse products too.
+	mi := impulseTestModel(t)
+	ri, err := mi.AccumulatedReward(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ri.Stats.G
+	wantImp := int64(g) * int64(3+2*3/2)
+	if ri.Stats.MatVecs != wantImp {
+		t.Errorf("impulse model: MatVecs = %d, want %d", ri.Stats.MatVecs, wantImp)
+	}
+}
+
+// impulseTestModel is a small two-state chain with impulse rewards on
+// both transitions.
+func impulseTestModel(tb testing.TB) *Model {
+	tb.Helper()
+	gen, err := ctmc.NewGeneratorFromRates(2, func(i, j int) float64 {
+		if i == 0 && j == 1 {
+			return 2
+		}
+		return 3
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := New(gen, []float64{1, -0.5}, []float64{0.2, 0.1}, []float64{1, 0})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ib := sparse.NewBuilder(2, 2)
+	if err := ib.Add(0, 1, 0.4); err != nil {
+		tb.Fatal(err)
+	}
+	if err := ib.Add(1, 0, 0.7); err != nil {
+		tb.Fatal(err)
+	}
+	mi, err := m.WithImpulses(ib.Build())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return mi
+}
+
+// TestPowTable pins the power table against math.Pow bit for bit over
+// moderate, extreme, and special-case bases — the contract that keeps
+// unshift's results identical to the old per-entry Pow formula.
+func TestPowTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	bases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 2, -2, 0.5, -0.5,
+		1e-80, -1e-80, 1e80, -1e80, 1e300, 1e-300, // fallback territory
+		math.Pi, -math.E, 1e-8, 123456.789,
+	}
+	for i := 0; i < 500; i++ {
+		bases = append(bases, (rng.Float64()*2-1)*math.Pow(10, float64(rng.Intn(13)-6)))
+	}
+	for _, c := range bases {
+		for _, n := range []int{0, 1, 2, 3, 5, 8, 12} {
+			p := powTable(c, n)
+			for m := 0; m <= n; m++ {
+				want := math.Pow(c, float64(m))
+				if math.Float64bits(p[m]) != math.Float64bits(want) {
+					t.Fatalf("powTable(%g, %d)[%d] = %x, math.Pow = %x",
+						c, n, m, math.Float64bits(p[m]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// unshiftOldFormula is the pre-power-table implementation of unshift,
+// kept verbatim as the oracle for the bitwise pin below.
+func unshiftOldFormula(vm [][]float64, shift, t float64, order int) [][]float64 {
+	if shift == 0 {
+		return vm
+	}
+	n := len(vm[0])
+	c := shift * t
+	out := make([][]float64, order+1)
+	binom := make([]float64, order+1)
+	for j := 0; j <= order; j++ {
+		binom[j] = 1
+		for l := j - 1; l > 0; l-- {
+			binom[l] += binom[l-1]
+		}
+		out[j] = make([]float64, n)
+		for l := 0; l <= j; l++ {
+			coef := binom[l] * math.Pow(c, float64(j-l))
+			if coef == 0 {
+				continue
+			}
+			src := vm[l]
+			dst := out[j]
+			for i := 0; i < n; i++ {
+				dst[i] += coef * src[i]
+			}
+		}
+	}
+	return out
+}
+
+// TestUnshiftMatchesOldFormula demands bitwise identity between the
+// table-driven unshift and the old per-entry math.Pow formula, across
+// random moments and shift magnitudes from subnormal-producing to
+// overflowing.
+func TestUnshiftMatchesOldFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shifts := []float64{0, -0.5, -3, -1e-90, -1e90, -1e-300}
+	for i := 0; i < 40; i++ {
+		shifts = append(shifts, -rng.Float64()*math.Pow(10, float64(rng.Intn(9)-4)))
+	}
+	for _, shift := range shifts {
+		for _, order := range []int{0, 1, 3, 6} {
+			n := 1 + rng.Intn(8)
+			vm := make([][]float64, order+1)
+			for j := range vm {
+				vm[j] = make([]float64, n)
+				for i := range vm[j] {
+					vm[j][i] = rng.NormFloat64() * 10
+				}
+			}
+			tt := 0.1 + rng.Float64()*5
+			got := unshift(vm, shift, tt, order)
+			want := unshiftOldFormula(vm, shift, tt, order)
+			for j := range want {
+				for i := range want[j] {
+					if math.Float64bits(got[j][i]) != math.Float64bits(want[j][i]) {
+						t.Fatalf("shift=%g t=%g order=%d: out[%d][%d] = %x, old formula %x",
+							shift, tt, order, j, i, math.Float64bits(got[j][i]), math.Float64bits(want[j][i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// truncationPointNoMemo is the pre-memoization search, kept verbatim: the
+// oracle proving the memoized version returns an unchanged G across the
+// representative parameter grid.
+func truncationPointNoMemo(order int, d, qt, eps float64, impulses bool, maxG int) (int, float64, error) {
+	logEps := math.Log(eps)
+	logBoundAt := func(g, j int) float64 {
+		var logFactor float64
+		if impulses {
+			logFactor = float64(j) * (math.Log(4*d) + math.Log(qt))
+		} else {
+			lg, _ := math.Lgamma(float64(j) + 1)
+			logFactor = math.Ln2 + float64(j)*math.Log(d) + lg + float64(j)*math.Log(qt)
+		}
+		return logFactor + poisson.LogTailProb(g-j, qt)
+	}
+	logBound := func(g int) float64 {
+		worst := math.Inf(-1)
+		for j := 0; j <= order; j++ {
+			if b := logBoundAt(g, j); b > worst {
+				worst = b
+			}
+		}
+		return worst
+	}
+	minG := 0
+	if impulses {
+		minG = 2 * order
+	}
+	if logBound(minG) < logEps {
+		return minG, math.Exp(logBound(minG)), nil
+	}
+	hi := minG + 1
+	step := 1 + int(math.Sqrt(qt))
+	for logBound(hi) >= logEps {
+		hi += step
+		step *= 2
+		if hi > maxG {
+			return 0, 0, ErrBadArgument
+		}
+	}
+	lo := minG
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if logBound(mid) < logEps {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, math.Exp(logBound(hi)), nil
+}
+
+// TestTruncationPointMemoUnchanged checks G (and the reported bound) over
+// a representative (qt, order, eps, impulses) grid, including the paper's
+// qt = 40,000 large example.
+func TestTruncationPointMemoUnchanged(t *testing.T) {
+	for _, qt := range []float64{0.01, 0.5, 5, 50, 500, 5000, 40_000} {
+		for order := 0; order <= 5; order++ {
+			for _, eps := range []float64{1e-6, 1e-9, 1e-12} {
+				for _, impulses := range []bool{false, true} {
+					for _, d := range []float64{0.25, 1.5} {
+						g, bound, err := truncationPoint(order, d, qt, eps, impulses, defaultMaxG)
+						if err != nil {
+							t.Fatalf("qt=%g order=%d eps=%g imp=%v: %v", qt, order, eps, impulses, err)
+						}
+						gRef, boundRef, err := truncationPointNoMemo(order, d, qt, eps, impulses, defaultMaxG)
+						if err != nil {
+							t.Fatalf("reference qt=%g order=%d eps=%g imp=%v: %v", qt, order, eps, impulses, err)
+						}
+						if g != gRef || math.Float64bits(bound) != math.Float64bits(boundRef) {
+							t.Errorf("qt=%g order=%d eps=%g imp=%v d=%g: (G=%d, bound=%g) != unmemoized (G=%d, bound=%g)",
+								qt, order, eps, impulses, d, g, bound, gRef, boundRef)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package difftest
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 
+	"somrm/internal/core"
 	"somrm/internal/spec"
 )
 
@@ -150,4 +152,47 @@ func TestDiffGeneratorProducesValidModels(t *testing.T) {
 	}
 	t.Logf("500 models: %.1f avg states, %d with impulses, %d zero-variance states",
 		float64(states)/500, impulses, zeroVar)
+}
+
+// TestDiffSweepKernelBitwise is the fused-kernel gate: across the fixed
+// seed corpus, the fused persistent-worker sweep (forced on, single- and
+// multi-worker) must reproduce the serial reference sweep bit for bit —
+// moments and per-state vectors alike. The fused kernel is an
+// optimization, never an approximation.
+func TestDiffSweepKernelBitwise(t *testing.T) {
+	for seed := 0; seed < corpusSize; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		sp := Generate(rng)
+		model, err := sp.Build()
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		order := 1 + rng.Intn(4)
+		times := []float64{0, 0.3, 1.7, 4.2}
+		ref, err := model.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: -1})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		for _, workers := range []int{1, 2, 5} {
+			fused, err := model.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: fused: %v", seed, workers, err)
+			}
+			for k := range times {
+				for j := 0; j <= order; j++ {
+					if math.Float64bits(fused[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
+						t.Fatalf("seed %d workers %d t=%g: moment %d = %x, reference %x",
+							seed, workers, times[k], j,
+							math.Float64bits(fused[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
+					}
+					for i := range fused[k].VectorMoments[j] {
+						if math.Float64bits(fused[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
+							t.Fatalf("seed %d workers %d t=%g: vm[%d][%d] differs bitwise",
+								seed, workers, times[k], j, i)
+						}
+					}
+				}
+			}
+		}
+	}
 }

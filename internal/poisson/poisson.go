@@ -119,6 +119,33 @@ func LogTailProb(g int, lambda float64) float64 {
 	return lead - math.Log1p(-ratio)
 }
 
+// PMFWindow returns prob[k] = PMF(k, lambda) for k = 0..g together with
+// the first and last indices whose probability is non-zero in float64 —
+// the effective support of the truncated distribution after underflow.
+// For large lambda the head of the distribution underflows to exactly
+// zero (lambda = 40,000 zeroes every k below roughly 36,000), so a
+// consumer weighting a k-indexed recursion can skip those iterations'
+// accumulation entirely. This is the same head/tail clipping Window
+// performs by probability mass, restated for a caller-chosen truncation
+// point g: here nothing representable is dropped, the window is exactly
+// where the pmf is non-zero. If every entry is zero, first = 0 and
+// last = -1.
+func PMFWindow(lambda float64, g int) (prob []float64, first, last int) {
+	prob = make([]float64, g+1)
+	last = -1
+	for k := 0; k <= g; k++ {
+		p := PMF(k, lambda)
+		prob[k] = p
+		if p > 0 {
+			if last < 0 {
+				first = k
+			}
+			last = k
+		}
+	}
+	return prob, first, last
+}
+
 // Weights holds a truncated window of Poisson probabilities.
 type Weights struct {
 	// Left is the first index of the window; Prob[i] = P(X = Left+i).

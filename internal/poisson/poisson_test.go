@@ -204,3 +204,46 @@ func TestWindowLeftTruncationLargeLambda(t *testing.T) {
 		t.Errorf("left edge %d beyond the mode", w.Left)
 	}
 }
+
+func TestPMFWindow(t *testing.T) {
+	for _, lambda := range []float64{0.3, 7, 56, 1000} {
+		g := int(lambda) + 60
+		prob, first, last := PMFWindow(lambda, g)
+		if len(prob) != g+1 {
+			t.Fatalf("lambda=%g: len %d, want %d", lambda, len(prob), g+1)
+		}
+		for k := 0; k <= g; k++ {
+			want := PMF(k, lambda)
+			if math.Float64bits(prob[k]) != math.Float64bits(want) {
+				t.Fatalf("lambda=%g k=%d: %g != PMF %g", lambda, k, prob[k], want)
+			}
+			if (prob[k] > 0) != (k >= first && k <= last) {
+				t.Fatalf("lambda=%g k=%d: p=%g outside window [%d,%d]", lambda, k, prob[k], first, last)
+			}
+		}
+	}
+}
+
+func TestPMFWindowLargeLambdaClipsHead(t *testing.T) {
+	// At lambda = 40,000 (the paper's large example) the pmf head
+	// underflows to exactly zero in float64; the window must skip it.
+	prob, first, last := PMFWindow(40000, 41000)
+	if first < 30000 {
+		t.Errorf("first = %d, expected the underflowed head clipped", first)
+	}
+	if last != 41000 {
+		t.Errorf("last = %d, want 41000 (pmf still positive at g)", last)
+	}
+	if prob[first-1] != 0 || prob[first] == 0 {
+		t.Errorf("window edge wrong: p[%d]=%g p[%d]=%g", first-1, prob[first-1], first, prob[first])
+	}
+}
+
+func TestPMFWindowAllZero(t *testing.T) {
+	// g = 0 at enormous lambda: every entry underflows, last < first
+	// marks the window empty.
+	_, first, last := PMFWindow(1e6, 3)
+	if last >= first {
+		t.Errorf("expected empty window, got [%d,%d]", first, last)
+	}
+}

@@ -297,12 +297,17 @@ func (s *Server) runBatchItem(ctx context.Context, prep *core.Prepared, item *Ba
 	switch item.Method {
 	case MethodRandomization:
 		s.metrics.SweepPoints.Observe(len(item.Times))
-		results, err := prep.AccumulatedRewardAtContext(ctx, item.Times, item.Order, &core.Options{Epsilon: item.Epsilon})
+		results, err := prep.AccumulatedRewardAtContext(ctx, item.Times, item.Order, &core.Options{Epsilon: item.Epsilon, SweepWorkers: s.opts.SweepWorkers})
 		if err != nil {
 			return nil, err
 		}
 		for _, res := range results {
 			points = append(points, BatchPoint{T: res.T, Moments: res.Moments, Stats: newSolverStats(res.Stats)})
+		}
+		// SweepNS is a whole-sweep figure copied into every result; observe
+		// it once per item, not once per grid point.
+		if len(results) > 0 && results[0].Stats.SweepNS > 0 {
+			s.metrics.ObserveSweep(time.Duration(results[0].Stats.SweepNS))
 		}
 	case MethodODE:
 		opts := &odesolver.MomentOptions{Steps: item.ODE.Steps}

@@ -50,9 +50,53 @@ type Metrics struct {
 	BatchItems  sizeHistogram
 	SweepPoints sizeHistogram
 
-	latencyCount atomic.Int64
-	latencySumUS atomic.Int64 // microseconds, to keep the sum integral
-	latency      [14]atomic.Int64
+	// solveLatency tracks end-to-end solve time (queue wait included);
+	// sweepLatency tracks only the randomization sweep inside the solver
+	// (core.Stats.SweepNS), so operators can tell solver cost from queue
+	// pressure when the two histograms diverge.
+	solveLatency latencyHistogram
+	sweepLatency latencyHistogram
+}
+
+// latencyHistogram is a fixed-bucket duration histogram sharing the
+// latencyBucketsMS bounds; all fields are updated atomically.
+type latencyHistogram struct {
+	count atomic.Int64
+	sumUS atomic.Int64 // microseconds, to keep the sum integral
+	bins  [14]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *latencyHistogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.count.Add(1)
+	h.sumUS.Add(int64(d / time.Microsecond))
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			h.bins[i].Add(1)
+			return
+		}
+	}
+	h.bins[len(latencyBucketsMS)].Add(1)
+}
+
+func (h *latencyHistogram) snapshot() LatencySnapshot {
+	snap := LatencySnapshot{
+		Count: h.count.Load(),
+		SumMS: float64(h.sumUS.Load()) / 1000,
+	}
+	var cum int64
+	for i := range h.bins {
+		cum += h.bins[i].Load()
+		b := HistogramBucket{Count: cum}
+		if i < len(latencyBucketsMS) {
+			b.LE = latencyBucketsMS[i]
+		} else {
+			b.Inf = true
+		}
+		snap.Buckets = append(snap.Buckets, b)
+	}
+	return snap
 }
 
 // sizeBucketBounds are the upper bounds of the size histograms (items per
@@ -114,16 +158,12 @@ func (h *sizeHistogram) snapshot() SizeSnapshot {
 
 // ObserveLatency records one end-to-end solve latency.
 func (m *Metrics) ObserveLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.latencyCount.Add(1)
-	m.latencySumUS.Add(int64(d / time.Microsecond))
-	for i, ub := range latencyBucketsMS {
-		if ms <= ub {
-			m.latency[i].Add(1)
-			return
-		}
-	}
-	m.latency[len(latencyBucketsMS)].Add(1)
+	m.solveLatency.Observe(d)
+}
+
+// ObserveSweep records the randomization-sweep portion of one solve.
+func (m *Metrics) ObserveSweep(d time.Duration) {
+	m.sweepLatency.Observe(d)
 }
 
 // HistogramBucket is one cumulative-style histogram bucket in the
@@ -167,6 +207,7 @@ type MetricsSnapshot struct {
 	BatchItems   SizeSnapshot    `json:"batch_items"`
 	SweepPoints  SizeSnapshot    `json:"sweep_points"`
 	SolveLatency LatencySnapshot `json:"solve_latency"`
+	SweepLatency LatencySnapshot `json:"sweep_latency"`
 }
 
 // Snapshot returns a consistent-enough point-in-time copy of the
@@ -188,18 +229,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BatchItems:     m.BatchItems.snapshot(),
 		SweepPoints:    m.SweepPoints.snapshot(),
 	}
-	snap.SolveLatency.Count = m.latencyCount.Load()
-	snap.SolveLatency.SumMS = float64(m.latencySumUS.Load()) / 1000
-	var cum int64
-	for i := range m.latency {
-		cum += m.latency[i].Load()
-		b := HistogramBucket{Count: cum}
-		if i < len(latencyBucketsMS) {
-			b.LE = latencyBucketsMS[i]
-		} else {
-			b.Inf = true
-		}
-		snap.SolveLatency.Buckets = append(snap.SolveLatency.Buckets, b)
-	}
+	snap.SolveLatency = m.solveLatency.snapshot()
+	snap.SweepLatency = m.sweepLatency.snapshot()
 	return snap
 }

@@ -55,6 +55,14 @@ type Options struct {
 	MaxOrder int
 	// MaxBodyBytes bounds the request body (default 8 MiB).
 	MaxBodyBytes int64
+	// SweepWorkers is passed through to the randomization solver
+	// (core.Options.SweepWorkers): 0 picks automatically (serial below the
+	// solver's parallel threshold, a fused worker team above it), > 0
+	// forces a team size, < 0 forces the serial reference sweep. Results
+	// are bitwise identical for every setting. Note the server also runs
+	// Workers solves concurrently; on a machine with C cores, keeping
+	// Workers x SweepWorkers near C avoids oversubscription.
+	SweepWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +233,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		solved.ElapsedMS = msSince(started)
 		s.cache.Put(key, solved)
 		s.metrics.ObserveLatency(time.Since(started))
+		if solved.Stats != nil && solved.Stats.SweepNS > 0 {
+			s.metrics.ObserveSweep(time.Duration(solved.Stats.SweepNS))
+		}
 		return solved, nil
 	})
 	if shared {

@@ -78,11 +78,14 @@ func newSolverStats(st core.Stats) *SolverStats {
 	return &SolverStats{
 		Q: st.Q, QT: st.QT, D: st.D, Shift: st.Shift,
 		G: st.G, ErrorBound: st.ErrorBound,
-		MatVecs: st.MatVecs, FlopsPerIteration: st.FlopsPerIteration,
+		MatVecs: st.MatVecs, SweepNS: st.SweepNS,
+		FlopsPerIteration: st.FlopsPerIteration,
 	}
 }
 
 // SolverStats mirrors core.Stats on the wire (randomization only).
+// MatVecs and SweepNS are whole-sweep figures: for batch items solved in
+// one shared sweep, every point of the grid reports the same totals.
 type SolverStats struct {
 	Q                 float64 `json:"q"`
 	QT                float64 `json:"qt"`
@@ -91,6 +94,7 @@ type SolverStats struct {
 	G                 int     `json:"g"`
 	ErrorBound        float64 `json:"error_bound"`
 	MatVecs           int64   `json:"matvecs"`
+	SweepNS           int64   `json:"sweep_ns"`
 	FlopsPerIteration int64   `json:"flops_per_iteration"`
 }
 
@@ -275,7 +279,7 @@ func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveRe
 	if err != nil {
 		return nil, err
 	}
-	return runSolvePrepared(ctx, req, prep)
+	return runSolvePrepared(ctx, req, prep, s.opts.SweepWorkers)
 }
 
 // runSolve executes a normalized request without a prepared-model cache:
@@ -286,18 +290,19 @@ func runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSolvePrepared(ctx, req, prep)
+	return runSolvePrepared(ctx, req, prep, 0)
 }
 
 // runSolvePrepared executes a normalized request against a prepared model,
 // dispatching to the selected solver and attaching distribution bounds when
-// requested.
-func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepared) (*SolveResponse, error) {
+// requested. sweepWorkers is the server's solver-parallelism setting,
+// forwarded to the randomization sweep.
+func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepared, sweepWorkers int) (*SolveResponse, error) {
 	model := prep.Model()
 	resp := &SolveResponse{Method: req.Method, T: req.T, Order: req.Order}
 	switch req.Method {
 	case MethodRandomization:
-		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon})
+		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon, SweepWorkers: sweepWorkers})
 		if err != nil {
 			return nil, err
 		}

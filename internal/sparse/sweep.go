@@ -1,0 +1,579 @@
+package sparse
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+)
+
+// This file implements the randomization sweep engine: the k = 1..G
+// recursion of Theorems 3-4,
+//
+//	next[j] = A·cur[j] + diag1·cur[j-1] + diag2·cur[j-2]
+//	          + Σ_m coef[m]·imp[m-1]·cur[j-m]
+//
+// for j = 0..order, followed by the Poisson-weighted accumulation
+// acc[j] += w_k·next[j] for every active time plan. The sweep dominates
+// every large solve (the paper's N = 200,001 example runs G ≈ 41,588
+// iterations of it), so instead of issuing order+1 independent
+// matrix-vector products per iteration — each spawning and joining its own
+// goroutine team, then re-streaming the vectors for the diagonal terms and
+// again for every time plan's accumulation — the fused kernel makes a
+// single pass over each CSR row block: all per-row work (products,
+// diagonal terms, impulse terms, accumulations) happens while the row's
+// slice of cur/next is hot in cache.
+//
+// The worker team is persistent: row ranges are partitioned once per
+// solve, balanced by non-zero count rather than row count, and the same
+// goroutines run every iteration, synchronizing on a lightweight
+// channel barrier instead of being respawned G times.
+//
+// Per element, the fused kernel performs exactly the same floating-point
+// operations in exactly the same order as the serial reference sweep
+// (RunReference), so the two agree bit for bit for every worker count.
+// The reference sweep is both the fallback for small matrices — below
+// parallelThreshold rows the barrier cost cannot be amortized — and the
+// oracle the regression tests compare against.
+
+// SweepPlan describes one time point's Poisson accumulation during a
+// sweep. Weight[k] is the Poisson probability of iteration k; only
+// iterations k in [First, Last] accumulate — the effective window outside
+// of which the pmf underflows to zero (for large qt the head of the
+// distribution is exactly zero in float64, so clipping it skips the whole
+// accumulation pass for those iterations). A plan with Last < First never
+// accumulates (used for t = 0 entries of a time grid).
+type SweepPlan struct {
+	// First and Last bound the accumulating iterations (inclusive).
+	First, Last int
+	// Weight[k] is the Poisson pmf at k; len(Weight) must exceed Last.
+	Weight []float64
+	// Acc[j][i] accumulates Σ_k Weight[k]·U^(j)(k)[i] for j = 0..order.
+	Acc [][]float64
+}
+
+// accPair is one resolved accumulation target for the current iteration.
+type accPair struct {
+	w   float64
+	acc [][]float64
+}
+
+// Sweep is a prepared randomization sweep over a fixed matrix family:
+// the uniformized generator a, the diagonal first- and second-order
+// reward terms, and optional impulse matrices imp[m-1] applied with
+// coefficient 1/m!. Build one per solve with NewSweep, then execute it
+// with Run (fused, persistent worker team) or RunReference (serial
+// oracle).
+type Sweep struct {
+	a            *CSR
+	diag1, diag2 []float64
+	imp          []*CSR
+	coef         []float64 // coef[m] = 1/m!, the impulse term coefficients
+	order        int
+	workers      int
+	blocks       []int // blocks[w]..blocks[w+1] is worker w's row range
+
+	// Iteration state published by the driver before each barrier release;
+	// the channel synchronization orders these writes before the workers'
+	// reads. cur4/next4 replace cur/next when the run uses the interleaved
+	// order-3 layout (see fuseBlock3).
+	cur, next   [][]float64
+	cur4, next4 []float64
+	active      []accPair
+}
+
+// PlanWorkers resolves the sweep parallelism knob for a matrix with the
+// given number of rows:
+//
+//   - requested > 0 forces the fused kernel with that many workers
+//     (capped at rows), regardless of size;
+//   - requested == 0 selects automatically: 0 — meaning the caller should
+//     run the serial reference sweep — below parallelThreshold rows, and
+//     a fused team of GOMAXPROCS workers at or above it;
+//   - requested < 0 forces the reference sweep (returns 0).
+//
+// The returned count is 0 for "use RunReference" and >= 1 for "use Run
+// with this team size". Every choice yields bitwise identical results.
+func PlanWorkers(requested, rows int) int {
+	if requested < 0 {
+		return 0
+	}
+	if requested == 0 {
+		if rows < parallelThreshold {
+			return 0
+		}
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > rows {
+		requested = rows
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// NewSweep validates the matrix family and partitions the rows for a team
+// of the given size. diag2 must already carry any constant factor (the
+// solver passes ½·S'). imp may be empty; when present it must hold at
+// least order matrices (imp[m-1] multiplies cur[j-m] for every m <= j).
+func NewSweep(a *CSR, diag1, diag2 []float64, imp []*CSR, order, workers int) (*Sweep, error) {
+	if a == nil {
+		return nil, fmt.Errorf("%w: nil sweep matrix", ErrDimensionMismatch)
+	}
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: sweep matrix %dx%d not square", ErrDimensionMismatch, a.rows, a.cols)
+	}
+	if len(diag1) != a.rows || len(diag2) != a.rows {
+		return nil, fmt.Errorf("%w: diagonals %d/%d for %d rows", ErrDimensionMismatch, len(diag1), len(diag2), a.rows)
+	}
+	if order < 0 {
+		return nil, fmt.Errorf("%w: sweep order %d", ErrDimensionMismatch, order)
+	}
+	if len(imp) > 0 && len(imp) < order {
+		return nil, fmt.Errorf("%w: %d impulse matrices for order %d", ErrDimensionMismatch, len(imp), order)
+	}
+	for m, im := range imp {
+		if im == nil || im.rows != a.rows || im.cols != a.cols {
+			return nil, fmt.Errorf("%w: impulse matrix %d", ErrDimensionMismatch, m+1)
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	s := &Sweep{
+		a:       a,
+		diag1:   diag1,
+		diag2:   diag2,
+		imp:     imp,
+		order:   order,
+		workers: workers,
+	}
+	// coef[m] = 1/m! maintained by the same running division the reference
+	// recursion uses, so fused impulse terms match it bit for bit.
+	s.coef = make([]float64, order+1)
+	inv := 1.0
+	for m := 1; m <= order; m++ {
+		inv /= float64(m)
+		s.coef[m] = inv
+	}
+	if workers > 1 {
+		s.blocks = nnzPartition(a, imp, workers)
+	}
+	return s, nil
+}
+
+// nnzPartition splits the rows into contiguous blocks of roughly equal
+// work, measured in stored non-zeros (of the sweep matrix plus any impulse
+// matrices) with a constant per-row charge for the diagonal and
+// accumulation traffic. Row-count splitting is wrong for skewed patterns —
+// a dense hub row costs as much as thousands of tridiagonal rows.
+func nnzPartition(a *CSR, imp []*CSR, workers int) []int {
+	rows := a.rows
+	// Per-row charge beyond the matrix entries: diagonal terms, the
+	// next-vector store, and accumulation writes.
+	const rowBase = 4
+	var total int64
+	rowCost := func(i int) int64 {
+		c := int64(rowBase + a.rowPtr[i+1] - a.rowPtr[i])
+		for _, im := range imp {
+			c += int64(im.rowPtr[i+1] - im.rowPtr[i])
+		}
+		return c
+	}
+	for i := 0; i < rows; i++ {
+		total += rowCost(i)
+	}
+	blocks := make([]int, workers+1)
+	blocks[workers] = rows
+	b := 1
+	var cum int64
+	for i := 0; i < rows && b < workers; i++ {
+		cum += rowCost(i)
+		// Cut after row i once this block reached its share of the total.
+		for b < workers && cum*int64(workers) >= int64(b)*total {
+			blocks[b] = i + 1
+			b++
+		}
+	}
+	for ; b < workers; b++ {
+		blocks[b] = rows
+	}
+	return blocks
+}
+
+// matVecs returns the sparse product count of g completed iterations,
+// matching the reference recursion's bookkeeping: order+1 products with
+// the sweep matrix per iteration, plus one impulse product per (j, m)
+// pair with 1 <= m <= j when impulses are present.
+func (s *Sweep) matVecs(g int) int64 {
+	perIter := int64(s.order + 1)
+	if len(s.imp) > 0 {
+		perIter += int64(s.order * (s.order + 1) / 2)
+	}
+	return perIter * int64(g)
+}
+
+// validateRun checks the per-run buffers against the prepared family.
+func (s *Sweep) validateRun(cur, next [][]float64, plans []SweepPlan) error {
+	n := s.a.rows
+	if len(cur) != s.order+1 || len(next) != s.order+1 {
+		return fmt.Errorf("%w: %d/%d sweep vectors for order %d", ErrDimensionMismatch, len(cur), len(next), s.order)
+	}
+	for j := 0; j <= s.order; j++ {
+		if len(cur[j]) != n || len(next[j]) != n {
+			return fmt.Errorf("%w: sweep vector %d has %d/%d entries for %d rows", ErrDimensionMismatch, j, len(cur[j]), len(next[j]), n)
+		}
+	}
+	for pi := range plans {
+		p := &plans[pi]
+		if p.Last < p.First {
+			continue // inert plan (e.g. t = 0)
+		}
+		if p.First < 0 || p.Last >= len(p.Weight) {
+			return fmt.Errorf("%w: plan %d window [%d,%d] outside %d weights", ErrDimensionMismatch, pi, p.First, p.Last, len(p.Weight))
+		}
+		if len(p.Acc) != s.order+1 {
+			return fmt.Errorf("%w: plan %d has %d accumulators for order %d", ErrDimensionMismatch, pi, len(p.Acc), s.order)
+		}
+		for j := range p.Acc {
+			if len(p.Acc[j]) != n {
+				return fmt.Errorf("%w: plan %d accumulator %d has %d entries for %d rows", ErrDimensionMismatch, pi, j, len(p.Acc[j]), n)
+			}
+		}
+	}
+	return nil
+}
+
+// gatherActive appends the accumulation targets of iteration k to buf:
+// plans whose window contains k with a non-zero weight.
+func gatherActive(plans []SweepPlan, k int, buf []accPair) []accPair {
+	for pi := range plans {
+		p := &plans[pi]
+		if k < p.First || k > p.Last {
+			continue
+		}
+		if w := p.Weight[k]; w != 0 {
+			buf = append(buf, accPair{w: w, acc: p.Acc})
+		}
+	}
+	return buf
+}
+
+// Run executes gMax fused iterations, polling ctx every cancelStride
+// iterations, and returns the number of sparse products performed. The
+// initial state is cur; accumulations land in the plans' Acc buffers.
+// cur and next are scratch the sweep alternates between — their contents
+// after Run are unspecified.
+//
+// With a team size of 1 the fused kernel runs inline (no goroutines);
+// larger teams run the persistent workers described in the file comment.
+func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans []SweepPlan, cancelStride int) (int64, error) {
+	if err := s.validateRun(cur, next, plans); err != nil {
+		return 0, err
+	}
+	if cancelStride <= 0 {
+		cancelStride = 1
+	}
+	active := make([]accPair, 0, len(plans))
+
+	// The order-3 impulse-free shape (the paper's large example) runs the
+	// whole sweep on the interleaved state layout: cur4[i*4+j] holds moment
+	// j of state i, so all four values a matrix entry gathers share one
+	// cache line. The planar cur/next stay untouched scratch.
+	interleaved := s.order == 3 && len(s.imp) == 0
+	if interleaved {
+		n := s.a.rows
+		s.cur4 = make([]float64, 4*n)
+		s.next4 = make([]float64, 4*n)
+		for j := 0; j <= 3; j++ {
+			cj := cur[j]
+			for i := 0; i < n; i++ {
+				s.cur4[i*4+j] = cj[i]
+			}
+		}
+		defer func() { s.cur4, s.next4 = nil, nil }()
+	} else {
+		s.cur, s.next = cur, next
+	}
+
+	if s.workers <= 1 {
+		for k := 1; k <= gMax; k++ {
+			if k%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			s.active = gatherActive(plans, k, active[:0])
+			s.step(0, s.a.rows)
+			s.swap(interleaved)
+		}
+		return s.matVecs(gMax), nil
+	}
+
+	// Persistent team: one start channel per worker forms the release
+	// barrier, the shared done channel the join barrier. Workers exit when
+	// their start channel closes; the defer runs only while every worker
+	// is parked at its release barrier, so shutdown cannot race an
+	// iteration in flight.
+	start := make([]chan struct{}, s.workers)
+	for w := range start {
+		start[w] = make(chan struct{}, 1)
+	}
+	done := make(chan struct{}, s.workers)
+	defer func() {
+		for _, ch := range start {
+			close(ch)
+		}
+	}()
+	for w := 0; w < s.workers; w++ {
+		lo, hi := s.blocks[w], s.blocks[w+1]
+		go func(startCh <-chan struct{}, lo, hi int) {
+			for range startCh {
+				s.step(lo, hi)
+				done <- struct{}{}
+			}
+		}(start[w], lo, hi)
+	}
+
+	for k := 1; k <= gMax; k++ {
+		if k%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		s.active = gatherActive(plans, k, active[:0])
+		for _, ch := range start {
+			ch <- struct{}{}
+		}
+		for w := 0; w < s.workers; w++ {
+			<-done
+		}
+		s.swap(interleaved)
+	}
+	return s.matVecs(gMax), nil
+}
+
+// step runs one iteration's fused work over rows [lo, hi) against the
+// published iteration state.
+func (s *Sweep) step(lo, hi int) {
+	if s.cur4 != nil {
+		s.fuseBlock3(lo, hi)
+		return
+	}
+	s.fuseBlock(lo, hi, s.cur, s.next, s.active)
+}
+
+// swap exchanges the published current/next state after an iteration.
+func (s *Sweep) swap(interleaved bool) {
+	if interleaved {
+		s.cur4, s.next4 = s.next4, s.cur4
+		return
+	}
+	s.cur, s.next = s.next, s.cur
+}
+
+// sweepTile is the row-tile size of the fused kernel. Within one tile the
+// kernel runs a tight vector pass per recursion term, so a tile's slices
+// of every cur/next/acc vector — roughly (3 + plans)·(order+1)·8·sweepTile
+// bytes — plus its CSR rows must stay cache-resident across those passes.
+// 1024 rows keeps that footprint near 100 KiB for the paper-sized order-3
+// case, comfortably inside L2.
+const sweepTile = 1024
+
+// fuseBlock runs one fused iteration over rows [lo, hi), tiled: for each
+// row tile it computes every moment order's recursion term and immediately
+// applies the active Poisson accumulations while the tile is hot in cache.
+// The inner loops are the same shape as CSR.MatVec (hoisted slice headers,
+// streaming index ranges); the tiling only reorders work across rows, so
+// the floating-point operation sequence per element is identical to
+// RunReference's — the fused kernel is bitwise exact by construction.
+//
+// Relative to the reference sweep, one iteration here streams the matrix
+// and the vectors from memory once instead of once per term: the CSR rows
+// of a tile are reused across the order+1 products, and each next-vector
+// tile is produced, corrected and accumulated before it is evicted.
+func (s *Sweep) fuseBlock(lo, hi int, cur, next [][]float64, active []accPair) {
+	a := s.a
+	rowPtr, colIdx, val := a.rowPtr, a.colIdx, a.val
+	for t0 := lo; t0 < hi; t0 += sweepTile {
+		t1 := t0 + sweepTile
+		if t1 > hi {
+			t1 = hi
+		}
+		for j := s.order; j >= 0; j-- {
+			curj, nextj := cur[j], next[j]
+			for i := t0; i < t1; i++ {
+				var sum float64
+				for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+					sum += val[p] * curj[colIdx[p]]
+				}
+				nextj[i] = sum
+			}
+			if j >= 1 {
+				d1, c1 := s.diag1, cur[j-1]
+				for i := t0; i < t1; i++ {
+					nextj[i] += d1[i] * c1[i]
+				}
+			}
+			if j >= 2 {
+				d2, c2 := s.diag2, cur[j-2]
+				for i := t0; i < t1; i++ {
+					nextj[i] += d2[i] * c2[i]
+				}
+			}
+			for m := 1; m <= j && m <= len(s.imp); m++ {
+				im := s.imp[m-1]
+				irp, icx, ivl := im.rowPtr, im.colIdx, im.val
+				cf, cm := s.coef[m], cur[j-m]
+				for i := t0; i < t1; i++ {
+					var impSum float64
+					for p := irp[i]; p < irp[i+1]; p++ {
+						impSum += ivl[p] * cm[icx[p]]
+					}
+					nextj[i] += cf * impSum
+				}
+			}
+		}
+		for _, ap := range active {
+			w := ap.w
+			for j := 0; j <= s.order; j++ {
+				nj, aj := next[j], ap.acc[j]
+				for i := t0; i < t1; i++ {
+					aj[i] += w * nj[i]
+				}
+			}
+		}
+	}
+}
+
+// fuseBlock3 is the register-resident specialization of the fused kernel
+// for the hot shape: moment order 3 (the paper's large example) without
+// impulse matrices. It operates on the interleaved state layout set up by
+// Run — cur4[i*4+j] is moment j of state i — so each matrix entry's four
+// gathered values share one cache line and cost a single bounds check.
+// Each row's four recursion sums live in registers across a single walk
+// of the row's entries — the matrix streams once per iteration instead of
+// order+1 times — and the diagonal corrections and Poisson accumulations
+// are applied before the sums are ever reloaded from memory.
+//
+// Bitwise contract: every output element sees the identical operation
+// sequence as RunReference — per sum, the row products in entry order,
+// then the diag1 term, then the diag2 term; each accumulation multiplies
+// the same stored value. Only work belonging to *different* elements is
+// interleaved, which float64 cannot observe.
+func (s *Sweep) fuseBlock3(lo, hi int) {
+	rowPtr, colIdx, val := s.a.rowPtr, s.a.colIdx, s.a.val
+	d1, d2 := s.diag1, s.diag2
+	cur4, next4 := s.cur4, s.next4
+	active := s.active
+	var w float64
+	var a0, a1, a2, a3 []float64
+	if len(active) == 1 {
+		w = active[0].w
+		a0, a1, a2, a3 = active[0].acc[0], active[0].acc[1], active[0].acc[2], active[0].acc[3]
+	}
+	for i := lo; i < hi; i++ {
+		rv := val[rowPtr[i]:rowPtr[i+1]]
+		rc := colIdx[rowPtr[i]:rowPtr[i+1]]
+		rc = rc[:len(rv)] // bounds-check elimination for rc[p]
+		var s0, s1, s2, s3 float64
+		for p, v := range rv {
+			c4 := rc[p] * 4
+			cv := cur4[c4 : c4+4 : c4+4]
+			s3 += v * cv[3]
+			s2 += v * cv[2]
+			s1 += v * cv[1]
+			s0 += v * cv[0]
+		}
+		civ := cur4[i*4 : i*4+4 : i*4+4]
+		d1i, d2i := d1[i], d2[i]
+		s3 += d1i * civ[2]
+		s3 += d2i * civ[1]
+		s2 += d1i * civ[1]
+		s2 += d2i * civ[0]
+		s1 += d1i * civ[0]
+		nv := next4[i*4 : i*4+4 : i*4+4]
+		nv[0], nv[1], nv[2], nv[3] = s0, s1, s2, s3
+		switch {
+		case a0 != nil:
+			a0[i] += w * s0
+			a1[i] += w * s1
+			a2[i] += w * s2
+			a3[i] += w * s3
+		case len(active) > 1:
+			for _, ap := range active {
+				wp := ap.w
+				ap.acc[0][i] += wp * s0
+				ap.acc[1][i] += wp * s1
+				ap.acc[2][i] += wp * s2
+				ap.acc[3][i] += wp * s3
+			}
+		}
+	}
+}
+
+// RunReference executes the sweep with the serial reference kernel: one
+// full-vector pass per term, exactly the operation structure of the
+// original solver loop. It is the oracle the fused kernel is tested
+// against and the production path for matrices too small to amortize the
+// worker barrier.
+func (s *Sweep) RunReference(ctx context.Context, gMax int, cur, next [][]float64, plans []SweepPlan, cancelStride int) (int64, error) {
+	if err := s.validateRun(cur, next, plans); err != nil {
+		return 0, err
+	}
+	if cancelStride <= 0 {
+		cancelStride = 1
+	}
+	n := s.a.rows
+	for k := 1; k <= gMax; k++ {
+		if k%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		for j := s.order; j >= 0; j-- {
+			if err := s.a.MatVec(cur[j], next[j]); err != nil {
+				return 0, err
+			}
+			if j >= 1 {
+				for i := 0; i < n; i++ {
+					next[j][i] += s.diag1[i] * cur[j-1][i]
+				}
+			}
+			if j >= 2 {
+				for i := 0; i < n; i++ {
+					next[j][i] += s.diag2[i] * cur[j-2][i]
+				}
+			}
+			if len(s.imp) > 0 {
+				for m := 1; m <= j; m++ {
+					if err := s.imp[m-1].MatVecAdd(s.coef[m], cur[j-m], next[j]); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		for pi := range plans {
+			p := &plans[pi]
+			if k < p.First || k > p.Last {
+				continue
+			}
+			w := p.Weight[k]
+			if w == 0 {
+				continue
+			}
+			for j := 0; j <= s.order; j++ {
+				cj := cur[j]
+				aj := p.Acc[j]
+				for i := 0; i < n; i++ {
+					aj[i] += w * cj[i]
+				}
+			}
+		}
+	}
+	return s.matVecs(gMax), nil
+}

@@ -1,0 +1,338 @@
+package sparse
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// randomSweepFixture builds a random n-state sweep family: a sparse
+// square matrix with a ring backbone (so no row is empty), diagonals of
+// mixed sign, and optionally order impulse matrices.
+func randomSweepFixture(t *testing.T, rng *rand.Rand, n, order int, impulses bool) *Sweep {
+	t.Helper()
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		if err := b.Add(i, (i+1)%n, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+		for e := rng.Intn(4); e > 0; e-- {
+			if err := b.Add(i, rng.Intn(n), rng.Float64()-0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a := b.Build()
+	diag1 := make([]float64, n)
+	diag2 := make([]float64, n)
+	for i := range diag1 {
+		diag1[i] = rng.Float64()*2 - 1
+		diag2[i] = rng.Float64()
+	}
+	var imp []*CSR
+	if impulses {
+		for m := 0; m < order; m++ {
+			ib := NewBuilder(n, n)
+			for e := 0; e < n/2+1; e++ {
+				if err := ib.Add(rng.Intn(n), rng.Intn(n), rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			imp = append(imp, ib.Build())
+		}
+	}
+	s, err := NewSweep(a, diag1, diag2, imp, order, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// newRunState allocates cur/next with the standard initial condition
+// (cur[0] = 1) and fresh plan accumulators over the given weights.
+func newRunState(s *Sweep, weights [][]float64, firsts, lasts []int) (cur, next [][]float64, plans []SweepPlan) {
+	n := s.a.rows
+	cur = make([][]float64, s.order+1)
+	next = make([][]float64, s.order+1)
+	for j := 0; j <= s.order; j++ {
+		cur[j] = make([]float64, n)
+		next[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		cur[0][i] = 1
+	}
+	for pi, w := range weights {
+		acc := make([][]float64, s.order+1)
+		for j := range acc {
+			acc[j] = make([]float64, n)
+		}
+		plans = append(plans, SweepPlan{First: firsts[pi], Last: lasts[pi], Weight: w, Acc: acc})
+	}
+	return cur, next, plans
+}
+
+// TestSweepFusedMatchesReference is the engine-level bitwise gate: for
+// random matrix families (with and without impulses) and every worker
+// count, the fused kernel must reproduce the serial reference sweep bit
+// for bit — accumulators and product counts alike.
+func TestSweepFusedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(60)
+		order := rng.Intn(5)
+		impulses := trial%2 == 1
+		gMax := 1 + rng.Intn(40)
+		s := randomSweepFixture(t, rng, n, order, impulses)
+
+		nPlans := 1 + rng.Intn(3)
+		weights := make([][]float64, nPlans)
+		firsts := make([]int, nPlans)
+		lasts := make([]int, nPlans)
+		for pi := range weights {
+			w := make([]float64, gMax+1)
+			for k := range w {
+				if rng.Float64() < 0.8 {
+					w[k] = rng.Float64()
+				}
+			}
+			weights[pi] = w
+			firsts[pi] = rng.Intn(gMax + 1)
+			lasts[pi] = firsts[pi] + rng.Intn(gMax+1-firsts[pi])
+		}
+
+		refCur, refNext, refPlans := newRunState(s, weights, firsts, lasts)
+		refMV, err := s.RunReference(context.Background(), gMax, refCur, refNext, refPlans, 32)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+
+		for _, workers := range []int{1, 2, 3, 7, runtime.GOMAXPROCS(0) + 2} {
+			fs, err := NewSweep(s.a, s.diag1, s.diag2, s.imp, order, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur, next, plans := newRunState(fs, weights, firsts, lasts)
+			mv, err := fs.Run(context.Background(), gMax, cur, next, plans, 32)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if mv != refMV {
+				t.Fatalf("trial %d workers %d: matvecs %d != reference %d", trial, workers, mv, refMV)
+			}
+			for pi := range plans {
+				for j := 0; j <= order; j++ {
+					for i := 0; i < fs.a.rows; i++ {
+						got := plans[pi].Acc[j][i]
+						want := refPlans[pi].Acc[j][i]
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("trial %d workers %d: plan %d acc[%d][%d] = %x, reference %x",
+								trial, workers, pi, j, i, math.Float64bits(got), math.Float64bits(want))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepWindowClipping pins the windowing contract: iterations outside
+// [First, Last] never accumulate, even when their weights are non-zero,
+// and both kernels implement the identical contract.
+func TestSweepWindowClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomSweepFixture(t, rng, 12, 2, false)
+	gMax := 20
+	w := make([]float64, gMax+1)
+	for k := range w {
+		w[k] = 1 // non-zero everywhere: only the window may clip
+	}
+
+	full := func(first, last int) [][]float64 {
+		cur, next, plans := newRunState(s, [][]float64{w}, []int{first}, []int{last})
+		if _, err := s.RunReference(context.Background(), gMax, cur, next, plans, 32); err != nil {
+			t.Fatal(err)
+		}
+		return plans[0].Acc
+	}
+
+	clipped := full(5, 9)
+	var manual [][]float64
+	{
+		// Accumulate iterations 5..9 by hand from four separate windows.
+		acc := full(5, 5)
+		for _, k := range []int{6, 7, 8, 9} {
+			one := full(k, k)
+			for j := range acc {
+				for i := range acc[j] {
+					acc[j][i] += one[j][i]
+				}
+			}
+		}
+		manual = acc
+	}
+	for j := range clipped {
+		for i := range clipped[j] {
+			if math.Abs(clipped[j][i]-manual[j][i]) > 1e-12*math.Max(1, math.Abs(manual[j][i])) {
+				t.Fatalf("acc[%d][%d] = %g, manual window sum %g", j, i, clipped[j][i], manual[j][i])
+			}
+		}
+	}
+
+	// An inert plan (Last < First) must accumulate nothing and a
+	// full-range plan must accumulate something.
+	cur, next, plans := newRunState(s, [][]float64{w, w}, []int{0, 3}, []int{-1, 12})
+	if _, err := s.Run(context.Background(), gMax, cur, next, plans, 32); err != nil {
+		t.Fatal(err)
+	}
+	for j := range plans[0].Acc {
+		for i, v := range plans[0].Acc[j] {
+			if v != 0 {
+				t.Fatalf("inert plan accumulated acc[%d][%d] = %g", j, i, v)
+			}
+		}
+	}
+	var nonzero bool
+	for _, v := range plans[1].Acc[0] {
+		nonzero = nonzero || v != 0
+	}
+	if !nonzero {
+		t.Fatal("windowed plan accumulated nothing")
+	}
+}
+
+// TestPlanWorkers pins the parallelism policy: automatic selection stays
+// on the reference sweep below the threshold, moves to a GOMAXPROCS team
+// above it, and explicit requests are honored (capped at rows).
+func TestPlanWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, rows, want int
+	}{
+		{0, parallelThreshold - 1, 0},
+		{0, parallelThreshold, min(procs, parallelThreshold)},
+		{-1, parallelThreshold * 4, 0},
+		{-7, 10, 0},
+		{3, 10, 3},
+		{3, 2, 2},
+		{1, parallelThreshold * 4, 1},
+	}
+	for _, c := range cases {
+		if got := PlanWorkers(c.requested, c.rows); got != c.want {
+			t.Errorf("PlanWorkers(%d, %d) = %d, want %d", c.requested, c.rows, got, c.want)
+		}
+	}
+}
+
+// TestNnzPartition checks the load-balanced row split on a pathologically
+// skewed matrix: a handful of dense hub rows among many sparse ones. A
+// row-count split would put all hubs in one block; the nnz split must
+// keep every block within a small factor of the ideal share.
+func TestNnzPartition(t *testing.T) {
+	const n = 1000
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		_ = b.Add(i, (i+1)%n, 1) // sparse backbone
+	}
+	for h := 0; h < 5; h++ {
+		for j := 0; j < n; j++ {
+			_ = b.Add(h, j, 1) // five dense hub rows at the top
+		}
+	}
+	a := b.Build()
+	workers := 4
+	blocks := nnzPartition(a, nil, workers)
+	if len(blocks) != workers+1 || blocks[0] != 0 || blocks[workers] != n {
+		t.Fatalf("bad block boundaries %v", blocks)
+	}
+	cost := func(lo, hi int) int {
+		c := 0
+		for i := lo; i < hi; i++ {
+			c += 4 + a.rowPtr[i+1] - a.rowPtr[i]
+		}
+		return c
+	}
+	total := cost(0, n)
+	for w := 0; w < workers; w++ {
+		if blocks[w] > blocks[w+1] {
+			t.Fatalf("non-monotone blocks %v", blocks)
+		}
+		share := cost(blocks[w], blocks[w+1])
+		// A single row is indivisible, so allow one max-row of slack plus
+		// a fraction of the ideal share.
+		if share > total/workers+n+10 {
+			t.Errorf("worker %d carries %d of %d total (blocks %v)", w, share, total, blocks)
+		}
+	}
+}
+
+// TestSweepValidation exercises the constructor and run-state checks.
+func TestSweepValidation(t *testing.T) {
+	a, err := NewCSRFromDense(2, 2, []float64{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := NewCSRFromDense(2, 3, make([]float64, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := []float64{1, 2}
+	if _, err := NewSweep(nil, d2, d2, nil, 1, 1); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := NewSweep(rect, d2, d2, nil, 1, 1); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	if _, err := NewSweep(a, []float64{1}, d2, nil, 1, 1); err == nil {
+		t.Error("short diagonal accepted")
+	}
+	if _, err := NewSweep(a, d2, d2, nil, -1, 1); err == nil {
+		t.Error("negative order accepted")
+	}
+	if _, err := NewSweep(a, d2, d2, []*CSR{a}, 2, 1); err == nil {
+		t.Error("too few impulse matrices accepted")
+	}
+
+	s, err := NewSweep(a, d2, d2, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := [][]float64{{1, 1}, {0, 0}}
+	if _, err := s.Run(context.Background(), 1, good[:1], good, nil, 32); err == nil {
+		t.Error("short cur accepted")
+	}
+	badPlan := []SweepPlan{{First: 0, Last: 5, Weight: []float64{1}}}
+	if _, err := s.Run(context.Background(), 1, good, [][]float64{{0, 0}, {0, 0}}, badPlan, 32); err == nil {
+		t.Error("window beyond weights accepted")
+	}
+}
+
+// TestSweepCancellation verifies both kernels honor context cancellation
+// and that the persistent team's goroutines drain on every exit path.
+func TestSweepCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s2, err := NewSweep(randomSweepFixture(t, rng, 50, 2, false).a,
+		make([]float64, 50), make([]float64, 50), nil, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cur, next, plans := newRunState(s2, [][]float64{make([]float64, 1001)}, []int{0}, []int{1000})
+	if _, err := s2.Run(ctx, 1000, cur, next, plans, 1); err == nil {
+		t.Fatal("cancelled fused run returned no error")
+	}
+	if _, err := s2.RunReference(ctx, 1000, cur, next, plans, 1); err == nil {
+		t.Fatal("cancelled reference run returned no error")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("worker goroutines leaked: %d > %d", g, before)
+	}
+}
