@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet ci chaos serve bench bench-server bench-batch bench-sweep bench-sweep-smoke cover experiments fuzz clean
+.PHONY: all build test vet ci chaos serve bench bench-server bench-batch bench-sweep bench-sweep-smoke bench-check cover experiments fuzz clean
 
 all: build test
 
@@ -19,7 +19,7 @@ ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run Fuzz ./internal/spec/ ./internal/specfn/
+	$(GO) test -run Fuzz ./internal/spec/ ./internal/specfn/ ./internal/sparse/
 
 # The resilience gate: chaos suite (fault injection against the real
 # server: injected 503s, truncated responses, forced panics, a full
@@ -53,6 +53,16 @@ bench-sweep:
 		-timeout 30m ./internal/core | $(GO) run ./cmd/benchjson -o BENCH_sweep.json
 	@echo wrote BENCH_sweep.json
 
+# Advisory perf-regression check: re-run the sweep benchmarks and diff
+# against the committed BENCH_sweep.json baseline (>15% ns/op growth on
+# any shared benchmark flags a regression). The leading `-` keeps the
+# target advisory — timings are machine-dependent, so read the report
+# instead of failing the build on it.
+bench-check:
+	$(GO) test -bench BenchmarkSweep -benchmem -benchtime 10x -run '^$$' \
+		-timeout 30m ./internal/core | $(GO) run ./cmd/benchjson -o /tmp/somrm_bench_new.json
+	-$(GO) run ./cmd/benchjson -compare BENCH_sweep.json /tmp/somrm_bench_new.json -tol 0.15
+
 # CI smoke: one iteration per sweep benchmark, just to prove every kernel
 # variant still runs end to end at the paper shape. Output is discarded.
 bench-sweep-smoke:
@@ -69,6 +79,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz FuzzBetaInc -fuzztime 30s ./internal/specfn/
 	$(GO) test -fuzz FuzzParseBuild -fuzztime 30s ./internal/spec/
+	$(GO) test -fuzz FuzzBandRoundTrip -fuzztime 30s ./internal/sparse/
 
 clean:
 	$(GO) clean ./...

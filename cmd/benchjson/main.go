@@ -6,10 +6,16 @@
 // Usage:
 //
 //	go test -bench Sweep -benchmem ./internal/core/ | benchjson -o BENCH_sweep.json
+//	benchjson -compare old.json new.json -tol 0.15
 //
 // The commit hash is taken from -commit, falling back to `git rev-parse
 // HEAD`, falling back to "unknown" — the tool never fails just because
 // the tree is not a checkout.
+//
+// -compare diffs two recorded reports benchmark-by-benchmark and exits
+// nonzero when any shared benchmark's ns/op grew by more than the -tol
+// fraction (default 0.15), so `make bench-check` can flag perf
+// regressions against the committed baseline.
 package main
 
 import (
@@ -55,7 +61,13 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	commit := flag.String("commit", "", "commit hash to record (default: git rev-parse HEAD)")
+	compareMode := flag.Bool("compare", false, "compare two recorded reports (old.json new.json) instead of converting; exit 1 on regression")
+	tol := flag.Float64("tol", 0.15, "with -compare: allowed fractional ns/op growth before a benchmark counts as regressed")
 	flag.Parse()
+
+	if *compareMode {
+		os.Exit(runCompare(flag.Args(), *tol, os.Stdout, os.Stderr))
+	}
 
 	rep, err := parse(os.Stdin)
 	if err != nil {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,6 +60,94 @@ func TestParse(t *testing.T) {
 func TestParseNoBenchLines(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok pkg 1s\n")); err == nil {
 		t.Error("expected an error on input without benchmark lines")
+	}
+}
+
+func writeReport(t *testing.T, path string, rep *Report) {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchNs(name string, ns float64) BenchResult {
+	return BenchResult{Name: name, Procs: 1, Iterations: 10, NsPerOp: ns}
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := &Report{Commit: "aaa", Benchmarks: []BenchResult{
+		benchNs("BenchmarkSweep/N100001/reference", 300e6),
+		benchNs("BenchmarkSweep/N100001/fused-single", 150e6),
+		benchNs("BenchmarkSweep/N100001/gone", 10e6),
+	}}
+	newRep := &Report{Commit: "bbb", Benchmarks: []BenchResult{
+		benchNs("BenchmarkSweep/N100001/reference", 310e6),    // +3.3%: within tolerance
+		benchNs("BenchmarkSweep/N100001/fused-single", 200e6), // +33%: regression
+		benchNs("BenchmarkSweep/N100001/fused-band", 100e6),   // new
+	}}
+	var out strings.Builder
+	if got := compareReports(oldRep, newRep, 0.15, &out); got != 1 {
+		t.Errorf("regressions = %d, want 1\n%s", got, out.String())
+	}
+	for _, want := range []string{
+		"ok        BenchmarkSweep/N100001/reference",
+		"REGRESSED BenchmarkSweep/N100001/fused-single",
+		"new       BenchmarkSweep/N100001/fused-band",
+		"missing   BenchmarkSweep/N100001/gone",
+		"2 compared (aaa -> bbb), 1 regressed beyond 15%",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A looser tolerance absorbs the +33% growth.
+	out.Reset()
+	if got := compareReports(oldRep, newRep, 0.5, &out); got != 0 {
+		t.Errorf("regressions at tol 0.5 = %d, want 0\n%s", got, out.String())
+	}
+}
+
+// TestRunCompare drives the CLI entry point end to end, including the
+// hand-scanned trailing -tol (the flag package stops at the first
+// positional, so `-compare a b -tol 0.5` leaves `-tol 0.5` in Args()).
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeReport(t, oldPath, &Report{Commit: "aaa", Benchmarks: []BenchResult{benchNs("BenchmarkX", 100e6)}})
+	writeReport(t, newPath, &Report{Commit: "bbb", Benchmarks: []BenchResult{benchNs("BenchmarkX", 140e6)}})
+
+	var stdout, stderr strings.Builder
+	if code := runCompare([]string{oldPath, newPath}, 0.15, &stdout, &stderr); code != 1 {
+		t.Errorf("default tolerance: exit %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	if code := runCompare([]string{oldPath, newPath, "-tol", "0.5"}, 0.15, &stdout, &stderr); code != 0 {
+		t.Errorf("trailing -tol 0.5: exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	if code := runCompare([]string{oldPath, newPath, "-tol=0.5"}, 0.15, &stdout, &stderr); code != 0 {
+		t.Errorf("trailing -tol=0.5: exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+
+	// Usage and I/O failures exit 2, not 1.
+	for name, args := range map[string][]string{
+		"one file":     {oldPath},
+		"three files":  {oldPath, newPath, oldPath},
+		"missing file": {oldPath, filepath.Join(dir, "nope.json")},
+		"bad tol":      {oldPath, newPath, "-tol", "abc"},
+		"dangling tol": {oldPath, newPath, "-tol"},
+	} {
+		if code := runCompare(args, 0.15, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+	}
+	if code := runCompare([]string{oldPath, newPath, "-tol", "-1"}, 0.15, &stdout, &stderr); code != 2 {
+		t.Error("negative tolerance accepted")
 	}
 }
 

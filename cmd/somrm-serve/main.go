@@ -8,8 +8,14 @@
 //	somrm-serve [-addr :8639] [-workers N] [-queue N] [-batch-reserve N]
 //	            [-cache N] [-prepared-cache N] [-timeout 30s]
 //	            [-max-order 12] [-drain-timeout 30s]
+//	            [-sweep-workers N] [-matrix-format auto|csr|band|csr64]
+//	            [-pprof]
 //	            [-fault-503 P] [-fault-truncate P] [-fault-panic P]
 //	            [-fault-latency D] [-fault-seed N]
+//
+// -pprof mounts Go's net/http/pprof profiling handlers under
+// /debug/pprof/ on the same listener; they are absent unless the flag
+// is set.
 //
 // The -fault-* flags enable the fault-injection middleware for chaos
 // testing (probabilities in [0,1]); they are never on by default and
@@ -32,12 +38,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"somrm/internal/server"
+	"somrm/internal/sparse"
 )
 
 func main() {
@@ -62,6 +70,8 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "per-solve randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep")
+	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, or csr64 (all bitwise identical; server-wide, not per-request)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	fault503 := fs.Float64("fault-503", 0, "TESTING ONLY: probability of injecting a 503 per request")
 	faultTrunc := fs.Float64("fault-truncate", 0, "TESTING ONLY: probability of truncating a response mid-body")
@@ -74,6 +84,10 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
+	// Fail at startup, not on the first solve, if the format is unknown.
+	if _, err := sparse.ParseMatrixFormat(*matrixFormat); err != nil {
+		return fmt.Errorf("-matrix-format: %w", err)
+	}
 
 	svc := server.New(server.Options{
 		Workers:           *workers,
@@ -84,6 +98,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		DefaultTimeout:    *timeout,
 		MaxOrder:          *maxOrder,
 		SweepWorkers:      *sweepWorkers,
+		MatrixFormat:      *matrixFormat,
 	})
 	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
 
@@ -99,6 +114,20 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		logger.Printf("WARNING: fault injection enabled (503 %.2f, truncate %.2f, panic %.2f, latency %s) — testing only",
 			faults.FailureRate, faults.TruncateRate, faults.PanicRate, faults.Latency)
 		handler = server.NewFaultInjector(faults).Middleware(handler)
+	}
+	if *pprofFlag {
+		// Mount the profiling endpoints on an outer mux so they bypass the
+		// fault injector and the service's own routing. Off by default:
+		// pprof exposes stack traces and CPU profiles, so it is opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Printf("pprof profiling endpoints enabled at /debug/pprof/")
 	}
 	httpSrv := &http.Server{
 		Handler:           handler,

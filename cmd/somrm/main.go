@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	order := fs.Int("order", 3, "highest moment order")
 	eps := fs.Float64("eps", 1e-9, "randomization truncation accuracy")
 	sweepWorkers := fs.Int("sweep-workers", 0, "randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep (all bitwise identical)")
+	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default) picks band or compact CSR by structure, csr forces compact indices, band forces the band kernel, csr64 the original layout (all bitwise identical)")
 	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
@@ -107,14 +108,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("bad -times: %w", err)
 		}
-		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers})
+		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat})
 		if err != nil {
 			return err
 		}
 		return writeSeries(results, *order, out)
 	}
 
-	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers})
+	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat})
 	if err != nil {
 		return err
 	}
@@ -128,8 +129,9 @@ func run(args []string, out io.Writer) error {
 	if err := tab.Render(out); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g\n",
-		res.Stats.Q, res.Stats.QT, res.Stats.D, res.Stats.G, res.Stats.Shift, res.Stats.ErrorBound)
+	fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g%s\n",
+		res.Stats.Q, res.Stats.QT, res.Stats.D, res.Stats.G, res.Stats.Shift, res.Stats.ErrorBound,
+		formatSuffix(res.Stats.MatrixFormat))
 
 	if *perState {
 		head := []string{"state"}
@@ -176,6 +178,16 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// formatSuffix renders the resolved sweep matrix format for the solver
+// stats line; older servers (and the serial reference path) leave it
+// empty, in which case nothing is appended.
+func formatSuffix(format string) string {
+	if format == "" {
+		return ""
+	}
+	return " format=" + format
 }
 
 func loadSpec(path string) (*spec.Model, error) {
@@ -278,8 +290,8 @@ func runRemote(baseURL string, sp *spec.Model, timesArg string, t float64, order
 		return err
 	}
 	if st := resp.Stats; st != nil {
-		fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g\n",
-			st.Q, st.QT, st.D, st.G, st.Shift, st.ErrorBound)
+		fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g%s\n",
+			st.Q, st.QT, st.D, st.G, st.Shift, st.ErrorBound, formatSuffix(st.MatrixFormat))
 	}
 	if len(resp.Bounds) > 0 {
 		bt := report.NewTable("CDF bounds", "x", "lower", "upper")

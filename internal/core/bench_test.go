@@ -82,12 +82,16 @@ func BenchmarkComposePair(b *testing.B) {
 // large-example shape: a tridiagonal birth-death chain at moment order 3.
 // N = 100,001 is the CI smoke size, N = 200,001 the paper's large
 // example; constant rates keep qt (and with it G) independent of N.
-// Sub-benchmarks select the kernel via Options.SweepWorkers: "reference"
-// is the serial pre-fusion loop, "fused-single" the fused kernel on one worker
-// (isolates the fusion win from parallel speedup), "fused-auto" the
-// production policy (GOMAXPROCS workers above the parallel threshold).
-// Each model is prepared once so an op measures the sweep, not the
-// per-solve uniformization and CSR assembly it shares across kernels.
+// Sub-benchmarks select the kernel via Options.SweepWorkers and the
+// storage engine via Options.MatrixFormat: "reference" is the serial
+// pre-fusion loop on the original 64-bit-index CSR, "fused-single" the
+// fused kernel on one worker at the same storage (isolates the fusion
+// win), "fused-compact" swaps in uint32 column indices, "fused-band"
+// the band/DIA kernel (the chain is tridiagonal, so the sweep loads no
+// indices at all), and "fused-auto" the production policy (structure
+// detection picks the band kernel here, workers by GOMAXPROCS). Each
+// model is prepared once so an op measures the sweep, not the per-solve
+// uniformization and CSR assembly it shares across kernels.
 func BenchmarkSweep(b *testing.B) {
 	const (
 		order = 3
@@ -102,13 +106,16 @@ func BenchmarkSweep(b *testing.B) {
 		for _, bc := range []struct {
 			name    string
 			workers int
+			format  string
 		}{
-			{"reference", -1},
-			{"fused-single", 1},
-			{"fused-auto", 0},
+			{"reference", -1, ""},
+			{"fused-single", 1, "csr64"},
+			{"fused-compact", 1, "csr"},
+			{"fused-band", 1, "band"},
+			{"fused-auto", 0, "auto"},
 		} {
 			b.Run(fmt.Sprintf("N%d/%s", n, bc.name), func(b *testing.B) {
-				opts := &Options{SweepWorkers: bc.workers}
+				opts := &Options{SweepWorkers: bc.workers, MatrixFormat: bc.format}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := prep.AccumulatedReward(tt, order, opts); err != nil {

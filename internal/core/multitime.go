@@ -66,7 +66,7 @@ func (m *Model) AccumulatedRewardAtContext(ctx context.Context, times []float64,
 			return nil, err
 		}
 	}
-	return m.solveAt(ctx, times, order, cfg, u, imp)
+	return m.solveAt(ctx, times, order, cfg, u, imp, nil)
 }
 
 // validateSolveArgs checks the user-facing solver arguments shared by every
@@ -88,6 +88,9 @@ func validateSolveArgs(times []float64, order int, cfg Options) error {
 	}
 	if cfg.MaxG < 1 {
 		return fmt.Errorf("%w: MaxG %d", ErrBadArgument, cfg.MaxG)
+	}
+	if _, err := sparse.ParseMatrixFormat(cfg.MatrixFormat); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadArgument, err)
 	}
 	return nil
 }
@@ -117,7 +120,7 @@ func (m *Model) frozenResults(times []float64, order int) ([]*Result, error) {
 // uniformization. It is the single implementation behind AccumulatedReward,
 // AccumulatedRewardAt and Prepared: callers have validated the arguments
 // and handled the q == 0 (frozen chain) case.
-func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Options, u *uniformization, imp []*sparse.CSR) ([]*Result, error) {
+func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Options, u *uniformization, imp []*sparse.CSR, ws *solveWorkspace) ([]*Result, error) {
 	n := m.N()
 	q, d, shift := u.q, u.d, u.shift
 
@@ -151,6 +154,7 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 	plans := make([]timePlan, len(times))
 	sweepPlans := make([]sparse.SweepPlan, len(times))
 	gMax := 0
+	activePlans := 0
 	for idx, t := range times {
 		if t == 0 {
 			plans[idx] = timePlan{t: 0}
@@ -162,24 +166,82 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 			return nil, err
 		}
 		w, first, last := poisson.PMFWindow(q*t, g)
-		acc := make([][]float64, order+1)
-		for j := 0; j <= order; j++ {
-			acc[j] = make([]float64, n)
-		}
 		plans[idx] = timePlan{t: t, g: g, bound: bound}
-		sweepPlans[idx] = sparse.SweepPlan{First: first, Last: last, Weight: w, Acc: acc}
+		sweepPlans[idx] = sparse.SweepPlan{First: first, Last: last, Weight: w}
+		activePlans++
 		if g > gMax {
 			gMax = g
 		}
 	}
 
-	// Shared sweep.
+	// The k = 1..G recursion runs on the sweep engine: the fused
+	// persistent-worker kernel when the model is large enough to amortize
+	// the iteration barrier (or the caller forced it), the serial
+	// reference kernel otherwise. Both produce bitwise identical moments,
+	// as does every matrix storage format; the reference path streams the
+	// generic CSR, so it forces csr64 and skips the derived conversions.
+	workers := sparse.PlanWorkers(cfg.SweepWorkers, n)
+	teamSize := workers
+	if teamSize < 1 {
+		teamSize = 1
+	}
+	format, err := sparse.ParseMatrixFormat(cfg.MatrixFormat)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArgument, err)
+	}
+	if workers == 0 {
+		format = sparse.FormatCSR64
+	}
+	sweep, err := sparse.NewSweepWithFormat(u.qPrime, u.rPrime, u.sHalf, imp, order, teamSize, format)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Per-solve scratch comes from one arena (pooled by Prepared): the
+	// sweep state vectors, the per-time accumulators, the interleaved
+	// kernel buffers, and — when a shift is active, so unshift rebuilds
+	// the output vectors anyway — the intermediate scaled moments. Only
+	// buffers that never escape into Results are carved here; everything
+	// needing zeros is cleared explicitly (the arena arrives dirty).
+	vecWords := 2 * (order + 1) * n
+	accWords := activePlans * (order + 1) * n
+	vmWords := 0
+	if shift != 0 {
+		vmWords = (order + 1) * n
+	}
+	if ws == nil {
+		ws = &solveWorkspace{}
+	}
+	arena := ws.ensure(vecWords + accWords + vmWords + sweep.Scratch4Words())
+	carve := func(k int) []float64 {
+		s := arena[:k:k]
+		arena = arena[k:]
+		return s
+	}
 	cur := make([][]float64, order+1)
 	next := make([][]float64, order+1)
 	for j := 0; j <= order; j++ {
-		cur[j] = make([]float64, n)
-		next[j] = make([]float64, n)
+		cur[j] = carve(n)
+		clear(cur[j])
+		next[j] = carve(n) // fully overwritten by the first iteration
 	}
+	for idx := range sweepPlans {
+		if plans[idx].t == 0 {
+			continue
+		}
+		acc := make([][]float64, order+1)
+		for j := 0; j <= order; j++ {
+			acc[j] = carve(n)
+			clear(acc[j])
+		}
+		sweepPlans[idx].Acc = acc
+	}
+	var vmBuf []float64
+	if vmWords > 0 {
+		vmBuf = carve(vmWords)
+	}
+	sweep.SetScratch4(carve(sweep.Scratch4Words()))
+
 	for i := 0; i < n; i++ {
 		cur[0][i] = 1
 	}
@@ -194,20 +256,6 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 				p.Acc[0][i] = w0
 			}
 		}
-	}
-
-	// The k = 1..G recursion runs on the sweep engine: the fused
-	// persistent-worker kernel when the model is large enough to amortize
-	// the iteration barrier (or the caller forced it), the serial
-	// reference kernel otherwise. Both produce bitwise identical moments.
-	workers := sparse.PlanWorkers(cfg.SweepWorkers, n)
-	teamSize := workers
-	if teamSize < 1 {
-		teamSize = 1
-	}
-	sweep, err := sparse.NewSweep(u.qPrime, u.rPrime, u.sHalf, imp, order, teamSize)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
 	}
 	sweepStart := time.Now()
 	var matVecs int64
@@ -243,7 +291,15 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 			if math.IsInf(scale, 0) {
 				return nil, fmt.Errorf("%w: scale j!*d^j at order %d", ErrOverflow, j)
 			}
-			vm[j] = make([]float64, n)
+			if vmBuf != nil {
+				// A non-zero shift means unshift builds fresh output
+				// vectors, so the scaled moments are scratch the arena can
+				// hold (reused across time points). With shift == 0 they
+				// escape into the Result and must be freshly allocated.
+				vm[j] = vmBuf[j*n : (j+1)*n : (j+1)*n]
+			} else {
+				vm[j] = make([]float64, n)
+			}
 			acc := sweepPlans[idx].Acc[j]
 			for i := 0; i < n; i++ {
 				vm[j][i] = scale * acc[i]
@@ -259,6 +315,7 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 			MatVecs:           matVecs,
 			SweepNS:           sweepNS,
 			FlopsPerIteration: int64(u.qPrime.NNZ()+2*n) * int64(order+1),
+			MatrixFormat:      string(sweep.Format()),
 		}
 		res.finish(m.initial)
 		results[idx] = res

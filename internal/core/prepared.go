@@ -23,7 +23,39 @@ type Prepared struct {
 
 	mu  sync.Mutex
 	imp []*sparse.CSR // impulse matrices for orders 1..len(imp), grown on demand
+
+	// ws pools the per-solve scratch arenas (sweep state vectors,
+	// accumulators, interleaved kernel buffers — tens of MB at the paper's
+	// sizes), so repeated server solves against the same model stop
+	// allocating them. Only non-escaping scratch lives in the arena; see
+	// solveAt.
+	ws sync.Pool
 }
+
+// solveWorkspace is one solve's scratch arena. A workspace is used by at
+// most one solve at a time; Prepared hands them out from a sync.Pool.
+type solveWorkspace struct {
+	buf []float64
+}
+
+// ensure returns an arena of exactly the given word count, growing the
+// backing buffer when needed. Contents are unspecified — callers clear
+// what must start at zero.
+func (w *solveWorkspace) ensure(words int) []float64 {
+	if cap(w.buf) < words {
+		w.buf = make([]float64, words)
+	}
+	return w.buf[:words]
+}
+
+func (p *Prepared) getWorkspace() *solveWorkspace {
+	if v := p.ws.Get(); v != nil {
+		return v.(*solveWorkspace)
+	}
+	return &solveWorkspace{}
+}
+
+func (p *Prepared) putWorkspace(w *solveWorkspace) { p.ws.Put(w) }
 
 // Prepare validates nothing new — the model is already validated — but
 // performs the solver's model-only setup once so subsequent solves skip it.
@@ -96,7 +128,9 @@ func (p *Prepared) AccumulatedRewardAtContext(ctx context.Context, times []float
 			return nil, err
 		}
 	}
-	return p.m.solveAt(ctx, times, order, cfg, p.u, imp)
+	ws := p.getWorkspace()
+	defer p.putWorkspace(ws)
+	return p.m.solveAt(ctx, times, order, cfg, p.u, imp, ws)
 }
 
 // AccumulatedReward is Model.AccumulatedReward against the prepared

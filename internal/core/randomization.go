@@ -42,6 +42,16 @@ type Options struct {
 	// Every setting produces bitwise identical moments; the knob trades
 	// only wall time and goroutines.
 	SweepWorkers int
+	// MatrixFormat selects the storage representation the fused sweep
+	// kernels stream for the uniformized generator: "auto" (the default;
+	// band for narrow-band matrices like the paper's birth-death models,
+	// compact-index CSR otherwise), "csr" (force compact-index CSR),
+	// "band" (force the band representation where eligible), or "csr64"
+	// (the generic CSR baseline). Every format produces bitwise identical
+	// moments; the knob trades only memory traffic. The serial reference
+	// sweep (SweepWorkers < 0 or small models) always streams the generic
+	// CSR. Stats.MatrixFormat reports the resolved choice.
+	MatrixFormat string
 }
 
 func (o *Options) withDefaults() Options {
@@ -90,6 +100,11 @@ type Stats struct {
 	// FlopsPerIteration estimates floating-point multiplications per
 	// iteration step, ((m+2) per moment order) * |S|, as in section 7.
 	FlopsPerIteration int64
+	// MatrixFormat is the storage representation the sweep streamed for
+	// the uniformized generator: "band", "csr32" or "csr64" (the serial
+	// reference sweep always reports "csr64"). Empty for solves that never
+	// ran a sweep (t = 0, frozen chains, d = 0).
+	MatrixFormat string
 }
 
 // Result holds the accumulated-reward moments at one time point.

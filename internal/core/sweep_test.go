@@ -62,23 +62,81 @@ func TestSweepFusedMatchesReferenceLarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{0, 1, 3} {
-		got, err := m.AccumulatedRewardAt(times, order, &Options{SweepWorkers: workers})
+	if got := ref[1].Stats.MatrixFormat; got != string(sparse.FormatCSR64) {
+		t.Fatalf("reference sweep reported format %q, want csr64", got)
+	}
+	cases := []struct {
+		workers    int
+		format     string
+		wantFormat string // resolved Stats.MatrixFormat; "" = don't check
+	}{
+		{0, "", "band"}, // tridiagonal: auto resolves to the band kernel
+		{1, "", "band"},
+		{3, "", "band"},
+		{1, "band", "band"},
+		{1, "csr", "csr32"},
+		{3, "csr", "csr32"},
+		{1, "csr64", "csr64"},
+	}
+	for _, c := range cases {
+		got, err := m.AccumulatedRewardAt(times, order, &Options{SweepWorkers: c.workers, MatrixFormat: c.format})
 		if err != nil {
-			t.Fatalf("workers %d: %v", workers, err)
+			t.Fatalf("workers %d format %q: %v", c.workers, c.format, err)
+		}
+		if c.wantFormat != "" && got[1].Stats.MatrixFormat != c.wantFormat {
+			t.Fatalf("workers %d format %q: Stats.MatrixFormat = %q, want %q",
+				c.workers, c.format, got[1].Stats.MatrixFormat, c.wantFormat)
 		}
 		for idx := range times {
 			if got[idx].Stats.MatVecs != ref[idx].Stats.MatVecs {
-				t.Fatalf("workers %d t=%g: matvecs %d != %d", workers, times[idx], got[idx].Stats.MatVecs, ref[idx].Stats.MatVecs)
+				t.Fatalf("workers %d format %q t=%g: matvecs %d != %d", c.workers, c.format, times[idx], got[idx].Stats.MatVecs, ref[idx].Stats.MatVecs)
 			}
 			for j := 0; j <= order; j++ {
 				if math.Float64bits(got[idx].Moments[j]) != math.Float64bits(ref[idx].Moments[j]) {
-					t.Fatalf("workers %d t=%g: moment %d = %x, reference %x",
-						workers, times[idx], j, math.Float64bits(got[idx].Moments[j]), math.Float64bits(ref[idx].Moments[j]))
+					t.Fatalf("workers %d format %q t=%g: moment %d = %x, reference %x",
+						c.workers, c.format, times[idx], j, math.Float64bits(got[idx].Moments[j]), math.Float64bits(ref[idx].Moments[j]))
 				}
 				for i := 0; i < m.N(); i += 997 { // sampled: full vectors are 4×100k
 					if math.Float64bits(got[idx].VectorMoments[j][i]) != math.Float64bits(ref[idx].VectorMoments[j][i]) {
-						t.Fatalf("workers %d t=%g: vm[%d][%d] differs", workers, times[idx], j, i)
+						t.Fatalf("workers %d format %q t=%g: vm[%d][%d] differs", c.workers, c.format, times[idx], j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedPoolBitwise proves the pooled workspace cannot leak state
+// between solves: repeated solves through one Prepared — different time
+// grids and formats interleaved, so arenas are reused at different
+// carvings — must stay bitwise identical to the fresh-model path.
+func TestPreparedPoolBitwise(t *testing.T) {
+	m := largeTridiagModel(t, 4_000)
+	prep, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const order = 3
+	grids := [][]float64{{0.7}, {0, 0.5, 2}, {3, 0.1}}
+	formats := []string{"auto", "band", "csr", "csr64"}
+	for rep := 0; rep < 3; rep++ {
+		for gi, times := range grids {
+			format := formats[(rep+gi)%len(formats)]
+			opts := &Options{SweepWorkers: 2, MatrixFormat: format}
+			want, err := m.AccumulatedRewardAt(times, order, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := prep.AccumulatedRewardAt(times, order, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for idx := range times {
+				for j := 0; j <= order; j++ {
+					for i := 0; i < m.N(); i++ {
+						if math.Float64bits(got[idx].VectorMoments[j][i]) != math.Float64bits(want[idx].VectorMoments[j][i]) {
+							t.Fatalf("rep %d grid %d format %s: vm[%d][%d] differs from fresh solve", rep, gi, format, j, i)
+						}
 					}
 				}
 			}
@@ -94,6 +152,14 @@ func TestSweepFusedMatchesReferenceLarge(t *testing.T) {
 // may linger.
 func TestSweepCancellationHammer(t *testing.T) {
 	m := largeTridiagModel(t, 20_000)
+	// Half the goroutines solve through a shared Prepared: under -race this
+	// additionally checks the pooled workspaces and the shared derived
+	// matrix representations (band, compact indexes) for races.
+	prep, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formats := []string{"auto", "band", "csr", "csr64"}
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
 		wg.Add(1)
@@ -101,8 +167,15 @@ func TestSweepCancellationHammer(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
 			for rep := 0; rep < 4; rep++ {
+				opts := &Options{SweepWorkers: 2, MatrixFormat: formats[rng.Intn(len(formats))]}
 				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(3000))*time.Microsecond)
-				res, err := m.AccumulatedRewardAtContext(ctx, []float64{40}, 3, &Options{SweepWorkers: 2})
+				var res []*Result
+				var err error
+				if g%2 == 0 {
+					res, err = prep.AccumulatedRewardAtContext(ctx, []float64{40}, 3, opts)
+				} else {
+					res, err = m.AccumulatedRewardAtContext(ctx, []float64{40}, 3, opts)
+				}
 				cancel()
 				if err != nil {
 					if ctx.Err() == nil {

@@ -156,9 +156,10 @@ func TestDiffGeneratorProducesValidModels(t *testing.T) {
 
 // TestDiffSweepKernelBitwise is the fused-kernel gate: across the fixed
 // seed corpus, the fused persistent-worker sweep (forced on, single- and
-// multi-worker) must reproduce the serial reference sweep bit for bit —
-// moments and per-state vectors alike. The fused kernel is an
-// optimization, never an approximation.
+// multi-worker, at every matrix storage format) must reproduce the serial
+// reference sweep bit for bit — moments and per-state vectors alike. The
+// fused kernel and the band/compact storage engine are optimizations,
+// never approximations.
 func TestDiffSweepKernelBitwise(t *testing.T) {
 	for seed := 0; seed < corpusSize; seed++ {
 		rng := rand.New(rand.NewSource(int64(seed)))
@@ -173,22 +174,29 @@ func TestDiffSweepKernelBitwise(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: reference: %v", seed, err)
 		}
-		for _, workers := range []int{1, 2, 5} {
-			fused, err := model.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: workers})
-			if err != nil {
-				t.Fatalf("seed %d workers %d: fused: %v", seed, workers, err)
-			}
-			for k := range times {
-				for j := 0; j <= order; j++ {
-					if math.Float64bits(fused[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
-						t.Fatalf("seed %d workers %d t=%g: moment %d = %x, reference %x",
-							seed, workers, times[k], j,
-							math.Float64bits(fused[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
-					}
-					for i := range fused[k].VectorMoments[j] {
-						if math.Float64bits(fused[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
-							t.Fatalf("seed %d workers %d t=%g: vm[%d][%d] differs bitwise",
-								seed, workers, times[k], j, i)
+		// The "band" request covers the band kernels on every corpus model
+		// that is band-eligible under the forced policy (the generator's
+		// small models qualify via the small-matrix escape hatch) and the
+		// compact fallback on the rest; "csr" pins the compact kernels,
+		// "auto" whatever the detector picks, "csr64" the original layout.
+		for _, format := range []string{"auto", "csr", "band", "csr64"} {
+			for _, workers := range []int{1, 2, 5} {
+				fused, err := model.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: workers, MatrixFormat: format})
+				if err != nil {
+					t.Fatalf("seed %d format %s workers %d: fused: %v", seed, format, workers, err)
+				}
+				for k := range times {
+					for j := 0; j <= order; j++ {
+						if math.Float64bits(fused[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
+							t.Fatalf("seed %d format %s workers %d t=%g: moment %d = %x, reference %x",
+								seed, format, workers, times[k], j,
+								math.Float64bits(fused[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
+						}
+						for i := range fused[k].VectorMoments[j] {
+							if math.Float64bits(fused[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
+								t.Fatalf("seed %d format %s workers %d t=%g: vm[%d][%d] differs bitwise",
+									seed, format, workers, times[k], j, i)
+							}
 						}
 					}
 				}

@@ -297,7 +297,7 @@ func (s *Server) runBatchItem(ctx context.Context, prep *core.Prepared, item *Ba
 	switch item.Method {
 	case MethodRandomization:
 		s.metrics.SweepPoints.Observe(len(item.Times))
-		results, err := prep.AccumulatedRewardAtContext(ctx, item.Times, item.Order, &core.Options{Epsilon: item.Epsilon, SweepWorkers: s.opts.SweepWorkers})
+		results, err := prep.AccumulatedRewardAtContext(ctx, item.Times, item.Order, &core.Options{Epsilon: item.Epsilon, SweepWorkers: s.opts.SweepWorkers, MatrixFormat: s.opts.MatrixFormat})
 		if err != nil {
 			return nil, err
 		}
@@ -308,6 +308,7 @@ func (s *Server) runBatchItem(ctx context.Context, prep *core.Prepared, item *Ba
 		// it once per item, not once per grid point.
 		if len(results) > 0 && results[0].Stats.SweepNS > 0 {
 			s.metrics.ObserveSweep(time.Duration(results[0].Stats.SweepNS))
+			s.metrics.ObserveSweepFormat(results[0].Stats.MatrixFormat)
 		}
 	case MethodODE:
 		opts := &odesolver.MomentOptions{Steps: item.ODE.Steps}

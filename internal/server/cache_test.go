@@ -88,12 +88,26 @@ func TestResultCacheEvictionHammer(t *testing.T) {
 		t.Errorf("cache hits (%d) + misses (%d) = %d, want the request count %d",
 			hits, misses, hits+misses, requests)
 	}
-	// With 3x capacity churn there must be misses beyond the first fill;
-	// with 12 repetitions of each key there must also be some hits.
+	// With 3x capacity churn there must be misses beyond the first fill.
 	if misses < distinct {
 		t.Errorf("misses = %d, want at least one per distinct model (%d)", misses, distinct)
 	}
-	if hits == 0 {
-		t.Error("no cache hits at all under repeated identical requests")
+	// Whether any hits land *during* the churn is a scheduling accident
+	// (the faster the solves, the more the goroutines march in phase and
+	// evict each other's entries), so prove the cache still serves hits
+	// the deterministic way: a sequential repeat after the storm must be
+	// answered from cache.
+	if _, out, _ := postSolve(t, ts.URL, bodies[0]); out.Cached {
+		t.Log("first post-churn request already cached")
+	}
+	resp, out, raw := postSolve(t, ts.URL, bodies[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-churn repeat: status %d: %s", resp.StatusCode, raw)
+	}
+	if !out.Cached {
+		t.Error("sequential repeat after the churn was not served from cache")
+	}
+	if got := s.metrics.CacheHits.Load(); got <= hits {
+		t.Errorf("cache hits did not advance on a sequential repeat (%d -> %d)", hits, got)
 	}
 }

@@ -50,6 +50,15 @@ type Metrics struct {
 	BatchItems  sizeHistogram
 	SweepPoints sizeHistogram
 
+	// SweepFormatBand / SweepFormatCSR32 / SweepFormatCSR64 count solver
+	// executions by the matrix storage format the randomization sweep
+	// streamed (core.Stats.MatrixFormat) — the label operators watch to
+	// confirm the structure-adaptive engine picked the band kernel for
+	// their models.
+	SweepFormatBand  atomic.Int64
+	SweepFormatCSR32 atomic.Int64
+	SweepFormatCSR64 atomic.Int64
+
 	// solveLatency tracks end-to-end solve time (queue wait included);
 	// sweepLatency tracks only the randomization sweep inside the solver
 	// (core.Stats.SweepNS), so operators can tell solver cost from queue
@@ -166,6 +175,20 @@ func (m *Metrics) ObserveSweep(d time.Duration) {
 	m.sweepLatency.Observe(d)
 }
 
+// ObserveSweepFormat records the matrix storage format one solver
+// execution streamed (core.Stats.MatrixFormat). Unknown or empty labels
+// (solves that never ran a sweep) are ignored.
+func (m *Metrics) ObserveSweepFormat(format string) {
+	switch format {
+	case "band":
+		m.SweepFormatBand.Add(1)
+	case "csr32":
+		m.SweepFormatCSR32.Add(1)
+	case "csr64":
+		m.SweepFormatCSR64.Add(1)
+	}
+}
+
 // HistogramBucket is one cumulative-style histogram bucket in the
 // /metrics payload. LE is the bucket's inclusive upper bound in
 // milliseconds; the +Inf bucket is rendered with LE = 0 and Inf = true.
@@ -198,6 +221,11 @@ type MetricsSnapshot struct {
 	PreparedHits   int64 `json:"prepared_hits"`
 	PreparedMisses int64 `json:"prepared_misses"`
 
+	// SweepFormats counts solver executions by the matrix storage format
+	// the randomization sweep streamed, keyed by the core.Stats label
+	// ("band", "csr32", "csr64").
+	SweepFormats map[string]int64 `json:"sweep_formats"`
+
 	QueueDepth      int     `json:"queue_depth"`
 	Workers         int     `json:"workers"`
 	CacheEntries    int     `json:"cache_entries"`
@@ -228,6 +256,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		PreparedMisses: m.PreparedMisses.Load(),
 		BatchItems:     m.BatchItems.snapshot(),
 		SweepPoints:    m.SweepPoints.snapshot(),
+		SweepFormats: map[string]int64{
+			"band":  m.SweepFormatBand.Load(),
+			"csr32": m.SweepFormatCSR32.Load(),
+			"csr64": m.SweepFormatCSR64.Load(),
+		},
 	}
 	snap.SolveLatency = m.solveLatency.snapshot()
 	snap.SweepLatency = m.sweepLatency.snapshot()

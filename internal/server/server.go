@@ -63,6 +63,13 @@ type Options struct {
 	// Workers solves concurrently; on a machine with C cores, keeping
 	// Workers x SweepWorkers near C avoids oversubscription.
 	SweepWorkers int
+	// MatrixFormat is passed through to the randomization solver
+	// (core.Options.MatrixFormat): "" or "auto" picks the storage
+	// representation per model (band for narrow-band generators,
+	// compact-index CSR otherwise); "csr", "band" and "csr64" force one.
+	// Results are bitwise identical for every setting, so the knob is
+	// server-wide and deliberately not part of requests or cache keys.
+	MatrixFormat string
 }
 
 func (o Options) withDefaults() Options {
@@ -235,6 +242,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.metrics.ObserveLatency(time.Since(started))
 		if solved.Stats != nil && solved.Stats.SweepNS > 0 {
 			s.metrics.ObserveSweep(time.Duration(solved.Stats.SweepNS))
+			s.metrics.ObserveSweepFormat(solved.Stats.MatrixFormat)
 		}
 		return solved, nil
 	})

@@ -519,6 +519,15 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if snap.SolveLatency.Count != 1 {
 		t.Errorf("latency histogram empty: %+v", snap.SolveLatency)
 	}
+	// The randomization solve must have been counted under its resolved
+	// matrix storage format, whichever the detector picked.
+	var formatTotal int64
+	for _, format := range []string{"band", "csr32", "csr64"} {
+		formatTotal += snap.SweepFormats[format]
+	}
+	if formatTotal != 1 {
+		t.Errorf("sweep_formats = %v, want exactly one counted sweep", snap.SweepFormats)
+	}
 	last := snap.SolveLatency.Buckets[len(snap.SolveLatency.Buckets)-1]
 	if !last.Inf || last.Count != 1 {
 		t.Errorf("cumulative +Inf bucket: %+v", last)

@@ -80,6 +80,7 @@ func newSolverStats(st core.Stats) *SolverStats {
 		G: st.G, ErrorBound: st.ErrorBound,
 		MatVecs: st.MatVecs, SweepNS: st.SweepNS,
 		FlopsPerIteration: st.FlopsPerIteration,
+		MatrixFormat:      st.MatrixFormat,
 	}
 }
 
@@ -96,6 +97,10 @@ type SolverStats struct {
 	MatVecs           int64   `json:"matvecs"`
 	SweepNS           int64   `json:"sweep_ns"`
 	FlopsPerIteration int64   `json:"flops_per_iteration"`
+	// MatrixFormat is the storage representation the randomization sweep
+	// streamed ("band", "csr32" or "csr64"); empty for solves that never
+	// ran a sweep.
+	MatrixFormat string `json:"matrix_format,omitempty"`
 }
 
 // BoundPoint is one moment-based CDF bound evaluation.
@@ -279,7 +284,7 @@ func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveRe
 	if err != nil {
 		return nil, err
 	}
-	return runSolvePrepared(ctx, req, prep, s.opts.SweepWorkers)
+	return runSolvePrepared(ctx, req, prep, s.opts.SweepWorkers, s.opts.MatrixFormat)
 }
 
 // runSolve executes a normalized request without a prepared-model cache:
@@ -290,19 +295,20 @@ func runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSolvePrepared(ctx, req, prep, 0)
+	return runSolvePrepared(ctx, req, prep, 0, "")
 }
 
 // runSolvePrepared executes a normalized request against a prepared model,
 // dispatching to the selected solver and attaching distribution bounds when
-// requested. sweepWorkers is the server's solver-parallelism setting,
-// forwarded to the randomization sweep.
-func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepared, sweepWorkers int) (*SolveResponse, error) {
+// requested. sweepWorkers and matrixFormat are the server's solver
+// settings, forwarded to the randomization sweep; neither changes results
+// bitwise, which is why they are not part of requests or cache keys.
+func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepared, sweepWorkers int, matrixFormat string) (*SolveResponse, error) {
 	model := prep.Model()
 	resp := &SolveResponse{Method: req.Method, T: req.T, Order: req.Order}
 	switch req.Method {
 	case MethodRandomization:
-		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon, SweepWorkers: sweepWorkers})
+		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon, SweepWorkers: sweepWorkers, MatrixFormat: matrixFormat})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,213 @@
+package sparse
+
+import (
+	"math"
+	"sync"
+)
+
+// This file implements the structure-adaptive storage engine behind the
+// randomization sweep. The paper's flagship example — the ON-OFF
+// multiplexer, 200,001 states — has a tridiagonal birth-death generator,
+// and quasi-birth-death structure is pervasive across realistic Markov
+// reward models. For such matrices the generic CSR kernel wastes half its
+// memory traffic on column indexes (8 bytes of index per 8-byte value) in
+// a loop BENCH_sweep.json shows is memory-bandwidth-bound. Two cheaper
+// representations are derived lazily from the immutable CSR:
+//
+//   - Band (DIA-like): a dense row-major band of width lo+hi+1 holding
+//     values only. The kernel computes column positions instead of
+//     loading them — zero index traffic, sequential value streams, and
+//     (for the interleaved order-3 layout) a fully contiguous gather
+//     window per row.
+//   - Compact-index CSR: the same CSR structure with uint32 column
+//     indexes, halving index traffic for every matrix below 2^32
+//     columns; the generic fallback when the band would waste too many
+//     padded cells.
+//
+// Both are caches on the CSR value: built once under sync.Once, shared by
+// every sweep over the same matrix (core.Prepared reuses the matrix across
+// solves, so the conversion cost amortizes to zero).
+//
+// Bitwise contract: band kernels add padded cells as 0.0·x products into
+// running sums built from +0.0 by successive +=. In round-to-nearest such
+// a sum can never be -0.0 (a+b is -0.0 only when both operands are -0.0;
+// exact cancellation yields +0.0), and adding ±0.0 to any value other
+// than -0.0 returns it unchanged, so for finite vectors the padded
+// products are bitwise neutral and the band kernel reproduces the CSR
+// kernel's per-row ascending-column accumulation exactly. Non-finite
+// vector entries would break this (0.0·Inf = NaN); the solver guarantees
+// finiteness (spec rejects NaN/Inf inputs, core raises ErrOverflow before
+// non-finite moments propagate).
+
+// Band is a dense banded (diagonal-storage) view of a square CSR matrix:
+// Val[i*Width+k] holds entry (i, i-Lo+k). Cells outside the matrix or
+// without a stored CSR entry hold +0.0.
+type Band struct {
+	n      int
+	lo, hi int // bandwidth below/above the diagonal
+	width  int // lo + hi + 1
+	val    []float64
+}
+
+// N returns the matrix dimension.
+func (b *Band) N() int { return b.n }
+
+// Bounds returns the band's (lo, hi) half-widths.
+func (b *Band) Bounds() (lo, hi int) { return b.lo, b.hi }
+
+// Width returns lo + hi + 1, the stored cells per row.
+func (b *Band) Width() int { return b.width }
+
+// MatVec computes y = b*x with the same per-row ascending-column
+// accumulation order as CSR.MatVec; for finite x the results are bitwise
+// identical (see the padded-zero analysis in the file comment).
+func (b *Band) MatVec(x, y []float64) {
+	n, lo, width := b.n, b.lo, b.width
+	for i := 0; i < n; i++ {
+		row := b.val[i*width : (i+1)*width]
+		base := i - lo
+		k0, k1 := 0, width
+		if base < 0 {
+			k0 = -base
+		}
+		if base+width > n {
+			k1 = n - base
+		}
+		var sum float64
+		for k := k0; k < k1; k++ {
+			sum += row[k] * x[base+k]
+		}
+		y[i] = sum
+	}
+}
+
+// Dense expands the band into a row-major n x n slice, for tests.
+func (b *Band) Dense() []float64 {
+	out := make([]float64, b.n*b.n)
+	for i := 0; i < b.n; i++ {
+		for k := 0; k < b.width; k++ {
+			if j := i - b.lo + k; j >= 0 && j < b.n {
+				out[i*b.n+j] = b.val[i*b.width+k]
+			}
+		}
+	}
+	return out
+}
+
+// deriv holds the lazily built derived representations of a CSR matrix.
+// The zero value is ready to use; each representation is built at most
+// once under its sync.Once, so concurrent sweeps over a shared matrix
+// (core.Prepared) race-freely share the conversions.
+type deriv struct {
+	bwOnce     sync.Once
+	bwLo, bwHi int
+
+	col32Once sync.Once
+	col32     []uint32
+
+	bandOnce sync.Once
+	band     *Band
+}
+
+func (m *CSR) derived() *deriv { return &m.dv }
+
+// Bandwidth returns the smallest (lo, hi) such that every stored entry
+// (i, j) satisfies i-lo <= j <= i+hi. The result is computed once and
+// cached. An empty matrix reports (0, 0).
+func (m *CSR) Bandwidth() (lo, hi int) {
+	d := m.derived()
+	d.bwOnce.Do(func() {
+		for i := 0; i < m.rows; i++ {
+			s, e := m.rowPtr[i], m.rowPtr[i+1]
+			if s == e {
+				continue
+			}
+			// Columns are sorted ascending within a row, so the first and
+			// last entries bound the row's band.
+			if b := i - m.colIdx[s]; b > d.bwLo {
+				d.bwLo = b
+			}
+			if b := m.colIdx[e-1] - i; b > d.bwHi {
+				d.bwHi = b
+			}
+		}
+	})
+	return d.bwLo, d.bwHi
+}
+
+// ColIdx32 returns the column indexes narrowed to uint32 — the
+// compact-index CSR representation, halving index traffic in
+// bandwidth-bound kernels — or nil when the matrix is too wide for 32-bit
+// columns. Each index is checked against the width at build time; the
+// result is cached.
+func (m *CSR) ColIdx32() []uint32 {
+	if m.cols > math.MaxUint32 {
+		return nil
+	}
+	d := m.derived()
+	d.col32Once.Do(func() {
+		c32 := make([]uint32, len(m.colIdx))
+		for k, j := range m.colIdx {
+			if j < 0 || j >= m.cols {
+				return // corrupt structure; leave col32 nil
+			}
+			c32[k] = uint32(j)
+		}
+		d.col32 = c32
+	})
+	return d.col32
+}
+
+// bandCells returns rows*(lo+hi+1), the storage cost of the band
+// representation in float64 cells.
+func (m *CSR) bandCells() int64 {
+	lo, hi := m.Bandwidth()
+	return int64(m.rows) * int64(lo+hi+1)
+}
+
+// Band eligibility thresholds. The automatic policy converts only when
+// the band is narrow and nearly dense inside (padded cells cost real
+// multiplies and real traffic); a forced "band" format is honored up to a
+// much wider band, with an absolute small-matrix escape hatch so tests
+// and tiny models can always exercise the band kernel.
+const (
+	maxAutoBandWidth   = 32
+	maxForcedBandWidth = 512
+	smallBandCells     = 1 << 16
+)
+
+// bandEligible reports whether the band representation should be used for
+// this matrix under the given policy (forced = the caller explicitly
+// requested "band" rather than "auto").
+func (m *CSR) bandEligible(forced bool) bool {
+	if m.rows != m.cols || m.rows == 0 {
+		return false
+	}
+	lo, hi := m.Bandwidth()
+	width := lo + hi + 1
+	cells, nnz := m.bandCells(), int64(m.NNZ())
+	if forced {
+		return width <= maxForcedBandWidth && (cells <= 4*nnz || cells <= smallBandCells)
+	}
+	return width <= maxAutoBandWidth && cells <= 2*nnz
+}
+
+// BandRep returns the cached band representation, building it on first
+// call. Callers gate on bandEligible (or accept the O(rows*width) memory
+// cost knowingly); the conversion itself is valid for any square matrix.
+func (m *CSR) BandRep() *Band {
+	d := m.derived()
+	d.bandOnce.Do(func() {
+		lo, hi := m.Bandwidth()
+		width := lo + hi + 1
+		b := &Band{n: m.rows, lo: lo, hi: hi, width: width,
+			val: make([]float64, m.rows*width)}
+		for i := 0; i < m.rows; i++ {
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				b.val[i*width+(m.colIdx[p]-i+lo)] = m.val[p]
+			}
+		}
+		d.band = b
+	})
+	return d.band
+}

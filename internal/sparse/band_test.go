@@ -1,0 +1,339 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bandedFixture builds a random n x n matrix whose entries stay within the
+// requested band, with a guaranteed main diagonal so no row is empty.
+func bandedFixture(t testing.TB, rng *rand.Rand, n, lo, hi int) *CSR {
+	t.Helper()
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		if err := b.Add(i, i, rng.Float64()+0.1); err != nil {
+			t.Fatal(err)
+		}
+		for j := i - lo; j <= i+hi; j++ {
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			if rng.Float64() < 0.7 {
+				if err := b.Add(i, j, rng.Float64()*2-1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBandwidthKnown(t *testing.T) {
+	cases := []struct {
+		name           string
+		dense          []float64
+		n              int
+		wantLo, wantHi int
+	}{
+		{"diagonal", []float64{1, 0, 0, 0, 2, 0, 0, 0, 3}, 3, 0, 0},
+		{"tridiagonal", []float64{1, 2, 0, 3, 4, 5, 0, 6, 7}, 3, 1, 1},
+		{"lower", []float64{1, 0, 0, 2, 1, 0, 0, 3, 1}, 3, 1, 0},
+		{"corner", []float64{1, 0, 5, 0, 1, 0, 0, 0, 1}, 3, 0, 2},
+		{"empty", make([]float64, 9), 3, 0, 0},
+	}
+	for _, c := range cases {
+		m, err := NewCSRFromDense(c.n, c.n, c.dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := m.Bandwidth()
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("%s: Bandwidth() = (%d, %d), want (%d, %d)", c.name, lo, hi, c.wantLo, c.wantHi)
+		}
+	}
+}
+
+func TestBandRepKnown(t *testing.T) {
+	// 4x4 tridiagonal with a hole at (2,1): the band must pad it with zero.
+	dense := []float64{
+		2, 3, 0, 0,
+		4, 5, 6, 0,
+		0, 0, 8, 9,
+		0, 0, 10, 11,
+	}
+	m, err := NewCSRFromDense(4, 4, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := m.BandRep()
+	if lo, hi := bd.Bounds(); lo != 1 || hi != 1 {
+		t.Fatalf("Bounds() = (%d, %d), want (1, 1)", lo, hi)
+	}
+	if bd.Width() != 3 || bd.N() != 4 {
+		t.Fatalf("Width() = %d, N() = %d", bd.Width(), bd.N())
+	}
+	wantVal := []float64{
+		0, 2, 3, // row 0: column -1 padded
+		4, 5, 6,
+		0, 8, 9, // hole at (2,1) padded
+		10, 11, 0, // row 3: column 4 padded
+	}
+	for k, want := range wantVal {
+		if bd.val[k] != want {
+			t.Errorf("val[%d] = %g, want %g", k, bd.val[k], want)
+		}
+	}
+	for i, want := range dense {
+		if got := bd.Dense()[i]; got != want {
+			t.Errorf("Dense()[%d] = %g, want %g", i, got, want)
+		}
+	}
+	if again := m.BandRep(); again != bd {
+		t.Error("BandRep not cached")
+	}
+}
+
+// TestBandMatVecBoundary pins the boundary clamping: rows whose band
+// window sticks out of the matrix must ignore the out-of-range cells.
+func TestBandMatVecBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, shape := range []struct{ n, lo, hi int }{
+		{1, 0, 0}, {2, 1, 1}, {5, 2, 1}, {5, 0, 3}, {8, 4, 4}, {6, 5, 5},
+	} {
+		m := bandedFixture(t, rng, shape.n, shape.lo, shape.hi)
+		bd := m.BandRep()
+		x := make([]float64, shape.n)
+		for i := range x {
+			x[i] = rng.Float64()*4 - 2
+		}
+		want := make([]float64, shape.n)
+		got := make([]float64, shape.n)
+		if err := m.MatVec(x, want); err != nil {
+			t.Fatal(err)
+		}
+		bd.MatVec(x, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d lo=%d hi=%d: band MatVec[%d] = %x, CSR %x",
+					shape.n, shape.lo, shape.hi, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+func TestColIdx32(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := bandedFixture(t, rng, 40, 3, 5)
+	c32 := m.ColIdx32()
+	if c32 == nil {
+		t.Fatal("ColIdx32 returned nil for a small matrix")
+	}
+	if len(c32) != m.NNZ() {
+		t.Fatalf("len = %d, want %d", len(c32), m.NNZ())
+	}
+	for k, j := range m.colIdx {
+		if int(c32[k]) != j {
+			t.Fatalf("col32[%d] = %d, want %d", k, c32[k], j)
+		}
+	}
+	// Cached: same backing array on the second call.
+	if again := m.ColIdx32(); &again[0] != &c32[0] {
+		t.Error("ColIdx32 not cached")
+	}
+}
+
+// TestBandEligible pins the adaptive policy: auto accepts only narrow,
+// nearly dense bands; forced accepts wider bands and always accepts small
+// matrices; non-square never qualifies.
+func TestBandEligible(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+
+	tri := bandedFixture(t, rng, 500, 1, 1)
+	if !tri.bandEligible(false) || !tri.bandEligible(true) {
+		t.Error("tridiagonal matrix not band-eligible")
+	}
+
+	// A huge-bandwidth matrix (ring wraparound) must be rejected even when
+	// forced: n=2000 with a corner entry gives width ≈ 2n.
+	b := NewBuilder(2000, 2000)
+	for i := 0; i < 2000; i++ {
+		_ = b.Add(i, (i+1)%2000, 1)
+	}
+	ring := b.Build()
+	if ring.bandEligible(false) || ring.bandEligible(true) {
+		t.Error("ring matrix band-eligible despite full-width band")
+	}
+
+	// Sparse inside a moderately wide band: auto must reject (too much
+	// padding), forced small-matrix escape hatch must accept.
+	b = NewBuilder(100, 100)
+	for i := 0; i < 100; i++ {
+		_ = b.Add(i, i, 1)
+		_ = b.Add(i, min(i+40, 99), 1)
+	}
+	wide := b.Build()
+	if wide.bandEligible(false) {
+		t.Error("wide sparse band auto-eligible")
+	}
+	if !wide.bandEligible(true) {
+		t.Error("small wide-band matrix rejected when forced")
+	}
+
+	rect, err := NewCSRFromDense(2, 3, []float64{1, 0, 0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect.bandEligible(false) || rect.bandEligible(true) {
+		t.Error("rectangular matrix band-eligible")
+	}
+}
+
+func TestParseMatrixFormat(t *testing.T) {
+	for in, want := range map[string]MatrixFormat{
+		"":      FormatAuto,
+		"auto":  FormatAuto,
+		"csr":   FormatCSR,
+		"csr32": FormatCSR32,
+		"band":  FormatBand,
+		"csr64": FormatCSR64,
+	} {
+		got, err := ParseMatrixFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMatrixFormat(%q) = (%q, %v), want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseMatrixFormat("dense"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestResolveStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tri := bandedFixture(t, rng, 200, 1, 1)
+
+	// Big enough that the ring's full-width band exceeds even the forced
+	// limit (width 2001 > 512) — otherwise the small-matrix escape hatch
+	// would honor a forced band request.
+	b := NewBuilder(2000, 2000)
+	for i := 0; i < 2000; i++ {
+		_ = b.Add(i, (i+1)%2000, 1)
+	}
+	ring := b.Build()
+
+	cases := []struct {
+		m    *CSR
+		in   MatrixFormat
+		want MatrixFormat
+	}{
+		{tri, FormatAuto, FormatBand},
+		{tri, "", FormatBand},
+		{tri, FormatCSR, FormatCSR32},
+		{tri, FormatCSR32, FormatCSR32},
+		{tri, FormatBand, FormatBand},
+		{tri, FormatCSR64, FormatCSR64},
+		{ring, FormatAuto, FormatCSR32},
+		{ring, FormatBand, FormatCSR32}, // ineligible: falls back to compact
+		{ring, FormatCSR64, FormatCSR64},
+	}
+	for _, c := range cases {
+		got, band, col32, err := resolveStorage(c.m, c.in)
+		if err != nil {
+			t.Fatalf("resolveStorage(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("resolveStorage(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if (got == FormatBand) != (band != nil) {
+			t.Errorf("resolveStorage(%q): band presence %v for format %q", c.in, band != nil, got)
+		}
+		if (got == FormatCSR32) != (col32 != nil) {
+			t.Errorf("resolveStorage(%q): col32 presence %v for format %q", c.in, col32 != nil, got)
+		}
+	}
+	if _, _, _, err := resolveStorage(tri, "bogus"); err == nil {
+		t.Error("bogus format accepted")
+	}
+}
+
+// TestBandRoundTripProperty is the property test of the ISSUE: random
+// random-bandwidth matrices must round-trip CSR -> band -> dense with
+// identical structure, and band MatVec must be bitwise identical to CSR
+// MatVec on random vectors.
+func TestBandRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(50)
+		lo := rng.Intn(n)
+		hi := rng.Intn(n)
+		m := bandedFixture(t, rng, n, lo, hi)
+		bd := m.BandRep()
+
+		blo, bhi := bd.Bounds()
+		mlo, mhi := m.Bandwidth()
+		if blo != mlo || bhi != mhi {
+			t.Fatalf("trial %d: band bounds (%d,%d) != matrix bandwidth (%d,%d)", trial, blo, bhi, mlo, mhi)
+		}
+		md, bdd := m.Dense(), bd.Dense()
+		for i := range md {
+			if md[i] != bdd[i] {
+				t.Fatalf("trial %d: dense mismatch at %d: %g != %g", trial, i, md[i], bdd[i])
+			}
+		}
+
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		if err := m.MatVec(x, want); err != nil {
+			t.Fatal(err)
+		}
+		bd.MatVec(x, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d: MatVec[%d] = %x, want %x", trial, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// FuzzBandRoundTrip drives the CSR <-> band round-trip from fuzzed shape
+// and value seeds: whatever the bandwidth, the band representation must
+// reproduce CSR MatVec bit for bit.
+func FuzzBandRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(1), uint8(1))
+	f.Add(int64(2), uint8(1), uint8(0), uint8(0))
+	f.Add(int64(3), uint8(50), uint8(7), uint8(0))
+	f.Add(int64(4), uint8(33), uint8(0), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, loRaw, hiRaw uint8) {
+		n := 1 + int(nRaw)%64
+		lo := int(loRaw) % n
+		hi := int(hiRaw) % n
+		rng := rand.New(rand.NewSource(seed))
+		m := bandedFixture(t, rng, n, lo, hi)
+		bd := m.BandRep()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		if err := m.MatVec(x, want); err != nil {
+			t.Fatal(err)
+		}
+		bd.MatVec(x, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("MatVec[%d] = %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+		md, bdd := m.Dense(), bd.Dense()
+		for i := range md {
+			if md[i] != bdd[i] {
+				t.Fatalf("dense mismatch at %d: %g != %g", i, md[i], bdd[i])
+			}
+		}
+	})
+}

@@ -24,6 +24,10 @@ type CSR struct {
 	rowPtr     []int // len rows+1
 	colIdx     []int // len nnz
 	val        []float64
+
+	// dv caches derived representations (bandwidth, compact 32-bit column
+	// indexes, the band form) built lazily from the immutable structure.
+	dv deriv
 }
 
 // Triplet is a single (row, col, value) entry used to build a CSR matrix.
@@ -61,7 +65,9 @@ func (b *Builder) Add(i, j int, v float64) error {
 // be reused afterwards; Build does not clear it.
 func (b *Builder) Build() *CSR {
 	ents := append([]Triplet(nil), b.entries...)
-	sort.Slice(ents, func(x, y int) bool {
+	// Stable: duplicate (row, col) triplets are summed in Add order, so a
+	// rebuilt matrix is bitwise identical regardless of sort internals.
+	sort.SliceStable(ents, func(x, y int) bool {
 		if ents[x].Row != ents[y].Row {
 			return ents[x].Row < ents[y].Row
 		}

@@ -66,6 +66,77 @@ func TestBuilderDuplicateCancellationDropped(t *testing.T) {
 	}
 }
 
+// TestBuilderDuplicateCoalescingOrder pins the FP summation order of
+// duplicate triplets: Build sums them in Add order (sort.SliceStable), a
+// determinism guarantee that is observable when the additions don't
+// commute in float64. (1e16 + 1) + (-1e16) = 0 while (1e16 + -1e16) + 1
+// = 1, so any reordering flips the stored value.
+func TestBuilderDuplicateCoalescingOrder(t *testing.T) {
+	b := NewBuilder(1, 1)
+	_ = b.Add(0, 0, 1e16)
+	_ = b.Add(0, 0, 1)
+	_ = b.Add(0, 0, -1e16)
+	m := b.Build()
+	if m.NNZ() != 0 {
+		t.Fatalf("Add-order sum (1e16 + 1) + -1e16 should cancel exactly; got NNZ=%d val=%g", m.NNZ(), m.At(0, 0))
+	}
+
+	b2 := NewBuilder(1, 1)
+	_ = b2.Add(0, 0, 1e16)
+	_ = b2.Add(0, 0, -1e16)
+	_ = b2.Add(0, 0, 1)
+	if got := b2.Build().At(0, 0); got != 1 {
+		t.Fatalf("Add-order sum (1e16 + -1e16) + 1 = %g, want 1", got)
+	}
+}
+
+// TestBuilderEmptyRows covers rows (and a whole matrix) without entries:
+// the rowPtr structure must stay consistent and every op must treat the
+// rows as zero.
+func TestBuilderEmptyRows(t *testing.T) {
+	b := NewBuilder(4, 3)
+	_ = b.Add(1, 0, 2)
+	_ = b.Add(1, 2, 3)
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	for _, i := range []int{0, 2, 3} {
+		if m.rowPtr[i+1] != m.rowPtr[i] && i != 1 {
+			t.Errorf("empty row %d has entries", i)
+		}
+		m.Range(i, func(j int, v float64) {
+			t.Errorf("empty row %d yielded (%d, %g)", i, j, v)
+		})
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %g on empty row", i, j, m.At(i, j))
+			}
+		}
+	}
+	y := make([]float64, 4)
+	if err := m.MatVec([]float64{1, 1, 1}, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 0, 0}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+
+	empty := NewBuilder(3, 3).Build()
+	if empty.NNZ() != 0 {
+		t.Fatalf("empty build NNZ = %d", empty.NNZ())
+	}
+	if sums := empty.RowSums(); sums[0] != 0 || sums[1] != 0 || sums[2] != 0 {
+		t.Errorf("empty RowSums = %v", sums)
+	}
+	if !empty.IsSubstochastic(0) {
+		t.Error("empty matrix not substochastic")
+	}
+}
+
 func TestBuilderOutOfRange(t *testing.T) {
 	b := NewBuilder(2, 2)
 	for _, c := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {

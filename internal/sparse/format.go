@@ -1,0 +1,76 @@
+package sparse
+
+import "fmt"
+
+// MatrixFormat selects the storage representation the randomization sweep
+// streams for its main matrix. Every format produces bitwise identical
+// results; the choice trades only memory traffic and conversion cost.
+type MatrixFormat string
+
+const (
+	// FormatAuto picks the cheapest eligible representation: band for
+	// narrow, nearly dense bands (the paper's birth-death generators),
+	// otherwise compact-index CSR, otherwise the 64-bit-index CSR.
+	FormatAuto MatrixFormat = "auto"
+	// FormatCSR forces the compact-index CSR: uint32 column indexes
+	// (halving index traffic) whenever the matrix has fewer than 2^32
+	// columns, the 64-bit-index CSR otherwise.
+	FormatCSR MatrixFormat = "csr"
+	// FormatBand forces the band (diagonal-storage) representation, whose
+	// kernel loads values only — no per-entry index loads. Matrices whose
+	// band would be too wide or too padded fall back to FormatCSR; the
+	// effective choice is visible via Sweep.Format.
+	FormatBand MatrixFormat = "band"
+	// FormatCSR64 forces the original CSR with native int column indexes.
+	// It exists as the benchmarking baseline (the pre-compact kernel) and
+	// as an escape hatch.
+	FormatCSR64 MatrixFormat = "csr64"
+	// FormatCSR32 is the resolved name of the compact-index CSR; it is
+	// what Sweep.Format reports when FormatCSR (or FormatAuto) narrowed
+	// the indexes. It is also accepted as an input alias for FormatCSR.
+	FormatCSR32 MatrixFormat = "csr32"
+)
+
+// ParseMatrixFormat validates a user-facing matrix format string. The
+// empty string means FormatAuto.
+func ParseMatrixFormat(s string) (MatrixFormat, error) {
+	switch f := MatrixFormat(s); f {
+	case "":
+		return FormatAuto, nil
+	case FormatAuto, FormatCSR, FormatBand, FormatCSR64, FormatCSR32:
+		return f, nil
+	default:
+		return "", fmt.Errorf("sparse: unknown matrix format %q (want auto, csr, band or csr64)", s)
+	}
+}
+
+// resolveStorage picks the concrete storage for a sweep over matrix a:
+// the resolved format (FormatBand, FormatCSR32 or FormatCSR64) plus the
+// derived representation it streams. Derived representations are cached
+// on the matrix, so repeated sweeps (core.Prepared) convert once.
+func resolveStorage(a *CSR, format MatrixFormat) (MatrixFormat, *Band, []uint32, error) {
+	compact := func() (MatrixFormat, *Band, []uint32, error) {
+		if c32 := a.ColIdx32(); c32 != nil {
+			return FormatCSR32, nil, c32, nil
+		}
+		return FormatCSR64, nil, nil, nil
+	}
+	switch format {
+	case "", FormatAuto:
+		if a.bandEligible(false) {
+			return FormatBand, a.BandRep(), nil, nil
+		}
+		return compact()
+	case FormatCSR, FormatCSR32:
+		return compact()
+	case FormatBand:
+		if a.bandEligible(true) {
+			return FormatBand, a.BandRep(), nil, nil
+		}
+		return compact()
+	case FormatCSR64:
+		return FormatCSR64, nil, nil, nil
+	default:
+		return "", nil, nil, fmt.Errorf("sparse: unknown matrix format %q", format)
+	}
+}

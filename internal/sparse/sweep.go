@@ -72,6 +72,19 @@ type Sweep struct {
 	workers      int
 	blocks       []int // blocks[w]..blocks[w+1] is worker w's row range
 
+	// Resolved storage (see MatrixFormat): the kernels stream band values
+	// or compact uint32 column indexes instead of the generic CSR when the
+	// structure allows, cutting the memory traffic of this
+	// bandwidth-bound loop. All formats are bitwise identical.
+	format MatrixFormat
+	band   *Band    // set when format == FormatBand
+	col32  []uint32 // set when format == FormatCSR32
+
+	// scratch4 is optional caller-lent backing for cur4/next4 (see
+	// SetScratch4), letting pooled solves skip the two largest per-run
+	// allocations.
+	scratch4 []float64
+
 	// Iteration state published by the driver before each barrier release;
 	// the channel synchronization orders these writes before the workers'
 	// reads. cur4/next4 replace cur/next when the run uses the interleaved
@@ -116,7 +129,17 @@ func PlanWorkers(requested, rows int) int {
 // of the given size. diag2 must already carry any constant factor (the
 // solver passes ½·S'). imp may be empty; when present it must hold at
 // least order matrices (imp[m-1] multiplies cur[j-m] for every m <= j).
+// The sweep matrix's storage is selected automatically (FormatAuto); use
+// NewSweepWithFormat to force a representation.
 func NewSweep(a *CSR, diag1, diag2 []float64, imp []*CSR, order, workers int) (*Sweep, error) {
+	return NewSweepWithFormat(a, diag1, diag2, imp, order, workers, FormatAuto)
+}
+
+// NewSweepWithFormat is NewSweep with an explicit storage format for the
+// sweep matrix. Impulse matrices always stay generic CSR — they are rare
+// and never dominate the traffic. Every format yields bitwise identical
+// results; Format reports the resolved choice.
+func NewSweepWithFormat(a *CSR, diag1, diag2 []float64, imp []*CSR, order, workers int, format MatrixFormat) (*Sweep, error) {
 	if a == nil {
 		return nil, fmt.Errorf("%w: nil sweep matrix", ErrDimensionMismatch)
 	}
@@ -143,6 +166,10 @@ func NewSweep(a *CSR, diag1, diag2 []float64, imp []*CSR, order, workers int) (*
 	if workers > a.rows {
 		workers = a.rows
 	}
+	resolved, band, col32, err := resolveStorage(a, format)
+	if err != nil {
+		return nil, err
+	}
 	s := &Sweep{
 		a:       a,
 		diag1:   diag1,
@@ -150,6 +177,9 @@ func NewSweep(a *CSR, diag1, diag2 []float64, imp []*CSR, order, workers int) (*
 		imp:     imp,
 		order:   order,
 		workers: workers,
+		format:  resolved,
+		band:    band,
+		col32:   col32,
 	}
 	// coef[m] = 1/m! maintained by the same running division the reference
 	// recursion uses, so fused impulse terms match it bit for bit.
@@ -203,6 +233,33 @@ func nnzPartition(a *CSR, imp []*CSR, workers int) []int {
 	}
 	return blocks
 }
+
+// Format returns the resolved storage format the fused kernels stream:
+// FormatBand, FormatCSR32 or FormatCSR64. (RunReference always streams
+// the generic CSR regardless of this setting.)
+func (s *Sweep) Format() MatrixFormat { return s.format }
+
+// Scratch4Words returns the float64 count Run would use for its
+// interleaved moment-state buffers: 0 when the run shape doesn't use
+// them (order != 3 or impulse terms present), otherwise two buffers of 4
+// values per state plus the band boundary padding.
+func (s *Sweep) Scratch4Words() int {
+	if s.order != 3 || len(s.imp) > 0 {
+		return 0
+	}
+	pad := 0
+	if s.format == FormatBand {
+		pad = s.band.lo + s.band.hi
+	}
+	return 2 * 4 * (s.a.rows + pad)
+}
+
+// SetScratch4 lends Run a scratch buffer of at least Scratch4Words()
+// float64s for its interleaved state (contents need not be zeroed),
+// eliminating the two largest per-run allocations; pooled solves use it.
+// A short (or nil) buffer is ignored and Run allocates as before. The
+// buffer is used only while Run executes and may be reused afterwards.
+func (s *Sweep) SetScratch4(buf []float64) { s.scratch4 = buf }
 
 // matVecs returns the sparse product count of g completed iterations,
 // matching the reference recursion's bookkeeping: order+1 products with
@@ -280,18 +337,40 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 	active := make([]accPair, 0, len(plans))
 
 	// The order-3 impulse-free shape (the paper's large example) runs the
-	// whole sweep on the interleaved state layout: cur4[i*4+j] holds moment
-	// j of state i, so all four values a matrix entry gathers share one
-	// cache line. The planar cur/next stay untouched scratch.
+	// whole sweep on the interleaved state layout: cur4[(pad+i)*4+j] holds
+	// moment j of state i, so all four values a matrix entry gathers share
+	// one cache line. With the band format the buffers additionally carry
+	// lo/hi states of zero padding at the ends, so the band kernel's
+	// per-row window never needs boundary clamping: out-of-matrix band
+	// cells multiply padding zeros, which is bitwise neutral (see band.go).
+	// The planar cur/next stay untouched scratch.
 	interleaved := s.order == 3 && len(s.imp) == 0
 	if interleaved {
 		n := s.a.rows
-		s.cur4 = make([]float64, 4*n)
-		s.next4 = make([]float64, 4*n)
+		words := s.Scratch4Words()
+		half := words / 2
+		if len(s.scratch4) >= words {
+			buf := s.scratch4[:words]
+			s.cur4, s.next4 = buf[:half:half], buf[half:words:words]
+		} else {
+			buf := make([]float64, words)
+			s.cur4, s.next4 = buf[:half:half], buf[half:]
+		}
+		base := 0
+		if s.format == FormatBand {
+			// Zero the boundary padding (lent scratch arrives dirty); the
+			// data cells are fully (re)written below and by every iteration.
+			base = s.band.lo * 4
+			hi4 := s.band.hi * 4
+			clear(s.cur4[:base])
+			clear(s.cur4[half-hi4:])
+			clear(s.next4[:base])
+			clear(s.next4[half-hi4:])
+		}
 		for j := 0; j <= 3; j++ {
 			cj := cur[j]
 			for i := 0; i < n; i++ {
-				s.cur4[i*4+j] = cj[i]
+				s.cur4[base+i*4+j] = cj[i]
 			}
 		}
 		defer func() { s.cur4, s.next4 = nil, nil }()
@@ -357,10 +436,17 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 }
 
 // step runs one iteration's fused work over rows [lo, hi) against the
-// published iteration state.
+// published iteration state, dispatching on the resolved storage format.
 func (s *Sweep) step(lo, hi int) {
 	if s.cur4 != nil {
-		s.fuseBlock3(lo, hi)
+		switch s.format {
+		case FormatBand:
+			s.fuseBlock3Band(lo, hi)
+		case FormatCSR32:
+			s.fuseBlock3Compact(lo, hi)
+		default:
+			s.fuseBlock3(lo, hi)
+		}
 		return
 	}
 	s.fuseBlock(lo, hi, s.cur, s.next, s.active)
@@ -396,8 +482,6 @@ const sweepTile = 1024
 // of a tile are reused across the order+1 products, and each next-vector
 // tile is produced, corrected and accumulated before it is evicted.
 func (s *Sweep) fuseBlock(lo, hi int, cur, next [][]float64, active []accPair) {
-	a := s.a
-	rowPtr, colIdx, val := a.rowPtr, a.colIdx, a.val
 	for t0 := lo; t0 < hi; t0 += sweepTile {
 		t1 := t0 + sweepTile
 		if t1 > hi {
@@ -405,13 +489,7 @@ func (s *Sweep) fuseBlock(lo, hi int, cur, next [][]float64, active []accPair) {
 		}
 		for j := s.order; j >= 0; j-- {
 			curj, nextj := cur[j], next[j]
-			for i := t0; i < t1; i++ {
-				var sum float64
-				for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
-					sum += val[p] * curj[colIdx[p]]
-				}
-				nextj[i] = sum
-			}
+			s.productTile(t0, t1, curj, nextj)
 			if j >= 1 {
 				d1, c1 := s.diag1, cur[j-1]
 				for i := t0; i < t1; i++ {
@@ -496,6 +574,219 @@ func (s *Sweep) fuseBlock3(lo, hi int) {
 		s2 += d2i * civ[0]
 		s1 += d1i * civ[0]
 		nv := next4[i*4 : i*4+4 : i*4+4]
+		nv[0], nv[1], nv[2], nv[3] = s0, s1, s2, s3
+		switch {
+		case a0 != nil:
+			a0[i] += w * s0
+			a1[i] += w * s1
+			a2[i] += w * s2
+			a3[i] += w * s3
+		case len(active) > 1:
+			for _, ap := range active {
+				wp := ap.w
+				ap.acc[0][i] += wp * s0
+				ap.acc[1][i] += wp * s1
+				ap.acc[2][i] += wp * s2
+				ap.acc[3][i] += wp * s3
+			}
+		}
+	}
+}
+
+// productTile computes y[i] = (A·x)[i] for rows [t0, t1) with the resolved
+// storage format. Every arm accumulates the row's in-matrix entries in
+// ascending column order into a sum started at +0.0, so the arms are
+// bitwise interchangeable: the compact arm loads the identical values
+// through narrower indexes, and the band arm's extra in-band zero cells
+// contribute bitwise-neutral 0.0·x products (see band.go).
+func (s *Sweep) productTile(t0, t1 int, x, y []float64) {
+	switch s.format {
+	case FormatBand:
+		bd := s.band
+		n, blo, width, bval := bd.n, bd.lo, bd.width, bd.val
+		for i := t0; i < t1; i++ {
+			row := bval[i*width : (i+1)*width]
+			base := i - blo
+			k0, k1 := 0, width
+			if base < 0 {
+				k0 = -base
+			}
+			if base+width > n {
+				k1 = n - base
+			}
+			var sum float64
+			for k := k0; k < k1; k++ {
+				sum += row[k] * x[base+k]
+			}
+			y[i] = sum
+		}
+	case FormatCSR32:
+		rowPtr, col32, val := s.a.rowPtr, s.col32, s.a.val
+		for i := t0; i < t1; i++ {
+			var sum float64
+			for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+				sum += val[p] * x[col32[p]]
+			}
+			y[i] = sum
+		}
+	default:
+		rowPtr, colIdx, val := s.a.rowPtr, s.a.colIdx, s.a.val
+		for i := t0; i < t1; i++ {
+			var sum float64
+			for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+				sum += val[p] * x[colIdx[p]]
+			}
+			y[i] = sum
+		}
+	}
+}
+
+// fuseBlock3Compact is fuseBlock3 streaming the compact-index columns:
+// identical structure, but each gather address comes from a uint32 load —
+// half the index traffic of the generic kernel in a loop that is
+// memory-bandwidth-bound at the paper's sizes.
+func (s *Sweep) fuseBlock3Compact(lo, hi int) {
+	rowPtr, val := s.a.rowPtr, s.a.val
+	col32 := s.col32
+	d1, d2 := s.diag1, s.diag2
+	cur4, next4 := s.cur4, s.next4
+	active := s.active
+	var w float64
+	var a0, a1, a2, a3 []float64
+	if len(active) == 1 {
+		w = active[0].w
+		a0, a1, a2, a3 = active[0].acc[0], active[0].acc[1], active[0].acc[2], active[0].acc[3]
+	}
+	for i := lo; i < hi; i++ {
+		rv := val[rowPtr[i]:rowPtr[i+1]]
+		rc := col32[rowPtr[i]:rowPtr[i+1]]
+		rc = rc[:len(rv)] // bounds-check elimination for rc[p]
+		var s0, s1, s2, s3 float64
+		for p, v := range rv {
+			c4 := int(rc[p]) * 4
+			cv := cur4[c4 : c4+4 : c4+4]
+			s3 += v * cv[3]
+			s2 += v * cv[2]
+			s1 += v * cv[1]
+			s0 += v * cv[0]
+		}
+		civ := cur4[i*4 : i*4+4 : i*4+4]
+		d1i, d2i := d1[i], d2[i]
+		s3 += d1i * civ[2]
+		s3 += d2i * civ[1]
+		s2 += d1i * civ[1]
+		s2 += d2i * civ[0]
+		s1 += d1i * civ[0]
+		nv := next4[i*4 : i*4+4 : i*4+4]
+		nv[0], nv[1], nv[2], nv[3] = s0, s1, s2, s3
+		switch {
+		case a0 != nil:
+			a0[i] += w * s0
+			a1[i] += w * s1
+			a2[i] += w * s2
+			a3[i] += w * s3
+		case len(active) > 1:
+			for _, ap := range active {
+				wp := ap.w
+				ap.acc[0][i] += wp * s0
+				ap.acc[1][i] += wp * s1
+				ap.acc[2][i] += wp * s2
+				ap.acc[3][i] += wp * s3
+			}
+		}
+	}
+}
+
+// fuseBlock3Band is fuseBlock3 streaming the band representation on the
+// padded interleaved layout Run sets up: row i's state window starts at
+// cur4[i*4] and spans 4·width values — one fully contiguous stretch, zero
+// index loads, zero gathers. The lo/hi padding states at the buffer ends
+// absorb the out-of-matrix band cells, so the row loop has no boundary
+// branches; the padded cells' 0.0·x products are bitwise neutral (see
+// band.go), leaving every output element with exactly the reference
+// operation sequence.
+func (s *Sweep) fuseBlock3Band(lo, hi int) {
+	bd := s.band
+	width, bval := bd.width, bd.val
+	pad := bd.lo * 4
+	d1, d2 := s.diag1, s.diag2
+	cur4, next4 := s.cur4, s.next4
+	active := s.active
+	var w float64
+	var a0, a1, a2, a3 []float64
+	if len(active) == 1 {
+		w = active[0].w
+		a0, a1, a2, a3 = active[0].acc[0], active[0].acc[1], active[0].acc[2], active[0].acc[3]
+	}
+	if bd.lo == 1 && bd.hi == 1 {
+		// Tridiagonal fast path (the paper's birth-death generators): three
+		// band values and a 12-value state window per row, fully unrolled
+		// into straight-line register code. Gated on lo==hi==1, not
+		// width==3 — a lo=0,hi=2 band has width 3 but a different
+		// self-moment offset.
+		for i := lo; i < hi; i++ {
+			r := bval[i*3 : i*3+3 : i*3+3]
+			cw := cur4[i*4 : i*4+12 : i*4+12]
+			v0, v1, v2 := r[0], r[1], r[2]
+			var s0, s1, s2, s3 float64
+			s3 += v0 * cw[3]
+			s2 += v0 * cw[2]
+			s1 += v0 * cw[1]
+			s0 += v0 * cw[0]
+			s3 += v1 * cw[7]
+			s2 += v1 * cw[6]
+			s1 += v1 * cw[5]
+			s0 += v1 * cw[4]
+			s3 += v2 * cw[11]
+			s2 += v2 * cw[10]
+			s1 += v2 * cw[9]
+			s0 += v2 * cw[8]
+			d1i, d2i := d1[i], d2[i]
+			s3 += d1i * cw[6]
+			s3 += d2i * cw[5]
+			s2 += d1i * cw[5]
+			s2 += d2i * cw[4]
+			s1 += d1i * cw[4]
+			nv := next4[4+i*4 : 8+i*4 : 8+i*4]
+			nv[0], nv[1], nv[2], nv[3] = s0, s1, s2, s3
+			switch {
+			case a0 != nil:
+				a0[i] += w * s0
+				a1[i] += w * s1
+				a2[i] += w * s2
+				a3[i] += w * s3
+			case len(active) > 1:
+				for _, ap := range active {
+					wp := ap.w
+					ap.acc[0][i] += wp * s0
+					ap.acc[1][i] += wp * s1
+					ap.acc[2][i] += wp * s2
+					ap.acc[3][i] += wp * s3
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		row := bval[i*width : (i+1)*width : (i+1)*width]
+		cw := cur4[i*4 : i*4+4*width]
+		var s0, s1, s2, s3 float64
+		for k, v := range row {
+			k4 := k * 4
+			cv := cw[k4 : k4+4 : k4+4]
+			s3 += v * cv[3]
+			s2 += v * cv[2]
+			s1 += v * cv[1]
+			s0 += v * cv[0]
+		}
+		civ := cw[pad : pad+4 : pad+4]
+		d1i, d2i := d1[i], d2[i]
+		s3 += d1i * civ[2]
+		s3 += d2i * civ[1]
+		s2 += d1i * civ[1]
+		s2 += d2i * civ[0]
+		s1 += d1i * civ[0]
+		nv := next4[pad+i*4 : pad+i*4+4 : pad+i*4+4]
 		nv[0], nv[1], nv[2], nv[3] = s0, s1, s2, s3
 		switch {
 		case a0 != nil:

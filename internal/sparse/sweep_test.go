@@ -138,6 +138,140 @@ func TestSweepFusedMatchesReference(t *testing.T) {
 	}
 }
 
+// bandedSweepFixture builds a sweep family over a genuinely banded matrix
+// (the existing random fixture's ring backbone always defeats the band
+// detector), so the band kernels get exercised.
+func bandedSweepFixture(t *testing.T, rng *rand.Rand, n, lo, hi, order int) (*CSR, []float64, []float64) {
+	t.Helper()
+	a := bandedFixture(t, rng, n, lo, hi)
+	diag1 := make([]float64, n)
+	diag2 := make([]float64, n)
+	for i := range diag1 {
+		diag1[i] = rng.Float64()*2 - 1
+		diag2[i] = rng.Float64()
+	}
+	return a, diag1, diag2
+}
+
+// TestSweepFormatsMatchReference is the storage-engine bitwise gate: for
+// banded matrix families, every storage format (auto, compact, band,
+// csr64) at every worker count must reproduce the serial reference sweep
+// bit for bit — including the order-3 interleaved kernels with both fresh
+// and dirty lent scratch.
+func TestSweepFormatsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	formats := []MatrixFormat{FormatAuto, FormatCSR, FormatBand, FormatCSR64}
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(80)
+		lo := rng.Intn(4)
+		hi := rng.Intn(4)
+		// Odd trials pin the paper shape: order 3, tridiagonal — the
+		// interleaved band fast path.
+		order := rng.Intn(5)
+		if trial%2 == 1 {
+			order, lo, hi = 3, 1, 1
+		}
+		gMax := 1 + rng.Intn(30)
+		a, diag1, diag2 := bandedSweepFixture(t, rng, n, lo, hi, order)
+
+		w := make([]float64, gMax+1)
+		for k := range w {
+			w[k] = rng.Float64()
+		}
+		weights := [][]float64{w}
+		firsts, lasts := []int{0}, []int{gMax}
+
+		ref, err := NewSweep(a, diag1, diag2, nil, order, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refCur, refNext, refPlans := newRunState(ref, weights, firsts, lasts)
+		if _, err := ref.RunReference(context.Background(), gMax, refCur, refNext, refPlans, 32); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, format := range formats {
+			for _, workers := range []int{1, 3} {
+				for _, dirtyScratch := range []bool{false, true} {
+					fs, err := NewSweepWithFormat(a, diag1, diag2, nil, order, workers, format)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if format == FormatBand && fs.Format() != FormatBand {
+						t.Fatalf("trial %d: forced band resolved to %q (lo=%d hi=%d n=%d)", trial, fs.Format(), lo, hi, n)
+					}
+					if dirtyScratch {
+						if words := fs.Scratch4Words(); words > 0 {
+							scratch := make([]float64, words)
+							for i := range scratch {
+								scratch[i] = math.NaN() // must be fully overwritten or zeroed
+							}
+							fs.SetScratch4(scratch)
+						} else {
+							continue // no interleaved path for this shape
+						}
+					}
+					cur, next, plans := newRunState(fs, weights, firsts, lasts)
+					if _, err := fs.Run(context.Background(), gMax, cur, next, plans, 32); err != nil {
+						t.Fatalf("trial %d format %q workers %d: %v", trial, format, workers, err)
+					}
+					for j := 0; j <= order; j++ {
+						for i := 0; i < n; i++ {
+							got := plans[0].Acc[j][i]
+							want := refPlans[0].Acc[j][i]
+							if math.Float64bits(got) != math.Float64bits(want) {
+								t.Fatalf("trial %d format %q (resolved %q) workers %d dirty=%v: acc[%d][%d] = %x, reference %x",
+									trial, format, fs.Format(), workers, dirtyScratch, j, i,
+									math.Float64bits(got), math.Float64bits(want))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepFormatResolution pins what NewSweep resolves for characteristic
+// shapes: banded matrices stream the band, everything else the compact
+// CSR, and csr64 remains available as the explicit baseline.
+func TestSweepFormatResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	tri, d1, d2 := bandedSweepFixture(t, rng, 300, 1, 1, 3)
+	s, err := NewSweep(tri, d1, d2, nil, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Format() != FormatBand {
+		t.Errorf("tridiagonal auto format = %q, want band", s.Format())
+	}
+	if s.Scratch4Words() != 2*4*(300+2) {
+		t.Errorf("Scratch4Words = %d, want %d", s.Scratch4Words(), 2*4*(300+2))
+	}
+
+	ring := randomSweepFixture(t, rng, 50, 3, false)
+	if ring.Format() != FormatCSR32 {
+		t.Errorf("ring auto format = %q, want csr32", ring.Format())
+	}
+
+	s64, err := NewSweepWithFormat(tri, d1, d2, nil, 3, 1, FormatCSR64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s64.Format() != FormatCSR64 {
+		t.Errorf("forced csr64 format = %q", s64.Format())
+	}
+	if s64.Scratch4Words() != 2*4*300 {
+		t.Errorf("csr64 Scratch4Words = %d, want %d", s64.Scratch4Words(), 2*4*300)
+	}
+
+	// Impulse shapes never use the interleaved buffers.
+	impl := randomSweepFixture(t, rng, 30, 3, true)
+	if impl.Scratch4Words() != 0 {
+		t.Errorf("impulse Scratch4Words = %d, want 0", impl.Scratch4Words())
+	}
+}
+
 // TestSweepWindowClipping pins the windowing contract: iterations outside
 // [First, Last] never accumulate, even when their weights are non-zero,
 // and both kernels implement the identical contract.
