@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet ci chaos serve bench bench-server bench-batch bench-sweep bench-sweep-smoke bench-check cover experiments fuzz clean
+.PHONY: all build test vet ci chaos cluster-smoke serve bench bench-server bench-batch bench-sweep bench-sweep-smoke bench-check cover experiments fuzz clean
 
 all: build test
 
@@ -28,6 +28,13 @@ ci:
 chaos:
 	$(GO) vet ./internal/server/ ./internal/resilience/ ./internal/testutil/
 	$(GO) test -race -run 'Chaos|Panic|Shed|Breaker|Hammer' -count=2 ./internal/server/ ./internal/resilience/
+
+# The cluster failover smoke: three somrm-serve replicas on a
+# consistent-hash ring, solved through the cluster client, with replicas
+# killed one at a time — rerouted results must be byte-for-byte identical
+# to the healthy baseline (see scripts/cluster_smoke.sh).
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Run the solver HTTP service (see README "Running the server").
 serve:

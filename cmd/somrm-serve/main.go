@@ -9,9 +9,17 @@
 //	            [-cache N] [-prepared-cache N] [-timeout 30s]
 //	            [-max-order 12] [-drain-timeout 30s]
 //	            [-sweep-workers N] [-matrix-format auto|csr|band|csr64]
+//	            [-self URL -peers URL,URL,...]
+//	            [-probe-interval 2s] [-handoff-max N]
 //	            [-pprof]
 //	            [-fault-503 P] [-fault-truncate P] [-fault-panic P]
 //	            [-fault-latency D] [-fault-seed N]
+//
+// -self enables cluster mode: the replica joins a consistent-hash ring
+// with the -peers replicas (every replica must be started with the same
+// URL set), serves peer cache fills on its shard, and streams its hottest
+// cache entries to ring successors when draining. See README "Running a
+// cluster".
 //
 // -pprof mounts Go's net/http/pprof profiling handlers under
 // /debug/pprof/ on the same listener; they are absent unless the flag
@@ -41,9 +49,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"somrm/internal/cluster"
 	"somrm/internal/server"
 	"somrm/internal/sparse"
 )
@@ -71,6 +81,10 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "per-solve randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep")
 	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, or csr64 (all bitwise identical; server-wide, not per-request)")
+	self := fs.String("self", "", "cluster mode: this replica's advertised base URL (e.g. http://10.0.0.3:8639)")
+	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of the other replicas")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "cluster mode: peer /healthz probe cadence (negative disables probing)")
+	handoffMax := fs.Int("handoff-max", 0, "cluster mode: max cache entries streamed to ring successors on drain (0 = default 128, negative disables)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	fault503 := fs.Float64("fault-503", 0, "TESTING ONLY: probability of injecting a 503 per request")
@@ -89,7 +103,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		return fmt.Errorf("-matrix-format: %w", err)
 	}
 
-	svc := server.New(server.Options{
+	srvOpts := server.Options{
 		Workers:           *workers,
 		QueueSize:         *queue,
 		BatchQueueReserve: *batchReserve,
@@ -99,10 +113,34 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		MaxOrder:          *maxOrder,
 		SweepWorkers:      *sweepWorkers,
 		MatrixFormat:      *matrixFormat,
-	})
+		HandoffMax:        *handoffMax,
+	}
 	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
 
-	handler := svc.Handler()
+	var handler http.Handler
+	var shutdown func(context.Context) error
+	if *self != "" {
+		peerURLs := splitURLs(*peers)
+		node, err := cluster.NewNode(cluster.NodeOptions{
+			Self:          *self,
+			Peers:         peerURLs,
+			Server:        srvOpts,
+			ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			return err
+		}
+		handler = node.Handler()
+		shutdown = node.Shutdown
+		logger.Printf("cluster mode: self=%s ring=%d replicas", *self, len(node.Ring().Nodes()))
+	} else {
+		if *peers != "" {
+			return fmt.Errorf("-peers requires -self (this replica's own advertised URL)")
+		}
+		svc := server.New(srvOpts)
+		handler = svc.Handler()
+		shutdown = svc.Shutdown
+	}
 	faults := server.FaultConfig{
 		FailureRate:  *fault503,
 		TruncateRate: *faultTrunc,
@@ -163,9 +201,20 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		logger.Printf("http shutdown: %v", err)
 	}
-	if err := svc.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+	if err := shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
 		return fmt.Errorf("drain: %w", err)
 	}
 	logger.Printf("bye")
 	return nil
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty tokens.
+func splitURLs(arg string) []string {
+	var urls []string
+	for _, tok := range strings.Split(arg, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			urls = append(urls, tok)
+		}
+	}
+	return urls
 }

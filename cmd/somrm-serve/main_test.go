@@ -171,3 +171,10 @@ func TestRunServeAndSignalShutdown(t *testing.T) {
 		t.Errorf("shutdown not logged:\n%s", logbuf.String())
 	}
 }
+
+func TestRunClusterFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-peers", "http://a:1"}, &sb, nil); err == nil || !strings.Contains(err.Error(), "-self") {
+		t.Errorf("-peers without -self accepted: %v", err)
+	}
+}

@@ -19,6 +19,7 @@
 //	somrm -model model.json -t 1.0 -order 4 [-eps 1e-9] [-per-state] [-bounds x1,x2,...]
 //	somrm -model model.json -times 0.5,1,2 -order 4   # CSV series, one shared sweep
 //	somrm -model model.json -t 1.0 -server http://localhost:8639   # solve remotely
+//	somrm -model model.json -t 1.0 -server http://a:8639,http://b:8639,http://c:8639
 //
 // With -server the model is shipped to a running somrm-serve instance:
 // -times maps onto a single POST /v1/solve/batch (the whole grid shares
@@ -27,6 +28,12 @@
 // failures (503s, connection errors) are retried with jittered
 // exponential backoff behind a circuit breaker; tune with -retries,
 // -retry-base, -retry-max, -no-breaker.
+//
+// A comma-separated -server list addresses a somrm-serve cluster: the
+// request is routed to the replica owning the model's hash on the
+// cluster's consistent-hash ring (maximizing cache hits) and fails over
+// along the ring when that replica is unreachable. A single URL behaves
+// exactly as before.
 package main
 
 import (
@@ -61,7 +68,7 @@ func run(args []string, out io.Writer) error {
 	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
-	serverURL := fs.String("server", "", "base URL of a somrm-serve instance: solve there instead of in-process")
+	serverURL := fs.String("server", "", "base URL of a somrm-serve instance (or a comma-separated cluster of them): solve there instead of in-process")
 	retries := fs.Int("retries", 0, "with -server: total attempts per request, 1 disables retries (0 = default 4)")
 	retryBase := fs.Duration("retry-base", 0, "with -server: base backoff delay (0 = default 50ms)")
 	retryMax := fs.Duration("retry-max", 0, "with -server: backoff delay cap (0 = default 2s)")
@@ -95,7 +102,17 @@ func run(args []string, out io.Writer) error {
 		if *noBreaker {
 			clientOpts = append(clientOpts, somrm.WithoutClientBreaker())
 		}
-		return runRemote(*serverURL, sp, *timesAt, *t, *order, *eps, *boundsAt, clientOpts, out)
+		// A comma in -server selects the cluster client; a single URL keeps
+		// the plain client, byte for byte.
+		var client solverClient
+		if strings.Contains(*serverURL, ",") {
+			cc := somrm.NewClusterClient(splitURLs(*serverURL), clientOpts...)
+			defer cc.Close()
+			client = cc
+		} else {
+			client = somrm.NewServerClient(*serverURL, clientOpts...)
+		}
+		return runRemote(client, sp, *timesAt, *t, *order, *eps, *boundsAt, out)
 	}
 
 	model, err := sp.Build()
@@ -238,11 +255,29 @@ func writeSeries(results []*somrm.Result, order int, out io.Writer) error {
 	return nil
 }
 
-// runRemote ships the model to a somrm-serve instance. A -times grid maps
-// onto one batch request so the whole series shares a single randomization
-// sweep server-side; a single -t maps onto POST /v1/solve.
-func runRemote(baseURL string, sp *spec.Model, timesArg string, t float64, order int, eps float64, boundsArg string, clientOpts []somrm.ClientOption, out io.Writer) error {
-	client := somrm.NewServerClient(baseURL, clientOpts...)
+// solverClient abstracts over the single-server client and the cluster
+// client; both expose identical Solve/SolveBatch signatures.
+type solverClient interface {
+	Solve(ctx context.Context, req *somrm.SolveRequest) (*somrm.SolveResponse, error)
+	SolveBatch(ctx context.Context, req *somrm.BatchRequest) (*somrm.BatchResponse, error)
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty tokens.
+func splitURLs(arg string) []string {
+	var urls []string
+	for _, tok := range strings.Split(arg, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			urls = append(urls, tok)
+		}
+	}
+	return urls
+}
+
+// runRemote ships the model to a somrm-serve instance (or cluster). A
+// -times grid maps onto one batch request so the whole series shares a
+// single randomization sweep server-side; a single -t maps onto POST
+// /v1/solve.
+func runRemote(client solverClient, sp *spec.Model, timesArg string, t float64, order int, eps float64, boundsArg string, out io.Writer) error {
 	ctx := context.Background()
 
 	if timesArg != "" {

@@ -243,3 +243,69 @@ func TestRunAgainstServer(t *testing.T) {
 		t.Error("unreachable server accepted")
 	}
 }
+
+// TestRunAgainstCluster drives a comma-separated -server list end to end
+// against three in-process cluster replicas: output must match the local
+// path exactly, and must stay identical after one replica dies (the
+// request fails over along the ring).
+func TestRunAgainstCluster(t *testing.T) {
+	var srvs []*httptest.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewUnstartedServer(nil)
+		srvs = append(srvs, ts)
+		urls = append(urls, "http://"+ts.Listener.Addr().String())
+	}
+	for i, ts := range srvs {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		node, err := somrm.NewClusterNode(somrm.ClusterNodeOptions{
+			Self:          urls[i],
+			Peers:         peers,
+			Server:        somrm.ServerOptions{Workers: 2},
+			ProbeInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts.Config.Handler = node.Handler()
+		ts.Start()
+		defer node.Shutdown(context.Background())
+		defer ts.Close()
+	}
+
+	path := writeSpec(t, validSpec)
+	list := strings.Join(urls, ",")
+
+	var local, remote strings.Builder
+	if err := run([]string{"-model", path, "-times", "0.5,1,2", "-order", "3"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", path, "-times", "0.5,1,2", "-order", "3", "-server", list}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("cluster series differs from local:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+
+	var before strings.Builder
+	if err := run([]string{"-model", path, "-t", "1", "-order", "2", "-server", list}, &before); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one replica; the same command must produce byte-identical
+	// moments via a ring successor.
+	srvs[0].CloseClientConnections()
+	srvs[0].Close()
+	var after strings.Builder
+	if err := run([]string{"-model", path, "-t", "1", "-order", "2", "-server", list}, &after); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Errorf("failover output differs:\nbefore:\n%s\nafter:\n%s", before.String(), after.String())
+	}
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"somrm/internal/resilience"
+	"somrm/internal/server"
+)
+
+// NodeOptions configures one cluster replica.
+type NodeOptions struct {
+	// Self is this replica's advertised base URL (how peers reach it),
+	// e.g. "http://10.0.0.3:8639". It is added to the ring automatically.
+	Self string
+	// Peers are the other replicas' base URLs (Self may be repeated; the
+	// ring dedupes). The list is static: every replica and every client
+	// must be configured with the same set for placement to agree.
+	Peers []string
+	// Server configures the embedded solver server. Its Cluster hooks are
+	// overwritten by the node.
+	Server server.Options
+	// VirtualNodes overrides the ring's virtual-node count (0 keeps
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// ProbeInterval is the peer /healthz probe cadence (default 2s;
+	// negative disables background probing).
+	ProbeInterval time.Duration
+	// PeerTimeout caps one peer cache-fill fetch (default 2s). Fills are
+	// an optimization: better to solve locally than to wait on a slow
+	// peer.
+	PeerTimeout time.Duration
+	// ClientOptions are forwarded to the per-peer HTTP clients used for
+	// probing, peer cache fill, and drain handoff.
+	ClientOptions []server.ClientOption
+	// BreakerConfig configures the per-peer circuit breakers (zero fields
+	// keep the resilience defaults).
+	BreakerConfig resilience.BreakerConfig
+}
+
+// Node is one replica of the solver cluster: an embedded server.Server
+// whose cluster hooks resolve ownership on the shared ring, fill the
+// result cache from owning peers, and stream hot entries to ring
+// successors on drain.
+type Node struct {
+	srv     *server.Server
+	ring    *Ring
+	members *Membership
+	reg     *resilience.BreakerRegistry
+	peers   map[string]*server.Client
+	self    string
+
+	peerTimeout time.Duration
+}
+
+// NewNode builds a cluster replica and starts its health probing.
+func NewNode(opts NodeOptions) (*Node, error) {
+	if opts.Self == "" {
+		return nil, fmt.Errorf("cluster: missing self URL")
+	}
+	ring := NewRing(append([]string{opts.Self}, opts.Peers...), opts.VirtualNodes)
+	n := &Node{
+		ring:        ring,
+		reg:         resilience.NewBreakerRegistry(opts.BreakerConfig),
+		peers:       make(map[string]*server.Client),
+		self:        opts.Self,
+		peerTimeout: opts.PeerTimeout,
+	}
+	if n.peerTimeout <= 0 {
+		n.peerTimeout = 2 * time.Second
+	}
+	var peerURLs []string
+	for _, u := range ring.Nodes() {
+		if u == opts.Self {
+			continue
+		}
+		peerURLs = append(peerURLs, u)
+		perPeer := append(append([]server.ClientOption(nil), opts.ClientOptions...),
+			server.WithSharedBreaker(n.reg.For(u)))
+		n.peers[u] = server.NewClient(u, perPeer...)
+	}
+
+	interval := opts.ProbeInterval
+	var probe ProbeFunc
+	if interval >= 0 && len(peerURLs) > 0 {
+		probe = func(ctx context.Context, url string) error {
+			return n.peers[url].Health(ctx)
+		}
+	}
+	n.members = NewMembership(peerURLs, probe, interval)
+
+	srvOpts := opts.Server
+	srvOpts.Cluster = &server.ClusterHooks{
+		Self:        opts.Self,
+		Owner:       n.owner,
+		FetchResult: n.fetchResult,
+		Handoff:     n.handoff,
+		PeerStates:  n.reg.States,
+	}
+	n.srv = server.New(srvOpts)
+	if probe != nil {
+		n.members.Start()
+	}
+	return n, nil
+}
+
+// Server returns the embedded solver server (metrics, tests).
+func (n *Node) Server() *server.Server { return n.srv }
+
+// Ring returns the placement ring shared by every replica and client.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Handler returns the replica's route table (solver endpoints plus the
+// internal peer endpoints).
+func (n *Node) Handler() http.Handler { return n.srv.Handler() }
+
+// Shutdown drains the replica: the embedded server hands its hottest
+// cache entries to ring successors and drains its pool, then health
+// probing stops.
+func (n *Node) Shutdown(ctx context.Context) error {
+	err := n.srv.Shutdown(ctx)
+	n.members.Stop()
+	return err
+}
+
+// owner implements the server's ownership hook.
+func (n *Node) owner(specHash string) (string, bool) {
+	u := n.ring.Owner(specHash)
+	return u, u == n.self || u == ""
+}
+
+// fetchResult implements peer cache fill: ask the owner's result cache
+// for the key, bounded by the peer timeout. Any failure is a miss — the
+// caller solves locally, which is always correct.
+func (n *Node) fetchResult(ctx context.Context, ownerURL, key string) (*server.SolveResponse, bool) {
+	cl, ok := n.peers[ownerURL]
+	if !ok {
+		return nil, false
+	}
+	if !n.members.Alive(ownerURL) {
+		// A dead owner cannot answer; skip the round-trip and its breaker
+		// noise. The next probe (or a handoff) will restore it.
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, n.peerTimeout)
+	defer cancel()
+	resp, found, err := cl.PeerResult(ctx, key)
+	if err != nil || !found {
+		return nil, false
+	}
+	return resp, true
+}
+
+// handoff implements drain handoff: each entry is routed to the first
+// live ring successor of its model hash (excluding this replica), grouped
+// into one push per destination. Returns how many entries peers accepted.
+func (n *Node) handoff(ctx context.Context, entries []server.HandoffEntry) int {
+	byDest := make(map[string][]server.HandoffEntry)
+	for _, e := range entries {
+		dest := n.handoffDest(e.SpecHash)
+		if dest == "" {
+			continue
+		}
+		byDest[dest] = append(byDest[dest], e)
+	}
+	accepted := 0
+	for dest, group := range byDest {
+		got, err := n.peers[dest].PushHandoff(ctx, group)
+		if err != nil {
+			continue // best effort: the successor will recompute on demand
+		}
+		accepted += got
+	}
+	return accepted
+}
+
+// handoffDest picks the first live replica (other than self) in ring
+// order from a key's owner.
+func (n *Node) handoffDest(specHash string) string {
+	for _, u := range n.ring.Successors(specHash, len(n.peers)+1) {
+		if u == n.self {
+			continue
+		}
+		if n.members.Alive(u) {
+			return u
+		}
+	}
+	return ""
+}

@@ -1,0 +1,128 @@
+// Package cluster scales the somrm solver service from one process to a
+// fleet: a consistent-hash ring assigns every model (by its canonical
+// spec hash) to an owning replica, a membership table tracks replica
+// liveness through /healthz probes, a cluster-aware Client routes solves
+// to the owner and fails over along the ring, and a Node wires a server
+// into the cluster (ownership metrics, peer cache fill, drain handoff).
+//
+// Placement is deterministic: the ring is built from the peer URL list
+// alone, so every replica and every client computes identical ownership
+// without any coordination, and placement survives process restarts.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the number of ring points per replica. 160
+// points smooth the shard sizes to within a few percent of uniform and
+// keep the remap fraction on membership change near the ideal 1/n.
+const DefaultVirtualNodes = 160
+
+// Ring is an immutable consistent-hash ring over a set of node URLs with
+// virtual nodes. Keys (canonical spec hashes) map to the first ring point
+// clockwise from the key's hash; removing a node moves only the keys it
+// owned, and adding one steals only the keys it now owns.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // distinct node URLs, sorted
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring over the distinct node URLs with vnodes virtual
+// points per node (0 selects DefaultVirtualNodes). An empty node list
+// yields a ring whose Owner is "".
+func NewRing(nodeURLs []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodeURLs))
+	var nodes []string
+	for _, n := range nodeURLs {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
+	for i, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			// The point label pins placement across processes and
+			// restarts: it depends only on the node URL and the vnode
+			// index, never on insertion order or process state.
+			r.points = append(r.points, ringPoint{hash: ringHash(n + "#" + strconv.Itoa(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		// Tie-break on node index so equal hashes (astronomically rare but
+		// possible) still sort deterministically.
+		return p.node < q.node
+	})
+	return r
+}
+
+// ringHash maps a label or key onto the ring's 64-bit keyspace. SHA-256
+// (truncated) keeps placement uniform and — unlike Go's runtime map hash —
+// identical across processes, which the whole design depends on.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's distinct node URLs in sorted order.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Owner returns the node owning key, or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.nodes[r.points[r.search(key)].node]
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// key's owner: the owner first, then the replicas a client should fail
+// over to (and a drainer should hand off to), in order.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i, at := 0, r.search(key); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(at+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// search returns the index of the first ring point clockwise from key.
+func (r *Ring) search(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0 // wrap around
+	}
+	return i
+}

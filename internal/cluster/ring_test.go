@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates count deterministic spec-hash-shaped keys.
+func ringKeys(count int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, count)
+	for i := range keys {
+		var buf [16]byte
+		rng.Read(buf[:])
+		sum := sha256.Sum256(buf[:])
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement pins the placement of fixed keys on a
+// fixed node set. If this test fails, the ring hash (or the vnode label
+// scheme) changed — which silently reshuffles every deployed cluster's
+// shards across a rolling restart. Do not update the literals without
+// treating that as a breaking operational change.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := []string{"http://replica-a:8639", "http://replica-b:8639", "http://replica-c:8639"}
+	r := NewRing(nodes, 0)
+	pinned := []struct{ key, owner string }{
+		{"10c3e9011a1a8a26f9dc8b98f2b7cb43823f0f3c35bf04a4cb245f63462c6b37", "http://replica-a:8639"},
+		{"574b0940bd8b50055bcc8b77a58b6b4b1c4996b6a86a6ae25b7321becbd2b4a8", "http://replica-c:8639"},
+		{"b41952840a3a9e73423c2ae06c1e395f9f09ef618c95bb35975fb93c96173d38", "http://replica-a:8639"},
+		{"c53e1f45807c05ff713f28dbedfdee4c5bd2f4bc0abf2a4c9e18966ad1b1e29f", "http://replica-b:8639"},
+		{"f3662f3a38cd47a3c2b23f4aae9b805e9b0f972b35af18a95c0b09a7a425b0ef", "http://replica-c:8639"},
+	}
+	for _, p := range pinned {
+		if got := r.Owner(p.key); got != p.owner {
+			t.Errorf("Owner(%s…) = %q, want %q (ring hashing changed!)", p.key[:12], got, p.owner)
+		}
+	}
+	// A freshly built ring (a "restarted process") must agree, and node
+	// list order must not matter.
+	shuffled := []string{nodes[2], nodes[0], nodes[1]}
+	r2 := NewRing(shuffled, 0)
+	for _, k := range ringKeys(200, 7) {
+		if r.Owner(k) != r2.Owner(k) {
+			t.Fatalf("placement depends on node list order for key %s…", k[:12])
+		}
+	}
+}
+
+// TestRingSuccessorsDistinctAndOwnerFirst checks the failover walk: the
+// owner leads, every entry is a distinct node, and the walk covers the
+// whole cluster.
+func TestRingSuccessorsDistinctAndOwnerFirst(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(nodes, 64)
+	for _, k := range ringKeys(100, 11) {
+		succ := r.Successors(k, len(nodes))
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors returned %d nodes, want %d", len(succ), len(nodes))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors[0] = %q, Owner = %q", succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, u := range succ {
+			if seen[u] {
+				t.Fatalf("duplicate node %q in successor walk", u)
+			}
+			seen[u] = true
+		}
+	}
+	// Over-asking caps at the node count; an empty ring yields nothing.
+	if got := r.Successors("aa", 99); len(got) != len(nodes) {
+		t.Errorf("Successors(99) returned %d nodes, want %d", len(got), len(nodes))
+	}
+	if NewRing(nil, 0).Owner("aa") != "" {
+		t.Error("empty ring must own nothing")
+	}
+}
+
+// TestRingRemapFraction is the consistent-hashing property: removing one
+// node moves only the keys it owned (expected share 1/n, asserted
+// < 2/n), and every key it did not own keeps its owner exactly. Adding a
+// node is checked symmetrically: changed keys all move to the newcomer.
+func TestRingRemapFraction(t *testing.T) {
+	keys := ringKeys(4000, 3)
+	for _, n := range []int{3, 4, 6, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://replica-%d:8639", i)
+		}
+		full := NewRing(nodes, 0)
+
+		// Remove the first node.
+		reduced := NewRing(nodes[1:], 0)
+		moved := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), reduced.Owner(k)
+			if before == nodes[0] {
+				if after == nodes[0] {
+					t.Fatalf("n=%d: removed node still owns key %s…", n, k[:12])
+				}
+				moved++
+			} else if after != before {
+				t.Fatalf("n=%d: key %s… moved %q -> %q though its owner survived",
+					n, k[:12], before, after)
+			}
+		}
+		if frac, limit := float64(moved)/float64(len(keys)), 2.0/float64(n); frac >= limit {
+			t.Errorf("n=%d: removal remapped %.3f of keys, want < %.3f", n, frac, limit)
+		}
+
+		// Add a new node.
+		grown := NewRing(append([]string{"http://replica-new:8639"}, nodes...), 0)
+		stolen := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), grown.Owner(k)
+			if after == before {
+				continue
+			}
+			if after != "http://replica-new:8639" {
+				t.Fatalf("n=%d: key %s… moved %q -> %q on an unrelated add",
+					n, k[:12], before, after)
+			}
+			stolen++
+		}
+		if frac, limit := float64(stolen)/float64(len(keys)), 2.0/float64(n+1); frac >= limit {
+			t.Errorf("n=%d: addition remapped %.3f of keys, want < %.3f", n, frac, limit)
+		}
+	}
+}
+
+// TestRingBalance sanity-checks shard sizes with the default vnode count:
+// no replica should own more than twice its fair share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d", "http://e"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	keys := ringKeys(5000, 17)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(keys)) / float64(len(nodes))
+	for _, u := range nodes {
+		if c := counts[u]; float64(c) > 2*fair || float64(c) < fair/3 {
+			t.Errorf("node %s owns %d of %d keys (fair share %.0f): ring badly unbalanced",
+				u, c, len(keys), fair)
+		}
+	}
+}

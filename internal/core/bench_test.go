@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"somrm/internal/ctmc"
@@ -124,5 +125,36 @@ func BenchmarkSweep(b *testing.B) {
 				}
 			})
 		}
+		// Worker-count scaling of the fused kernel at the production
+		// storage policy: one BENCH_sweep.json entry per worker count, so
+		// scaling regressions (a kernel that stops speeding up past two
+		// workers, say) are diffable across revisions like the kernel
+		// variants above.
+		for _, w := range sweepWorkerCounts() {
+			b.Run(fmt.Sprintf("N%d/workers-%d", n, w), func(b *testing.B) {
+				opts := &Options{SweepWorkers: w, MatrixFormat: "auto"}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := prep.AccumulatedReward(tt, order, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
+}
+
+// sweepWorkerCounts lists the fused-team sizes the sweep benchmark
+// sweeps: powers of two up to GOMAXPROCS, plus GOMAXPROCS itself when it
+// is not a power of two (so the machine's full width is always measured).
+func sweepWorkerCounts() []int {
+	limit := runtime.GOMAXPROCS(0)
+	var counts []int
+	for w := 1; w <= limit; w *= 2 {
+		counts = append(counts, w)
+	}
+	if counts[len(counts)-1] != limit {
+		counts = append(counts, limit)
+	}
+	return counts
 }

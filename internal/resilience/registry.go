@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+)
+
+// BreakerRegistry hands out one circuit breaker per named endpoint, all
+// sharing a configuration. A cluster client keeps one registry across its
+// peers so that a replica going dark trips only its own breaker: calls to
+// the dead peer fail fast while the ring routes around it, and the healthy
+// peers' windows stay untouched.
+//
+// The zero value is not usable; construct with NewBreakerRegistry.
+type BreakerRegistry struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	breakers map[string]*Breaker
+}
+
+// NewBreakerRegistry returns a registry whose breakers are created on
+// first use with cfg (zero fields select the breaker defaults).
+func NewBreakerRegistry(cfg BreakerConfig) *BreakerRegistry {
+	return &BreakerRegistry{cfg: cfg, breakers: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for name, creating it on first use. The same
+// *Breaker is returned for every subsequent call with the same name.
+func (r *BreakerRegistry) For(name string) *Breaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[name]
+	if !ok {
+		b = NewBreaker(r.cfg)
+		r.breakers[name] = b
+	}
+	return b
+}
+
+// Names returns the registered endpoint names in sorted order.
+func (r *BreakerRegistry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.breakers))
+	for name := range r.breakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// States returns each registered breaker's state ("closed", "open",
+// "half-open") keyed by name — the per-peer gauge surfaced at /metrics.
+func (r *BreakerRegistry) States() map[string]string {
+	r.mu.Lock()
+	snapshot := make(map[string]*Breaker, len(r.breakers))
+	for name, b := range r.breakers {
+		snapshot[name] = b
+	}
+	r.mu.Unlock()
+	states := make(map[string]string, len(snapshot))
+	for name, b := range snapshot {
+		states[name] = b.State()
+	}
+	return states
+}
+
+// Stats returns each registered breaker's transition counters keyed by
+// name.
+func (r *BreakerRegistry) Stats() map[string]BreakerStats {
+	r.mu.Lock()
+	snapshot := make(map[string]*Breaker, len(r.breakers))
+	for name, b := range r.breakers {
+		snapshot[name] = b
+	}
+	r.mu.Unlock()
+	stats := make(map[string]BreakerStats, len(snapshot))
+	for name, b := range snapshot {
+		stats[name] = b.Stats()
+	}
+	return stats
+}

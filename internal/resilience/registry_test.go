@@ -1,0 +1,60 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerRegistryPerName(t *testing.T) {
+	reg := NewBreakerRegistry(BreakerConfig{
+		Window: 4, FailureRatio: 0.5, MinSamples: 2, Cooldown: time.Hour,
+	})
+	a := reg.For("peer-a")
+	if reg.For("peer-a") != a {
+		t.Fatal("For returned a different breaker for the same name")
+	}
+	b := reg.For("peer-b")
+	if a == b {
+		t.Fatal("distinct names share a breaker")
+	}
+
+	// Trip only peer-a; peer-b must stay closed.
+	for i := 0; i < 3; i++ {
+		if err := a.Allow(); err != nil {
+			break
+		}
+		a.Record(false)
+	}
+	if a.State() != "open" {
+		t.Fatalf("peer-a breaker state = %q, want open", a.State())
+	}
+	if b.State() != "closed" {
+		t.Fatalf("peer-b breaker state = %q, want closed", b.State())
+	}
+
+	states := reg.States()
+	if states["peer-a"] != "open" || states["peer-b"] != "closed" {
+		t.Errorf("States() = %v, want peer-a open / peer-b closed", states)
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "peer-a" || got[1] != "peer-b" {
+		t.Errorf("Names() = %v, want [peer-a peer-b]", got)
+	}
+	if st := reg.Stats()["peer-a"]; st.Opens != 1 {
+		t.Errorf("peer-a opens = %d, want 1", st.Opens)
+	}
+}
+
+func TestBreakerRegistryConcurrentFor(t *testing.T) {
+	reg := NewBreakerRegistry(BreakerConfig{})
+	const goroutines = 16
+	got := make(chan *Breaker, goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() { got <- reg.For("shared") }()
+	}
+	first := <-got
+	for i := 1; i < goroutines; i++ {
+		if b := <-got; b != first {
+			t.Fatal("concurrent For returned distinct breakers for one name")
+		}
+	}
+}

@@ -186,21 +186,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.specHash = hex.EncodeToString(h[:])
+	s.classifyRoute(req.specHash)
 
 	started := time.Now()
 	// Resolve the prepared model once for the whole batch (single-flight
 	// against concurrent batches and single solves of the same model).
-	prep, hit, err := s.prepared.GetOrBuild(req.specHash, func() (*core.Prepared, error) {
-		return buildPrepared(req.Model)
-	})
+	prep, hit, err := s.preparedFor(req.specHash, req.Model)
 	if err != nil {
 		s.writeSolveError(w, err)
 		return
-	}
-	if hit {
-		s.metrics.PreparedHits.Add(1)
-	} else {
-		s.metrics.PreparedMisses.Add(1)
 	}
 	s.metrics.BatchItems.Observe(len(req.Items))
 

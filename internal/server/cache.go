@@ -16,8 +16,11 @@ type lruCache struct {
 }
 
 type lruEntry struct {
-	key  string
-	resp *SolveResponse
+	key string
+	// specHash is the canonical model hash behind the entry; drain handoff
+	// routes the entry to the replica that owns this hash on the ring.
+	specHash string
+	resp     *SolveResponse
 }
 
 func newLRU(capacity int) *lruCache {
@@ -45,24 +48,49 @@ func (c *lruCache) Get(key string) (*SolveResponse, bool) {
 }
 
 // Put stores resp under key, evicting the least recently used entry when
-// the cache is full.
-func (c *lruCache) Put(key string, resp *SolveResponse) {
+// the cache is full. specHash is the canonical model hash of the request
+// that produced resp (may be empty outside cluster mode).
+func (c *lruCache) Put(key, specHash string, resp *SolveResponse) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).resp = resp
+		e := el.Value.(*lruEntry)
+		e.resp = resp
+		e.specHash = specHash
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, specHash: specHash, resp: resp})
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
 	}
+}
+
+// Hottest returns up to n cached responses in most-recently-used order as
+// drain-handoff entries. The responses are the shared cached pointers;
+// receivers treat them as immutable, like every other cache reader.
+func (c *lruCache) Hottest(n int) []HandoffEntry {
+	if c.cap <= 0 || n <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := make([]HandoffEntry, 0, min(n, c.order.Len()))
+	for el := c.order.Front(); el != nil && len(entries) < n; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		if e.specHash == "" {
+			// Pre-cluster entries (or test seeds) without a model hash
+			// cannot be routed on the ring; skip them.
+			continue
+		}
+		entries = append(entries, HandoffEntry{Key: e.key, SpecHash: e.specHash, Response: e.resp})
+	}
+	return entries
 }
 
 // Len returns the current number of cached entries.

@@ -75,6 +75,20 @@ func WithBreaker(cfg resilience.BreakerConfig) ClientOption {
 	}
 }
 
+// WithSharedBreaker installs a caller-owned breaker instance instead of a
+// private one. A cluster client passes each peer's breaker from a shared
+// resilience.BreakerRegistry so that one replica going dark trips only its
+// own circuit. A nil breaker disables circuit breaking, like
+// WithoutBreaker.
+func WithSharedBreaker(b *resilience.Breaker) ClientOption {
+	return func(c *Client) {
+		if c.retryer == nil {
+			c.retryer = &resilience.Retryer{}
+		}
+		c.retryer.Breaker = b
+	}
+}
+
 // WithoutBreaker disables the circuit breaker, keeping retries.
 func WithoutBreaker() ClientOption {
 	return func(c *Client) {
@@ -251,6 +265,37 @@ func (c *Client) SolveBatch(ctx context.Context, req *BatchRequest) (*BatchRespo
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// PeerResult fetches the owner's cached solve response for a result-cache
+// key via the internal GET /v1/peer/result/{key} endpoint. It returns
+// (nil, false, nil) when the owner has no cached entry (404) and an error
+// only for transport-level or unexpected failures.
+func (c *Client) PeerResult(ctx context.Context, key string) (*SolveResponse, bool, error) {
+	var resp SolveResponse
+	err := c.do(ctx, http.MethodGet, "/v1/peer/result/"+key, nil, &resp, true)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return &resp, true, nil
+}
+
+// PushHandoff streams drain-handoff entries to a ring successor via the
+// internal POST /v1/peer/handoff endpoint and returns how many the peer
+// accepted.
+func (c *Client) PushHandoff(ctx context.Context, entries []HandoffEntry) (int, error) {
+	var resp struct {
+		Accepted int `json:"accepted"`
+	}
+	req := HandoffRequest{Entries: entries}
+	if err := c.do(ctx, http.MethodPost, "/v1/peer/handoff", &req, &resp, true); err != nil {
+		return 0, err
+	}
+	return resp.Accepted, nil
 }
 
 // Metrics fetches the live counters via GET /metrics.

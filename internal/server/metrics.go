@@ -50,6 +50,23 @@ type Metrics struct {
 	BatchItems  sizeHistogram
 	SweepPoints sizeHistogram
 
+	// RouteLocal / RouteRemote classify solve and batch requests by ring
+	// ownership of their model hash: RouteLocal counts requests this
+	// replica owns, RouteRemote requests owned elsewhere (served here
+	// anyway — after a peer cache fill attempt — because a client failed
+	// over or routed freely). Both stay zero outside cluster mode.
+	RouteLocal  atomic.Int64
+	RouteRemote atomic.Int64
+	// PeerFillHits / PeerFillMisses count peer cache-fill attempts for
+	// non-owned requests: a hit adopted the owner's cached result instead
+	// of solving locally; a miss (owner had no entry, or was unreachable)
+	// fell through to a local solve.
+	PeerFillHits   atomic.Int64
+	PeerFillMisses atomic.Int64
+	// HandoffEntries counts drain-handoff entries this replica accepted
+	// from draining peers via POST /v1/peer/handoff.
+	HandoffEntries atomic.Int64
+
 	// SweepFormatBand / SweepFormatCSR32 / SweepFormatCSR64 count solver
 	// executions by the matrix storage format the randomization sweep
 	// streamed (core.Stats.MatrixFormat) — the label operators watch to
@@ -221,6 +238,18 @@ type MetricsSnapshot struct {
 	PreparedHits   int64 `json:"prepared_hits"`
 	PreparedMisses int64 `json:"prepared_misses"`
 
+	// Cluster counters: request routing by ring ownership, peer
+	// cache-fill outcomes, and drain-handoff entries accepted from
+	// draining peers. All zero outside cluster mode.
+	RouteLocal     int64 `json:"route_local_total"`
+	RouteRemote    int64 `json:"route_remote_total"`
+	PeerFillHits   int64 `json:"peer_fill_hits_total"`
+	PeerFillMisses int64 `json:"peer_fill_misses_total"`
+	HandoffEntries int64 `json:"handoff_entries_total"`
+	// PeerBreakers is the per-peer circuit-breaker state gauge ("closed",
+	// "open", "half-open") keyed by peer URL; absent outside cluster mode.
+	PeerBreakers map[string]string `json:"peer_breakers,omitempty"`
+
 	// SweepFormats counts solver executions by the matrix storage format
 	// the randomization sweep streamed, keyed by the core.Stats label
 	// ("band", "csr32", "csr64").
@@ -254,6 +283,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BatchRequests:  m.BatchRequests.Load(),
 		PreparedHits:   m.PreparedHits.Load(),
 		PreparedMisses: m.PreparedMisses.Load(),
+		RouteLocal:     m.RouteLocal.Load(),
+		RouteRemote:    m.RouteRemote.Load(),
+		PeerFillHits:   m.PeerFillHits.Load(),
+		PeerFillMisses: m.PeerFillMisses.Load(),
+		HandoffEntries: m.HandoffEntries.Load(),
 		BatchItems:     m.BatchItems.snapshot(),
 		SweepPoints:    m.SweepPoints.snapshot(),
 		SweepFormats: map[string]int64{

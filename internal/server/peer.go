@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+
+	"somrm/internal/spec"
+)
+
+// ClusterHooks connects a Server to a solver cluster without the server
+// package knowing about ring or membership types (the cluster package
+// imports server, not the other way around). All hooks must be non-nil
+// when the struct itself is set; internal/cluster.NewNode wires them.
+type ClusterHooks struct {
+	// Self is this replica's advertised base URL.
+	Self string
+	// Owner maps a canonical spec hash (hex) to the owning replica's base
+	// URL and reports whether that replica is this process. Placement is
+	// keyed on the model hash, not the full result key, so every
+	// (params, t) variant of one model lands on the same owner and its
+	// prepared-model cache pays off.
+	Owner func(specHash string) (url string, local bool)
+	// FetchResult asks the owner's result cache for a result-cache key
+	// (peer cache fill). It returns ok=false on a miss or any peer
+	// failure; the caller then solves locally.
+	FetchResult func(ctx context.Context, ownerURL, key string) (resp *SolveResponse, ok bool)
+	// Handoff streams the hottest cache entries to ring successors during
+	// drain and returns how many entries peers accepted.
+	Handoff func(ctx context.Context, entries []HandoffEntry) int
+	// PeerStates reports each peer's circuit-breaker state for the
+	// /metrics per-peer gauge.
+	PeerStates func() map[string]string
+}
+
+// HandoffEntry is one cache entry streamed to a ring successor when a
+// replica drains. Exactly one of Response (a result-cache entry) or
+// SpecJSON (a prepared-model cache entry, shipped as its canonical spec
+// so the receiver rebuilds it bitwise-identically) is set.
+type HandoffEntry struct {
+	// Key is the result-cache key (results) or the canonical spec hash
+	// (prepared models).
+	Key string `json:"key"`
+	// SpecHash is the canonical spec hash of the entry's model; it routes
+	// the entry to the replica that owns the model.
+	SpecHash string `json:"spec_hash"`
+	// Response is the cached solve response for result entries.
+	Response *SolveResponse `json:"response,omitempty"`
+	// SpecJSON is the canonical spec serialization for prepared entries.
+	SpecJSON json.RawMessage `json:"spec,omitempty"`
+}
+
+// HandoffRequest is the body of POST /v1/peer/handoff.
+type HandoffRequest struct {
+	Entries []HandoffEntry `json:"entries"`
+}
+
+// maxHandoffEntries bounds how many entries one handoff request may carry;
+// larger pushes are truncated by the drainer and rejected by the receiver.
+const maxHandoffEntries = 1024
+
+// handlePeerResult serves GET /v1/peer/result/{key}: a read-only lookup of
+// this replica's result cache by full result-cache key, used by non-owner
+// replicas for peer cache fill before solving locally. It deliberately
+// works while draining — handing out cached results is exactly what a
+// draining owner is still good for.
+func (s *Server) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validHexKey(key) {
+		writeError(w, http.StatusBadRequest, "bad result key")
+		return
+	}
+	resp, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not cached")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePeerHandoff serves POST /v1/peer/handoff: it absorbs a draining
+// peer's hottest entries, inserting results into the local result cache
+// and rebuilding prepared models from their canonical specs. Entries are
+// validated individually; a malformed one is skipped, not fatal, so one
+// bad entry cannot void a whole drain.
+func (s *Server) handlePeerHandoff(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown.Error())
+		return
+	}
+	var req HandoffRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Entries) > maxHandoffEntries {
+		writeError(w, http.StatusBadRequest, "too many handoff entries")
+		return
+	}
+	accepted := 0
+	for i := range req.Entries {
+		if s.acceptHandoffEntry(&req.Entries[i]) {
+			accepted++
+		}
+	}
+	s.metrics.HandoffEntries.Add(int64(accepted))
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
+}
+
+// acceptHandoffEntry installs one streamed entry, reporting whether it was
+// usable.
+func (s *Server) acceptHandoffEntry(e *HandoffEntry) bool {
+	if !validHexKey(e.Key) || !validHexKey(e.SpecHash) {
+		return false
+	}
+	switch {
+	case e.Response != nil:
+		// A result entry: adopt it as-is. The response is bitwise the
+		// owner's solve, so serving it locally preserves the cluster's
+		// determinism guarantee.
+		s.cache.Put(e.Key, e.SpecHash, e.Response)
+		return true
+	case len(e.SpecJSON) > 0:
+		// A prepared-model entry: rebuild from the canonical spec through
+		// the prepared cache (single-flight, LRU). The key must be the
+		// spec's own canonical hash — a mismatch means a corrupted entry.
+		sp, err := spec.Parse(e.SpecJSON)
+		if err != nil {
+			return false
+		}
+		h, err := sp.Hash()
+		if err != nil || hex.EncodeToString(h[:]) != e.Key {
+			return false
+		}
+		if _, _, err := s.preparedFor(e.Key, sp); err != nil {
+			return false
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// validHexKey reports whether k looks like one of our content hashes: a
+// non-empty, reasonably bounded, lowercase-hex string. Peer endpoints are
+// internal, but the check keeps junk out of cache keys and URL paths.
+func validHexKey(k string) bool {
+	if len(k) == 0 || len(k) > 128 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handoffEntries snapshots the hottest result-cache and prepared-model
+// entries for drain handoff, most recently used first, bounded by the
+// configured budget.
+func (s *Server) handoffEntries(limit int) []HandoffEntry {
+	if limit <= 0 {
+		return nil
+	}
+	entries := s.cache.Hottest(limit)
+	// Spend what remains of the budget on prepared models: results are
+	// the cheaper win (no recompute at all), prepared specs save the
+	// receiver a build per model.
+	if rest := limit - len(entries); rest > 0 {
+		entries = append(entries, s.prepared.Hottest(rest)...)
+	}
+	return entries
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"somrm/internal/core"
+	"somrm/internal/spec"
 )
 
 // preparedCache is a fixed-capacity LRU of prepared models keyed by the
@@ -34,6 +35,11 @@ type prepEntry struct {
 	ready chan struct{} // closed when prep/err are set
 	prep  *core.Prepared
 	err   error
+	// canon is the canonical spec serialization behind the entry, recorded
+	// via NoteSpec so drain handoff can stream the model to a ring
+	// successor (which rebuilds it bitwise-identically). Guarded by the
+	// cache mutex; nil until a handler notes the spec.
+	canon []byte
 }
 
 func newPreparedCache(capacity int) *preparedCache {
@@ -84,6 +90,65 @@ func (c *preparedCache) GetOrBuild(key string, build func() (*core.Prepared, err
 	}
 	close(e.ready)
 	return e.prep, false, e.err
+}
+
+// NoteSpec attaches the canonical serialization of the spec behind key to
+// its resident entry, so drain handoff can ship the model to a successor.
+// It is a no-op when the key is not resident or the spec fails to
+// canonicalize (the entry then simply is not handed off).
+func (c *preparedCache) NoteSpec(key string, sp *spec.Model) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok || el.Value.(*prepEntry).canon != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	// Canonicalize outside the lock; it allocates and sorts.
+	canon, err := sp.Canonical()
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*prepEntry)
+		if e.canon == nil {
+			e.canon = canon
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Hottest returns up to n prepared-model entries in most-recently-used
+// order as drain-handoff entries (canonical specs; the receiver rebuilds).
+// Entries whose spec was never noted, or whose build failed or is still in
+// flight, are skipped.
+func (c *preparedCache) Hottest(n int) []HandoffEntry {
+	if c.cap <= 0 || n <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := make([]HandoffEntry, 0, min(n, c.order.Len()))
+	for el := c.order.Front(); el != nil && len(entries) < n; el = el.Next() {
+		e := el.Value.(*prepEntry)
+		if e.canon == nil {
+			continue
+		}
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				continue
+			}
+		default:
+			continue // still building
+		}
+		entries = append(entries, HandoffEntry{Key: e.key, SpecHash: e.key, SpecJSON: e.canon})
+	}
+	return entries
 }
 
 // Len returns the current number of cached entries (including in-flight

@@ -63,6 +63,16 @@ type Options struct {
 	// Workers solves concurrently; on a machine with C cores, keeping
 	// Workers x SweepWorkers near C avoids oversubscription.
 	SweepWorkers int
+	// Cluster connects this server to a solver cluster: request routing
+	// is classified against the ring, non-owned cache misses try a peer
+	// cache fill before solving locally, and Shutdown streams the hottest
+	// cache entries to ring successors. nil (the default) disables all
+	// cluster behavior; internal/cluster.NewNode wires it.
+	Cluster *ClusterHooks
+	// HandoffMax bounds how many cache entries (results first, then
+	// prepared-model specs) a draining replica streams to its successors
+	// (default 128; negative disables drain handoff).
+	HandoffMax int
 	// MatrixFormat is passed through to the randomization solver
 	// (core.Options.MatrixFormat): "" or "auto" picks the storage
 	// representation per model (band for narrow-band generators,
@@ -99,6 +109,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
+	}
+	if o.HandoffMax == 0 {
+		o.HandoffMax = 128
+	}
+	if o.HandoffMax < 0 {
+		o.HandoffMax = 0
+	}
+	if o.HandoffMax > maxHandoffEntries {
+		o.HandoffMax = maxHandoffEntries
 	}
 	return o
 }
@@ -150,6 +169,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResult)
+	mux.HandleFunc("POST /v1/peer/handoff", s.handlePeerHandoff)
 	return mux
 }
 
@@ -160,6 +181,15 @@ func (s *Server) Handler() http.Handler {
 // fail fast.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Drain handoff: stream the hottest result and prepared-model entries
+	// to ring successors before the pool stops, so a rolling restart does
+	// not cold-start the shard. Best effort — a failed push only costs the
+	// successor a recompute.
+	if h := s.opts.Cluster; h != nil && h.Handoff != nil && s.opts.HandoffMax > 0 {
+		if entries := s.handoffEntries(s.opts.HandoffMax); len(entries) > 0 {
+			h.Handoff(ctx, entries)
+		}
+	}
 	return s.pool.Shutdown(ctx)
 }
 
@@ -178,7 +208,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.CacheEntries = s.cache.Len()
 	snap.PreparedEntries = s.prepared.Len()
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	if h := s.opts.Cluster; h != nil && h.PeerStates != nil {
+		snap.PeerBreakers = h.PeerStates()
+	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// classifyRoute counts one request against the ring-ownership counters and
+// reports the owning replica when the model is owned elsewhere.
+func (s *Server) classifyRoute(specHash string) (ownerURL string, remote bool) {
+	h := s.opts.Cluster
+	if h == nil || h.Owner == nil {
+		return "", false
+	}
+	owner, local := h.Owner(specHash)
+	if local {
+		s.metrics.RouteLocal.Add(1)
+		return "", false
+	}
+	s.metrics.RouteRemote.Add(1)
+	return owner, true
+}
+
+// peerFill tries to adopt the owner's cached result for a non-owned
+// request instead of solving locally. It runs inside the single-flight
+// leader, so concurrent identical requests share one fill attempt.
+func (s *Server) peerFill(ctx context.Context, owner, key, specHash string) (*SolveResponse, bool) {
+	h := s.opts.Cluster
+	if h == nil || h.FetchResult == nil {
+		return nil, false
+	}
+	resp, ok := h.FetchResult(ctx, owner, key)
+	if !ok {
+		s.metrics.PeerFillMisses.Add(1)
+		return nil, false
+	}
+	s.metrics.PeerFillHits.Add(1)
+	resp.PeerFilled = true
+	resp.Cached = false
+	s.cache.Put(key, specHash, resp)
+	return resp, true
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -205,6 +274,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	owner, remote := s.classifyRoute(req.specHash)
+
 	started := time.Now()
 	if resp, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
@@ -226,6 +297,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	resp, shared, err := s.flight.Do(ctx, key, func() (*SolveResponse, error) {
+		// Peer cache fill: a non-owned request first asks the owner's
+		// result cache; a hit skips the local solve entirely (the owner's
+		// response is bitwise what we would compute).
+		if remote {
+			if filled, ok := s.peerFill(ctx, owner, key, req.specHash); ok {
+				return filled, nil
+			}
+		}
 		var solved *SolveResponse
 		var solveErr error
 		if poolErr := s.pool.Do(ctx, func(ctx context.Context) {
@@ -238,7 +317,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return nil, solveErr
 		}
 		solved.ElapsedMS = msSince(started)
-		s.cache.Put(key, solved)
+		s.cache.Put(key, req.specHash, solved)
 		s.metrics.ObserveLatency(time.Since(started))
 		if solved.Stats != nil && solved.Stats.SweepNS > 0 {
 			s.metrics.ObserveSweep(time.Duration(solved.Stats.SweepNS))

@@ -586,12 +586,12 @@ func TestCacheKeyNormalization(t *testing.T) {
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRU(2)
 	r := &SolveResponse{}
-	c.Put("a", r)
-	c.Put("b", r)
+	c.Put("a", "", r)
+	c.Put("b", "", r)
 	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.Put("c", r) // evicts b (least recently used after the Get of a)
+	c.Put("c", "", r) // evicts b (least recently used after the Get of a)
 	if _, ok := c.Get("b"); ok {
 		t.Error("b not evicted")
 	}
@@ -604,7 +604,7 @@ func TestLRUCacheEviction(t *testing.T) {
 		t.Errorf("len = %d", c.Len())
 	}
 	disabled := newLRU(-1)
-	disabled.Put("x", r)
+	disabled.Put("x", "", r)
 	if _, ok := disabled.Get("x"); ok {
 		t.Error("disabled cache stored an entry")
 	}

@@ -124,9 +124,12 @@ type SolveResponse struct {
 	// Bounds echoes BoundsAt with CDF bounds, when requested.
 	Bounds []BoundPoint `json:"bounds,omitempty"`
 	// Cached reports the response was served from the result cache;
-	// Deduped that it was shared with a concurrent identical request.
-	Cached  bool `json:"cached"`
-	Deduped bool `json:"deduped,omitempty"`
+	// Deduped that it was shared with a concurrent identical request;
+	// PeerFilled that a non-owner replica adopted it from the ring
+	// owner's result cache instead of solving.
+	Cached     bool `json:"cached"`
+	Deduped    bool `json:"deduped,omitempty"`
+	PeerFilled bool `json:"peer_filled,omitempty"`
 	// ElapsedMS is the server-side processing time of the request that
 	// actually solved (cache hits report their own, much smaller, time).
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -254,19 +257,24 @@ func buildPrepared(sp *spec.Model) (*core.Prepared, error) {
 
 // preparedFor resolves the prepared model for a request's spec through the
 // single-flight LRU, counting hits and misses.
-func (s *Server) preparedFor(specHash string, sp *spec.Model) (*core.Prepared, error) {
+func (s *Server) preparedFor(specHash string, sp *spec.Model) (*core.Prepared, bool, error) {
 	prep, hit, err := s.prepared.GetOrBuild(specHash, func() (*core.Prepared, error) {
 		return buildPrepared(sp)
 	})
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
 	if hit {
 		s.metrics.PreparedHits.Add(1)
 	} else {
 		s.metrics.PreparedMisses.Add(1)
 	}
-	return prep, nil
+	if s.opts.Cluster != nil {
+		// Remember the canonical spec so drain handoff can stream this
+		// prepared model to a ring successor.
+		s.prepared.NoteSpec(specHash, sp)
+	}
+	return prep, hit, nil
 }
 
 // preparedSolve is the default request executor: it resolves the prepared
@@ -280,7 +288,7 @@ func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveRe
 		}
 		specHash = hex.EncodeToString(h[:])
 	}
-	prep, err := s.preparedFor(specHash, req.Model)
+	prep, _, err := s.preparedFor(specHash, req.Model)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Cluster failover smoke test: start three somrm-serve replicas as a
+# consistent-hash cluster, solve through the cluster-aware client, then
+# kill replicas one at a time and assert the rerouted results are
+# byte-for-byte identical to the healthy-cluster baseline. Run via
+# `make cluster-smoke`.
+set -euo pipefail
+
+BASE_PORT="${SOMRM_SMOKE_PORT:-18731}"
+PORTS=("$BASE_PORT" "$((BASE_PORT + 1))" "$((BASE_PORT + 2))")
+URLS=()
+for p in "${PORTS[@]}"; do
+  URLS+=("http://127.0.0.1:$p")
+done
+LIST="${URLS[0]},${URLS[1]},${URLS[2]}"
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$tmp/somrm" ./cmd/somrm
+go build -o "$tmp/somrm-serve" ./cmd/somrm-serve
+
+cat >"$tmp/model.json" <<'EOF'
+{
+  "states": 3,
+  "transitions": [
+    {"from": 0, "to": 1, "rate": 2.0},
+    {"from": 1, "to": 2, "rate": 1.0},
+    {"from": 1, "to": 0, "rate": 3.0},
+    {"from": 2, "to": 0, "rate": 0.5}
+  ],
+  "rates": [1.5, -0.5, 0.25],
+  "variances": [0.2, 1.0, 0.5],
+  "initial": [1, 0, 0]
+}
+EOF
+
+echo "== starting ${#URLS[@]} replicas"
+for i in "${!URLS[@]}"; do
+  peers=""
+  for j in "${!URLS[@]}"; do
+    if [ "$i" != "$j" ]; then
+      peers="${peers:+$peers,}${URLS[$j]}"
+    fi
+  done
+  "$tmp/somrm-serve" -addr "127.0.0.1:${PORTS[$i]}" -workers 2 \
+    -self "${URLS[$i]}" -peers "$peers" -probe-interval 250ms \
+    >"$tmp/serve-$i.log" 2>&1 &
+  pids+=("$!")
+  disown "$!" # keep the shell's job notifications out of the output
+done
+
+for i in "${!URLS[@]}"; do
+  for _ in $(seq 1 100); do
+    if curl -fsS "${URLS[$i]}/healthz" >/dev/null 2>&1; then
+      continue 2
+    fi
+    sleep 0.1
+  done
+  echo "replica $i never became healthy" >&2
+  cat "$tmp/serve-$i.log" >&2
+  exit 1
+done
+echo "== all replicas healthy"
+
+solve() {
+  "$tmp/somrm" -model "$tmp/model.json" -t 1.25 -order 4 -bounds 0.5,1 -server "$LIST"
+}
+
+solve >"$tmp/baseline.txt"
+echo "== baseline recorded"
+
+# The solve must have been routed to exactly one owner.
+locals=0
+for i in "${!URLS[@]}"; do
+  n="$(curl -fsS "${URLS[$i]}/metrics" | tr ',{' '\n\n' | sed -n 's/.*"route_local_total"://p')"
+  locals=$((locals + n))
+done
+if [ "$locals" -lt 1 ]; then
+  echo "no replica counted the solve as locally owned" >&2
+  exit 1
+fi
+
+# Kill replicas one at a time (covering whichever owns the model) and
+# re-solve through the same cluster list: the failover result must be
+# byte-for-byte identical.
+for victim in 0 1; do
+  kill -9 "${pids[$victim]}"
+  wait "${pids[$victim]}" 2>/dev/null || true
+  echo "== killed replica $victim, re-solving"
+  solve >"$tmp/after-$victim.txt"
+  if ! cmp -s "$tmp/baseline.txt" "$tmp/after-$victim.txt"; then
+    echo "failover result differs from baseline after killing replica $victim:" >&2
+    diff "$tmp/baseline.txt" "$tmp/after-$victim.txt" >&2 || true
+    exit 1
+  fi
+done
+
+echo "== cluster smoke passed: results byte-identical through two replica failures"

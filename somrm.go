@@ -32,6 +32,7 @@ package somrm
 import (
 	"context"
 
+	"somrm/internal/cluster"
 	"somrm/internal/core"
 	"somrm/internal/ctmc"
 	"somrm/internal/laplace"
@@ -146,6 +147,24 @@ type (
 	// somrm-serve -fault-* flags.
 	FaultConfig   = server.FaultConfig
 	FaultInjector = server.FaultInjector
+
+	// ClusterClient routes solves across a somrm-serve cluster: each
+	// model is assigned to an owning replica on a consistent-hash ring
+	// (maximizing that replica's cache hits) with failover along the ring
+	// and a per-replica circuit breaker.
+	ClusterClient = cluster.Client
+	// ClusterOption configures NewClusterClient beyond the shared
+	// ClientOptions (virtual nodes, probing, breaker config).
+	ClusterOption = cluster.Option
+	// ClusterNode is one replica of a solver cluster: a Server wired into
+	// the ring with peer cache fill and drain handoff (see somrm-serve
+	// -self/-peers).
+	ClusterNode = cluster.Node
+	// ClusterNodeOptions configures NewClusterNode.
+	ClusterNodeOptions = cluster.NodeOptions
+	// ClusterRing is the deterministic consistent-hash placement ring
+	// shared by every replica and client.
+	ClusterRing = cluster.Ring
 
 	// PreparedModel is a model with its uniformized solver matrices
 	// precomputed; repeated and multi-time solves against it skip the
@@ -295,6 +314,25 @@ func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 // server-side beyond a cache hit. 4xx responses are never retried.
 func NewServerClient(baseURL string, opts ...ClientOption) *Client {
 	return server.NewClient(baseURL, opts...)
+}
+
+// NewClusterClient returns a client for a somrm-serve cluster given every
+// replica's base URL (the same set each replica was started with).
+// Requests route to the replica owning the model's canonical hash on the
+// cluster's consistent-hash ring and fail over along the ring when that
+// replica is down, tripped, or shedding; results are bitwise identical
+// whichever replica answers. The ClientOptions apply to every per-replica
+// client. A single URL behaves exactly like NewServerClient. Call Close
+// to release the client when done.
+func NewClusterClient(urls []string, opts ...ClientOption) *ClusterClient {
+	return cluster.NewClient(urls, cluster.WithClientOptions(opts...))
+}
+
+// NewClusterNode builds one replica of a solver cluster: a Server whose
+// ownership, peer cache-fill, and drain-handoff hooks are wired to the
+// cluster ring (cmd/somrm-serve does this for the -self/-peers flags).
+func NewClusterNode(opts ClusterNodeOptions) (*ClusterNode, error) {
+	return cluster.NewNode(opts)
 }
 
 // Client resilience options for NewServerClient.
