@@ -9,7 +9,7 @@
 //	            [-cache N] [-prepared-cache N] [-timeout 30s]
 //	            [-max-order 12] [-drain-timeout 30s]
 //	            [-sweep-workers N] [-matrix-format auto|csr|band|csr64]
-//	            [-self URL -peers URL,URL,...]
+//	            [-self URL -peers URL,URL,...] [-peer-secret S]
 //	            [-probe-interval 2s] [-handoff-max N]
 //	            [-pprof]
 //	            [-fault-503 P] [-fault-truncate P] [-fault-panic P]
@@ -18,8 +18,11 @@
 // -self enables cluster mode: the replica joins a consistent-hash ring
 // with the -peers replicas (every replica must be started with the same
 // URL set), serves peer cache fills on its shard, and streams its hottest
-// cache entries to ring successors when draining. See README "Running a
-// cluster".
+// cache entries to ring successors when draining. The internal /v1/peer/*
+// endpoints exist only in cluster mode; -peer-secret (or the
+// SOMRM_PEER_SECRET environment variable, preferred since it stays out of
+// ps output) guards them with a shared secret that every replica must be
+// given. See README "Running a cluster".
 //
 // -pprof mounts Go's net/http/pprof profiling handlers under
 // /debug/pprof/ on the same listener; they are absent unless the flag
@@ -83,6 +86,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, or csr64 (all bitwise identical; server-wide, not per-request)")
 	self := fs.String("self", "", "cluster mode: this replica's advertised base URL (e.g. http://10.0.0.3:8639)")
 	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of the other replicas")
+	peerSecret := fs.String("peer-secret", "", "cluster mode: shared secret authenticating the internal /v1/peer/* endpoints (defaults to $SOMRM_PEER_SECRET; empty leaves them open)")
 	probeInterval := fs.Duration("probe-interval", 2*time.Second, "cluster mode: peer /healthz probe cadence (negative disables probing)")
 	handoffMax := fs.Int("handoff-max", 0, "cluster mode: max cache entries streamed to ring successors on drain (0 = default 128, negative disables)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default)")
@@ -120,22 +124,33 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	var handler http.Handler
 	var shutdown func(context.Context) error
 	if *self != "" {
+		secret := *peerSecret
+		if secret == "" {
+			// Keep the secret off the command line where it would show in
+			// ps; the environment is the recommended channel.
+			secret = os.Getenv("SOMRM_PEER_SECRET")
+		}
 		peerURLs := splitURLs(*peers)
 		node, err := cluster.NewNode(cluster.NodeOptions{
 			Self:          *self,
 			Peers:         peerURLs,
 			Server:        srvOpts,
 			ProbeInterval: *probeInterval,
+			PeerSecret:    secret,
 		})
 		if err != nil {
 			return err
 		}
 		handler = node.Handler()
 		shutdown = node.Shutdown
-		logger.Printf("cluster mode: self=%s ring=%d replicas", *self, len(node.Ring().Nodes()))
+		logger.Printf("cluster mode: self=%s ring=%d replicas peer-auth=%v",
+			*self, len(node.Ring().Nodes()), secret != "")
 	} else {
 		if *peers != "" {
 			return fmt.Errorf("-peers requires -self (this replica's own advertised URL)")
+		}
+		if *peerSecret != "" {
+			return fmt.Errorf("-peer-secret requires -self (cluster mode)")
 		}
 		svc := server.New(srvOpts)
 		handler = svc.Handler()

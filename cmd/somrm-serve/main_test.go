@@ -177,4 +177,7 @@ func TestRunClusterFlagValidation(t *testing.T) {
 	if err := run([]string{"-peers", "http://a:1"}, &sb, nil); err == nil || !strings.Contains(err.Error(), "-self") {
 		t.Errorf("-peers without -self accepted: %v", err)
 	}
+	if err := run([]string{"-peer-secret", "s"}, &sb, nil); err == nil || !strings.Contains(err.Error(), "-self") {
+		t.Errorf("-peer-secret without -self accepted: %v", err)
+	}
 }

@@ -168,11 +168,19 @@ func connectionError(err error) bool {
 	return resilience.IsTransient(err) && !errors.As(err, &apiErr)
 }
 
+// ErrNoReplicas reports a cluster client whose ring holds zero replica
+// URLs (an empty or all-blank server list); no request can be routed.
+var ErrNoReplicas = errors.New("cluster: no replica URLs configured")
+
 // route runs op against each candidate replica for key until one
 // succeeds or an error is deemed deterministic.
 func (c *Client) route(ctx context.Context, key string, op func(cl *server.Client) error) error {
+	cands := c.candidates(key)
+	if len(cands) == 0 {
+		return ErrNoReplicas
+	}
 	var lastErr error
-	for _, peer := range c.candidates(key) {
+	for _, peer := range cands {
 		err := op(c.clients[peer])
 		if err == nil {
 			c.members.MarkAlive(peer)

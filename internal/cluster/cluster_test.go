@@ -81,7 +81,7 @@ type testCluster struct {
 	down  []sync.Once
 }
 
-func startCluster(t *testing.T, n int, srvOpts server.Options, probe time.Duration) *testCluster {
+func startCluster(t *testing.T, n int, srvOpts server.Options, probe time.Duration, mutate ...func(*NodeOptions)) *testCluster {
 	t.Helper()
 	tc := &testCluster{t: t, down: make([]sync.Once, n)}
 	for i := 0; i < n; i++ {
@@ -96,14 +96,18 @@ func startCluster(t *testing.T, n int, srvOpts server.Options, probe time.Durati
 				peers = append(peers, u)
 			}
 		}
-		node, err := NewNode(NodeOptions{
+		nopts := NodeOptions{
 			Self:          tc.urls[i],
 			Peers:         peers,
 			Server:        srvOpts,
 			ProbeInterval: probe,
 			PeerTimeout:   2 * time.Second,
 			ClientOptions: fastPeerOpts(),
-		})
+		}
+		for _, m := range mutate {
+			m(&nopts)
+		}
+		node, err := NewNode(nopts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,13 +289,18 @@ func TestPeerFillAvoidsDuplicateSolve(t *testing.T) {
 		t.Errorf("owner prepared builds went %d -> %d while serving a peer fill", preparedBefore, got)
 	}
 
-	// The fill was adopted into the non-owner's own cache.
+	// The fill was adopted into the non-owner's own cache — as a plain
+	// entry: a later local hit reports Cached only, not PeerFilled (that
+	// flag describes the filling request's path, not the entry).
 	again, err := other.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !again.Cached {
 		t.Error("repeat solve at the non-owner should hit its local cache")
+	}
+	if again.PeerFilled {
+		t.Error("local cache hit must not report peer_filled")
 	}
 
 	// A hash the owner has never seen is a fill miss and solves locally.
@@ -484,4 +493,90 @@ func TestNewNodeRejectsEmptySelf(t *testing.T) {
 	if _, err := NewNode(NodeOptions{}); err == nil {
 		t.Fatal("NewNode with no self URL must fail")
 	}
+}
+
+// TestClientNoReplicasIsTypedError pins the empty-cluster behavior: a
+// client whose URL list collapsed to nothing (nil, or all-blank tokens
+// like "-server ,") must return ErrNoReplicas, never (nil, nil).
+func TestClientNoReplicasIsTypedError(t *testing.T) {
+	cc := NewClient(nil)
+	defer cc.Close()
+
+	resp, err := cc.Solve(context.Background(), &server.SolveRequest{Model: testSpec(0), T: 1, Order: 2})
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("Solve on empty cluster: err = %v, want ErrNoReplicas", err)
+	}
+	if resp != nil {
+		t.Fatal("Solve on empty cluster returned a non-nil response")
+	}
+	bresp, err := cc.SolveBatch(context.Background(), &server.BatchRequest{
+		Model: testSpec(0),
+		Items: []server.BatchItem{{Times: []float64{1}, Order: 2}},
+	})
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("SolveBatch on empty cluster: err = %v, want ErrNoReplicas", err)
+	}
+	if bresp != nil {
+		t.Fatal("SolveBatch on empty cluster returned a non-nil response")
+	}
+}
+
+// TestClusterPeerSecret runs a secret-bearing cluster end to end: the
+// replicas authenticate each other's peer calls (cache fill still works),
+// while unauthenticated peer requests are refused with 403.
+func TestClusterPeerSecret(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	const secret = "ring-secret"
+	tc := startCluster(t, 3, server.Options{Workers: 2}, -1,
+		func(o *NodeOptions) { o.PeerSecret = secret })
+
+	sp := testSpec(0)
+	ownerIdx := tc.ownerIndex(sp)
+	nonOwner := (ownerIdx + 1) % len(tc.nodes)
+	req := &server.SolveRequest{Model: sp, T: 1.25, Order: 3}
+
+	// Prime the owner, then solve at a non-owner: the fill must succeed
+	// because the replicas share the secret.
+	direct := server.NewClient(tc.urls[ownerIdx], fastPeerOpts()...)
+	if _, err := direct.Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	other := server.NewClient(tc.urls[nonOwner], fastPeerOpts()...)
+	resp, err := other.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.PeerFilled {
+		t.Error("peer cache fill failed in a secret-bearing cluster")
+	}
+
+	// A client without the secret is locked out of the peer endpoints.
+	key, err := specHashHex(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := direct.PeerResult(context.Background(), key); !isForbidden(err) {
+		t.Errorf("unauthenticated peer result: err = %v, want HTTP 403", err)
+	}
+	if _, err := direct.PushHandoff(context.Background(), []server.HandoffEntry{
+		{Key: key, SpecHash: key, Response: resp},
+	}); !isForbidden(err) {
+		t.Errorf("unauthenticated handoff: err = %v, want HTTP 403", err)
+	}
+
+	// With the secret, the same calls pass auth.
+	authed := server.NewClient(tc.urls[ownerIdx],
+		append(fastPeerOpts(), server.WithPeerSecret(secret))...)
+	if _, found, err := authed.PeerResult(context.Background(), key); err != nil {
+		t.Errorf("authenticated peer result failed: %v", err)
+	} else if found {
+		// The owner caches by full result key, not spec hash; a miss is
+		// the expected answer here — auth passing is what matters.
+		t.Log("peer result unexpectedly found by spec hash")
+	}
+}
+
+func isForbidden(err error) bool {
+	var apiErr *server.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusForbidden
 }

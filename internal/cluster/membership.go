@@ -21,6 +21,12 @@ type ProbeFunc func(ctx context.Context, url string) error
 type Membership struct {
 	mu    sync.Mutex
 	alive map[string]bool
+	// gen counts direct observations (MarkDown/MarkAlive) per peer. A
+	// probe snapshots it before its round-trip and discards its outcome if
+	// the count moved while it was in flight: the direct observation is
+	// fresher, and a slow successful probe must not resurrect a peer that
+	// a request just found dead (or vice versa).
+	gen map[string]uint64
 
 	probe    ProbeFunc
 	interval time.Duration
@@ -40,6 +46,7 @@ func NewMembership(peers []string, probe ProbeFunc, interval time.Duration) *Mem
 	}
 	m := &Membership{
 		alive:    make(map[string]bool, len(peers)),
+		gen:      make(map[string]uint64, len(peers)),
 		probe:    probe,
 		interval: interval,
 		timeout:  interval,
@@ -97,9 +104,14 @@ func (m *Membership) probeAll() {
 		wg.Add(1)
 		go func(p string) {
 			defer wg.Done()
+			m.mu.Lock()
+			start := m.gen[p]
+			m.mu.Unlock()
 			err := m.probe(ctx, p)
 			m.mu.Lock()
-			m.alive[p] = err == nil
+			if m.gen[p] == start {
+				m.alive[p] = err == nil
+			}
 			m.mu.Unlock()
 		}(p)
 	}
@@ -120,6 +132,7 @@ func (m *Membership) MarkDown(peer string) {
 	m.mu.Lock()
 	if _, known := m.alive[peer]; known {
 		m.alive[peer] = false
+		m.gen[peer]++
 	}
 	m.mu.Unlock()
 }
@@ -129,6 +142,7 @@ func (m *Membership) MarkAlive(peer string) {
 	m.mu.Lock()
 	if _, known := m.alive[peer]; known {
 		m.alive[peer] = true
+		m.gen[peer]++
 	}
 	m.mu.Unlock()
 }

@@ -74,6 +74,42 @@ func TestMembershipManualMarks(t *testing.T) {
 	m.Stop()
 }
 
+// TestMembershipStaleProbeCannotOverrideDirectObservation pins the
+// generation stamping: a probe that was already in flight when a request
+// marked the peer down must discard its (stale) success instead of
+// resurrecting the peer; the next full probe round flips state again.
+func TestMembershipStaleProbeCannotOverrideDirectObservation(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	probe := func(ctx context.Context, url string) error {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+		}
+		return nil
+	}
+	m := NewMembership([]string{"http://a"}, probe, time.Hour)
+
+	done := make(chan struct{})
+	go func() { m.probeAll(); close(done) }()
+	<-entered
+	// A request hits a transport failure while the probe is mid-flight.
+	m.MarkDown("http://a")
+	close(release)
+	<-done
+	if m.Alive("http://a") {
+		t.Fatal("stale probe success resurrected a peer a request just found dead")
+	}
+
+	// A probe that starts after the direct observation is fresher and may
+	// flip the peer back.
+	m.probeAll()
+	if !m.Alive("http://a") {
+		t.Fatal("fresh successful probe must restore the peer")
+	}
+}
+
 func TestMembershipStopTerminatesProbeLoop(t *testing.T) {
 	var probes atomic.Int64
 	probe := func(ctx context.Context, url string) error {

@@ -35,6 +35,12 @@ type NodeOptions struct {
 	// ClientOptions are forwarded to the per-peer HTTP clients used for
 	// probing, peer cache fill, and drain handoff.
 	ClientOptions []server.ClientOption
+	// PeerSecret, when non-empty, authenticates the internal /v1/peer/*
+	// endpoints: this replica refuses peer calls lacking the secret and
+	// sends it on its own peer calls. Every replica must be configured
+	// with the same value. Empty leaves the peer endpoints open, which is
+	// acceptable only on a trusted network.
+	PeerSecret string
 	// BreakerConfig configures the per-peer circuit breakers (zero fields
 	// keep the resilience defaults).
 	BreakerConfig resilience.BreakerConfig
@@ -79,6 +85,9 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		peerURLs = append(peerURLs, u)
 		perPeer := append(append([]server.ClientOption(nil), opts.ClientOptions...),
 			server.WithSharedBreaker(n.reg.For(u)))
+		if opts.PeerSecret != "" {
+			perPeer = append(perPeer, server.WithPeerSecret(opts.PeerSecret))
+		}
 		n.peers[u] = server.NewClient(u, perPeer...)
 	}
 
@@ -94,6 +103,7 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	srvOpts := opts.Server
 	srvOpts.Cluster = &server.ClusterHooks{
 		Self:        opts.Self,
+		Secret:      opts.PeerSecret,
 		Owner:       n.owner,
 		FetchResult: n.fetchResult,
 		Handoff:     n.handoff,

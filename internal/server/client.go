@@ -31,6 +31,9 @@ type Client struct {
 
 	// retryer wraps retryable calls; nil means single-attempt.
 	retryer *resilience.Retryer
+	// peerSecret, when non-empty, is sent on every request in the
+	// X-Somrm-Peer-Secret header to authenticate internal peer calls.
+	peerSecret string
 }
 
 // ClientOption configures a Client built by NewClient.
@@ -102,6 +105,14 @@ func WithoutBreaker() ClientOption {
 // is a single attempt (the pre-resilience behavior).
 func WithoutRetry() ClientOption {
 	return func(c *Client) { c.retryer = nil }
+}
+
+// WithPeerSecret attaches the cluster's shared peer secret to every
+// request, authenticating calls to the internal /v1/peer/* endpoints of a
+// replica configured with the same ClusterHooks.Secret. The public solve
+// endpoints ignore the header.
+func WithPeerSecret(secret string) ClientOption {
+	return func(c *Client) { c.peerSecret = secret }
 }
 
 // NewClient returns a Client for the service at baseURL with the default
@@ -209,6 +220,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.peerSecret != "" {
+		req.Header.Set(peerSecretHeader, c.peerSecret)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"net/http"
@@ -16,6 +17,12 @@ import (
 type ClusterHooks struct {
 	// Self is this replica's advertised base URL.
 	Self string
+	// Secret, when non-empty, authenticates the internal peer endpoints:
+	// every /v1/peer/* request must carry it in the X-Somrm-Peer-Secret
+	// header or is refused with 403. All replicas must share one value
+	// (server.WithPeerSecret makes the per-peer clients send it). Empty
+	// keeps the endpoints open — acceptable only on a trusted network.
+	Secret string
 	// Owner maps a canonical spec hash (hex) to the owning replica's base
 	// URL and reports whether that replica is this process. Placement is
 	// keyed on the model hash, not the full result key, so every
@@ -60,12 +67,41 @@ type HandoffRequest struct {
 // larger pushes are truncated by the drainer and rejected by the receiver.
 const maxHandoffEntries = 1024
 
+// maxHandoffSpecEntries bounds how many prepared-model rebuilds one
+// handoff request may trigger. Result entries are plain cache inserts, but
+// each spec entry costs a full model build (validation, uniformization,
+// matrix scaling), so the per-request CPU exposure is capped far below the
+// raw entry limit; excess spec entries are skipped, and the sender's
+// successor simply rebuilds those models on demand.
+const maxHandoffSpecEntries = 64
+
+// peerSecretHeader carries the cluster's shared secret on internal peer
+// calls when ClusterHooks.Secret is configured.
+const peerSecretHeader = "X-Somrm-Peer-Secret"
+
+// peerAuthorized checks the shared-secret header against the configured
+// cluster secret (constant-time). An empty secret admits everything. Only
+// called from the peer handlers, which are registered solely when
+// opts.Cluster is non-nil.
+func (s *Server) peerAuthorized(r *http.Request) bool {
+	secret := s.opts.Cluster.Secret
+	if secret == "" {
+		return true
+	}
+	got := r.Header.Get(peerSecretHeader)
+	return subtle.ConstantTimeCompare([]byte(got), []byte(secret)) == 1
+}
+
 // handlePeerResult serves GET /v1/peer/result/{key}: a read-only lookup of
 // this replica's result cache by full result-cache key, used by non-owner
 // replicas for peer cache fill before solving locally. It deliberately
 // works while draining — handing out cached results is exactly what a
 // draining owner is still good for.
 func (s *Server) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	if !s.peerAuthorized(r) {
+		writeError(w, http.StatusForbidden, "missing or invalid peer secret")
+		return
+	}
 	key := r.PathValue("key")
 	if !validHexKey(key) {
 		writeError(w, http.StatusBadRequest, "bad result key")
@@ -83,8 +119,14 @@ func (s *Server) handlePeerResult(w http.ResponseWriter, r *http.Request) {
 // peer's hottest entries, inserting results into the local result cache
 // and rebuilding prepared models from their canonical specs. Entries are
 // validated individually; a malformed one is skipped, not fatal, so one
-// bad entry cannot void a whole drain.
+// bad entry cannot void a whole drain. Prepared-model rebuilds run on the
+// worker pool under this server's normal admission control and are capped
+// at maxHandoffSpecEntries per request.
 func (s *Server) handlePeerHandoff(w http.ResponseWriter, r *http.Request) {
+	if !s.peerAuthorized(r) {
+		writeError(w, http.StatusForbidden, "missing or invalid peer secret")
+		return
+	}
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown.Error())
 		return
@@ -99,9 +141,22 @@ func (s *Server) handlePeerHandoff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "too many handoff entries")
 		return
 	}
+	// One deadline for the whole push: a drain handoff is best effort, so
+	// it must never hold this handler (or the pool slots its rebuilds
+	// occupy) longer than a regular solve is allowed to run.
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.DefaultTimeout)
+	defer cancel()
 	accepted := 0
+	specBudget := maxHandoffSpecEntries
 	for i := range req.Entries {
-		if s.acceptHandoffEntry(&req.Entries[i]) {
+		e := &req.Entries[i]
+		if e.Response == nil && len(e.SpecJSON) > 0 {
+			if specBudget == 0 {
+				continue
+			}
+			specBudget--
+		}
+		if s.acceptHandoffEntry(ctx, e) {
 			accepted++
 		}
 	}
@@ -111,7 +166,7 @@ func (s *Server) handlePeerHandoff(w http.ResponseWriter, r *http.Request) {
 
 // acceptHandoffEntry installs one streamed entry, reporting whether it was
 // usable.
-func (s *Server) acceptHandoffEntry(e *HandoffEntry) bool {
+func (s *Server) acceptHandoffEntry(ctx context.Context, e *HandoffEntry) bool {
 	if !validHexKey(e.Key) || !validHexKey(e.SpecHash) {
 		return false
 	}
@@ -134,10 +189,17 @@ func (s *Server) acceptHandoffEntry(e *HandoffEntry) bool {
 		if err != nil || hex.EncodeToString(h[:]) != e.Key {
 			return false
 		}
-		if _, _, err := s.preparedFor(e.Key, sp); err != nil {
+		// The rebuild is real CPU work (validation, uniformization, matrix
+		// scaling), so it runs on the worker pool like any solve: queue
+		// admission control applies, and a full queue or expired deadline
+		// skips the entry instead of pinning the handler goroutine.
+		var prepErr error
+		if poolErr := s.pool.Do(ctx, func(context.Context) {
+			_, _, prepErr = s.preparedFor(e.Key, sp)
+		}); poolErr != nil {
 			return false
 		}
-		return true
+		return prepErr == nil
 	default:
 		return false
 	}

@@ -169,8 +169,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResult)
-	mux.HandleFunc("POST /v1/peer/handoff", s.handlePeerHandoff)
+	if s.opts.Cluster != nil {
+		// The peer endpoints accept cache writes (handoff) and expose raw
+		// cache reads, so they exist only in cluster mode; a single-node
+		// deployment keeps its read/compute-only surface and answers 404
+		// here.
+		mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResult)
+		mux.HandleFunc("POST /v1/peer/handoff", s.handlePeerHandoff)
+	}
 	return mux
 }
 
@@ -244,9 +250,16 @@ func (s *Server) peerFill(ctx context.Context, owner, key, specHash string) (*So
 		return nil, false
 	}
 	s.metrics.PeerFillHits.Add(1)
+	// Cache a clean copy: PeerFilled describes how this request was
+	// served, not the entry itself — later local hits must read as plain
+	// Cached results.
+	cached := *resp
+	cached.Cached = false
+	cached.Deduped = false
+	cached.PeerFilled = false
+	s.cache.Put(key, specHash, &cached)
 	resp.PeerFilled = true
 	resp.Cached = false
-	s.cache.Put(key, specHash, resp)
 	return resp, true
 }
 

@@ -328,6 +328,10 @@ func NewClusterClient(urls []string, opts ...ClientOption) *ClusterClient {
 	return cluster.NewClient(urls, cluster.WithClientOptions(opts...))
 }
 
+// ErrNoReplicas is returned by a ClusterClient built with zero replica
+// URLs (an empty or all-blank server list): no request can be routed.
+var ErrNoReplicas = cluster.ErrNoReplicas
+
 // NewClusterNode builds one replica of a solver cluster: a Server whose
 // ownership, peer cache-fill, and drain-handoff hooks are wired to the
 // cluster ring (cmd/somrm-serve does this for the -self/-peers flags).
