@@ -87,6 +87,8 @@ fuzz:
 	$(GO) test -fuzz FuzzBetaInc -fuzztime 30s ./internal/specfn/
 	$(GO) test -fuzz FuzzParseBuild -fuzztime 30s ./internal/spec/
 	$(GO) test -fuzz FuzzBandRoundTrip -fuzztime 30s ./internal/sparse/
+	$(GO) test -fuzz FuzzQBDRoundTrip -fuzztime 30s ./internal/sparse/
+	$(GO) test -fuzz FuzzKronSumMatVec -fuzztime 30s ./internal/sparse/
 
 clean:
 	$(GO) clean ./...

@@ -8,7 +8,7 @@
 //	somrm-serve [-addr :8639] [-workers N] [-queue N] [-batch-reserve N]
 //	            [-cache N] [-prepared-cache N] [-timeout 30s]
 //	            [-max-order 12] [-drain-timeout 30s]
-//	            [-sweep-workers N] [-matrix-format auto|csr|band|csr64]
+//	            [-sweep-workers N] [-matrix-format auto|csr|band|qbd|csr64|kron]
 //	            [-self URL -peers URL,URL,...] [-peer-secret S]
 //	            [-probe-interval 2s] [-handoff-max N]
 //	            [-pprof]
@@ -83,7 +83,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "per-solve randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep")
-	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, or csr64 (all bitwise identical; server-wide, not per-request)")
+	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, qbd, csr64, or kron (all bitwise identical; server-wide, not per-request)")
 	self := fs.String("self", "", "cluster mode: this replica's advertised base URL (e.g. http://10.0.0.3:8639)")
 	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of the other replicas")
 	peerSecret := fs.String("peer-secret", "", "cluster mode: shared secret authenticating the internal /v1/peer/* endpoints (defaults to $SOMRM_PEER_SECRET; empty leaves them open)")

@@ -64,7 +64,7 @@ func run(args []string, out io.Writer) error {
 	order := fs.Int("order", 3, "highest moment order")
 	eps := fs.Float64("eps", 1e-9, "randomization truncation accuracy")
 	sweepWorkers := fs.Int("sweep-workers", 0, "randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep (all bitwise identical)")
-	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default) picks band or compact CSR by structure, csr forces compact indices, band forces the band kernel, csr64 the original layout (all bitwise identical)")
+	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default) picks band, qbd or compact CSR by structure; csr forces compact indices, band the band kernel, qbd the block-tridiagonal window, csr64 the original layout, kron the matrix-free Kronecker-sum operator for composed models (all bitwise identical)")
 	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")

@@ -34,6 +34,9 @@ func (m *Model) LongRun() (*Asymptotics, error) {
 	if m.HasImpulses() {
 		return nil, fmt.Errorf("%w: long-run asymptotics do not support impulse rewards", ErrBadArgument)
 	}
+	if m.gen == nil {
+		return nil, fmt.Errorf("%w: long-run asymptotics require an explicit generator (matrix-free composed model)", ErrBadArgument)
+	}
 	pi, err := m.gen.StationaryDistribution()
 	if err != nil {
 		return nil, fmt.Errorf("core: long run: %w", err)

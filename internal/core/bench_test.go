@@ -89,8 +89,11 @@ func BenchmarkComposePair(b *testing.B) {
 // fused kernel on one worker at the same storage (isolates the fusion
 // win), "fused-compact" swaps in uint32 column indices, "fused-band"
 // the band/DIA kernel (the chain is tridiagonal, so the sweep loads no
-// indices at all), and "fused-auto" the production policy (structure
-// detection picks the band kernel here, workers by GOMAXPROCS). Each
+// indices at all), "fused-qbd" the block-tridiagonal window kernel (the
+// chain detects QBD block size 1), and "fused-auto" the production
+// policy (structure detection picks the band kernel here, workers by
+// GOMAXPROCS). The trailing kron-KxM sub-benchmarks sweep matrix-free
+// composed models through the streaming Kronecker-sum operator. Each
 // model is prepared once so an op measures the sweep, not the per-solve
 // uniformization and CSR assembly it shares across kernels.
 func BenchmarkSweep(b *testing.B) {
@@ -113,6 +116,7 @@ func BenchmarkSweep(b *testing.B) {
 			{"fused-single", 1, "csr64"},
 			{"fused-compact", 1, "csr"},
 			{"fused-band", 1, "band"},
+			{"fused-qbd", 1, "qbd"},
 			{"fused-auto", 0, "auto"},
 		} {
 			b.Run(fmt.Sprintf("N%d/%s", n, bc.name), func(b *testing.B) {
@@ -141,6 +145,43 @@ func BenchmarkSweep(b *testing.B) {
 				}
 			})
 		}
+	}
+
+	// Matrix-free composed shapes: kron-KxM composes K constant-rate
+	// tridiagonal factors of M states each. Both shapes reach 10^6 product
+	// states — past ComposeMaterializeThreshold — so the sweep streams the
+	// Kronecker-sum operator and the product CSR is never built (it would
+	// hold ~5M nonzeros here, and OOMs outright at modestly larger shapes;
+	// the O(sum of factor sizes) memory ceiling is asserted in
+	// TestComposeMatrixFreeLarge, not here). t is shorter than the
+	// materialized runs above because the composed uniformization rate is
+	// the sum of the factor rates: q = 7K, so kronT keeps G comparable.
+	const kronT = 0.5
+	for _, shape := range []struct{ k, m int }{{2, 1000}, {3, 100}} {
+		factors := make([]*Model, shape.k)
+		for i := range factors {
+			factors[i] = largeTridiagModel(b, shape.m)
+		}
+		joint, err := ComposeAll(factors...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !joint.IsMatrixFree() {
+			b.Fatalf("kron-%dx%d: composed model unexpectedly materialized", shape.k, shape.m)
+		}
+		prep, err := Prepare(joint)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("kron-%dx%d", shape.k, shape.m), func(b *testing.B) {
+			opts := &Options{SweepWorkers: 1, MatrixFormat: "kron"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.AccumulatedReward(kronT, order, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

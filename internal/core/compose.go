@@ -1,11 +1,55 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"somrm/internal/ctmc"
 	"somrm/internal/sparse"
 )
+
+// ErrComposeImpulse is returned (wrapped in ErrBadModel) when Compose is
+// given an impulse-reward component: a joint transition never fires both
+// components at once, but the bookkeeping of per-component impulses on
+// the product chain is not implemented. It is a distinct sentinel so
+// callers (the server, the facade) can classify the rejection as a bad
+// request rather than an internal failure.
+var ErrComposeImpulse = errors.New("core: composition of impulse-reward models is not supported")
+
+// ComposeMaterializeThreshold is the product state count above which
+// Compose stops materializing the joint generator as an explicit CSR and
+// returns a matrix-free model instead: the composed generator lives only
+// as its Kronecker-sum factors (O(Σ factor sizes) memory), and the
+// randomization solver streams it through the sparse.KronSum operator.
+// At or below the threshold the explicit CSR is built as before (and the
+// factor metadata is kept alongside, so the kron format remains
+// available and further compositions stay exact).
+const ComposeMaterializeThreshold = 1 << 16
+
+// kronSpec records a composed model's generator as a Kronecker sum: the
+// raw factor generator matrices, the tree-folded maximum exit rate, and
+// the postfix fold program (see sparse.NewKronSum) capturing the
+// parenthesization of the composition tree — the shape in which the
+// materialized builder would have float-summed the duplicate diagonal
+// contributions, which the matrix-free operator must reproduce bit for
+// bit.
+type kronSpec struct {
+	n       int
+	q       float64
+	factors []*sparse.CSR
+	fold    []byte
+}
+
+// kronParts returns a model's Kronecker decomposition: its own factors
+// when it is (or records being) a composition, else the model itself as
+// a single leaf factor.
+func (m *Model) kronParts() (factors []*sparse.CSR, fold []byte, q float64) {
+	if m.kron != nil {
+		return m.kron.factors, m.kron.fold, m.kron.q
+	}
+	return []*sparse.CSR{m.gen.Matrix()}, []byte{sparse.KronFoldPush}, m.gen.MaxExitRate()
+}
 
 // Compose builds the joint model of two *independent* second-order Markov
 // reward models whose rewards accumulate additively: the structure process
@@ -20,49 +64,41 @@ import (
 // The paper's ON-OFF multiplexer is a composition of N independent
 // single-source models (modulo the shared capacity offset).
 //
-// Impulse-reward models are rejected: a joint transition never fires both
-// components at once, but the bookkeeping of per-component impulses on the
-// product chain is not implemented.
+// Products up to ComposeMaterializeThreshold states build the explicit
+// joint CSR; larger products return a matrix-free model whose generator
+// exists only as its Kronecker-sum factors (see Model.IsMatrixFree).
+// Both carry the factor metadata, and the solver's results are bitwise
+// identical either way.
+//
+// Impulse-reward models are rejected with ErrComposeImpulse (wrapped in
+// ErrBadModel).
 func Compose(a, b *Model) (*Model, error) {
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("%w: nil component model", ErrBadModel)
 	}
 	if a.HasImpulses() || b.HasImpulses() {
-		return nil, fmt.Errorf("%w: composition of impulse-reward models is not supported", ErrBadModel)
+		return nil, fmt.Errorf("%w: %w", ErrBadModel, ErrComposeImpulse)
 	}
 	na, nb := a.N(), b.N()
+	if nb != 0 && na > math.MaxInt/nb {
+		return nil, fmt.Errorf("%w: composed state space %d x %d overflows", ErrBadModel, na, nb)
+	}
 	n := na * nb
 	idx := func(i, j int) int { return i*nb + j }
 
-	builder := sparse.NewBuilder(n, n)
-	qa := a.gen.Matrix()
-	qb := b.gen.Matrix()
-	var addErr error
-	add := func(r, c int, v float64) {
-		if addErr == nil && v != 0 {
-			addErr = builder.Add(r, c, v)
-		}
-	}
-	for i := 0; i < na; i++ {
-		for j := 0; j < nb; j++ {
-			row := idx(i, j)
-			// Component A moves: (i,j) -> (k,j) at rate qa[i][k].
-			qa.Range(i, func(k int, v float64) {
-				add(row, idx(k, j), v)
-			})
-			// Component B moves: (i,j) -> (i,l) at rate qb[j][l]. The two
-			// diagonal contributions sum to the joint exit rate.
-			qb.Range(j, func(l int, v float64) {
-				add(row, idx(i, l), v)
-			})
-		}
-	}
-	if addErr != nil {
-		return nil, fmt.Errorf("core: compose: %w", addErr)
-	}
-	gen, err := ctmc.NewGenerator(builder.Build())
-	if err != nil {
-		return nil, fmt.Errorf("core: compose: %w", err)
+	// The Kronecker metadata of the product: factor matrices concatenate,
+	// fold programs concatenate with a final add (the postfix encoding of
+	// this Compose node), and the maximum exit rate folds pairwise — the
+	// product chain's per-row exit rate is fl(e_a + e_b), which is
+	// monotone in both arguments, so its maximum sits at the component
+	// argmaxes.
+	fa, folda, qa := a.kronParts()
+	fb, foldb, qb := b.kronParts()
+	ks := &kronSpec{
+		n:       n,
+		q:       qa + qb,
+		factors: append(append(make([]*sparse.CSR, 0, len(fa)+len(fb)), fa...), fb...),
+		fold:    append(append(append(make([]byte, 0, len(folda)+len(foldb)+1), folda...), foldb...), sparse.KronFoldAdd),
 	}
 
 	rates := make([]float64, n)
@@ -76,11 +112,101 @@ func Compose(a, b *Model) (*Model, error) {
 			initial[k] = a.initial[i] * b.initial[j]
 		}
 	}
-	return New(gen, rates, vars, initial)
+
+	if n <= ComposeMaterializeThreshold {
+		// Small product: materialize the joint CSR exactly as before.
+		// Components this small always carry explicit generators (a
+		// matrix-free component is itself above the threshold).
+		builder := sparse.NewBuilder(n, n)
+		qma := a.gen.Matrix()
+		qmb := b.gen.Matrix()
+		var addErr error
+		add := func(r, c int, v float64) {
+			if addErr == nil && v != 0 {
+				addErr = builder.Add(r, c, v)
+			}
+		}
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				row := idx(i, j)
+				// Component A moves: (i,j) -> (k,j) at rate qa[i][k].
+				qma.Range(i, func(k int, v float64) {
+					add(row, idx(k, j), v)
+				})
+				// Component B moves: (i,j) -> (i,l) at rate qb[j][l]. The two
+				// diagonal contributions sum to the joint exit rate.
+				qmb.Range(j, func(l int, v float64) {
+					add(row, idx(i, l), v)
+				})
+			}
+		}
+		if addErr != nil {
+			return nil, fmt.Errorf("core: compose: %w", addErr)
+		}
+		gen, err := ctmc.NewGenerator(builder.Build())
+		if err != nil {
+			return nil, fmt.Errorf("core: compose: %w", err)
+		}
+		out, err := New(gen, rates, vars, initial)
+		if err != nil {
+			return nil, err
+		}
+		if len(ks.factors) <= sparse.MaxKronFactors {
+			out.kron = ks
+		}
+		return out, nil
+	}
+
+	// Large product: matrix-free model. The generator exists only as the
+	// Kronecker factors; validate what New would have validated, without
+	// ever touching O(n·nnz-per-row) storage.
+	if len(ks.factors) > sparse.MaxKronFactors {
+		return nil, fmt.Errorf("%w: composed model has %d factors (limit %d)", ErrBadModel, len(ks.factors), sparse.MaxKronFactors)
+	}
+	for i, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("%w: composed rate r[%d]=%g", ErrBadModel, i, r)
+		}
+	}
+	for i, s := range vars {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("%w: composed variance sigma2[%d]=%g", ErrBadModel, i, s)
+		}
+	}
+	if err := validateDistribution(initial, n); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	return &Model{
+		kron:    ks,
+		rates:   rates,
+		vars:    vars,
+		initial: initial,
+	}, nil
+}
+
+// validateDistribution checks that pi is a probability vector of length
+// n, mirroring ctmc.Generator.ValidateDistribution for models without an
+// explicit generator.
+func validateDistribution(pi []float64, n int) error {
+	if len(pi) != n {
+		return fmt.Errorf("distribution length %d, want %d", len(pi), n)
+	}
+	var sum float64
+	for i, p := range pi {
+		if p < 0 || math.IsNaN(p) || p > 1+1e-12 {
+			return fmt.Errorf("pi[%d]=%g", i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("distribution sums to %g", sum)
+	}
+	return nil
 }
 
 // ComposeAll folds Compose over a list of independent models (at least
-// one). State counts multiply, so this is intended for small components.
+// one), left to right. State counts multiply; products beyond
+// ComposeMaterializeThreshold states come back matrix-free.
 func ComposeAll(models ...*Model) (*Model, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("%w: no models to compose", ErrBadModel)

@@ -104,6 +104,9 @@ func (m *Model) JointMoments(t float64, order int, opts *Options) (*JointResult,
 	n := m.N()
 	res := &JointResult{T: t, Order: order}
 
+	if m.gen == nil {
+		return nil, fmt.Errorf("%w: joint moments require an explicit generator (matrix-free composed model)", ErrBadArgument)
+	}
 	q := m.gen.MaxExitRate()
 	if cfg.UniformizationRate != 0 {
 		if cfg.UniformizationRate < q {

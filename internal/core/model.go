@@ -42,8 +42,14 @@ var (
 // Model is a second-order Markov reward model (Q, R, S, pi): a CTMC
 // generator, per-state reward drifts, per-state reward variances, and an
 // initial distribution.
+//
+// Large composed models are matrix-free: gen is nil and the generator
+// exists only as its Kronecker-sum factors in kron (see Compose and
+// IsMatrixFree). Every solver path that needs the explicit matrix either
+// streams the factors or rejects the model with a typed error.
 type Model struct {
 	gen      *ctmc.Generator
+	kron     *kronSpec // Kronecker-sum decomposition of composed models
 	rates    []float64 // r_i, may be negative
 	vars     []float64 // sigma_i^2 >= 0
 	initial  []float64
@@ -103,6 +109,9 @@ func NewFirstOrder(gen *ctmc.Generator, rates, initial []float64) (*Model, error
 // and only present where the generator has a transition. This is the
 // extension the paper's introduction says the solution method allows.
 func (m *Model) WithImpulses(imp *sparse.CSR) (*Model, error) {
+	if m.gen == nil {
+		return nil, fmt.Errorf("%w: impulse rewards require an explicit generator (matrix-free composed model)", ErrBadModel)
+	}
 	n := m.N()
 	if imp.Rows() != n || imp.Cols() != n {
 		return nil, fmt.Errorf("%w: impulse matrix %dx%d for %d states", ErrBadModel, imp.Rows(), imp.Cols(), n)
@@ -137,10 +146,35 @@ func (m *Model) WithImpulses(imp *sparse.CSR) (*Model, error) {
 }
 
 // N returns the number of structure states.
-func (m *Model) N() int { return m.gen.N() }
+func (m *Model) N() int {
+	if m.gen != nil {
+		return m.gen.N()
+	}
+	return m.kron.n
+}
 
-// Generator returns the structure-state generator.
+// Generator returns the structure-state generator, or nil for a
+// matrix-free composed model (see IsMatrixFree).
 func (m *Model) Generator() *ctmc.Generator { return m.gen }
+
+// IsMatrixFree reports whether the model's generator exists only as a
+// Kronecker-sum decomposition (a composition beyond
+// ComposeMaterializeThreshold states): Generator returns nil, and the
+// randomization solver streams the sparse.KronSum operator instead of an
+// explicit matrix.
+func (m *Model) IsMatrixFree() bool { return m.gen == nil }
+
+// maxExitRate returns q = max_i |q_ii| for explicit and matrix-free
+// generators alike; the matrix-free value is the pairwise tree fold of
+// the factor maxima, bitwise equal to what the materialized generator
+// would report (the per-row exit rate fl(e_a + e_b) is monotone in both
+// arguments, so its maximum sits at the component argmaxes).
+func (m *Model) maxExitRate() float64 {
+	if m.gen != nil {
+		return m.gen.MaxExitRate()
+	}
+	return m.kron.q
+}
 
 // Rates returns a copy of the drift vector r.
 func (m *Model) Rates() []float64 { return append([]float64(nil), m.rates...) }
@@ -172,7 +206,11 @@ func (m *Model) IsFirstOrder() bool {
 // distribution (the per-state moment vectors do not depend on it, but the
 // aggregated moments do).
 func (m *Model) WithInitial(initial []float64) (*Model, error) {
-	if err := m.gen.ValidateDistribution(initial); err != nil {
+	if m.gen != nil {
+		if err := m.gen.ValidateDistribution(initial); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+	} else if err := validateDistribution(initial, m.N()); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
 	}
 	out := *m

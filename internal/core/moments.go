@@ -157,6 +157,9 @@ func (m *Model) MeanVector(t float64, opts *Options) ([]float64, error) {
 // rate from the stationary distribution of the structure process. Figure 3
 // plots t * SteadyStateMeanRate as the "starting from steady state" line.
 func (m *Model) SteadyStateMeanRate() (float64, error) {
+	if m.gen == nil {
+		return 0, fmt.Errorf("%w: steady-state rate requires an explicit generator (matrix-free composed model)", ErrBadArgument)
+	}
 	pi, err := m.gen.StationaryDistribution()
 	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)

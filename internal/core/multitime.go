@@ -45,7 +45,7 @@ func (m *Model) AccumulatedRewardAtContext(ctx context.Context, times []float64,
 		return nil, err
 	}
 
-	q := m.gen.MaxExitRate()
+	q := m.maxExitRate()
 	if cfg.UniformizationRate != 0 {
 		if cfg.UniformizationRate < q {
 			return nil, fmt.Errorf("%w: uniformization rate %g below max exit rate %g", ErrBadArgument, cfg.UniformizationRate, q)
@@ -180,6 +180,12 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 	// reference kernel otherwise. Both produce bitwise identical moments,
 	// as does every matrix storage format; the reference path streams the
 	// generic CSR, so it forces csr64 and skips the derived conversions.
+	//
+	// Matrix-free models (u.qPrime == nil) always stream the Kronecker-sum
+	// operator; materialized composed models stream it when the caller
+	// forces the "kron" format (impulse-free solves only — impulse
+	// matrices stay on the explicit path). The operator honors the same
+	// bitwise contract as every explicit format.
 	workers := sparse.PlanWorkers(cfg.SweepWorkers, n)
 	teamSize := workers
 	if teamSize < 1 {
@@ -189,10 +195,16 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadArgument, err)
 	}
-	if workers == 0 {
-		format = sparse.FormatCSR64
+	useKron := u.kron != nil && (u.qPrime == nil || (format == sparse.FormatKron && len(imp) == 0))
+	var sweep *sparse.Sweep
+	if useKron {
+		sweep, err = sparse.NewSweepOperator(u.kron, u.rPrime, u.sHalf, order, teamSize)
+	} else {
+		if workers == 0 {
+			format = sparse.FormatCSR64
+		}
+		sweep, err = sparse.NewSweepWithFormat(u.qPrime, u.rPrime, u.sHalf, imp, order, teamSize, format)
 	}
-	sweep, err := sparse.NewSweepWithFormat(u.qPrime, u.rPrime, u.sHalf, imp, order, teamSize, format)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -314,7 +326,7 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 			G: plan.g, ErrorBound: plan.bound,
 			MatVecs:           matVecs,
 			SweepNS:           sweepNS,
-			FlopsPerIteration: int64(u.qPrime.NNZ()+2*n) * int64(order+1),
+			FlopsPerIteration: (u.nnz + int64(2*n)) * int64(order+1),
 			MatrixFormat:      string(sweep.Format()),
 		}
 		res.finish(m.initial)

@@ -63,7 +63,7 @@ func Prepare(m *Model) (*Prepared, error) {
 	if m == nil {
 		return nil, fmt.Errorf("%w: nil model", ErrBadModel)
 	}
-	q := m.gen.MaxExitRate()
+	q := m.maxExitRate()
 	if q == 0 {
 		return &Prepared{m: m}, nil
 	}

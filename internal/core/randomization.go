@@ -45,12 +45,18 @@ type Options struct {
 	// MatrixFormat selects the storage representation the fused sweep
 	// kernels stream for the uniformized generator: "auto" (the default;
 	// band for narrow-band matrices like the paper's birth-death models,
-	// compact-index CSR otherwise), "csr" (force compact-index CSR),
-	// "band" (force the band representation where eligible), or "csr64"
+	// then QBD for block-tridiagonal structure, compact-index CSR
+	// otherwise — and always the matrix-free Kronecker-sum operator for
+	// matrix-free composed models), "csr" (force compact-index CSR),
+	// "band" (force the band representation where eligible), "qbd" (force
+	// the block-tridiagonal representation where eligible), "kron" (use
+	// the Kronecker-sum operator when the model carries one — composed
+	// models of any size — resolving like auto otherwise), or "csr64"
 	// (the generic CSR baseline). Every format produces bitwise identical
 	// moments; the knob trades only memory traffic. The serial reference
 	// sweep (SweepWorkers < 0 or small models) always streams the generic
-	// CSR. Stats.MatrixFormat reports the resolved choice.
+	// CSR, except on matrix-free models where it streams the operator.
+	// Stats.MatrixFormat reports the resolved choice.
 	MatrixFormat string
 }
 
@@ -101,9 +107,11 @@ type Stats struct {
 	// iteration step, ((m+2) per moment order) * |S|, as in section 7.
 	FlopsPerIteration int64
 	// MatrixFormat is the storage representation the sweep streamed for
-	// the uniformized generator: "band", "csr32" or "csr64" (the serial
-	// reference sweep always reports "csr64"). Empty for solves that never
-	// ran a sweep (t = 0, frozen chains, d = 0).
+	// the uniformized generator: "band", "qbd", "csr32", "csr64", or
+	// "kron" for the matrix-free Kronecker-sum operator (the serial
+	// reference sweep reports "csr64", or "kron" on matrix-free models).
+	// Empty for solves that never ran a sweep (t = 0, frozen chains,
+	// d = 0).
 	MatrixFormat string
 }
 
@@ -159,7 +167,9 @@ func (m *Model) AccumulatedRewardContext(ctx context.Context, t float64, order i
 // reusing it across solves (see Prepared) skips exactly that work.
 type uniformization struct {
 	q, d, shift float64
-	qPrime      *sparse.CSR
+	qPrime      *sparse.CSR     // explicit uniformized generator; nil when matrix-free
+	kron        *sparse.KronSum // matrix-free uniformized operator; set for kron-capable models
+	nnz         int64           // effective entry count of the streamed operator
 	rPrime      []float64
 	sPrime      []float64
 	// sHalf[i] = 0.5 * sPrime[i], the coefficient the recursion actually
@@ -197,11 +207,27 @@ func (m *Model) uniformize(q float64) (*uniformization, error) {
 	if d == 0 {
 		return u, nil
 	}
-	qPrime, err := m.gen.Uniformized(q)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	if m.gen != nil {
+		qPrime, err := m.gen.Uniformized(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		u.qPrime = qPrime
+		u.nnz = int64(qPrime.NNZ())
 	}
-	u.qPrime = qPrime
+	if m.kron != nil {
+		// The matrix-free uniformized operator over the same q. For
+		// materialized composed models both representations exist and the
+		// format knob picks; matrix-free models have only this one.
+		kron, err := sparse.NewKronSum(m.kron.factors, m.kron.fold, q)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		u.kron = kron
+		if m.gen == nil {
+			u.nnz = kron.OpNNZ()
+		}
+	}
 	u.rPrime = make([]float64, n)
 	u.sPrime = make([]float64, n)
 	u.sHalf = make([]float64, n)

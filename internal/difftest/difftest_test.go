@@ -179,7 +179,11 @@ func TestDiffSweepKernelBitwise(t *testing.T) {
 		// small models qualify via the small-matrix escape hatch) and the
 		// compact fallback on the rest; "csr" pins the compact kernels,
 		// "auto" whatever the detector picks, "csr64" the original layout.
-		for _, format := range []string{"auto", "csr", "band", "csr64"} {
+		// "qbd" forces the block-tridiagonal window where a valid block
+		// exists (small corpus models always have the degenerate one) and
+		// "kron" resolves like auto on explicit non-composed generators —
+		// both must stay inside the bitwise contract.
+		for _, format := range []string{"auto", "csr", "band", "csr64", "qbd", "kron"} {
 			for _, workers := range []int{1, 2, 5} {
 				fused, err := model.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: workers, MatrixFormat: format})
 				if err != nil {
@@ -200,6 +204,156 @@ func TestDiffSweepKernelBitwise(t *testing.T) {
 						}
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestDiffComposedCorpus is the composition half of the differential
+// harness: every seed draws 2–4 independent components, composes them,
+// and checks the joint moments against the exact binomial-convolution
+// oracle of the per-component solves.
+func TestDiffComposedCorpus(t *testing.T) {
+	n := corpusSize / 2
+	if !testing.Short() {
+		n = corpusSize
+	}
+	for seed := 0; seed < n; seed++ {
+		if err := CheckComposedSeed(int64(seed)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestDiffComposedSweepBitwise extends the fused-kernel gate to composed
+// models and the operator formats: for seeded compositions, every matrix
+// format — including the forced block-tridiagonal window and the
+// matrix-free Kronecker-sum operator — at every worker count must
+// reproduce the serial reference solve bit for bit.
+func TestDiffComposedSweepBitwise(t *testing.T) {
+	seeds := 8
+	if !testing.Short() {
+		seeds = 16
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		comps := GenerateComposed(rng)
+		models := make([]*core.Model, len(comps))
+		for i, sp := range comps {
+			m, err := sp.Build()
+			if err != nil {
+				t.Fatalf("seed %d component %d: %v", seed, i, err)
+			}
+			models[i] = m
+		}
+		joint, err := core.ComposeAll(models...)
+		if err != nil {
+			t.Fatalf("seed %d: compose: %v", seed, err)
+		}
+		order := 1 + rng.Intn(3)
+		times := []float64{0, 0.3, 1.1}
+		ref, err := joint.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: -1})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		for _, format := range []string{"auto", "csr", "band", "csr64", "qbd", "kron"} {
+			for _, workers := range []int{1, 2, 5} {
+				got, err := joint.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: workers, MatrixFormat: format})
+				if err != nil {
+					t.Fatalf("seed %d format %s workers %d: %v", seed, format, workers, err)
+				}
+				if format == "kron" && got[1].Stats.MatrixFormat != "kron" {
+					t.Fatalf("seed %d: forced kron on a composed model resolved to %q", seed, got[1].Stats.MatrixFormat)
+				}
+				for k := range times {
+					for j := 0; j <= order; j++ {
+						if math.Float64bits(got[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
+							t.Fatalf("seed %d format %s workers %d t=%g: moment %d = %x, reference %x",
+								seed, format, workers, times[k], j,
+								math.Float64bits(got[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
+						}
+						for i := range got[k].VectorMoments[j] {
+							if math.Float64bits(got[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
+								t.Fatalf("seed %d format %s workers %d t=%g: vm[%d][%d] differs bitwise",
+									seed, format, workers, times[k], j, i)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDiffComposedMatrixFree pins the matrix-free path inside the
+// differential harness: a composition too large to materialize must agree
+// with the convolution oracle of its component solves, and its bitwise
+// behaviour across worker counts must match its own serial reference.
+func TestDiffComposedMatrixFree(t *testing.T) {
+	mk := func(n int) *spec.Model {
+		sp := &spec.Model{
+			States:    n,
+			Rates:     make([]float64, n),
+			Variances: make([]float64, n),
+			Initial:   make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			sp.Rates[i] = 0.01 * float64(i%7)
+			sp.Variances[i] = 0.005 * float64(i%3)
+			if i < n-1 {
+				sp.Transitions = append(sp.Transitions, spec.Transition{From: i, To: i + 1, Rate: 1})
+				sp.Transitions = append(sp.Transitions, spec.Transition{From: i + 1, To: i, Rate: 1.5})
+			}
+		}
+		sp.Initial[0] = 1
+		return sp
+	}
+	a, err := mk(257).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk(257).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := core.Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joint.IsMatrixFree() {
+		t.Fatalf("%d states should be above the materialization threshold", joint.N())
+	}
+	const tt, order = 0.4, 2
+	ref, err := joint.AccumulatedReward(tt, order, &core.Options{SweepWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.MatrixFormat != "kron" {
+		t.Fatalf("matrix-free reference format = %q, want kron", ref.Stats.MatrixFormat)
+	}
+	ra, err := a.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.AccumulatedReward(tt, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := convolve(ra.Moments, rb.Moments)
+	for j := 0; j <= order; j++ {
+		if err := agree(ref.Moments[j], oracle[j], composeRelTol); err != nil {
+			t.Errorf("moment %d: %v", j, err)
+		}
+	}
+	for _, workers := range []int{1, 3} {
+		got, err := joint.AccumulatedReward(tt, order, &core.Options{SweepWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for j := 0; j <= order; j++ {
+			if math.Float64bits(got.Moments[j]) != math.Float64bits(ref.Moments[j]) {
+				t.Fatalf("workers %d: moment %d = %x, reference %x",
+					workers, j, math.Float64bits(got.Moments[j]), math.Float64bits(ref.Moments[j]))
 			}
 		}
 	}

@@ -191,7 +191,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	// Resolve the prepared model once for the whole batch (single-flight
 	// against concurrent batches and single solves of the same model).
-	prep, hit, err := s.preparedFor(req.specHash, req.Model)
+	prep, hit, err := s.preparedFor(req.specHash, func() (*core.Prepared, error) { return buildPrepared(req.Model) }, req.Model)
 	if err != nil {
 		s.writeSolveError(w, err)
 		return

@@ -67,14 +67,18 @@ type Metrics struct {
 	// from draining peers via POST /v1/peer/handoff.
 	HandoffEntries atomic.Int64
 
-	// SweepFormatBand / SweepFormatCSR32 / SweepFormatCSR64 count solver
-	// executions by the matrix storage format the randomization sweep
-	// streamed (core.Stats.MatrixFormat) — the label operators watch to
-	// confirm the structure-adaptive engine picked the band kernel for
-	// their models.
+	// SweepFormatBand / SweepFormatQBD / SweepFormatCSR32 /
+	// SweepFormatCSR64 / SweepFormatKron count solver executions by the
+	// matrix storage format the randomization sweep streamed
+	// (core.Stats.MatrixFormat) — the label operators watch to confirm
+	// the structure-adaptive engine picked the band or block-tridiagonal
+	// kernel for their models, or streamed a composed model matrix-free
+	// through the Kronecker-sum operator.
 	SweepFormatBand  atomic.Int64
+	SweepFormatQBD   atomic.Int64
 	SweepFormatCSR32 atomic.Int64
 	SweepFormatCSR64 atomic.Int64
+	SweepFormatKron  atomic.Int64
 
 	// solveLatency tracks end-to-end solve time (queue wait included);
 	// sweepLatency tracks only the randomization sweep inside the solver
@@ -199,10 +203,14 @@ func (m *Metrics) ObserveSweepFormat(format string) {
 	switch format {
 	case "band":
 		m.SweepFormatBand.Add(1)
+	case "qbd":
+		m.SweepFormatQBD.Add(1)
 	case "csr32":
 		m.SweepFormatCSR32.Add(1)
 	case "csr64":
 		m.SweepFormatCSR64.Add(1)
+	case "kron":
+		m.SweepFormatKron.Add(1)
 	}
 }
 
@@ -292,8 +300,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SweepPoints:    m.SweepPoints.snapshot(),
 		SweepFormats: map[string]int64{
 			"band":  m.SweepFormatBand.Load(),
+			"qbd":   m.SweepFormatQBD.Load(),
 			"csr32": m.SweepFormatCSR32.Load(),
 			"csr64": m.SweepFormatCSR64.Load(),
+			"kron":  m.SweepFormatKron.Load(),
 		},
 	}
 	snap.SolveLatency = m.solveLatency.snapshot()

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"somrm/internal/core"
 	"somrm/internal/spec"
 )
 
@@ -195,7 +196,7 @@ func (s *Server) acceptHandoffEntry(ctx context.Context, e *HandoffEntry) bool {
 		// skips the entry instead of pinning the handler goroutine.
 		var prepErr error
 		if poolErr := s.pool.Do(ctx, func(context.Context) {
-			_, _, prepErr = s.preparedFor(e.Key, sp)
+			_, _, prepErr = s.preparedFor(e.Key, func() (*core.Prepared, error) { return buildPrepared(sp) }, sp)
 		}); poolErr != nil {
 			return false
 		}

@@ -75,10 +75,14 @@ type Options struct {
 	HandoffMax int
 	// MatrixFormat is passed through to the randomization solver
 	// (core.Options.MatrixFormat): "" or "auto" picks the storage
-	// representation per model (band for narrow-band generators,
-	// compact-index CSR otherwise); "csr", "band" and "csr64" force one.
-	// Results are bitwise identical for every setting, so the knob is
-	// server-wide and deliberately not part of requests or cache keys.
+	// representation per model (band for narrow-band generators, the
+	// block-tridiagonal qbd window for level-structured ones,
+	// compact-index CSR otherwise); "csr", "band", "qbd" and "csr64"
+	// force one, and "kron" streams composed models through the
+	// matrix-free Kronecker-sum operator (matrix-free models always use
+	// it, whatever the setting). Results are bitwise identical for every
+	// setting, so the knob is server-wide and deliberately not part of
+	// requests or cache keys.
 	MatrixFormat string
 }
 

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 
@@ -12,6 +13,7 @@ import (
 	"somrm/internal/momentbounds"
 	"somrm/internal/odesolver"
 	"somrm/internal/sim"
+	"somrm/internal/sparse"
 	"somrm/internal/spec"
 )
 
@@ -27,6 +29,11 @@ const (
 	maxSimReps     = 1_000_000
 	defaultSimReps = 4000
 	maxBoundsAt    = 64
+	// maxComposeStates caps the product state space of a composed solve
+	// request. Above the materialization threshold the model is
+	// matrix-free, so memory is not the binding constraint — solve time
+	// is; the cap keeps a single request from monopolizing the queue.
+	maxComposeStates = 4_000_000
 )
 
 // SimParams parameterizes the Monte Carlo baseline. The seed makes the
@@ -48,8 +55,15 @@ type ODEParams struct {
 
 // SolveRequest is the body of POST /v1/solve.
 type SolveRequest struct {
-	// Model is the JSON model spec (internal/spec schema).
+	// Model is the JSON model spec (internal/spec schema). Exactly one of
+	// Model and Compose must be set.
 	Model *spec.Model `json:"model"`
+	// Compose lists 2 or more independent component specs to solve as
+	// their composition (additive rewards, Kronecker-sum structure
+	// process). Products above the materialization threshold solve
+	// matrix-free through the Kronecker-sum operator. Randomization only;
+	// impulse-reward components are rejected with 400.
+	Compose []*spec.Model `json:"compose,omitempty"`
 	// T is the accumulation time, Order the highest moment order.
 	T     float64 `json:"t"`
 	Order int     `json:"order"`
@@ -98,7 +112,8 @@ type SolverStats struct {
 	SweepNS           int64   `json:"sweep_ns"`
 	FlopsPerIteration int64   `json:"flops_per_iteration"`
 	// MatrixFormat is the storage representation the randomization sweep
-	// streamed ("band", "csr32" or "csr64"); empty for solves that never
+	// streamed ("band", "qbd", "csr32", "csr64", or "kron" for the
+	// matrix-free Kronecker-sum operator); empty for solves that never
 	// ran a sweep.
 	MatrixFormat string `json:"matrix_format,omitempty"`
 }
@@ -147,7 +162,33 @@ func badRequestf(format string, args ...any) error {
 // normalize applies defaults and validates everything that can be checked
 // without building the model. It must be called before cacheKey.
 func (r *SolveRequest) normalize(maxOrder int) error {
-	if r.Model == nil {
+	if len(r.Compose) > 0 {
+		if r.Model != nil {
+			return badRequestf("model and compose are mutually exclusive")
+		}
+		if len(r.Compose) < 2 {
+			return badRequestf("compose needs at least 2 components")
+		}
+		if len(r.Compose) > sparse.MaxKronFactors {
+			return badRequestf("%d compose components exceed the limit of %d", len(r.Compose), sparse.MaxKronFactors)
+		}
+		product := 1
+		for i, c := range r.Compose {
+			if c == nil {
+				return badRequestf("compose component %d missing", i)
+			}
+			if c.States <= 0 {
+				return badRequestf("compose component %d has %d states", i, c.States)
+			}
+			if product > maxComposeStates/c.States {
+				return badRequestf("composed state space exceeds the limit of %d states", maxComposeStates)
+			}
+			product *= c.States
+		}
+		if r.Method != "" && r.Method != MethodRandomization {
+			return badRequestf("compose supports only the randomization method")
+		}
+	} else if r.Model == nil {
 		return badRequestf("missing model")
 	}
 	if r.T < 0 || math.IsNaN(r.T) || math.IsInf(r.T, 0) {
@@ -218,9 +259,9 @@ func (r *SolveRequest) normalize(maxOrder int) error {
 // and omitted defaults collide onto the same key, as do permutations of
 // the spec's transition/impulse lists.
 func (r *SolveRequest) cacheKey() (string, error) {
-	specHash, err := r.Model.Hash()
+	specHash, err := r.modelHash()
 	if err != nil {
-		return "", badRequestf("unhashable model: %v", err)
+		return "", err
 	}
 	r.specHash = hex.EncodeToString(specHash[:])
 	params, err := json.Marshal(struct {
@@ -241,6 +282,32 @@ func (r *SolveRequest) cacheKey() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// modelHash returns the canonical content hash of the request's model: the
+// spec hash for plain requests, and a domain-separated hash of the ordered
+// component hashes for composed requests (composition is ordered but not
+// associative bitwise, so the component list is hashed as given).
+func (r *SolveRequest) modelHash() ([32]byte, error) {
+	if len(r.Compose) == 0 {
+		h, err := r.Model.Hash()
+		if err != nil {
+			return [32]byte{}, badRequestf("unhashable model: %v", err)
+		}
+		return h, nil
+	}
+	h := sha256.New()
+	h.Write([]byte("somrm/compose/v1\n"))
+	for i, c := range r.Compose {
+		ch, err := c.Hash()
+		if err != nil {
+			return [32]byte{}, badRequestf("unhashable compose component %d: %v", i, err)
+		}
+		h.Write(ch[:])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
 // buildPrepared parses and validates the spec and runs the solver's
 // model-only setup; it is the build function fed to the prepared cache.
 func buildPrepared(sp *spec.Model) (*core.Prepared, error) {
@@ -255,12 +322,49 @@ func buildPrepared(sp *spec.Model) (*core.Prepared, error) {
 	return prep, nil
 }
 
+// buildComposedPrepared builds every component spec, composes them, and
+// prepares the joint model. All composition failures — impulse-reward
+// components in particular (core.ErrComposeImpulse) — are client errors.
+func buildComposedPrepared(comps []*spec.Model) (*core.Prepared, error) {
+	models := make([]*core.Model, len(comps))
+	for i, sp := range comps {
+		m, err := sp.Build()
+		if err != nil {
+			return nil, badRequestf("bad compose component %d: %v", i, err)
+		}
+		models[i] = m
+	}
+	joint, err := core.ComposeAll(models...)
+	if err != nil {
+		if errors.Is(err, core.ErrBadModel) {
+			return nil, badRequestf("bad composition: %v", err)
+		}
+		return nil, err
+	}
+	prep, err := core.Prepare(joint)
+	if err != nil {
+		return nil, badRequestf("bad composition: %v", err)
+	}
+	return prep, nil
+}
+
+// buildFor returns the prepared-cache build function for a request: the
+// plain spec build or the composed build.
+func (r *SolveRequest) buildFor() func() (*core.Prepared, error) {
+	if len(r.Compose) > 0 {
+		comps := r.Compose
+		return func() (*core.Prepared, error) { return buildComposedPrepared(comps) }
+	}
+	sp := r.Model
+	return func() (*core.Prepared, error) { return buildPrepared(sp) }
+}
+
 // preparedFor resolves the prepared model for a request's spec through the
-// single-flight LRU, counting hits and misses.
-func (s *Server) preparedFor(specHash string, sp *spec.Model) (*core.Prepared, bool, error) {
-	prep, hit, err := s.prepared.GetOrBuild(specHash, func() (*core.Prepared, error) {
-		return buildPrepared(sp)
-	})
+// single-flight LRU, counting hits and misses. sp may be nil (composed
+// requests), in which case the model is not offered for drain handoff —
+// peers rebuild it from the request on demand.
+func (s *Server) preparedFor(specHash string, build func() (*core.Prepared, error), sp *spec.Model) (*core.Prepared, bool, error) {
+	prep, hit, err := s.prepared.GetOrBuild(specHash, build)
 	if err != nil {
 		return nil, hit, err
 	}
@@ -269,7 +373,7 @@ func (s *Server) preparedFor(specHash string, sp *spec.Model) (*core.Prepared, b
 	} else {
 		s.metrics.PreparedMisses.Add(1)
 	}
-	if s.opts.Cluster != nil {
+	if s.opts.Cluster != nil && sp != nil {
 		// Remember the canonical spec so drain handoff can stream this
 		// prepared model to a ring successor.
 		s.prepared.NoteSpec(specHash, sp)
@@ -282,13 +386,13 @@ func (s *Server) preparedFor(specHash string, sp *spec.Model) (*core.Prepared, b
 func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
 	specHash := req.specHash
 	if specHash == "" {
-		h, err := req.Model.Hash()
+		h, err := req.modelHash()
 		if err != nil {
-			return nil, badRequestf("unhashable model: %v", err)
+			return nil, err
 		}
 		specHash = hex.EncodeToString(h[:])
 	}
-	prep, _, err := s.preparedFor(specHash, req.Model)
+	prep, _, err := s.preparedFor(specHash, req.buildFor(), req.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +403,7 @@ func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveRe
 // it builds and prepares the model from scratch. Tests substitute it for
 // the server's cached executor to control timing and count executions.
 func runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
-	prep, err := buildPrepared(req.Model)
+	prep, err := req.buildFor()()
 	if err != nil {
 		return nil, err
 	}

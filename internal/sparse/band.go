@@ -107,6 +107,12 @@ type deriv struct {
 
 	bandOnce sync.Once
 	band     *Band
+
+	qbdOnce sync.Once
+	qbdB    int // detected QBD block size, 0 = none
+
+	qbdRepOnce sync.Once
+	qbdRep     *QBD
 }
 
 func (m *CSR) derived() *deriv { return &m.dv }

@@ -237,7 +237,7 @@ func TestResolveStorage(t *testing.T) {
 		{ring, FormatCSR64, FormatCSR64},
 	}
 	for _, c := range cases {
-		got, band, col32, err := resolveStorage(c.m, c.in)
+		got, band, col32, qbd, err := resolveStorage(c.m, c.in)
 		if err != nil {
 			t.Fatalf("resolveStorage(%q): %v", c.in, err)
 		}
@@ -250,8 +250,11 @@ func TestResolveStorage(t *testing.T) {
 		if (got == FormatCSR32) != (col32 != nil) {
 			t.Errorf("resolveStorage(%q): col32 presence %v for format %q", c.in, col32 != nil, got)
 		}
+		if (got == FormatQBD) != (qbd != nil) {
+			t.Errorf("resolveStorage(%q): qbd presence %v for format %q", c.in, qbd != nil, got)
+		}
 	}
-	if _, _, _, err := resolveStorage(tri, "bogus"); err == nil {
+	if _, _, _, _, err := resolveStorage(tri, "bogus"); err == nil {
 		t.Error("bogus format accepted")
 	}
 }

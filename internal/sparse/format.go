@@ -10,6 +10,7 @@ type MatrixFormat string
 const (
 	// FormatAuto picks the cheapest eligible representation: band for
 	// narrow, nearly dense bands (the paper's birth-death generators),
+	// then QBD for block-tridiagonal matrices whose band is too wide,
 	// otherwise compact-index CSR, otherwise the 64-bit-index CSR.
 	FormatAuto MatrixFormat = "auto"
 	// FormatCSR forces the compact-index CSR: uint32 column indexes
@@ -29,6 +30,19 @@ const (
 	// what Sweep.Format reports when FormatCSR (or FormatAuto) narrowed
 	// the indexes. It is also accepted as an input alias for FormatCSR.
 	FormatCSR32 MatrixFormat = "csr32"
+	// FormatQBD forces the block-tridiagonal (quasi-birth-death) window
+	// representation: dense 3b-cell rows addressed by level, value-only
+	// traffic like band but for block-local coupling. Matrices with no
+	// valid (or no affordable) block size fall back to FormatCSR.
+	FormatQBD MatrixFormat = "qbd"
+	// FormatKron is the matrix-free Kronecker-sum operator of composed
+	// models: the sweep streams the product-space generator directly from
+	// the factor matrices, never materializing the product CSR. It cannot
+	// be forced onto an explicit matrix — as a requested format it means
+	// "use the matrix-free operator when the model carries one" and
+	// resolves like auto otherwise; it is what Sweep.Format reports for
+	// operator-backed sweeps.
+	FormatKron MatrixFormat = "kron"
 )
 
 // ParseMatrixFormat validates a user-facing matrix format string. The
@@ -37,40 +51,51 @@ func ParseMatrixFormat(s string) (MatrixFormat, error) {
 	switch f := MatrixFormat(s); f {
 	case "":
 		return FormatAuto, nil
-	case FormatAuto, FormatCSR, FormatBand, FormatCSR64, FormatCSR32:
+	case FormatAuto, FormatCSR, FormatBand, FormatCSR64, FormatCSR32, FormatQBD, FormatKron:
 		return f, nil
 	default:
-		return "", fmt.Errorf("sparse: unknown matrix format %q (want auto, csr, band or csr64)", s)
+		return "", fmt.Errorf("sparse: unknown matrix format %q (want auto, csr, band, qbd, kron or csr64)", s)
 	}
 }
 
-// resolveStorage picks the concrete storage for a sweep over matrix a:
-// the resolved format (FormatBand, FormatCSR32 or FormatCSR64) plus the
-// derived representation it streams. Derived representations are cached
-// on the matrix, so repeated sweeps (core.Prepared) convert once.
-func resolveStorage(a *CSR, format MatrixFormat) (MatrixFormat, *Band, []uint32, error) {
-	compact := func() (MatrixFormat, *Band, []uint32, error) {
+// resolveStorage picks the concrete storage for a sweep over an explicit
+// matrix a: the resolved format (FormatBand, FormatQBD, FormatCSR32 or
+// FormatCSR64) plus the derived representation it streams. Derived
+// representations are cached on the matrix, so repeated sweeps
+// (core.Prepared) convert once.
+func resolveStorage(a *CSR, format MatrixFormat) (MatrixFormat, *Band, []uint32, *QBD, error) {
+	compact := func() (MatrixFormat, *Band, []uint32, *QBD, error) {
 		if c32 := a.ColIdx32(); c32 != nil {
-			return FormatCSR32, nil, c32, nil
+			return FormatCSR32, nil, c32, nil, nil
 		}
-		return FormatCSR64, nil, nil, nil
+		return FormatCSR64, nil, nil, nil, nil
 	}
 	switch format {
-	case "", FormatAuto:
+	case "", FormatAuto, FormatKron:
+		// FormatKron on an explicit matrix means the model had no
+		// matrix-free operator to stream; fall through to auto.
 		if a.bandEligible(false) {
-			return FormatBand, a.BandRep(), nil, nil
+			return FormatBand, a.BandRep(), nil, nil, nil
+		}
+		if a.qbdEligible(false) {
+			return FormatQBD, nil, nil, a.QBDRep(), nil
 		}
 		return compact()
 	case FormatCSR, FormatCSR32:
 		return compact()
 	case FormatBand:
 		if a.bandEligible(true) {
-			return FormatBand, a.BandRep(), nil, nil
+			return FormatBand, a.BandRep(), nil, nil, nil
+		}
+		return compact()
+	case FormatQBD:
+		if a.qbdEligible(true) {
+			return FormatQBD, nil, nil, a.QBDRep(), nil
 		}
 		return compact()
 	case FormatCSR64:
-		return FormatCSR64, nil, nil, nil
+		return FormatCSR64, nil, nil, nil, nil
 	default:
-		return "", nil, nil, fmt.Errorf("sparse: unknown matrix format %q", format)
+		return "", nil, nil, nil, fmt.Errorf("sparse: unknown matrix format %q", format)
 	}
 }

@@ -1,0 +1,367 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// generatorFixture builds a random generator-like square CSR: sparse
+// non-negative off-diagonal rates with the diagonal set to the negated
+// float64 row sum, exactly how a CTMC generator's diagonal relates to
+// its rates.
+func generatorFixture(t testing.TB, rng *rand.Rand, n int) *CSR {
+	t.Helper()
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		deg := 1 + rng.Intn(3)
+		for d := 0; d < deg; d++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64() * math.Pow(10, float64(rng.Intn(5)-2))
+			rowSum += v
+			if err := b.Add(i, j, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rowSum != 0 {
+			if err := b.Add(i, i, -rowSum); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// kronPairProduct materializes the Kronecker sum of two square matrices
+// the way core.Compose builds the joint generator: per product row, the
+// x-factor entries then the y-factor entries, with the builder merging
+// the duplicate diagonal contributions in Add order.
+func kronPairProduct(t testing.TB, x, y *CSR) *CSR {
+	t.Helper()
+	nx, ny := x.Rows(), y.Rows()
+	n := nx * ny
+	b := NewBuilder(n, n)
+	add := func(r, c int, v float64) {
+		if v != 0 {
+			if err := b.Add(r, c, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			row := i*ny + j
+			x.Range(i, func(k int, v float64) {
+				add(row, k*ny+j, v)
+			})
+			y.Range(j, func(l int, v float64) {
+				add(row, i*ny+l, v)
+			})
+		}
+	}
+	return b.Build()
+}
+
+// kronMaterialize evaluates a fold program over materialized pairwise
+// Kronecker-sum products, and in parallel folds the per-factor maximum
+// exit rates into the product uniformization rate — the explicit-matrix
+// mirror of what KronSum streams.
+func kronMaterialize(t testing.TB, factors []*CSR, fold []byte) (prod *CSR, q float64) {
+	t.Helper()
+	var mats []*CSR
+	var qs []float64
+	next := 0
+	for _, op := range fold {
+		if op == KronFoldPush {
+			m := factors[next]
+			next++
+			var mq float64
+			for i := 0; i < m.Rows(); i++ {
+				if e := -m.At(i, i); e > mq {
+					mq = e
+				}
+			}
+			mats = append(mats, m)
+			qs = append(qs, mq)
+			continue
+		}
+		d := len(mats)
+		mats[d-2] = kronPairProduct(t, mats[d-2], mats[d-1])
+		qs[d-2] = qs[d-2] + qs[d-1]
+		mats, qs = mats[:d-1], qs[:d-1]
+	}
+	return mats[0], qs[0]
+}
+
+// uniformizedRef builds the materialized uniformized operator
+// Q/q + I via the same Scaled + AddDiagonal sequence ctmc.Uniformized
+// performs — the bitwise reference KronSum must reproduce.
+func uniformizedRef(t testing.TB, m *CSR, q float64) *CSR {
+	t.Helper()
+	scaled := m.Scaled(1 / q)
+	ones := make([]float64, m.Rows())
+	for i := range ones {
+		ones[i] = 1
+	}
+	u, err := scaled.AddDiagonal(ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// foldPrograms returns the two tree shapes of three factors: the left
+// fold ((1+2)+3) and the right fold (1+(2+3)). Their diagonal float
+// sums differ in general; KronSum must honor whichever shape it is
+// given.
+func foldPrograms(factors int) [][]byte {
+	left := []byte{KronFoldPush}
+	for i := 1; i < factors; i++ {
+		left = append(left, KronFoldPush, KronFoldAdd)
+	}
+	if factors < 3 {
+		return [][]byte{left}
+	}
+	right := make([]byte, 0, 2*factors-1)
+	for i := 0; i < factors; i++ {
+		right = append(right, KronFoldPush)
+	}
+	for i := 1; i < factors; i++ {
+		right = append(right, KronFoldAdd)
+	}
+	return [][]byte{left, right}
+}
+
+// TestKronSumMatVecBitwise checks the heart of the matrix-free engine:
+// the KronSum apply is bitwise identical to the materialized uniformized
+// product CSR, for 2- and 3-factor products under both fold-tree shapes,
+// on arbitrary finite vectors and arbitrary row ranges.
+func TestKronSumMatVecBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 40; trial++ {
+		nf := 2 + rng.Intn(2)
+		factors := make([]*CSR, nf)
+		for fi := range factors {
+			factors[fi] = generatorFixture(t, rng, 2+rng.Intn(6))
+		}
+		for _, fold := range foldPrograms(nf) {
+			prod, q := kronMaterialize(t, factors, fold)
+			if q == 0 {
+				continue // frozen chain; the solver never builds a KronSum
+			}
+			ref := uniformizedRef(t, prod, q)
+			ks, err := NewKronSum(factors, fold, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := ks.Rows()
+			if n != prod.Rows() {
+				t.Fatalf("trial %d: kron rows %d != product rows %d", trial, n, prod.Rows())
+			}
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+			want := make([]float64, n)
+			if err := ref.MatVec(x, want); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float64, n)
+			ks.MatVecRange(0, n, x, got)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("trial %d: MatVecRange[%d] = %x, want %x", trial, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+			// A partial range must fill exactly [lo, hi) with the same bits.
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo+1)
+			part := make([]float64, n)
+			for i := range part {
+				part[i] = math.NaN()
+			}
+			ks.MatVecRange(lo, hi, x, part)
+			for i := lo; i < hi; i++ {
+				if math.Float64bits(part[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("trial %d: partial[%d] mismatch", trial, i)
+				}
+			}
+			for i := 0; i < lo; i++ {
+				if !math.IsNaN(part[i]) {
+					t.Fatalf("trial %d: partial range wrote outside [lo,hi) at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestKronSumIndexConvention pins the product-state index convention
+// i*nb+j with literal factors and a pinned vector, so the layout can
+// never silently flip. Factor A (2 states) moves 0->1 at rate 2; factor
+// B (3 states) moves 0->1 at rate 4. In the product, A's transition maps
+// state (0,j) = j to state (1,j) = 3+j — stride nb = 3 — and B's maps
+// (i,0) = 3i to (i,1) = 3i+1 — stride 1.
+func TestKronSumIndexConvention(t *testing.T) {
+	ba := NewBuilder(2, 2)
+	if err := ba.Add(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Add(0, 0, -2); err != nil {
+		t.Fatal(err)
+	}
+	a := ba.Build()
+	bb := NewBuilder(3, 3)
+	if err := bb.Add(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.Add(0, 0, -4); err != nil {
+		t.Fatal(err)
+	}
+	b := bb.Build()
+
+	const q = 8.0 // power of two: /q and the diagonal fold are exact
+	ks, err := NewKronSum([]*CSR{a, b}, nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ks.Dims(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Dims() = %v, want [2 3]", got)
+	}
+	// x[s] = s makes every gather identify its source index: the operator
+	// is A' = (Q_a (+) Q_b)/8 + I, so row 0 = state (0,0) reads
+	// 2/8·x[3] (A's move to (1,0)) + 4/8·x[1] (B's move to (0,1))
+	// + (1 - 6/8)·x[0].
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := make([]float64, 6)
+	ks.MatVecRange(0, 6, x, y)
+	want := []float64{
+		0.25*3 + 0.5*1 + 0.25*0, // (0,0): A-step to 3, B-step to 1, diag 1-6/8
+		0.25*4 + 0.75*1,         // (0,1): A-step to (1,1)=4, diag 1-2/8; B row 1 empty
+		0.25*5 + 0.75*2,         // (0,2): A-step to (1,2)=5, diag 1-2/8
+		0.5*4 + 0.5*3,           // (1,0): B-step to (1,1)=4, diag 1-4/8
+		1 * 4,                   // (1,1): diagonal only
+		1 * 5,                   // (1,2): diagonal only
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g (index convention i*nb+j violated?)", i, y[i], want[i])
+		}
+	}
+}
+
+// TestKronSumConstruction exercises the validation and accounting paths.
+func TestKronSumConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := generatorFixture(t, rng, 4)
+	b := generatorFixture(t, rng, 5)
+
+	if _, err := NewKronSum(nil, nil, 1); err == nil {
+		t.Error("empty factor list accepted")
+	}
+	if _, err := NewKronSum([]*CSR{a, b}, nil, 0); err == nil {
+		t.Error("zero uniformization rate accepted")
+	}
+	if _, err := NewKronSum([]*CSR{a, NewBuilder(2, 3).Build()}, nil, 1); err == nil {
+		t.Error("non-square factor accepted")
+	}
+	if _, err := NewKronSum([]*CSR{a, b}, []byte{KronFoldPush}, 1); err == nil {
+		t.Error("fold with missing pushes accepted")
+	}
+	if _, err := NewKronSum([]*CSR{a, b}, []byte{KronFoldPush, KronFoldAdd, KronFoldPush}, 1); err == nil {
+		t.Error("fold with stack underflow accepted")
+	}
+	if _, err := NewKronSum([]*CSR{a, b}, []byte{KronFoldPush, KronFoldPush, 7}, 1); err == nil {
+		t.Error("unknown fold opcode accepted")
+	}
+	many := make([]*CSR, MaxKronFactors+1)
+	for i := range many {
+		many[i] = generatorFixture(t, rng, 2)
+	}
+	if _, err := NewKronSum(many, nil, 1); err == nil {
+		t.Error("factor count beyond MaxKronFactors accepted")
+	}
+
+	ks, err := NewKronSum([]*CSR{a, b}, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Rows() != 20 || ks.Factors() != 2 {
+		t.Fatalf("Rows/Factors = %d/%d, want 20/2", ks.Rows(), ks.Factors())
+	}
+	if ks.OpFormat() != FormatKron {
+		t.Fatalf("OpFormat = %q", ks.OpFormat())
+	}
+	// The memory footprint is bounded by the factor sizes, not the
+	// product: generous constant x Σ (n_f + nnz_f) x 8 bytes.
+	sum := int64(0)
+	for _, m := range []*CSR{a, b} {
+		sum += int64(m.Rows() + m.NNZ())
+	}
+	if mb := ks.MemoryBytes(); mb > 6*8*sum {
+		t.Fatalf("MemoryBytes = %d, want O(sum of factors) <= %d", mb, 6*8*sum)
+	}
+	// RowCost sums to OpNNZ plus rowBase-free diagonal accounting: every
+	// row charges its off-diagonal entries plus 1.
+	var total int64
+	for i := 0; i < ks.Rows(); i++ {
+		total += ks.RowCost(i)
+	}
+	if total != ks.OpNNZ() {
+		t.Fatalf("sum RowCost = %d, OpNNZ = %d", total, ks.OpNNZ())
+	}
+}
+
+// FuzzKronSumMatVec drives the matrix-free apply from fuzzed factor
+// shapes and seeds: whatever the factor structure, fold shape and
+// vector, KronSum must reproduce the materialized uniformized product
+// CSR bit for bit — including the summed diagonal terms.
+func FuzzKronSumMatVec(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), uint8(0), false)
+	f.Add(int64(2), uint8(2), uint8(2), uint8(2), true)
+	f.Add(int64(3), uint8(7), uint8(5), uint8(3), false)
+	f.Add(int64(4), uint8(1), uint8(9), uint8(0), true)
+	f.Fuzz(func(t *testing.T, seed int64, naRaw, nbRaw, ncRaw uint8, rightFold bool) {
+		rng := rand.New(rand.NewSource(seed))
+		factors := []*CSR{
+			generatorFixture(t, rng, 1+int(naRaw)%10),
+			generatorFixture(t, rng, 1+int(nbRaw)%10),
+		}
+		if ncRaw > 0 {
+			factors = append(factors, generatorFixture(t, rng, 1+int(ncRaw)%10))
+		}
+		progs := foldPrograms(len(factors))
+		fold := progs[0]
+		if rightFold && len(progs) > 1 {
+			fold = progs[1]
+		}
+		prod, q := kronMaterialize(t, factors, fold)
+		if q == 0 {
+			t.Skip("frozen chain")
+		}
+		ref := uniformizedRef(t, prod, q)
+		ks, err := NewKronSum(factors, fold, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := ks.Rows()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		if err := ref.MatVec(x, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		ks.MatVecRange(0, n, x, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("MatVecRange[%d] = %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	})
+}

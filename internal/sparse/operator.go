@@ -1,0 +1,67 @@
+package sparse
+
+// Operator is the matrix-free interface the randomization sweep streams:
+// a square linear operator exposed as row-range matrix-vector products.
+// It is what lets the sweep run over generators that are never stored
+// explicitly (the Kronecker-sum operator of composed models applies the
+// product-space generator from its factor matrices in O(sum of factor
+// sizes) memory instead of O(product)).
+//
+// Bitwise contract: MatVecRange must accumulate each row's entries in
+// ascending column order into a sum started at +0.0 — exactly the
+// operation sequence of CSR.MatVec — so that operator-backed sweeps are
+// bitwise interchangeable with the materialized CSR reference whenever
+// the materialized matrix exists. Implementations may add entries whose
+// value is exactly ±0.0 (padding, vanished diagonals): in round-to-nearest
+// a running sum seeded at +0.0 can never become -0.0 (a+b is -0.0 only
+// when both operands are -0.0; exact cancellation yields +0.0), and
+// adding ±0.0 to any value other than -0.0 returns it unchanged, so such
+// products are bitwise neutral for every finite input vector (see
+// band.go for the original derivation).
+type Operator interface {
+	// Rows returns the operator dimension (the operator is square).
+	Rows() int
+	// OpNNZ returns the effective stored-entry count — what the
+	// materialized matrix's NNZ() would report — used for flop accounting
+	// and work partitioning. Implementations without an explicit entry
+	// array return their best exact or near-exact count.
+	OpNNZ() int64
+	// OpFormat identifies the operator's storage format (what
+	// Sweep.Format and core.Stats.MatrixFormat report).
+	OpFormat() MatrixFormat
+	// MatVecRange computes y[i] = (A·x)[i] for lo <= i < hi, leaving
+	// y outside [lo, hi) untouched. len(x) and len(y) must be Rows().
+	MatVecRange(lo, hi int, x, y []float64)
+	// RowCost returns the work of row i in matrix entries — the weight
+	// the sweep's nnz-balanced row partitioner charges the row, replacing
+	// the rowPtr[i+1]-rowPtr[i] lookup of explicit formats.
+	RowCost(i int) int64
+}
+
+// csrOperator adapts an explicit CSR matrix to the Operator interface.
+// The sweep keeps dedicated kernels for its concrete formats; this
+// adapter exists so generic operator consumers (tests, reference
+// streaming) can treat explicit and matrix-free storage uniformly.
+type csrOperator struct{ m *CSR }
+
+// AsOperator wraps an explicit square CSR matrix as an Operator.
+func AsOperator(m *CSR) Operator { return csrOperator{m} }
+
+func (o csrOperator) Rows() int              { return o.m.rows }
+func (o csrOperator) OpNNZ() int64           { return int64(o.m.NNZ()) }
+func (o csrOperator) OpFormat() MatrixFormat { return FormatCSR64 }
+
+func (o csrOperator) MatVecRange(lo, hi int, x, y []float64) {
+	rowPtr, colIdx, val := o.m.rowPtr, o.m.colIdx, o.m.val
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			sum += val[p] * x[colIdx[p]]
+		}
+		y[i] = sum
+	}
+}
+
+func (o csrOperator) RowCost(i int) int64 {
+	return int64(o.m.rowPtr[i+1] - o.m.rowPtr[i])
+}

@@ -64,7 +64,9 @@ type accPair struct {
 // with Run (fused, persistent worker team) or RunReference (serial
 // oracle).
 type Sweep struct {
-	a            *CSR
+	a            *CSR     // explicit sweep matrix; nil for operator-backed sweeps
+	op           Operator // matrix-free sweep operator; nil when a is set
+	rows         int
 	diag1, diag2 []float64
 	imp          []*CSR
 	coef         []float64 // coef[m] = 1/m!, the impulse term coefficients
@@ -72,13 +74,16 @@ type Sweep struct {
 	workers      int
 	blocks       []int // blocks[w]..blocks[w+1] is worker w's row range
 
-	// Resolved storage (see MatrixFormat): the kernels stream band values
-	// or compact uint32 column indexes instead of the generic CSR when the
-	// structure allows, cutting the memory traffic of this
-	// bandwidth-bound loop. All formats are bitwise identical.
+	// Resolved storage (see MatrixFormat): the kernels stream band values,
+	// QBD windows or compact uint32 column indexes instead of the generic
+	// CSR when the structure allows, cutting the memory traffic of this
+	// bandwidth-bound loop; kron streams the matrix-free operator. All
+	// formats are bitwise identical.
 	format MatrixFormat
 	band   *Band    // set when format == FormatBand
 	col32  []uint32 // set when format == FormatCSR32
+	qbd    *QBD     // set when format == FormatQBD
+	kron   *KronSum // set when op is a Kronecker-sum operator
 
 	// scratch4 is optional caller-lent backing for cur4/next4 (see
 	// SetScratch4), letting pooled solves skip the two largest per-run
@@ -166,12 +171,13 @@ func NewSweepWithFormat(a *CSR, diag1, diag2 []float64, imp []*CSR, order, worke
 	if workers > a.rows {
 		workers = a.rows
 	}
-	resolved, band, col32, err := resolveStorage(a, format)
+	resolved, band, col32, qbd, err := resolveStorage(a, format)
 	if err != nil {
 		return nil, err
 	}
 	s := &Sweep{
 		a:       a,
+		rows:    a.rows,
 		diag1:   diag1,
 		diag2:   diag2,
 		imp:     imp,
@@ -180,39 +186,95 @@ func NewSweepWithFormat(a *CSR, diag1, diag2 []float64, imp []*CSR, order, worke
 		format:  resolved,
 		band:    band,
 		col32:   col32,
+		qbd:     qbd,
 	}
-	// coef[m] = 1/m! maintained by the same running division the reference
-	// recursion uses, so fused impulse terms match it bit for bit.
-	s.coef = make([]float64, order+1)
-	inv := 1.0
-	for m := 1; m <= order; m++ {
-		inv /= float64(m)
-		s.coef[m] = inv
-	}
+	s.initCoef()
 	if workers > 1 {
-		s.blocks = nnzPartition(a, imp, workers)
+		// Per-row work in stored non-zeros, plus the impulse matrices'
+		// entries and the constant rowBase charge.
+		s.blocks = partitionRows(a.rows, workers, func(i int) int64 {
+			c := int64(rowBase + a.rowPtr[i+1] - a.rowPtr[i])
+			for _, im := range imp {
+				c += int64(im.rowPtr[i+1] - im.rowPtr[i])
+			}
+			return c
+		})
 	}
 	return s, nil
 }
 
-// nnzPartition splits the rows into contiguous blocks of roughly equal
-// work, measured in stored non-zeros (of the sweep matrix plus any impulse
-// matrices) with a constant per-row charge for the diagonal and
-// accumulation traffic. Row-count splitting is wrong for skewed patterns —
-// a dense hub row costs as much as thousands of tridiagonal rows.
-func nnzPartition(a *CSR, imp []*CSR, workers int) []int {
-	rows := a.rows
-	// Per-row charge beyond the matrix entries: diagonal terms, the
-	// next-vector store, and accumulation writes.
-	const rowBase = 4
-	var total int64
-	rowCost := func(i int) int64 {
-		c := int64(rowBase + a.rowPtr[i+1] - a.rowPtr[i])
-		for _, im := range imp {
-			c += int64(im.rowPtr[i+1] - im.rowPtr[i])
-		}
-		return c
+// NewSweepOperator prepares a sweep that streams a matrix-free Operator
+// instead of an explicit CSR. Impulse matrices are not supported on this
+// path (models large enough to need a matrix-free generator cannot carry
+// explicit impulse matrices either); diag2 must already carry any
+// constant factor, as in NewSweep. The operator's bitwise contract (see
+// Operator) makes the result identical to a sweep over the materialized
+// matrix in every format and for every worker count.
+func NewSweepOperator(op Operator, diag1, diag2 []float64, order, workers int) (*Sweep, error) {
+	if op == nil {
+		return nil, fmt.Errorf("%w: nil sweep operator", ErrDimensionMismatch)
 	}
+	rows := op.Rows()
+	if rows <= 0 {
+		return nil, fmt.Errorf("%w: sweep operator with %d rows", ErrDimensionMismatch, rows)
+	}
+	if len(diag1) != rows || len(diag2) != rows {
+		return nil, fmt.Errorf("%w: diagonals %d/%d for %d rows", ErrDimensionMismatch, len(diag1), len(diag2), rows)
+	}
+	if order < 0 {
+		return nil, fmt.Errorf("%w: sweep order %d", ErrDimensionMismatch, order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > rows {
+		workers = rows
+	}
+	s := &Sweep{
+		op:      op,
+		rows:    rows,
+		diag1:   diag1,
+		diag2:   diag2,
+		order:   order,
+		workers: workers,
+		format:  op.OpFormat(),
+	}
+	if ks, ok := op.(*KronSum); ok {
+		s.kron = ks
+	}
+	s.initCoef()
+	if workers > 1 {
+		s.blocks = partitionRows(rows, workers, func(i int) int64 {
+			return rowBase + op.RowCost(i)
+		})
+	}
+	return s, nil
+}
+
+// initCoef fills coef[m] = 1/m! maintained by the same running division
+// the reference recursion uses, so fused impulse terms match it bit for
+// bit.
+func (s *Sweep) initCoef() {
+	s.coef = make([]float64, s.order+1)
+	inv := 1.0
+	for m := 1; m <= s.order; m++ {
+		inv /= float64(m)
+		s.coef[m] = inv
+	}
+}
+
+// rowBase is the constant per-row partitioning charge beyond the matrix
+// entries: diagonal terms, the next-vector store, and accumulation
+// traffic.
+const rowBase = 4
+
+// partitionRows splits the rows into contiguous blocks of roughly equal
+// work under the given per-row cost function. Row-count splitting is
+// wrong for skewed patterns — a dense hub row costs as much as thousands
+// of tridiagonal rows — so explicit formats charge stored non-zeros and
+// matrix-free operators their RowCost.
+func partitionRows(rows, workers int, rowCost func(int) int64) []int {
+	var total int64
 	for i := 0; i < rows; i++ {
 		total += rowCost(i)
 	}
@@ -235,23 +297,29 @@ func nnzPartition(a *CSR, imp []*CSR, workers int) []int {
 }
 
 // Format returns the resolved storage format the fused kernels stream:
-// FormatBand, FormatCSR32 or FormatCSR64. (RunReference always streams
-// the generic CSR regardless of this setting.)
+// FormatBand, FormatQBD, FormatCSR32, FormatCSR64, or FormatKron for
+// Kronecker-sum operator sweeps. (RunReference always streams the
+// generic CSR — or, for operator sweeps, the operator itself —
+// regardless of this setting.)
 func (s *Sweep) Format() MatrixFormat { return s.format }
 
 // Scratch4Words returns the float64 count Run would use for its
 // interleaved moment-state buffers: 0 when the run shape doesn't use
-// them (order != 3 or impulse terms present), otherwise two buffers of 4
-// values per state plus the band boundary padding.
+// them (order != 3, impulse terms present, or a generic operator without
+// an interleaved kernel), otherwise two buffers of 4 values per state
+// plus the band boundary padding.
 func (s *Sweep) Scratch4Words() int {
 	if s.order != 3 || len(s.imp) > 0 {
 		return 0
+	}
+	if s.a == nil && s.kron == nil {
+		return 0 // generic operator: only the planar streaming path exists
 	}
 	pad := 0
 	if s.format == FormatBand {
 		pad = s.band.lo + s.band.hi
 	}
-	return 2 * 4 * (s.a.rows + pad)
+	return 2 * 4 * (s.rows + pad)
 }
 
 // SetScratch4 lends Run a scratch buffer of at least Scratch4Words()
@@ -275,7 +343,7 @@ func (s *Sweep) matVecs(g int) int64 {
 
 // validateRun checks the per-run buffers against the prepared family.
 func (s *Sweep) validateRun(cur, next [][]float64, plans []SweepPlan) error {
-	n := s.a.rows
+	n := s.rows
 	if len(cur) != s.order+1 || len(next) != s.order+1 {
 		return fmt.Errorf("%w: %d/%d sweep vectors for order %d", ErrDimensionMismatch, len(cur), len(next), s.order)
 	}
@@ -343,11 +411,12 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 	// lo/hi states of zero padding at the ends, so the band kernel's
 	// per-row window never needs boundary clamping: out-of-matrix band
 	// cells multiply padding zeros, which is bitwise neutral (see band.go).
-	// The planar cur/next stay untouched scratch.
-	interleaved := s.order == 3 && len(s.imp) == 0
+	// The planar cur/next stay untouched scratch. Generic operators (no
+	// interleaved kernel) report Scratch4Words() == 0 and stay planar.
+	words := s.Scratch4Words()
+	interleaved := words > 0
 	if interleaved {
-		n := s.a.rows
-		words := s.Scratch4Words()
+		n := s.rows
 		half := words / 2
 		if len(s.scratch4) >= words {
 			buf := s.scratch4[:words]
@@ -386,7 +455,7 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 				}
 			}
 			s.active = gatherActive(plans, k, active[:0])
-			s.step(0, s.a.rows)
+			s.step(0, s.rows)
 			s.swap(interleaved)
 		}
 		return s.matVecs(gMax), nil
@@ -444,6 +513,10 @@ func (s *Sweep) step(lo, hi int) {
 			s.fuseBlock3Band(lo, hi)
 		case FormatCSR32:
 			s.fuseBlock3Compact(lo, hi)
+		case FormatQBD:
+			s.fuseBlock3QBD(lo, hi)
+		case FormatKron:
+			s.fuseBlock3Kron(lo, hi)
 		default:
 			s.fuseBlock3(lo, hi)
 		}
@@ -600,7 +673,15 @@ func (s *Sweep) fuseBlock3(lo, hi int) {
 // through narrower indexes, and the band arm's extra in-band zero cells
 // contribute bitwise-neutral 0.0·x products (see band.go).
 func (s *Sweep) productTile(t0, t1 int, x, y []float64) {
+	if s.a == nil {
+		// Operator-backed sweep: the operator's MatVecRange carries the
+		// same ascending-column/+0.0 contract (see Operator).
+		s.op.MatVecRange(t0, t1, x, y)
+		return
+	}
 	switch s.format {
+	case FormatQBD:
+		s.qbd.matVecRange(t0, t1, x, y)
 	case FormatBand:
 		bd := s.band
 		n, blo, width, bval := bd.n, bd.lo, bd.width, bd.val
@@ -818,7 +899,7 @@ func (s *Sweep) RunReference(ctx context.Context, gMax int, cur, next [][]float6
 	if cancelStride <= 0 {
 		cancelStride = 1
 	}
-	n := s.a.rows
+	n := s.rows
 	for k := 1; k <= gMax; k++ {
 		if k%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -826,8 +907,14 @@ func (s *Sweep) RunReference(ctx context.Context, gMax int, cur, next [][]float6
 			}
 		}
 		for j := s.order; j >= 0; j-- {
-			if err := s.a.MatVec(cur[j], next[j]); err != nil {
-				return 0, err
+			if s.a != nil {
+				if err := s.a.MatVec(cur[j], next[j]); err != nil {
+					return 0, err
+				}
+			} else {
+				// Matrix-free reference: the operator's contract is the
+				// CSR accumulation order, so this stays the bitwise oracle.
+				s.op.MatVecRange(0, n, cur[j], next[j])
 			}
 			if j >= 1 {
 				for i := 0; i < n; i++ {

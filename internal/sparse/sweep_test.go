@@ -54,7 +54,7 @@ func randomSweepFixture(t *testing.T, rng *rand.Rand, n, order int, impulses boo
 // newRunState allocates cur/next with the standard initial condition
 // (cur[0] = 1) and fresh plan accumulators over the given weights.
 func newRunState(s *Sweep, weights [][]float64, firsts, lasts []int) (cur, next [][]float64, plans []SweepPlan) {
-	n := s.a.rows
+	n := s.rows
 	cur = make([][]float64, s.order+1)
 	next = make([][]float64, s.order+1)
 	for j := 0; j <= s.order; j++ {
@@ -377,7 +377,9 @@ func TestNnzPartition(t *testing.T) {
 	}
 	a := b.Build()
 	workers := 4
-	blocks := nnzPartition(a, nil, workers)
+	blocks := partitionRows(a.rows, workers, func(i int) int64 {
+		return int64(rowBase + a.rowPtr[i+1] - a.rowPtr[i])
+	})
 	if len(blocks) != workers+1 || blocks[0] != 0 || blocks[workers] != n {
 		t.Fatalf("bad block boundaries %v", blocks)
 	}

@@ -377,11 +377,20 @@ func AccumulatedRewardWithContext(ctx context.Context, m *Model, t float64, orde
 }
 
 // Compose builds the joint model of two independent models with additive
-// rewards (Kronecker-sum structure process).
+// rewards (Kronecker-sum structure process). Products above the
+// materialization threshold come back matrix-free: the joint generator
+// exists only as its Kronecker-sum factors and the solver streams it in
+// O(sum of factor sizes) memory.
 func Compose(a, b *Model) (*Model, error) { return core.Compose(a, b) }
 
 // ComposeAll folds Compose over a list of independent models.
 func ComposeAll(models ...*Model) (*Model, error) { return core.ComposeAll(models...) }
+
+// ErrComposeImpulse identifies the rejection of impulse-reward components
+// in Compose/ComposeAll (wrapped in the model validation error), so
+// callers — the HTTP server in particular — can classify it as invalid
+// input rather than an internal failure.
+var ErrComposeImpulse = core.ErrComposeImpulse
 
 // RawToCentral converts raw moments (index 0 = 1) to central moments.
 func RawToCentral(raw []float64) ([]float64, error) { return core.RawToCentral(raw) }
