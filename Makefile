@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet ci chaos cluster-smoke serve bench bench-server bench-batch bench-sweep bench-sweep-smoke bench-check cover experiments fuzz clean
+.PHONY: all build test vet ci chaos cluster-smoke restart-smoke serve bench bench-server bench-batch bench-persist bench-sweep bench-sweep-smoke bench-check cover experiments fuzz clean
 
 all: build test
 
@@ -36,6 +36,13 @@ chaos:
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
 
+# The crash/restart smoke: one somrm-serve replica with a persisted
+# cache dir, killed -9 mid-storm and warm-restarted over the same dir —
+# restored responses must be byte-identical to the healthy baseline with
+# zero re-solves (see scripts/restart_smoke.sh).
+restart-smoke:
+	bash scripts/restart_smoke.sh
+
 # Run the solver HTTP service (see README "Running the server").
 serve:
 	$(GO) run ./cmd/somrm-serve $(SERVE_FLAGS)
@@ -50,6 +57,10 @@ bench-server:
 # The batch-vs-sequential comparison tracked in BENCHMARKS.md.
 bench-batch:
 	$(GO) test -bench BenchmarkBatchSolve -benchmem -run '^$$' ./internal/server
+
+# The cache-persistence serving-cost comparison tracked in BENCHMARKS.md.
+bench-persist:
+	$(GO) test -bench BenchmarkServerPersist -benchmem -run '^$$' ./internal/server
 
 # The randomization-sweep kernel comparison tracked in BENCHMARKS.md:
 # serial reference vs the fused kernel at the paper's large-example shape,

@@ -9,11 +9,21 @@
 //	            [-cache N] [-prepared-cache N] [-timeout 30s]
 //	            [-max-order 12] [-drain-timeout 30s]
 //	            [-sweep-workers N] [-matrix-format auto|csr|band|qbd|csr64|kron]
+//	            [-checkpoints] [-checkpoint-ttl 2m] [-checkpoint-cap 64]
+//	            [-cache-persist DIR] [-mem-budget BYTES]
 //	            [-self URL -peers URL,URL,...] [-peer-secret S]
 //	            [-probe-interval 2s] [-handoff-max N]
 //	            [-pprof]
 //	            [-fault-503 P] [-fault-truncate P] [-fault-panic P]
 //	            [-fault-latency D] [-fault-seed N]
+//	            [-fault-disk-err P] [-fault-disk-torn P]
+//
+// Durability (see README "Durability & recovery"): -checkpoints (on by
+// default) turns mid-sweep deadlines into 202 partial responses with a
+// resume token instead of wasted work; -cache-persist journals the result
+// cache under DIR so a killed replica restarts warm; -mem-budget sheds
+// requests whose estimated solver working set would not fit, with a typed
+// 503, before they can OOM the replica.
 //
 // -self enables cluster mode: the replica joins a consistent-hash ring
 // with the -peers replicas (every replica must be started with the same
@@ -84,6 +94,11 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "per-solve randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep")
 	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, qbd, csr64, or kron (all bitwise identical; server-wide, not per-request)")
+	checkpoints := fs.Bool("checkpoints", true, "answer mid-sweep deadlines with a 202 partial + resume token instead of discarding progress")
+	checkpointTTL := fs.Duration("checkpoint-ttl", 0, "how long an unclaimed resume checkpoint is held (0 = default 2m)")
+	checkpointCap := fs.Int("checkpoint-cap", 0, "max held resume checkpoints, oldest evicted first (0 = default 64)")
+	cachePersist := fs.String("cache-persist", "", "directory for the crash-safe warm cache (journal + snapshot); empty disables persistence")
+	memBudget := fs.Int64("mem-budget", 0, "shed solves whose estimated working set would push in-flight bytes past this budget (0 disables)")
 	self := fs.String("self", "", "cluster mode: this replica's advertised base URL (e.g. http://10.0.0.3:8639)")
 	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of the other replicas")
 	peerSecret := fs.String("peer-secret", "", "cluster mode: shared secret authenticating the internal /v1/peer/* endpoints (defaults to $SOMRM_PEER_SECRET; empty leaves them open)")
@@ -95,6 +110,8 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	faultTrunc := fs.Float64("fault-truncate", 0, "TESTING ONLY: probability of truncating a response mid-body")
 	faultPanic := fs.Float64("fault-panic", 0, "TESTING ONLY: probability of panicking in the handler")
 	faultLatency := fs.Duration("fault-latency", 0, "TESTING ONLY: fixed latency added to every request")
+	faultDiskErr := fs.Float64("fault-disk-err", 0, "TESTING ONLY: probability of failing a cache-persistence write")
+	faultDiskTorn := fs.Float64("fault-disk-torn", 0, "TESTING ONLY: probability of tearing a cache-persistence write mid-line")
 	faultSeed := fs.Int64("fault-seed", 0, "TESTING ONLY: fault injection RNG seed (0 = 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +122,23 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	// Fail at startup, not on the first solve, if the format is unknown.
 	if _, err := sparse.ParseMatrixFormat(*matrixFormat); err != nil {
 		return fmt.Errorf("-matrix-format: %w", err)
+	}
+
+	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
+	faults := server.FaultConfig{
+		FailureRate:  *fault503,
+		TruncateRate: *faultTrunc,
+		PanicRate:    *faultPanic,
+		Latency:      *faultLatency,
+		DiskErrRate:  *faultDiskErr,
+		DiskTornRate: *faultDiskTorn,
+		Seed:         *faultSeed,
+	}
+	var injector *server.FaultInjector
+	if faults != (server.FaultConfig{Seed: faults.Seed}) {
+		logger.Printf("WARNING: fault injection enabled (503 %.2f, truncate %.2f, panic %.2f, latency %s, disk-err %.2f, disk-torn %.2f) — testing only",
+			faults.FailureRate, faults.TruncateRate, faults.PanicRate, faults.Latency, faults.DiskErrRate, faults.DiskTornRate)
+		injector = server.NewFaultInjector(faults)
 	}
 
 	srvOpts := server.Options{
@@ -118,8 +152,19 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		SweepWorkers:      *sweepWorkers,
 		MatrixFormat:      *matrixFormat,
 		HandoffMax:        *handoffMax,
+		Checkpoints:       *checkpoints,
+		CheckpointTTL:     *checkpointTTL,
+		CheckpointCap:     *checkpointCap,
+		PersistDir:        *cachePersist,
+		DiskFaults:        injector,
+		MemBudget:         *memBudget,
 	}
-	logger := log.New(logw, "somrm-serve: ", log.LstdFlags)
+	if *cachePersist != "" {
+		logger.Printf("cache persistence enabled under %s", *cachePersist)
+	}
+	if *memBudget > 0 {
+		logger.Printf("memory admission gate enabled: budget %d bytes", *memBudget)
+	}
 
 	var handler http.Handler
 	var shutdown func(context.Context) error
@@ -152,21 +197,20 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		if *peerSecret != "" {
 			return fmt.Errorf("-peer-secret requires -self (cluster mode)")
 		}
-		svc := server.New(srvOpts)
+		// Fail at startup if the persistence directory is unusable, rather
+		// than silently running with a cold cache.
+		svc, err := server.NewWithPersistence(srvOpts)
+		if err != nil {
+			return err
+		}
+		if restored := svc.Metrics().CacheRestored.Load(); restored > 0 {
+			logger.Printf("restored %d cache entries from %s", restored, *cachePersist)
+		}
 		handler = svc.Handler()
 		shutdown = svc.Shutdown
 	}
-	faults := server.FaultConfig{
-		FailureRate:  *fault503,
-		TruncateRate: *faultTrunc,
-		PanicRate:    *faultPanic,
-		Latency:      *faultLatency,
-		Seed:         *faultSeed,
-	}
-	if faults != (server.FaultConfig{Seed: faults.Seed}) {
-		logger.Printf("WARNING: fault injection enabled (503 %.2f, truncate %.2f, panic %.2f, latency %s) — testing only",
-			faults.FailureRate, faults.TruncateRate, faults.PanicRate, faults.Latency)
-		handler = server.NewFaultInjector(faults).Middleware(handler)
+	if injector != nil {
+		handler = injector.Middleware(handler)
 	}
 	if *pprofFlag {
 		// Mount the profiling endpoints on an outer mux so they bypass the

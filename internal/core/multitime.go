@@ -254,33 +254,105 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 	}
 	sweep.SetScratch4(carve(sweep.Scratch4Words()))
 
-	for i := 0; i < n; i++ {
-		cur[0][i] = 1
-	}
-	// k = 0 contributions: U^(0)(0) = 1, higher orders 0.
-	for idx := range sweepPlans {
-		p := &sweepPlans[idx]
-		if plans[idx].t == 0 || p.First > 0 {
-			continue
+	// First iteration of the sweep: 1 for a fresh solve, Completed+1 when
+	// resuming a checkpoint. A resume restores the captured state and
+	// accumulators verbatim (the k = 0 contributions are already inside
+	// them), so the remaining iterations perform the exact floating-point
+	// work of the uninterrupted run.
+	first := 1
+	if cp := cfg.Resume; cp != nil {
+		if err := cp.matches(order, n, gMax, q, d, shift, cfg.Epsilon, times); err != nil {
+			return nil, err
 		}
-		if w0 := p.Weight[0]; w0 > 0 {
-			for i := 0; i < n; i++ {
-				p.Acc[0][i] = w0
+		for j := 0; j <= order; j++ {
+			copy(cur[j], cp.State[j])
+		}
+		for idx := range sweepPlans {
+			if plans[idx].t == 0 {
+				continue
+			}
+			if idx >= len(cp.Acc) || cp.Acc[idx] == nil || len(cp.Acc[idx]) != order+1 {
+				return nil, fmt.Errorf("%w: missing accumulator for time point %d", ErrCheckpoint, idx)
+			}
+			for j := 0; j <= order; j++ {
+				if len(cp.Acc[idx][j]) != n {
+					return nil, fmt.Errorf("%w: accumulator %d/%d has %d entries for %d states", ErrCheckpoint, idx, j, len(cp.Acc[idx][j]), n)
+				}
+				copy(sweepPlans[idx].Acc[j], cp.Acc[idx][j])
 			}
 		}
+		first = cp.Completed + 1
+	} else {
+		for i := 0; i < n; i++ {
+			cur[0][i] = 1
+		}
+		// k = 0 contributions: U^(0)(0) = 1, higher orders 0.
+		for idx := range sweepPlans {
+			p := &sweepPlans[idx]
+			if plans[idx].t == 0 || p.First > 0 {
+				continue
+			}
+			if w0 := p.Weight[0]; w0 > 0 {
+				for i := 0; i < n; i++ {
+					p.Acc[0][i] = w0
+				}
+			}
+		}
+	}
+
+	stride := cfg.CancelStride
+	if stride <= 0 {
+		stride = cancelCheckStride
+	}
+	var captured *Checkpoint
+	if cfg.Checkpoint {
+		sweep.SetInterruptHook(func(completed int, export func([][]float64)) {
+			cp := &Checkpoint{
+				Order: order, N: n, Completed: completed, GMax: gMax,
+				Q: q, D: d, Shift: shift, Epsilon: cfg.Epsilon,
+				Times:  append([]float64(nil), times...),
+				Format: string(sweep.Format()), Workers: teamSize,
+			}
+			cp.State = make([][]float64, order+1)
+			for j := range cp.State {
+				cp.State[j] = make([]float64, n)
+			}
+			export(cp.State)
+			cp.Acc = make([][][]float64, len(times))
+			for idx := range sweepPlans {
+				if plans[idx].t == 0 {
+					continue
+				}
+				acc := make([][]float64, order+1)
+				for j := range acc {
+					acc[j] = append([]float64(nil), sweepPlans[idx].Acc[j]...)
+				}
+				cp.Acc[idx] = acc
+			}
+			captured = cp
+		})
 	}
 	sweepStart := time.Now()
 	var matVecs int64
 	if workers == 0 {
-		matVecs, err = sweep.RunReference(ctx, gMax, cur, next, sweepPlans, cancelCheckStride)
+		matVecs, err = sweep.RunReferenceFrom(ctx, first, gMax, cur, next, sweepPlans, stride)
 	} else {
-		matVecs, err = sweep.Run(ctx, gMax, cur, next, sweepPlans, cancelCheckStride)
+		matVecs, err = sweep.RunFrom(ctx, first, gMax, cur, next, sweepPlans, stride)
 	}
 	if err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+		if cerr := ctx.Err(); cerr != nil {
+			if captured != nil {
+				return nil, &Interrupted{Checkpoint: captured, Err: cerr}
+			}
+			return nil, cerr
 		}
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if ran := gMax - first + 1; first > 1 && ran > 0 {
+		// Stats report whole-sweep work: credit the iterations the
+		// interrupted run already performed (the per-iteration product
+		// count divides the resumed total exactly).
+		matVecs = matVecs / int64(ran) * int64(gMax)
 	}
 	sweepNS := time.Since(sweepStart).Nanoseconds()
 

@@ -58,6 +58,24 @@ type Options struct {
 	// CSR, except on matrix-free models where it streams the operator.
 	// Stats.MatrixFormat reports the resolved choice.
 	MatrixFormat string
+	// Checkpoint enables cooperative sweep snapshots: when the context is
+	// cancelled mid-sweep the solver captures the iteration state at the
+	// barrier where the cancellation is observed and returns it inside an
+	// *Interrupted error instead of the bare context error. Off by
+	// default — capture copies the full state and accumulator set.
+	Checkpoint bool
+	// Resume, when non-nil, continues the interrupted sweep the checkpoint
+	// was captured from instead of starting at iteration 1. The request
+	// must describe the same solve (times, order, epsilon, model): the
+	// checkpoint's recorded parameters are validated bitwise against the
+	// recomputed ones and a mismatch fails with ErrCheckpoint. A resumed
+	// solve is bitwise identical to the uninterrupted one.
+	Resume *Checkpoint
+	// CancelStride overrides how many sweep iterations run between context
+	// polls (and therefore how fine-grained checkpoint capture is). Zero
+	// means the package default (32); tests use 1 to interrupt at every
+	// iteration barrier.
+	CancelStride int
 }
 
 func (o *Options) withDefaults() Options {

@@ -8,6 +8,8 @@
 package difftest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -283,6 +285,112 @@ func CheckModel(sp *spec.Model, times []float64, order int) error {
 		}
 	}
 	return nil
+}
+
+// pollCountdown is a context that reports cancellation after its Err
+// method has been polled a fixed number of times. With CancelStride 1 the
+// solver polls once on entry and then at every iteration barrier, so a
+// budget of p interrupts the sweep exactly before iteration p.
+type pollCountdown struct {
+	context.Context
+	polls int
+}
+
+func (c *pollCountdown) Err() error {
+	if c.polls <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.polls--
+	return nil
+}
+
+// resumeBarriers picks the interrupt points for CheckResumeModel: every
+// iteration barrier when the sweep is short, otherwise an even spread that
+// always includes the first and last.
+func resumeBarriers(g int) []int {
+	if g <= 24 {
+		out := make([]int, g)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	out := []int{1}
+	for i := 1; i <= 10; i++ {
+		out = append(out, i*g/11)
+	}
+	return append(out, g)
+}
+
+// CheckResumeModel is the checkpoint/resume bitwise gate for one solver
+// configuration: it solves the model uninterrupted, then interrupts the
+// same solve at a spread of iteration barriers, serializes and re-decodes
+// each captured checkpoint, resumes it, and fails on the first resumed
+// moment (scalar or per-state) that is not bitwise identical to the
+// uninterrupted run.
+func CheckResumeModel(model *core.Model, times []float64, order int, opts core.Options) error {
+	full, err := model.AccumulatedRewardAt(times, order, &opts)
+	if err != nil {
+		return fmt.Errorf("uninterrupted solve: %w", err)
+	}
+	g := 0
+	for _, r := range full {
+		if r.Stats.G > g {
+			g = r.Stats.G
+		}
+	}
+	if g < 1 {
+		return nil // frozen or degenerate chain: no sweep to interrupt
+	}
+	for _, polls := range resumeBarriers(g) {
+		iopts := opts
+		iopts.Checkpoint = true
+		iopts.CancelStride = 1
+		ctx := &pollCountdown{Context: context.Background(), polls: polls}
+		_, err := model.AccumulatedRewardAtContext(ctx, times, order, &iopts)
+		var ir *core.Interrupted
+		if !errors.As(err, &ir) {
+			return fmt.Errorf("interrupt before iteration %d: want *core.Interrupted, got %w", polls, err)
+		}
+		if ir.Checkpoint.Completed != polls-1 {
+			return fmt.Errorf("interrupt before iteration %d: checkpoint completed %d", polls, ir.Checkpoint.Completed)
+		}
+		cp, err := core.DecodeCheckpoint(ir.Checkpoint.Encode())
+		if err != nil {
+			return fmt.Errorf("checkpoint round trip at %d/%d: %w", polls, g, err)
+		}
+		ropts := opts
+		ropts.Resume = cp
+		resumed, err := model.AccumulatedRewardAt(times, order, &ropts)
+		if err != nil {
+			return fmt.Errorf("resume from %d/%d: %w", cp.Completed, g, err)
+		}
+		for k := range full {
+			for j := 0; j <= order; j++ {
+				if math.Float64bits(resumed[k].Moments[j]) != math.Float64bits(full[k].Moments[j]) {
+					return fmt.Errorf("resume from %d/%d: t=%g moment %d = %x, uninterrupted %x",
+						cp.Completed, g, times[k], j,
+						math.Float64bits(resumed[k].Moments[j]), math.Float64bits(full[k].Moments[j]))
+				}
+				for i := range full[k].VectorMoments[j] {
+					if math.Float64bits(resumed[k].VectorMoments[j][i]) != math.Float64bits(full[k].VectorMoments[j][i]) {
+						return fmt.Errorf("resume from %d/%d: t=%g vm[%d][%d] differs bitwise",
+							cp.Completed, g, times[k], j, i)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckResume builds sp and runs CheckResumeModel on it.
+func CheckResume(sp *spec.Model, times []float64, order int, opts core.Options) error {
+	model, err := sp.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	return CheckResumeModel(model, times, order, opts)
 }
 
 // agree reports whether a and b match within rel (relative to their

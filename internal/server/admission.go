@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"somrm/internal/core"
+	"somrm/internal/spec"
+)
+
+// MemShedError reports a request refused by the memory admission gate: its
+// estimated solver working set did not fit the remaining budget. Handlers
+// surface it as 503 and count it in mem_shed_total; clients should back
+// off and retry, exactly as for a full queue.
+type MemShedError struct {
+	// Need is the request's estimated working set, Budget the configured
+	// limit, InFlight the estimate reserved by admitted solves at the time
+	// of the refusal (all bytes).
+	Need, Budget, InFlight int64
+}
+
+func (e *MemShedError) Error() string {
+	return fmt.Sprintf("server: memory budget exceeded (need ~%d bytes, %d of %d in flight)",
+		e.Need, e.InFlight, e.Budget)
+}
+
+// memGate admits solver work against a byte budget: each admitted request
+// reserves its estimated working set until its release runs. A request
+// whose estimate exceeds the whole budget is always shed — a budget is a
+// statement that such a solve must not run here.
+type memGate struct {
+	mu       sync.Mutex
+	budget   int64
+	inFlight int64
+}
+
+func newMemGate(budget int64) *memGate {
+	return &memGate{budget: budget}
+}
+
+// Reserve admits need bytes against the budget, returning the paired
+// release (idempotent) and whether admission succeeded.
+func (g *memGate) Reserve(need int64) (func(), bool) {
+	if need < 0 {
+		need = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inFlight+need > g.budget {
+		return nil, false
+	}
+	g.inFlight += need
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inFlight -= need
+			g.mu.Unlock()
+		})
+	}, true
+}
+
+// InFlight reports the reserved byte total (the mem_inflight_bytes gauge).
+func (g *memGate) InFlight() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inFlight
+}
+
+// estimateWorkingSet is the admission-time footprint estimate for a single
+// solve request. See estimateFootprint for what is counted.
+func estimateWorkingSet(req *SolveRequest, sweepWorkers int, matrixFormat string) int64 {
+	return estimateFootprint(req.Model, req.Compose, req.Method, req.Order, 1, matrixFormat)
+}
+
+// estimateItemWorkingSet is the admission-time estimate for one batch item
+// against the batch's shared model.
+func estimateItemWorkingSet(model *spec.Model, item *BatchItem, sweepWorkers int, matrixFormat string) int64 {
+	return estimateFootprint(model, nil, item.Method, item.Order, len(item.Times), matrixFormat)
+}
+
+// estimateFootprint approximates the peak solver working set of one solve
+// in bytes, from the request spec alone (nothing is built): the matrix in
+// the storage format the structure-adaptive engine will pick, plus the
+// sweep's coefficient vectors and per-time-point accumulators. It is a
+// deliberate overestimate-by-a-little — admission control needs an upper
+// bound that tracks the real footprint's shape (states, density,
+// bandwidth, format), not an exact byte count.
+func estimateFootprint(model *spec.Model, compose []*spec.Model, method string, order, nTimes int, matrixFormat string) int64 {
+	n, nnz, bandwidth := 0, 0, 0
+	matrixFree := false
+	switch {
+	case len(compose) > 0:
+		n = 1
+		perState := 0 // summed average out-degree of the factors
+		for _, c := range compose {
+			n *= c.States
+			if c.States > 0 {
+				perState += (len(c.Transitions) + c.States - 1) / c.States
+			}
+		}
+		// Above the materialization threshold the composed generator stays
+		// matrix-free (Kronecker-sum operator): only the tiny factor
+		// matrices are stored, and the vectors dominate.
+		matrixFree = n > core.ComposeMaterializeThreshold
+		nnz = n * (perState + 1) // Kronecker sum density: one factor move per axis
+		bandwidth = n            // composition scrambles locality; assume no band
+	case model != nil:
+		n = model.States
+		nnz = len(model.Transitions) + n // off-diagonals plus the diagonal
+		for _, tr := range model.Transitions {
+			if d := tr.From - tr.To; d > bandwidth || -d > bandwidth {
+				if d < 0 {
+					d = -d
+				}
+				bandwidth = d
+			}
+		}
+	default:
+		return 0
+	}
+	if n <= 0 {
+		return 0
+	}
+
+	vec := int64(n) * 8
+	csr32 := int64(nnz)*(8+4) + int64(n+1)*4 // values + 32-bit cols + row pointers
+	csr64 := int64(nnz)*(8+8) + int64(n+1)*8
+	band := int64(n) * int64(2*bandwidth+1) * 8 // full stencil, present or not
+	var matrix int64
+	switch {
+	case matrixFree:
+		matrix = 0 // factor storage is negligible next to the product vectors
+	case matrixFormat == "band":
+		matrix = band
+	case matrixFormat == "csr64":
+		matrix = csr64
+	case matrixFormat == "csr" || matrixFormat == "qbd":
+		matrix = csr32
+	default:
+		// auto: the structure-adaptive engine picks the compact layout.
+		matrix = min(band, csr32)
+	}
+
+	switch method {
+	case MethodODE, MethodSimulation:
+		// Point solvers keep a handful of length-n vectors per order.
+		return matrix + vec*int64(order+2)*2
+	}
+	// Randomization: cur/next coefficient blocks (order 3 runs the
+	// interleaved 4-wide layout; count the worst of the two) plus one
+	// accumulator block per time point.
+	perBlock := vec * int64(order+1)
+	return matrix + 2*perBlock + int64(nTimes)*perBlock
+}

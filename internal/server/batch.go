@@ -101,6 +101,12 @@ type BatchResponse struct {
 const (
 	BatchStatusOK    = "ok"
 	BatchStatusError = "error"
+	// BatchStatusShedMemory marks an item refused by the memory admission
+	// gate (the batch-item analogue of a single solve's typed 503): the
+	// item's estimated working set did not fit the remaining budget. The
+	// rest of the batch is unaffected — sheds are per item, never a
+	// whole-batch failure.
+	BatchStatusShedMemory = "shed_memory"
 )
 
 // normalize applies defaults and validates the batch envelope and every
@@ -248,6 +254,23 @@ func (s *Server) solveBatchItem(ctx context.Context, prep *core.Prepared, req *B
 	itemCtx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	// Memory admission mirrors the single-solve gate, per item: an item
+	// whose estimated working set does not fit is shed with a typed
+	// per-item status while the rest of the batch proceeds.
+	if s.memGate != nil {
+		need := estimateItemWorkingSet(req.Model, item, s.opts.SweepWorkers, s.opts.MatrixFormat)
+		release, ok := s.memGate.Reserve(need)
+		if !ok {
+			s.metrics.MemShed.Add(1)
+			s.metrics.Rejected.Add(1)
+			shed := &MemShedError{Need: need, Budget: s.opts.MemBudget, InFlight: s.memGate.InFlight()}
+			return BatchItemResult{
+				Status: BatchStatusShedMemory, Error: shed.Error(), ElapsedMS: msSince(started),
+			}
+		}
+		defer release()
+	}
+
 	var points []BatchPoint
 	var solveErr error
 	// Batch items enqueue with the configured reserve: when the queue is
@@ -266,8 +289,14 @@ func (s *Server) solveBatchItem(ctx context.Context, prep *core.Prepared, req *B
 		case errors.Is(err, ErrShed):
 			s.metrics.BatchShed.Add(1)
 			s.metrics.Rejected.Add(1)
-		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		case errors.Is(err, ErrQueueFull):
+			s.metrics.ShedQueueFull.Add(1)
 			s.metrics.Rejected.Add(1)
+		case errors.Is(err, ErrShuttingDown):
+			s.metrics.Rejected.Add(1)
+		case errors.As(err, new(*QueueDeadlineError)):
+			s.metrics.ShedDeadline.Add(1)
+			s.metrics.Failures.Add(1)
 		default:
 			s.metrics.Failures.Add(1)
 		}

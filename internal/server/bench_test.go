@@ -80,6 +80,57 @@ func BenchmarkServerSolve(b *testing.B) {
 	})
 }
 
+// BenchmarkServerPersist measures what cache persistence costs on each
+// serving path, persistence off vs on. Hits never touch the journal (the
+// append fires only on a fresh cache insert), so the hit rows should
+// match within noise; each miss pays one fsynced journal append on top
+// of the solve.
+func BenchmarkServerPersist(b *testing.B) {
+	server := func(b *testing.B, dir string) (*Server, http.Handler) {
+		b.Helper()
+		s, err := NewWithPersistence(Options{Workers: 2, CacheSize: 8192, PersistDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+		return s, s.Handler()
+	}
+	for _, mode := range []string{"off", "on"} {
+		dir := func(b *testing.B) string {
+			if mode == "on" {
+				return b.TempDir()
+			}
+			return ""
+		}
+		b.Run("cache-hit-persist-"+mode, func(b *testing.B) {
+			s, h := server(b, dir(b))
+			body := benchBody(b, 1)
+			post(b, h, body) // prime
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, h, body)
+			}
+			b.StopTimer()
+			if s.metrics.Solves.Load() != 1 {
+				b.Fatalf("cache-hit path solved %d times", s.metrics.Solves.Load())
+			}
+		})
+		b.Run("cache-miss-persist-"+mode, func(b *testing.B) {
+			_, h := server(b, dir(b))
+			bodies := make([][]byte, b.N)
+			for i := range bodies {
+				bodies[i] = benchBody(b, 1+float64(i)*1e-9)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, h, bodies[i])
+			}
+		})
+	}
+}
+
 // benchBatchSpec is a birth-death model big enough that solver work, not
 // HTTP plumbing, dominates the measurement.
 func benchBatchSpec(k int) *spec.Model {

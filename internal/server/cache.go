@@ -13,6 +13,10 @@ type lruCache struct {
 	cap   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+	// onPut observes every insert (the persistence journal hook). It runs
+	// outside the mutex — the hook fsyncs, and a disk flush must never
+	// serialize cache readers.
+	onPut func(key, specHash string, resp *SolveResponse)
 }
 
 type lruEntry struct {
@@ -55,12 +59,12 @@ func (c *lruCache) Put(key, specHash string, resp *SolveResponse) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*lruEntry)
 		e.resp = resp
 		e.specHash = specHash
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, specHash: specHash, resp: resp})
@@ -68,6 +72,11 @@ func (c *lruCache) Put(key, specHash string, resp *SolveResponse) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+	hook := c.onPut
+	c.mu.Unlock()
+	if hook != nil {
+		hook(key, specHash, resp)
 	}
 }
 

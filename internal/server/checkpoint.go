@@ -1,0 +1,227 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Checkpoint-store defaults and limits.
+const (
+	defaultCheckpointTTL = 2 * time.Minute
+	defaultCheckpointCap = 64
+	// maxHandoffCheckpointEntries bounds how many in-flight checkpoints a
+	// draining replica streams to ring successors: each carries a full
+	// sweep state, so they are by far the heaviest handoff entries.
+	maxHandoffCheckpointEntries = 16
+)
+
+// errResumeTokenGone marks resume attempts against a token this replica
+// does not hold (expired, evicted, or never issued here); handlers surface
+// it as 410 Gone so clients know to re-POST without the token.
+var errResumeTokenGone = errors.New("server: unknown or expired resume token")
+
+// PartialResponse is the typed body of a 202 partial status: the solve hit
+// its deadline mid-sweep, but the iteration state was checkpointed and a
+// re-POST of the same request with ResumeToken continues where it stopped
+// instead of restarting. The final, resumed response is bitwise identical
+// to an uninterrupted solve.
+type PartialResponse struct {
+	// Status is always "partial".
+	Status string `json:"status"`
+	// ResumeToken names the held checkpoint; send it back as the
+	// resume_token field of an otherwise identical request.
+	ResumeToken string `json:"resume_token"`
+	// Completed and GMax report sweep progress (iterations done / total).
+	Completed int `json:"completed_iterations"`
+	GMax      int `json:"g_max"`
+	// Progress is Completed/GMax.
+	Progress float64 `json:"progress"`
+	// Error is the deadline error that interrupted the solve.
+	Error string `json:"error"`
+}
+
+// checkpointEntry is one held sweep snapshot.
+type checkpointEntry struct {
+	token           string
+	key             string // result-cache key of the interrupted request
+	specHash        string // canonical model hash (routes handoff on the ring)
+	blob            []byte // core.Checkpoint.Encode output (self-verifying)
+	completed, gMax int
+	expires         time.Time
+}
+
+// checkpointStore holds interrupted-sweep snapshots under a TTL and a
+// bounded capacity. Tokens are stable per request key: a solve that is
+// interrupted again after a partial resume reuses the token the client
+// already holds, with the fresher state behind it.
+type checkpointStore struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	now     func() time.Time // injectable clock for tests
+	byToken map[string]*checkpointEntry
+	byKey   map[string]string // request key -> token
+	order   []string          // token insertion order, oldest first
+}
+
+func newCheckpointStore(capacity int, ttl time.Duration) *checkpointStore {
+	if capacity <= 0 {
+		capacity = defaultCheckpointCap
+	}
+	if ttl <= 0 {
+		ttl = defaultCheckpointTTL
+	}
+	return &checkpointStore{
+		cap:     capacity,
+		ttl:     ttl,
+		now:     time.Now,
+		byToken: make(map[string]*checkpointEntry),
+		byKey:   make(map[string]string),
+	}
+}
+
+// newResumeToken returns a fresh 128-bit random token in lowercase hex
+// (the same alphabet as cache keys, so peer-endpoint validation reuses
+// validHexKey).
+func newResumeToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for token issuance; fall
+		// back to refusing checkpoints rather than predictable tokens.
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// removeLocked drops one entry from every index. Caller holds mu.
+func (cs *checkpointStore) removeLocked(e *checkpointEntry) {
+	delete(cs.byToken, e.token)
+	if cs.byKey[e.key] == e.token {
+		delete(cs.byKey, e.key)
+	}
+}
+
+// purgeLocked drops expired entries and compacts the order slice. Caller
+// holds mu.
+func (cs *checkpointStore) purgeLocked() {
+	now := cs.now()
+	kept := cs.order[:0]
+	for _, tok := range cs.order {
+		e, ok := cs.byToken[tok]
+		if !ok {
+			continue
+		}
+		if now.After(e.expires) {
+			cs.removeLocked(e)
+			continue
+		}
+		kept = append(kept, tok)
+	}
+	cs.order = kept
+}
+
+// Put stores (or refreshes) the checkpoint for a request key and returns
+// its resume token.
+func (cs *checkpointStore) Put(key, specHash string, blob []byte, completed, gMax int) string {
+	return cs.adopt("", key, specHash, blob, completed, gMax)
+}
+
+// adopt is Put with a caller-chosen token (drain handoff preserves the
+// token the client already holds); an empty token issues a fresh one. If
+// the key is already tracked, its existing token is kept and the entry
+// refreshed — unless the held state is further along than the offered one,
+// which is kept instead.
+func (cs *checkpointStore) adopt(token, key, specHash string, blob []byte, completed, gMax int) string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.purgeLocked()
+	if tok, ok := cs.byKey[key]; ok {
+		e := cs.byToken[tok]
+		if completed > e.completed {
+			e.blob = blob
+			e.completed = completed
+			e.gMax = gMax
+		}
+		e.expires = cs.now().Add(cs.ttl)
+		return e.token
+	}
+	if token == "" {
+		token = newResumeToken()
+	} else if _, clash := cs.byToken[token]; clash {
+		return token // already adopted (duplicate handoff push)
+	}
+	for len(cs.order) >= cs.cap {
+		oldest, ok := cs.byToken[cs.order[0]]
+		cs.order = cs.order[1:]
+		if ok {
+			cs.removeLocked(oldest)
+		}
+	}
+	e := &checkpointEntry{
+		token: token, key: key, specHash: specHash, blob: blob,
+		completed: completed, gMax: gMax,
+		expires: cs.now().Add(cs.ttl),
+	}
+	cs.byToken[token] = e
+	cs.byKey[key] = token
+	cs.order = append(cs.order, token)
+	return token
+}
+
+// Get returns the live entry for a token.
+func (cs *checkpointStore) Get(token string) (*checkpointEntry, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	e, ok := cs.byToken[token]
+	if !ok {
+		return nil, false
+	}
+	if cs.now().After(e.expires) {
+		cs.removeLocked(e)
+		return nil, false
+	}
+	return e, true
+}
+
+// Remove drops a token (after a successful resume).
+func (cs *checkpointStore) Remove(token string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if e, ok := cs.byToken[token]; ok {
+		cs.removeLocked(e)
+	}
+}
+
+// Len reports the live entry count (for the /metrics gauge).
+func (cs *checkpointStore) Len() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.purgeLocked()
+	return len(cs.byToken)
+}
+
+// export snapshots up to n held checkpoints as drain-handoff entries, so
+// in-flight work — not just finished results — migrates to ring
+// successors.
+func (cs *checkpointStore) export(n int) []HandoffEntry {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.purgeLocked()
+	entries := make([]HandoffEntry, 0, min(n, len(cs.byToken)))
+	// Newest first: the most recently interrupted solves are the likeliest
+	// to see their resume re-POST.
+	for i := len(cs.order) - 1; i >= 0 && len(entries) < n; i-- {
+		e, ok := cs.byToken[cs.order[i]]
+		if !ok {
+			continue
+		}
+		entries = append(entries, HandoffEntry{
+			Key: e.key, SpecHash: e.specHash,
+			Token: e.token, Checkpoint: e.blob,
+		})
+	}
+	return entries
+}

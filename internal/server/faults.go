@@ -29,6 +29,14 @@ type FaultConfig struct {
 	// Latency is a fixed delay added before the handler runs (exercises
 	// client timeouts and queue buildup).
 	Latency time.Duration
+	// DiskErrRate fails a cache-persistence write with an injected I/O
+	// error (exercises the journal's fail-open path: the solve succeeds,
+	// persistence degrades, persist_errors_total counts it).
+	DiskErrRate float64
+	// DiskTornRate cuts a cache-persistence write partway through — a torn
+	// write, as if the process died mid-append — while reporting success to
+	// the writer (exercises corrupt-tail truncation on the next startup).
+	DiskTornRate float64
 	// Seed seeds the injector's private RNG so chaos runs are
 	// reproducible (0 selects seed 1).
 	Seed int64
@@ -41,6 +49,8 @@ type FaultCounts struct {
 	Truncates int64
 	Panics    int64
 	Passed    int64 // requests forwarded unharmed
+	DiskErrs  int64 // persistence writes failed with an injected error
+	DiskTorn  int64 // persistence writes cut short (torn write)
 }
 
 // FaultInjector injects faults into an http.Handler chain according to
@@ -56,6 +66,8 @@ type FaultInjector struct {
 	truncates atomic.Int64
 	panics    atomic.Int64
 	passed    atomic.Int64
+	diskErrs  atomic.Int64
+	diskTorn  atomic.Int64
 }
 
 // NewFaultInjector builds an injector with the given initial config.
@@ -88,7 +100,29 @@ func (f *FaultInjector) Counts() FaultCounts {
 		Truncates: f.truncates.Load(),
 		Panics:    f.panics.Load(),
 		Passed:    f.passed.Load(),
+		DiskErrs:  f.diskErrs.Load(),
+		DiskTorn:  f.diskTorn.Load(),
 	}
+}
+
+// DiskFault draws one persistence write's fate: fail it outright, tear it
+// partway, or let it through. At most one fault fires per write, error
+// before torn. Nil injectors (the default) never fault.
+func (f *FaultInjector) DiskFault() (fail, torn bool) {
+	if f == nil {
+		return false, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case f.cfg.DiskErrRate > 0 && f.rnd.Float64() < f.cfg.DiskErrRate:
+		f.diskErrs.Add(1)
+		return true, false
+	case f.cfg.DiskTornRate > 0 && f.rnd.Float64() < f.cfg.DiskTornRate:
+		f.diskTorn.Add(1)
+		return false, true
+	}
+	return false, false
 }
 
 // roll draws this request's fate under the lock: at most one fault kind

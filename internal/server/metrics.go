@@ -37,6 +37,31 @@ type Metrics struct {
 	// BatchShed counts batch items refused admission to keep queue
 	// headroom free for single solves (a subset of Rejected).
 	BatchShed atomic.Int64
+	// ShedQueueFull counts work refused instantly because the queue was at
+	// capacity; ShedDeadline counts work that enqueued but whose deadline
+	// expired before a worker picked it up. Both are queue-pressure
+	// signals; the split tells operators whether the queue is too small
+	// (full) or too slow to drain (deadline).
+	ShedQueueFull atomic.Int64
+	ShedDeadline  atomic.Int64
+	// MemShed counts requests and batch items refused by the memory
+	// admission gate (estimated working set over budget; a subset of
+	// Rejected).
+	MemShed atomic.Int64
+
+	// Partials counts solves interrupted at their deadline that answered
+	// 202 with a resume token; Resumes counts solves continued from a held
+	// checkpoint to completion.
+	Partials atomic.Int64
+	Resumes  atomic.Int64
+
+	// CacheRestored counts result-cache entries replayed from the
+	// persistence journal at startup; PersistWrites counts journaled cache
+	// inserts; PersistErrors counts journal write failures (each downgrades
+	// persistence, never the solve).
+	CacheRestored atomic.Int64
+	PersistWrites atomic.Int64
+	PersistErrors atomic.Int64
 
 	// BatchRequests counts /v1/solve/batch requests accepted for
 	// processing.
@@ -242,6 +267,26 @@ type MetricsSnapshot struct {
 	Panics      int64 `json:"panics_total"`
 	BatchShed   int64 `json:"batch_shed_total"`
 
+	// Load-shedding split: instant queue-full refusals vs deadlines that
+	// expired in the queue, plus memory-admission sheds.
+	ShedQueueFull int64 `json:"shed_queue_full_total"`
+	ShedDeadline  int64 `json:"shed_deadline_total"`
+	MemShed       int64 `json:"mem_shed_total"`
+
+	// Durability counters: 202 partial responses and checkpoint resumes,
+	// persisted-cache activity, and the live checkpoint/memory gauges.
+	Partials      int64 `json:"partials_total"`
+	Resumes       int64 `json:"resumes_total"`
+	CacheRestored int64 `json:"cache_restored_total"`
+	PersistWrites int64 `json:"persist_writes_total"`
+	PersistErrors int64 `json:"persist_errors_total"`
+	// CheckpointEntries is the live held-checkpoint count; MemInFlightBytes
+	// and MemBudgetBytes expose the admission gate (all zero when the
+	// features are off).
+	CheckpointEntries int64 `json:"checkpoint_entries"`
+	MemInFlightBytes  int64 `json:"mem_inflight_bytes"`
+	MemBudgetBytes    int64 `json:"mem_budget_bytes"`
+
 	BatchRequests  int64 `json:"batch_requests"`
 	PreparedHits   int64 `json:"prepared_hits"`
 	PreparedMisses int64 `json:"prepared_misses"`
@@ -288,6 +333,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Failures:       m.Failures.Load(),
 		Panics:         m.Panics.Load(),
 		BatchShed:      m.BatchShed.Load(),
+		ShedQueueFull:  m.ShedQueueFull.Load(),
+		ShedDeadline:   m.ShedDeadline.Load(),
+		MemShed:        m.MemShed.Load(),
+		Partials:       m.Partials.Load(),
+		Resumes:        m.Resumes.Load(),
+		CacheRestored:  m.CacheRestored.Load(),
+		PersistWrites:  m.PersistWrites.Load(),
+		PersistErrors:  m.PersistErrors.Load(),
 		BatchRequests:  m.BatchRequests.Load(),
 		PreparedHits:   m.PreparedHits.Load(),
 		PreparedMisses: m.PreparedMisses.Load(),

@@ -43,12 +43,13 @@ type ClusterHooks struct {
 }
 
 // HandoffEntry is one cache entry streamed to a ring successor when a
-// replica drains. Exactly one of Response (a result-cache entry) or
+// replica drains. Exactly one of Response (a result-cache entry),
 // SpecJSON (a prepared-model cache entry, shipped as its canonical spec
-// so the receiver rebuilds it bitwise-identically) is set.
+// so the receiver rebuilds it bitwise-identically), or Checkpoint (a held
+// interrupted-sweep snapshot) is set.
 type HandoffEntry struct {
-	// Key is the result-cache key (results) or the canonical spec hash
-	// (prepared models).
+	// Key is the result-cache key (results and checkpoints) or the
+	// canonical spec hash (prepared models).
 	Key string `json:"key"`
 	// SpecHash is the canonical spec hash of the entry's model; it routes
 	// the entry to the replica that owns the model.
@@ -57,6 +58,12 @@ type HandoffEntry struct {
 	Response *SolveResponse `json:"response,omitempty"`
 	// SpecJSON is the canonical spec serialization for prepared entries.
 	SpecJSON json.RawMessage `json:"spec,omitempty"`
+	// Token and Checkpoint carry a held interrupted-sweep snapshot: the
+	// receiver adopts it under the same resume token, so a client's
+	// re-POST continues on the successor exactly where the drained replica
+	// stopped.
+	Token      string `json:"token,omitempty"`
+	Checkpoint []byte `json:"checkpoint,omitempty"`
 }
 
 // HandoffRequest is the body of POST /v1/peer/handoff.
@@ -178,6 +185,19 @@ func (s *Server) acceptHandoffEntry(ctx context.Context, e *HandoffEntry) bool {
 		// determinism guarantee.
 		s.cache.Put(e.Key, e.SpecHash, e.Response)
 		return true
+	case len(e.Checkpoint) > 0:
+		// A held interrupted-sweep snapshot: adopt it under the sender's
+		// token so the client's resume re-POST lands here unchanged. The
+		// blob is self-verifying; a corrupt or implausible one is skipped.
+		if s.checkpoints == nil || !validHexKey(e.Token) {
+			return false
+		}
+		cp, err := core.DecodeCheckpoint(e.Checkpoint)
+		if err != nil {
+			return false
+		}
+		s.checkpoints.adopt(e.Token, e.Key, e.SpecHash, e.Checkpoint, cp.Completed, cp.GMax)
+		return true
 	case len(e.SpecJSON) > 0:
 		// A prepared-model entry: rebuild from the canonical spec through
 		// the prepared cache (single-flight, LRU). The key must be the
@@ -230,6 +250,12 @@ func (s *Server) handoffEntries(limit int) []HandoffEntry {
 		return nil
 	}
 	entries := s.cache.Hottest(limit)
+	// Held checkpoints ride along outside the result/spec budget (their
+	// own, much smaller cap): they are the only entries whose loss costs a
+	// client real progress, not just a recompute.
+	if s.checkpoints != nil {
+		entries = append(entries, s.checkpoints.export(maxHandoffCheckpointEntries)...)
+	}
 	// Spend what remains of the budget on prepared models: results are
 	// the cheaper win (no recompute at all), prepared specs save the
 	// receiver a build per model.

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Persistence layout and limits. The warm cache is two files in the
+// configured directory: a snapshot (the full entry set, rewritten
+// atomically on compaction and clean shutdown) and an append-only journal
+// of inserts since the snapshot. Every line is independently verifiable:
+//
+//	v1 <sha256-hex-of-payload> <compact-json-payload>\n
+//
+// so a torn tail — the process was killed mid-append — is detected and
+// truncated on the next startup instead of poisoning the cache.
+const (
+	persistJournalName  = "cache.journal"
+	persistSnapshotName = "cache.snapshot"
+	persistLinePrefix   = "v1"
+	// persistCompactLines is the journal length that triggers compaction
+	// into the snapshot, bounding replay time after a crash.
+	persistCompactLines = 1024
+	// persistMaxEntries bounds the persister's entry set (and thus the
+	// snapshot): oldest entries are dropped first, mirroring LRU eviction.
+	persistMaxEntries = 4096
+	// persistMaxLineBytes bounds one journal line on load; longer lines are
+	// treated as corruption.
+	persistMaxLineBytes = 16 << 20
+)
+
+// persistEntry is the JSON payload of one persisted cache insert.
+type persistEntry struct {
+	Key      string         `json:"key"`
+	SpecHash string         `json:"spec_hash"`
+	Response *SolveResponse `json:"response"`
+}
+
+// restoredEntry is one verified entry replayed at startup, in
+// least-recently-written-first order.
+type restoredEntry struct {
+	Key      string
+	SpecHash string
+	Response *SolveResponse
+}
+
+// cachePersister journals result-cache inserts to disk so a killed replica
+// restarts warm. It is fail-open by design: a write error downgrades
+// persistence (counted in persist_errors_total), never the solve that
+// produced the entry.
+type cachePersister struct {
+	mu      sync.Mutex
+	dir     string
+	journal *os.File
+	lines   int // journal lines since the last compaction
+	// entries/order mirror what the snapshot would contain, newest last.
+	entries map[string][]byte // key -> canonical payload JSON
+	order   []string
+	faults  *FaultInjector
+	metrics *Metrics
+	closed  bool
+}
+
+// openCachePersister opens (creating if needed) the persistence directory,
+// replays the snapshot and journal, truncates any corrupt journal tail,
+// and returns the persister plus every verified entry in
+// oldest-write-first order (so replaying them through Put leaves the most
+// recent writes most recently used).
+func openCachePersister(dir string, faults *FaultInjector, m *Metrics) (*cachePersister, []restoredEntry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("server: cache persistence: %w", err)
+	}
+	p := &cachePersister{
+		dir:     dir,
+		entries: make(map[string][]byte),
+		faults:  faults,
+		metrics: m,
+	}
+	// Snapshot first (the compacted base), then the journal (inserts since).
+	// A corrupt snapshot line stops the snapshot replay but is not fatal;
+	// the snapshot is rewritten whole on the next compaction.
+	p.loadFile(filepath.Join(dir, persistSnapshotName), false)
+	p.loadFile(filepath.Join(dir, persistJournalName), true)
+
+	f, err := os.OpenFile(filepath.Join(dir, persistJournalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: cache persistence: %w", err)
+	}
+	p.journal = f
+
+	restored := make([]restoredEntry, 0, len(p.order))
+	for _, key := range p.order {
+		var e persistEntry
+		if err := json.Unmarshal(p.entries[key], &e); err != nil {
+			continue // cannot happen: payloads were verified on load
+		}
+		restored = append(restored, restoredEntry{Key: e.Key, SpecHash: e.SpecHash, Response: e.Response})
+	}
+	return p, restored, nil
+}
+
+// loadFile replays one persistence file into the entry set, stopping at
+// the first line that fails verification. For the journal (truncate=true)
+// the file is cut at the corrupt line's offset, so the torn tail of a
+// crashed append is removed rather than re-detected forever.
+func (p *cachePersister) loadFile(path string, truncate bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return // absent file: cold start
+	}
+	defer f.Close()
+	var offset int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), persistMaxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		e, payload, ok := decodePersistLine(line)
+		if !ok {
+			break
+		}
+		p.adoptEntry(e.Key, payload)
+		if truncate {
+			p.lines++
+		}
+		offset += int64(len(line)) + 1 // the scanner strips the newline
+	}
+	if truncate {
+		if fi, err := f.Stat(); err == nil && fi.Size() != offset {
+			// Corrupt or torn tail: cut the journal back to the last line
+			// that verified.
+			_ = os.Truncate(path, offset)
+		}
+	}
+}
+
+// decodePersistLine verifies and decodes one "v1 <digest> <payload>" line.
+func decodePersistLine(line []byte) (persistEntry, []byte, bool) {
+	var e persistEntry
+	fields := bytes.SplitN(line, []byte(" "), 3)
+	if len(fields) != 3 || string(fields[0]) != persistLinePrefix {
+		return e, nil, false
+	}
+	digest, payload := fields[1], fields[2]
+	sum := sha256.Sum256(payload)
+	if string(digest) != hex.EncodeToString(sum[:]) {
+		return e, nil, false
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, nil, false
+	}
+	// The key is the content hash of (model, params) and the spec hash the
+	// model's: both must still look like our hashes, or the entry would
+	// inject junk keys into the cache.
+	if !validHexKey(e.Key) || !validHexKey(e.SpecHash) || e.Response == nil {
+		return e, nil, false
+	}
+	return e, append([]byte(nil), payload...), true
+}
+
+// adoptEntry records one verified payload, newest last, bounded by
+// persistMaxEntries.
+func (p *cachePersister) adoptEntry(key string, payload []byte) {
+	if _, ok := p.entries[key]; ok {
+		p.entries[key] = payload
+		// Move the key to the back (most recent) of the order.
+		for i, k := range p.order {
+			if k == key {
+				p.order = append(append(p.order[:i:i], p.order[i+1:]...), key)
+				break
+			}
+		}
+		return
+	}
+	p.entries[key] = payload
+	p.order = append(p.order, key)
+	for len(p.order) > persistMaxEntries {
+		delete(p.entries, p.order[0])
+		p.order = p.order[1:]
+	}
+}
+
+// encodePersistLine renders one entry as its self-verifying journal line.
+func encodePersistLine(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	line := make([]byte, 0, len(persistLinePrefix)+1+hex.EncodedLen(len(sum))+1+len(payload)+1)
+	line = append(line, persistLinePrefix...)
+	line = append(line, ' ')
+	line = append(line, hex.EncodeToString(sum[:])...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line
+}
+
+// Append journals one cache insert (the lruCache onPut hook). It runs
+// outside the cache mutex; the fsync makes the entry crash-durable before
+// Append returns. Failures are counted and swallowed — persistence must
+// never fail the solve that produced the entry.
+func (p *cachePersister) Append(key, specHash string, resp *SolveResponse) {
+	// Strip serving-path decorations: a restored entry must read as a plain
+	// cached result, like a peer-filled adoption does.
+	clean := *resp
+	clean.Cached = false
+	clean.Deduped = false
+	clean.PeerFilled = false
+	payload, err := json.Marshal(&persistEntry{Key: key, SpecHash: specHash, Response: &clean})
+	if err != nil {
+		p.noteError()
+		return
+	}
+	line := encodePersistLine(payload)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.journal == nil {
+		return
+	}
+	fail, torn := p.faults.DiskFault()
+	switch {
+	case fail:
+		p.noteError()
+		return
+	case torn:
+		// A torn write reaches the disk truncated — as if the process died
+		// mid-append — but reports success to the caller, exactly the lie a
+		// crash tells. Startup truncates it away.
+		_, _ = p.journal.Write(line[:len(line)/2])
+		_ = p.journal.Sync()
+		p.adoptEntry(key, payload)
+		return
+	}
+	if _, err := p.journal.Write(line); err != nil {
+		p.noteError()
+		return
+	}
+	if err := p.journal.Sync(); err != nil {
+		p.noteError()
+		return
+	}
+	if p.metrics != nil {
+		p.metrics.PersistWrites.Add(1)
+	}
+	p.adoptEntry(key, payload)
+	p.lines++
+	if p.lines >= persistCompactLines {
+		_ = p.compactLocked()
+	}
+}
+
+func (p *cachePersister) noteError() {
+	if p.metrics != nil {
+		p.metrics.PersistErrors.Add(1)
+	}
+}
+
+// compactLocked rewrites the snapshot atomically (write temp, fsync,
+// rename, fsync directory) from the in-memory entry set and resets the
+// journal. Caller holds mu.
+func (p *cachePersister) compactLocked() error {
+	tmp := filepath.Join(p.dir, persistSnapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		p.noteError()
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, key := range p.order {
+		if _, err := w.Write(encodePersistLine(p.entries[key])); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			p.noteError()
+			return err
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		p.noteError()
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(p.dir, persistSnapshotName)); err != nil {
+		os.Remove(tmp)
+		p.noteError()
+		return err
+	}
+	syncDir(p.dir)
+	// The snapshot now holds everything; restart the journal.
+	if err := p.journal.Truncate(0); err != nil {
+		p.noteError()
+		return err
+	}
+	if _, err := p.journal.Seek(0, 0); err != nil {
+		p.noteError()
+		return err
+	}
+	p.lines = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Best effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Close compacts the entry set into the snapshot and closes the journal.
+// Called from Server.Shutdown after the pool has drained.
+func (p *cachePersister) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	err := p.compactLocked()
+	if cerr := p.journal.Close(); err == nil {
+		err = cerr
+	}
+	p.journal = nil
+	if err != nil {
+		return fmt.Errorf("server: cache persistence close: %w", err)
+	}
+	return nil
+}

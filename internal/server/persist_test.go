@@ -1,0 +1,281 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// solveN posts n distinct solve requests and returns the responses with
+// their serving-path decorations stripped (what the cache stores).
+func solveN(t *testing.T, url string, n int) []*SolveResponse {
+	t.Helper()
+	out := make([]*SolveResponse, n)
+	for k := 0; k < n; k++ {
+		resp, r, raw := postSolve(t, url, solveBody(t, &SolveRequest{Model: testSpec(k), T: 1.5, Order: 3}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", k, resp.StatusCode, raw)
+		}
+		out[k] = r
+	}
+	return out
+}
+
+// canonicalBody renders a response the way byte-comparison wants it:
+// serving-path fields (cached, elapsed) zeroed, everything numerical kept.
+func canonicalBody(t *testing.T, r *SolveResponse) string {
+	t.Helper()
+	c := *r
+	c.Cached = false
+	c.Deduped = false
+	c.PeerFilled = false
+	c.ElapsedMS = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPersistKillAndWarmRestart is the crash-safety gate: a replica
+// persisting its cache is killed without any shutdown (no Close, no
+// snapshot compaction — exactly what SIGKILL leaves behind), and a new
+// replica over the same directory serves every response byte-identical
+// from the restored cache, without re-entering the solver.
+func TestPersistKillAndWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	const n = 6
+
+	s1, err := NewWithPersistence(Options{Workers: 2, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	// Storm: the n distinct solves land concurrently, mid-flight journal
+	// appends interleaving like production traffic.
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			body := solveBody(t, &SolveRequest{Model: testSpec(k), T: 1.5, Order: 3})
+			resp, err := http.Post(ts1.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(k)
+	}
+	wg.Wait()
+	baseline := solveN(t, ts1.URL, n) // all cached now; records the canonical bodies
+
+	// kill -9: tear down the listener and abandon the server. No Shutdown,
+	// no persister Close — the journal's fsynced tail is all that survives.
+	ts1.Close()
+
+	s2, err := NewWithPersistence(Options{Workers: 2, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	if got := s2.metrics.CacheRestored.Load(); got != int64(n) {
+		t.Fatalf("cache_restored_total = %d, want %d", got, n)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	restored := solveN(t, ts2.URL, n)
+	for k := 0; k < n; k++ {
+		if !restored[k].Cached {
+			t.Fatalf("request %d not served from restored cache", k)
+		}
+		if got, want := canonicalBody(t, restored[k]), canonicalBody(t, baseline[k]); got != want {
+			t.Fatalf("request %d restored response differs:\n got %s\nwant %s", k, got, want)
+		}
+	}
+	if got := s2.metrics.Solves.Load(); got != 0 {
+		t.Fatalf("warm replica re-solved %d times; want 0", got)
+	}
+}
+
+// TestPersistTornWriteTruncated injects a torn journal write (the lie a
+// crash mid-append tells) and asserts the next startup truncates the
+// corrupt tail: every entry before the tear restores, the torn one is
+// gone, and the truncated journal accepts clean appends again.
+func TestPersistTornWriteTruncated(t *testing.T) {
+	dir := t.TempDir()
+	faults := NewFaultInjector(FaultConfig{})
+
+	s1, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir, DiskFaults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	solveN(t, ts1.URL, 2) // two clean entries
+
+	faults.SetConfig(FaultConfig{DiskTornRate: 1})
+	resp, r, raw := postSolve(t, ts1.URL, solveBody(t, &SolveRequest{Model: testSpec(99), T: 1.5, Order: 3}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("torn-write solve must still succeed: %d: %s", resp.StatusCode, raw)
+	}
+	if r.Cached {
+		t.Fatal("fresh solve reported cached")
+	}
+	if faults.Counts().DiskTorn != 1 {
+		t.Fatalf("torn faults fired = %d, want 1", faults.Counts().DiskTorn)
+	}
+	ts1.Close() // kill -9: no Close, the torn tail stays on disk
+
+	s2, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.cache.Len(); got != 2 {
+		t.Fatalf("restored %d entries, want the 2 before the tear", got)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	solveN(t, ts2.URL, 3) // entries 0,1 cached; 2 re-solves and re-journals cleanly
+	ts2.Close()
+
+	s3, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Shutdown(context.Background())
+	if got := s3.cache.Len(); got != 3 {
+		t.Fatalf("after truncation + clean append: restored %d entries, want 3", got)
+	}
+}
+
+// TestPersistDiskErrorFailOpen injects hard write errors: the solve still
+// answers 200, persist_errors_total counts the failures, and the failed
+// entries are simply absent after restart.
+func TestPersistDiskErrorFailOpen(t *testing.T) {
+	dir := t.TempDir()
+	faults := NewFaultInjector(FaultConfig{DiskErrRate: 1})
+
+	s1, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir, DiskFaults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	solveN(t, ts1.URL, 2)
+	if got := s1.metrics.PersistErrors.Load(); got != 2 {
+		t.Fatalf("persist_errors_total = %d, want 2", got)
+	}
+	if got := faults.Counts().DiskErrs; got != 2 {
+		t.Fatalf("disk-error faults fired = %d, want 2", got)
+	}
+	ts1.Close()
+
+	s2, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	if got := s2.cache.Len(); got != 0 {
+		t.Fatalf("failed writes restored %d entries, want 0", got)
+	}
+}
+
+// TestPersistGarbageTail appends raw garbage to the journal (bit rot, a
+// partial page, an editor accident) and asserts startup truncates it away
+// while keeping every verifiable entry.
+func TestPersistGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	solveN(t, ts1.URL, 3)
+	ts1.Close()
+
+	journal := filepath.Join(dir, persistJournalName)
+	clean, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("v1 deadbeef {\"key\": corrupted"))
+	f.Close()
+
+	s2, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	if got := s2.cache.Len(); got != 3 {
+		t.Fatalf("restored %d entries, want 3", got)
+	}
+	after, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != clean.Size() {
+		t.Fatalf("garbage tail not truncated: %d bytes, want %d", after.Size(), clean.Size())
+	}
+}
+
+// TestPersistCleanShutdownCompacts: Shutdown compacts the journal into the
+// snapshot; the next start restores from the snapshot with an empty
+// journal.
+func TestPersistCleanShutdownCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	solveN(t, ts1.URL, 4)
+	ts1.Close()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := os.Stat(filepath.Join(dir, persistSnapshotName))
+	if err != nil || snap.Size() == 0 {
+		t.Fatalf("no snapshot after clean shutdown: %v", err)
+	}
+	j, err := os.Stat(filepath.Join(dir, persistJournalName))
+	if err != nil || j.Size() != 0 {
+		t.Fatalf("journal not reset after compaction: size %d, err %v", j.Size(), err)
+	}
+
+	s2, err := NewWithPersistence(Options{Workers: 1, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	if got := s2.cache.Len(); got != 4 {
+		t.Fatalf("snapshot restored %d entries, want 4", got)
+	}
+}
+
+// TestPersisterEntryBound pins the snapshot bound: the persister's entry
+// set never exceeds persistMaxEntries, oldest dropped first.
+func TestPersisterEntryBound(t *testing.T) {
+	p := &cachePersister{entries: make(map[string][]byte)}
+	for i := 0; i < persistMaxEntries+10; i++ {
+		p.adoptEntry(fmt.Sprintf("key-%08d", i), []byte("x"))
+	}
+	if len(p.entries) != persistMaxEntries || len(p.order) != persistMaxEntries {
+		t.Fatalf("entry bound not enforced: %d/%d", len(p.entries), len(p.order))
+	}
+	if _, ok := p.entries["key-00000009"]; ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := p.entries[fmt.Sprintf("key-%08d", persistMaxEntries+9)]; !ok {
+		t.Fatal("newest entry missing")
+	}
+}

@@ -23,6 +23,20 @@ var (
 	ErrShed = fmt.Errorf("%w (shed: queue headroom reserved for single solves)", ErrQueueFull)
 )
 
+// QueueDeadlineError reports that the caller's deadline expired while the
+// task was still queued — queue pressure, not solver slowness, even though
+// both surface as 504. It unwraps to the context error, so existing
+// deadline mapping applies; handlers count it separately
+// (shed_deadline_total vs shed_queue_full_total) so operators can tell
+// "queue rejected instantly" from "queued until the deadline died".
+type QueueDeadlineError struct{ Err error }
+
+func (e *QueueDeadlineError) Error() string {
+	return "server: deadline expired while queued: " + e.Err.Error()
+}
+
+func (e *QueueDeadlineError) Unwrap() error { return e.Err }
+
 // PanicError reports that a solve panicked and was recovered by its pool
 // worker instead of killing the process. Error() is deliberately
 // sanitized — it never includes the panic value or any stack contents,
@@ -72,7 +86,7 @@ func (p *pool) worker() {
 			t.err = ErrShuttingDown
 		case t.ctx.Err() != nil:
 			// The caller's deadline expired while the task sat queued.
-			t.err = t.ctx.Err()
+			t.err = &QueueDeadlineError{Err: t.ctx.Err()}
 		default:
 			t.err = p.runTask(t)
 		}

@@ -84,6 +84,34 @@ type Options struct {
 	// setting, so the knob is server-wide and deliberately not part of
 	// requests or cache keys.
 	MatrixFormat string
+	// Checkpoints enables durable solves: a randomization solve that hits
+	// its deadline mid-sweep captures the iteration state at the barrier
+	// where the cancellation lands and answers 202 with a resume token; a
+	// re-POST of the same request carrying the token continues from the
+	// checkpoint (bitwise identical to an uninterrupted solve) instead of
+	// restarting. Held checkpoints live in a bounded, TTL'd store and are
+	// included in drain handoff so in-flight work migrates to ring
+	// successors. Off by default.
+	Checkpoints bool
+	// CheckpointTTL is how long an unclaimed checkpoint is held (default
+	// 2m); CheckpointCap bounds how many are held at once (default 64,
+	// oldest evicted first). Both only apply with Checkpoints enabled.
+	CheckpointTTL time.Duration
+	CheckpointCap int
+	// PersistDir enables the crash-safe warm cache: result-cache writes
+	// are journaled (append + fsync) under this directory and reloaded on
+	// startup, so a killed replica restarts warm and serves byte-identical
+	// cache hits instead of re-solving. Empty disables persistence.
+	PersistDir string
+	// DiskFaults, when non-nil, injects write faults into the persistence
+	// writer (chaos testing); see FaultConfig.DiskErrRate / DiskTornRate.
+	DiskFaults *FaultInjector
+	// MemBudget bounds the estimated solver working set (bytes) admitted
+	// concurrently: requests whose format-aware footprint estimate would
+	// push the in-flight total past the budget are shed with a typed 503
+	// and counted in mem_shed_total, instead of letting concurrent large
+	// solves OOM the replica. Zero or negative disables the gate.
+	MemBudget int64
 }
 
 func (o Options) withDefaults() Options {
@@ -123,20 +151,29 @@ func (o Options) withDefaults() Options {
 	if o.HandoffMax > maxHandoffEntries {
 		o.HandoffMax = maxHandoffEntries
 	}
+	if o.CheckpointTTL <= 0 {
+		o.CheckpointTTL = defaultCheckpointTTL
+	}
+	if o.CheckpointCap <= 0 {
+		o.CheckpointCap = defaultCheckpointCap
+	}
 	return o
 }
 
 // Server is the solver service. Create it with New, mount Handler on an
 // http.Server, and call Shutdown to drain.
 type Server struct {
-	opts     Options
-	pool     *pool
-	cache    *lruCache
-	prepared *preparedCache
-	flight   *flightGroup
-	metrics  *Metrics
-	start    time.Time
-	draining atomic.Bool
+	opts        Options
+	pool        *pool
+	cache       *lruCache
+	prepared    *preparedCache
+	flight      *flightGroup
+	metrics     *Metrics
+	checkpoints *checkpointStore // nil unless Options.Checkpoints
+	persist     *cachePersister  // nil unless Options.PersistDir
+	memGate     *memGate         // nil unless Options.MemBudget > 0
+	start       time.Time
+	draining    atomic.Bool
 
 	// solve is the request executor; tests substitute it to control
 	// timing and count executions.
@@ -145,8 +182,25 @@ type Server struct {
 	solveItem func(ctx context.Context, prep *core.Prepared, item *BatchItem) ([]BatchPoint, error)
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. With Options.PersistDir
+// set it also replays the cache journal, restoring every verifiable entry
+// into the result cache (a corrupt tail is truncated, never fatal).
 func New(opts Options) *Server {
+	s, err := NewWithPersistence(opts)
+	if err != nil {
+		// Persistence failing to initialize degrades to a cold cache: the
+		// server stays correct, it just re-solves. NewWithPersistence is
+		// the entry point for callers that want the error.
+		o := opts
+		o.PersistDir = ""
+		s, _ = NewWithPersistence(o)
+	}
+	return s
+}
+
+// NewWithPersistence is New returning the persistence-layer error instead
+// of silently degrading to a cold in-memory cache.
+func NewWithPersistence(opts Options) (*Server, error) {
 	o := opts.withDefaults()
 	s := &Server{
 		opts:     o,
@@ -159,7 +213,30 @@ func New(opts Options) *Server {
 	s.pool = newPool(o.Workers, o.QueueSize, func(any) { s.metrics.Panics.Add(1) })
 	s.solve = s.preparedSolve
 	s.solveItem = s.runBatchItem
-	return s
+	if o.Checkpoints {
+		s.checkpoints = newCheckpointStore(o.CheckpointCap, o.CheckpointTTL)
+	}
+	if o.MemBudget > 0 {
+		s.memGate = newMemGate(o.MemBudget)
+	}
+	if o.PersistDir != "" {
+		p, restored, err := openCachePersister(o.PersistDir, o.DiskFaults, s.metrics)
+		if err != nil {
+			// The pool is already running; stop its workers before failing
+			// so an aborted construction leaks nothing.
+			_ = s.pool.Shutdown(context.Background())
+			return nil, err
+		}
+		s.persist = p
+		for _, e := range restored {
+			s.cache.Put(e.Key, e.SpecHash, e.Response)
+		}
+		s.metrics.CacheRestored.Add(int64(len(restored)))
+		// Journal every future insert. The hook runs outside the cache
+		// mutex, so the fsync never serializes cache readers.
+		s.cache.onPut = s.persist.Append
+	}
+	return s, nil
 }
 
 // Metrics exposes the server's live counters (primarily for tests and
@@ -200,7 +277,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			h.Handoff(ctx, entries)
 		}
 	}
-	return s.pool.Shutdown(ctx)
+	err := s.pool.Shutdown(ctx)
+	if s.persist != nil {
+		// Close after the pool: in-flight solves may still append entries.
+		if cerr := s.persist.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -218,6 +302,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.CacheEntries = s.cache.Len()
 	snap.PreparedEntries = s.prepared.Len()
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	if s.checkpoints != nil {
+		snap.CheckpointEntries = int64(s.checkpoints.Len())
+	}
+	if s.memGate != nil {
+		snap.MemInFlightBytes = s.memGate.InFlight()
+		snap.MemBudgetBytes = s.opts.MemBudget
+	}
 	if h := s.opts.Cluster; h != nil && h.PeerStates != nil {
 		snap.PeerBreakers = h.PeerStates()
 	}
@@ -304,6 +395,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.CacheMisses.Add(1)
 
+	// Resolve the resume token before dispatch, so a dead token fails fast
+	// with a typed status instead of burning a solve from scratch.
+	if req.ResumeToken != "" {
+		if err := s.resolveResume(&req, key); err != nil {
+			s.writeSolveError(w, err)
+			return
+		}
+	}
+	// Capture a checkpoint if the deadline lands mid-sweep, so the client
+	// can resume instead of restarting.
+	req.checkpoint = s.checkpoints != nil && req.Method == MethodRandomization
+
 	timeout := s.opts.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
@@ -322,6 +425,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				return filled, nil
 			}
 		}
+		// Memory admission: refuse work whose estimated solver working set
+		// does not fit the remaining budget, before it can occupy a worker.
+		release, admitErr := s.admit(&req)
+		if admitErr != nil {
+			return nil, admitErr
+		}
+		defer release()
 		var solved *SolveResponse
 		var solveErr error
 		if poolErr := s.pool.Do(ctx, func(ctx context.Context) {
@@ -332,6 +442,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		if solveErr != nil {
 			return nil, solveErr
+		}
+		if req.resume != nil {
+			s.metrics.Resumes.Add(1)
+			s.checkpoints.Remove(req.ResumeToken)
 		}
 		solved.ElapsedMS = msSince(started)
 		s.cache.Put(key, req.specHash, solved)
@@ -346,6 +460,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.metrics.DedupShared.Add(1)
 	}
 	if err != nil {
+		if s.writePartial(w, &req, key, err) {
+			return
+		}
 		s.writeSolveError(w, err)
 		return
 	}
@@ -358,16 +475,103 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// resolveResume validates the request's resume token against the held
+// checkpoint store and attaches the decoded checkpoint to the request. The
+// token must name a checkpoint captured for this exact request key —
+// model, t, order, epsilon, method — so a token cannot be replayed against
+// a different solve.
+func (s *Server) resolveResume(req *SolveRequest, key string) error {
+	if s.checkpoints == nil {
+		return badRequestf("resume_token set but checkpoints are disabled on this server")
+	}
+	e, ok := s.checkpoints.Get(req.ResumeToken)
+	if !ok {
+		return errResumeTokenGone
+	}
+	if e.key != key {
+		return badRequestf("resume_token was issued for a different request")
+	}
+	cp, err := core.DecodeCheckpoint(e.blob)
+	if err != nil {
+		// A corrupt held checkpoint is unrecoverable; drop it so the
+		// client's retry-without-token path solves from scratch.
+		s.checkpoints.Remove(req.ResumeToken)
+		return errResumeTokenGone
+	}
+	req.resume = cp
+	return nil
+}
+
+// writePartial answers an interrupted checkpoint-enabled solve with a 202
+// partial status carrying the resume token. Returns false when the error
+// is not an interruption (the caller falls through to writeSolveError).
+func (s *Server) writePartial(w http.ResponseWriter, req *SolveRequest, key string, err error) bool {
+	var ir *core.Interrupted
+	if s.checkpoints == nil || !errors.As(err, &ir) {
+		return false
+	}
+	cp := ir.Checkpoint
+	token := s.checkpoints.Put(key, req.specHash, cp.Encode(), cp.Completed, cp.GMax)
+	s.metrics.Partials.Add(1)
+	writeJSON(w, http.StatusAccepted, &PartialResponse{
+		Status:      "partial",
+		ResumeToken: token,
+		Completed:   cp.Completed,
+		GMax:        cp.GMax,
+		Progress:    cp.Progress(),
+		Error:       "solve deadline exceeded; re-POST with resume_token to continue",
+	})
+	return true
+}
+
+// admit reserves the request's estimated working set against the memory
+// budget; the returned release must be called when the solve finishes. A
+// nil memGate admits everything.
+func (s *Server) admit(req *SolveRequest) (func(), error) {
+	if s.memGate == nil {
+		return func() {}, nil
+	}
+	need := estimateWorkingSet(req, s.opts.SweepWorkers, s.opts.MatrixFormat)
+	release, ok := s.memGate.Reserve(need)
+	if !ok {
+		s.metrics.MemShed.Add(1)
+		s.metrics.Rejected.Add(1)
+		return nil, &MemShedError{Need: need, Budget: s.opts.MemBudget, InFlight: s.memGate.InFlight()}
+	}
+	return release, nil
+}
+
 // writeSolveError maps solve failures to HTTP statuses: capacity and
-// shutdown to 503, deadlines to 504, malformed input to 400, recovered
-// panics to a sanitized 500, anything else to 500.
+// shutdown to 503 (memory shed included), deadlines to 504, malformed
+// input to 400, dead resume tokens to 410, checkpoint/request mismatches
+// to 409, recovered panics to a sanitized 500, anything else to 500.
 func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	var bad *errBadRequest
 	var pe *PanicError
+	var shed *MemShedError
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+	case errors.As(err, &shed):
+		// Counted (mem_shed_total and rejected) at the admission gate.
+		writeError(w, http.StatusServiceUnavailable, shed.Error())
+	case errors.Is(err, errResumeTokenGone):
+		s.metrics.Failures.Add(1)
+		writeError(w, http.StatusGone, err.Error())
+	case errors.Is(err, core.ErrCheckpoint):
+		s.metrics.Failures.Add(1)
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.ShedQueueFull.Add(1)
 		s.metrics.Rejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrShuttingDown):
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, new(*QueueDeadlineError)):
+		// Still a 504 to the client, but counted as queue pressure, not
+		// solver slowness.
+		s.metrics.ShedDeadline.Add(1)
+		s.metrics.Failures.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err.Error())
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.metrics.Failures.Add(1)
 		writeError(w, http.StatusGatewayTimeout, "solve deadline exceeded")

@@ -81,10 +81,22 @@ type SolveRequest struct {
 	// clamped to the server's default timeout and excluded from the cache
 	// key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// ResumeToken continues an interrupted solve from its held checkpoint
+	// (the resume_token of an earlier 202 partial response). The rest of
+	// the request must be identical to the interrupted one. Like the
+	// timeout, it is excluded from the cache key: a resumed solve's result
+	// is bitwise the uninterrupted result, so it caches under the same key.
+	ResumeToken string `json:"resume_token,omitempty"`
 
 	// specHash memoizes the canonical model hash (hex) once cacheKey has
 	// computed it, so the prepared-model cache does not re-canonicalize.
 	specHash string
+	// resume is the decoded checkpoint resolved from ResumeToken by the
+	// handler (randomization only); nil for fresh solves.
+	resume *core.Checkpoint
+	// checkpoint enables mid-sweep snapshot capture on cancellation, so
+	// deadline-exceeded solves return a resumable partial status.
+	checkpoint bool
 }
 
 // newSolverStats copies core solver statistics onto the wire type.
@@ -145,6 +157,9 @@ type SolveResponse struct {
 	Cached     bool `json:"cached"`
 	Deduped    bool `json:"deduped,omitempty"`
 	PeerFilled bool `json:"peer_filled,omitempty"`
+	// Resumed reports the solve continued from a held checkpoint instead
+	// of sweeping from iteration 1.
+	Resumed bool `json:"resumed,omitempty"`
 	// ElapsedMS is the server-side processing time of the request that
 	// actually solved (cache hits report their own, much smaller, time).
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -249,6 +264,14 @@ func (r *SolveRequest) normalize(maxOrder int) error {
 	}
 	if r.TimeoutMS < 0 {
 		return badRequestf("timeout_ms %d < 0", r.TimeoutMS)
+	}
+	if r.ResumeToken != "" {
+		if r.Method != MethodRandomization {
+			return badRequestf("resume_token applies only to the randomization method")
+		}
+		if !validHexKey(r.ResumeToken) {
+			return badRequestf("malformed resume_token")
+		}
 	}
 	return nil
 }
@@ -420,12 +443,17 @@ func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepare
 	resp := &SolveResponse{Method: req.Method, T: req.T, Order: req.Order}
 	switch req.Method {
 	case MethodRandomization:
-		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, &core.Options{Epsilon: req.Epsilon, SweepWorkers: sweepWorkers, MatrixFormat: matrixFormat})
+		opts := &core.Options{
+			Epsilon: req.Epsilon, SweepWorkers: sweepWorkers, MatrixFormat: matrixFormat,
+			Checkpoint: req.checkpoint, Resume: req.resume,
+		}
+		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, opts)
 		if err != nil {
 			return nil, err
 		}
 		resp.Moments = res.Moments
 		resp.Stats = newSolverStats(res.Stats)
+		resp.Resumed = req.resume != nil
 	case MethodODE:
 		// The ODE integrator has no internal cancellation hook yet; honor
 		// the deadline at the dispatch boundary.

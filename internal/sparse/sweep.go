@@ -90,6 +90,12 @@ type Sweep struct {
 	// allocations.
 	scratch4 []float64
 
+	// onInterrupt, when set, is invoked at the iteration barrier where a
+	// context cancellation is observed, before Run returns the context's
+	// error (see SetInterruptHook). It is the seam checkpointable solves
+	// hang their snapshot capture on.
+	onInterrupt InterruptHook
+
 	// Iteration state published by the driver before each barrier release;
 	// the channel synchronization orders these writes before the workers'
 	// reads. cur4/next4 replace cur/next when the run uses the interleaved
@@ -329,6 +335,45 @@ func (s *Sweep) Scratch4Words() int {
 // buffer is used only while Run executes and may be reused afterwards.
 func (s *Sweep) SetScratch4(buf []float64) { s.scratch4 = buf }
 
+// InterruptHook observes a sweep interruption. It runs exactly at an
+// iteration barrier: iteration `completed` has fully finished (every
+// worker joined, accumulations applied, state swapped) and iteration
+// completed+1 has not started, so the sweep state is a consistent
+// snapshot. export copies the current moment-state vectors U^(j)(completed)
+// into dst — order+1 vectors of Rows() entries each — deinterleaving the
+// order-3 layout when the run uses it. A sweep resumed from that state
+// with RunFrom(ctx, completed+1, ...) is bitwise identical to the
+// uninterrupted run.
+type InterruptHook func(completed int, export func(dst [][]float64))
+
+// SetInterruptHook installs the hook Run and RunReference invoke when a
+// context cancellation is observed mid-sweep (nil disables). The hook runs
+// on the driver goroutine while every worker is parked at the release
+// barrier, so it may read any sweep state without synchronization.
+func (s *Sweep) SetInterruptHook(h InterruptHook) { s.onInterrupt = h }
+
+// exportState copies the current moment-state vectors into dst,
+// deinterleaving the order-3 layout when active. Only called at iteration
+// barriers (see InterruptHook), where the published state is consistent.
+func (s *Sweep) exportState(dst [][]float64) {
+	if s.cur4 != nil {
+		base := 0
+		if s.format == FormatBand {
+			base = s.band.lo * 4
+		}
+		for j := range dst {
+			dj := dst[j]
+			for i := 0; i < s.rows; i++ {
+				dj[i] = s.cur4[base+i*4+j]
+			}
+		}
+		return
+	}
+	for j := range dst {
+		copy(dst[j], s.cur[j])
+	}
+}
+
 // matVecs returns the sparse product count of g completed iterations,
 // matching the reference recursion's bookkeeping: order+1 products with
 // the sweep matrix per iteration, plus one impulse product per (j, m)
@@ -396,8 +441,23 @@ func gatherActive(plans []SweepPlan, k int, buf []accPair) []accPair {
 // With a team size of 1 the fused kernel runs inline (no goroutines);
 // larger teams run the persistent workers described in the file comment.
 func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans []SweepPlan, cancelStride int) (int64, error) {
+	return s.RunFrom(ctx, 1, gMax, cur, next, plans, cancelStride)
+}
+
+// RunFrom is Run starting at iteration first instead of 1: cur must hold
+// the moment-state vectors U^(j)(first-1) — for first == 1 the caller's
+// initial state, for larger first a state exported by an InterruptHook —
+// and the plans' Acc buffers must already carry every accumulation of
+// iterations k < first. Because each iteration's floating-point work
+// depends only on the incoming state and its own Poisson weights, a run
+// resumed this way is bitwise identical to the uninterrupted sweep, for
+// every storage format and worker count.
+func (s *Sweep) RunFrom(ctx context.Context, first, gMax int, cur, next [][]float64, plans []SweepPlan, cancelStride int) (int64, error) {
 	if err := s.validateRun(cur, next, plans); err != nil {
 		return 0, err
+	}
+	if first < 1 {
+		return 0, fmt.Errorf("%w: resume iteration %d < 1", ErrDimensionMismatch, first)
 	}
 	if cancelStride <= 0 {
 		cancelStride = 1
@@ -448,9 +508,10 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 	}
 
 	if s.workers <= 1 {
-		for k := 1; k <= gMax; k++ {
+		for k := first; k <= gMax; k++ {
 			if k%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
+					s.interrupted(k - 1)
 					return 0, err
 				}
 			}
@@ -458,7 +519,7 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 			s.step(0, s.rows)
 			s.swap(interleaved)
 		}
-		return s.matVecs(gMax), nil
+		return s.matVecs(gMax - first + 1), nil
 	}
 
 	// Persistent team: one start channel per worker forms the release
@@ -486,9 +547,12 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 		}(start[w], lo, hi)
 	}
 
-	for k := 1; k <= gMax; k++ {
+	for k := first; k <= gMax; k++ {
 		if k%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
+				// Every worker is parked at its release barrier here, so
+				// the hook sees the consistent post-iteration-(k-1) state.
+				s.interrupted(k - 1)
 				return 0, err
 			}
 		}
@@ -501,7 +565,15 @@ func (s *Sweep) Run(ctx context.Context, gMax int, cur, next [][]float64, plans 
 		}
 		s.swap(interleaved)
 	}
-	return s.matVecs(gMax), nil
+	return s.matVecs(gMax - first + 1), nil
+}
+
+// interrupted invokes the interrupt hook, if any, with the completed
+// iteration count and a state exporter.
+func (s *Sweep) interrupted(completed int) {
+	if s.onInterrupt != nil {
+		s.onInterrupt(completed, s.exportState)
+	}
 }
 
 // step runs one iteration's fused work over rows [lo, hi) against the
@@ -893,16 +965,36 @@ func (s *Sweep) fuseBlock3Band(lo, hi int) {
 // against and the production path for matrices too small to amortize the
 // worker barrier.
 func (s *Sweep) RunReference(ctx context.Context, gMax int, cur, next [][]float64, plans []SweepPlan, cancelStride int) (int64, error) {
+	return s.RunReferenceFrom(ctx, 1, gMax, cur, next, plans, cancelStride)
+}
+
+// RunReferenceFrom is RunReference starting at iteration first, with the
+// same resume contract as RunFrom: cur holds U^(j)(first-1) and the Acc
+// buffers carry all accumulations of iterations below first.
+func (s *Sweep) RunReferenceFrom(ctx context.Context, first, gMax int, cur, next [][]float64, plans []SweepPlan, cancelStride int) (int64, error) {
 	if err := s.validateRun(cur, next, plans); err != nil {
 		return 0, err
+	}
+	if first < 1 {
+		return 0, fmt.Errorf("%w: resume iteration %d < 1", ErrDimensionMismatch, first)
 	}
 	if cancelStride <= 0 {
 		cancelStride = 1
 	}
 	n := s.rows
-	for k := 1; k <= gMax; k++ {
+	for k := first; k <= gMax; k++ {
 		if k%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
+				if s.onInterrupt != nil {
+					// The reference sweep alternates local slices, so export
+					// from the loop's own current state rather than the
+					// fused path's published fields.
+					s.onInterrupt(k-1, func(dst [][]float64) {
+						for j := range dst {
+							copy(dst[j], cur[j])
+						}
+					})
+				}
 				return 0, err
 			}
 		}
@@ -953,5 +1045,5 @@ func (s *Sweep) RunReference(ctx context.Context, gMax int, cur, next [][]float6
 			}
 		}
 	}
-	return s.matVecs(gMax), nil
+	return s.matVecs(gMax - first + 1), nil
 }

@@ -472,3 +472,167 @@ func TestSweepCancellation(t *testing.T) {
 		t.Fatalf("worker goroutines leaked: %d > %d", g, before)
 	}
 }
+
+// countdownCtx reports cancellation after its Err method has been polled
+// a fixed number of times, letting tests interrupt a sweep at an exact
+// iteration barrier deterministically.
+type countdownCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.polls--
+	return nil
+}
+
+// TestSweepResumeBitwise is the engine-level resume gate: a sweep
+// interrupted at every iteration barrier, state-exported through the
+// interrupt hook, and continued with RunFrom must reproduce the
+// uninterrupted run bit for bit — for every storage format, worker
+// count, and the reference kernel alike.
+func TestSweepResumeBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	type build func() (*Sweep, error)
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(40)
+		order := rng.Intn(5)
+		if trial%2 == 1 {
+			order = 3 // interleaved kernels
+		}
+		gMax := 3 + rng.Intn(12)
+		var a *CSR
+		var d1, d2v []float64
+		if trial%2 == 1 {
+			a, d1, d2v = bandedSweepFixture(t, rng, n, 1, 1, order)
+		} else {
+			f := randomSweepFixture(t, rng, n, order, trial%4 == 2)
+			a, d1, d2v = f.a, f.diag1, f.diag2
+		}
+
+		w := make([]float64, gMax+1)
+		for k := range w {
+			w[k] = rng.Float64()
+		}
+		weights := [][]float64{w}
+		firsts, lasts := []int{0}, []int{gMax}
+
+		builders := map[string]build{
+			"auto/w1":  func() (*Sweep, error) { return NewSweep(a, d1, d2v, nil, order, 1) },
+			"auto/w3":  func() (*Sweep, error) { return NewSweep(a, d1, d2v, nil, order, 3) },
+			"csr64/w2": func() (*Sweep, error) { return NewSweepWithFormat(a, d1, d2v, nil, order, 2, FormatCSR64) },
+			"band/w2":  func() (*Sweep, error) { return NewSweepWithFormat(a, d1, d2v, nil, order, 2, FormatBand) },
+		}
+		for name, mk := range builders {
+			if name == "band/w2" && trial%2 == 0 {
+				continue // not banded
+			}
+			s, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullCur, fullNext, fullPlans := newRunState(s, weights, firsts, lasts)
+			fullMV, err := s.Run(context.Background(), gMax, fullCur, fullNext, fullPlans, 1)
+			if err != nil {
+				t.Fatalf("trial %d %s: full run: %v", trial, name, err)
+			}
+
+			// Interrupt at every barrier k = 1..gMax (completed = k-1) and
+			// resume; the combined run must match the uninterrupted one.
+			for polls := 1; polls <= gMax; polls++ {
+				rs, err := mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var completed = -1
+				state := make([][]float64, order+1)
+				for j := range state {
+					state[j] = make([]float64, n)
+				}
+				rs.SetInterruptHook(func(done int, export func([][]float64)) {
+					completed = done
+					export(state)
+				})
+				cur, next, plans := newRunState(rs, weights, firsts, lasts)
+				ctx := &countdownCtx{Context: context.Background(), polls: polls - 1}
+				if _, err := rs.Run(ctx, gMax, cur, next, plans, 1); err == nil {
+					t.Fatalf("trial %d %s polls %d: run was not interrupted", trial, name, polls)
+				}
+				if completed != polls-1 {
+					t.Fatalf("trial %d %s polls %d: completed = %d", trial, name, polls, completed)
+				}
+				rs.SetInterruptHook(nil)
+				for j := range state {
+					copy(cur[j], state[j])
+				}
+				mv, err := rs.RunFrom(context.Background(), completed+1, gMax, cur, next, plans, 1)
+				if err != nil {
+					t.Fatalf("trial %d %s polls %d: resume: %v", trial, name, polls, err)
+				}
+				if want := fullMV - rs.matVecs(completed); mv != want {
+					t.Fatalf("trial %d %s polls %d: resumed matvecs %d, want %d", trial, name, polls, mv, want)
+				}
+				for j := 0; j <= order; j++ {
+					for i := 0; i < n; i++ {
+						got := plans[0].Acc[j][i]
+						want := fullPlans[0].Acc[j][i]
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("trial %d %s polls %d: acc[%d][%d] = %x, want %x",
+								trial, name, polls, j, i, math.Float64bits(got), math.Float64bits(want))
+						}
+					}
+				}
+			}
+
+			// The reference kernel honors the same contract.
+			rr, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCur, refNext, refPlans := newRunState(rr, weights, firsts, lasts)
+			refMV, err := rr.RunReference(context.Background(), gMax, refCur, refNext, refPlans, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "auto/w1" && refMV != fullMV {
+				t.Fatalf("trial %d: reference matvecs %d != fused %d", trial, refMV, fullMV)
+			}
+			ri, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var completed = -1
+			state := make([][]float64, order+1)
+			for j := range state {
+				state[j] = make([]float64, n)
+			}
+			ri.SetInterruptHook(func(done int, export func([][]float64)) {
+				completed = done
+				export(state)
+			})
+			cur, next, plans := newRunState(ri, weights, firsts, lasts)
+			half := gMax/2 + 1
+			ctx := &countdownCtx{Context: context.Background(), polls: half - 1}
+			if _, err := ri.RunReference(ctx, gMax, cur, next, plans, 1); err == nil {
+				t.Fatalf("trial %d %s: reference run was not interrupted", trial, name)
+			}
+			ri.SetInterruptHook(nil)
+			for j := range state {
+				copy(cur[j], state[j])
+			}
+			if _, err := ri.RunReferenceFrom(context.Background(), completed+1, gMax, cur, next, plans, 1); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j <= order; j++ {
+				for i := 0; i < n; i++ {
+					if math.Float64bits(plans[0].Acc[j][i]) != math.Float64bits(refPlans[0].Acc[j][i]) {
+						t.Fatalf("trial %d %s: reference resume acc[%d][%d] mismatch", trial, name, j, i)
+					}
+				}
+			}
+		}
+	}
+}

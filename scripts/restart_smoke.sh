@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Crash/restart smoke test: start somrm-serve with a persisted cache
+# directory, record a healthy baseline, then kill -9 the replica in the
+# middle of a fresh solve storm (leaving whatever journal tail the crash
+# left behind) and restart it over the same directory. The warm replica
+# must answer every baseline request byte-for-byte identically from the
+# restored cache without re-entering the solver. Run via
+# `make restart-smoke`.
+set -euo pipefail
+
+PORT="${SOMRM_SMOKE_PORT:-18741}"
+URL="http://127.0.0.1:$PORT"
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$tmp/somrm" ./cmd/somrm
+go build -o "$tmp/somrm-serve" ./cmd/somrm-serve
+
+cat >"$tmp/model.json" <<'EOF'
+{
+  "states": 3,
+  "transitions": [
+    {"from": 0, "to": 1, "rate": 2.0},
+    {"from": 1, "to": 2, "rate": 1.0},
+    {"from": 1, "to": 0, "rate": 3.0},
+    {"from": 2, "to": 0, "rate": 0.5}
+  ],
+  "rates": [1.5, -0.5, 0.25],
+  "variances": [0.2, 1.0, 0.5],
+  "initial": [1, 0, 0]
+}
+EOF
+
+CACHE_DIR="$tmp/cache"
+mkdir -p "$CACHE_DIR"
+
+start_server() {
+  "$tmp/somrm-serve" -addr "127.0.0.1:$PORT" -workers 2 \
+    -cache-persist "$CACHE_DIR" >>"$tmp/serve.log" 2>&1 &
+  pid="$!"
+  disown "$pid" # keep the shell's job notifications out of the output
+  for _ in $(seq 1 100); do
+    if curl -fsS "$URL/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "server never became healthy" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+}
+
+metric() {
+  curl -fsS "$URL/metrics" | tr ',{' '\n\n' | sed -n "s/.*\"$1\"://p"
+}
+
+solve() {
+  "$tmp/somrm" -model "$tmp/model.json" -t "$1" -order 4 -bounds 0.5,1 -server "$URL"
+}
+
+start_server
+echo "== server up with cache persistence under $CACHE_DIR"
+
+# Healthy baseline: a handful of distinct solves, each journaled as it
+# completes. Every later byte-comparison is against these files.
+TIMES=(0.75 1.0 1.25 1.5 2.0)
+for t in "${TIMES[@]}"; do
+  solve "$t" >"$tmp/baseline-$t.txt"
+done
+echo "== baseline recorded (${#TIMES[@]} solves persisted)"
+
+# Fresh storm + kill -9 mid-flight: new parameters keep journal appends
+# in progress while the process dies, so the crash can leave a torn tail
+# after the baseline entries. The recovery path must truncate whatever
+# junk the crash left and still restore every verifiable entry.
+for t in 3.0 3.25 3.5 3.75 4.0 4.25 4.5 4.75; do
+  solve "$t" >/dev/null 2>&1 &
+done
+sleep 0.2
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+wait || true # let the storm clients fail out
+pid=""
+echo "== killed replica mid-storm (no shutdown, no journal compaction)"
+
+start_server
+restored="$(metric cache_restored_total)"
+if [ -z "$restored" ] || [ "$restored" -lt "${#TIMES[@]}" ]; then
+  echo "warm restart restored '$restored' cache entries, want >= ${#TIMES[@]}" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+echo "== warm restart restored $restored cache entries"
+
+for t in "${TIMES[@]}"; do
+  solve "$t" >"$tmp/after-$t.txt"
+  if ! cmp -s "$tmp/baseline-$t.txt" "$tmp/after-$t.txt"; then
+    echo "restored result differs from healthy baseline at t=$t:" >&2
+    diff "$tmp/baseline-$t.txt" "$tmp/after-$t.txt" >&2 || true
+    exit 1
+  fi
+done
+
+# Every baseline replay must have come from the restored cache: the warm
+# replica's solver must not have run for them.
+solves="$(metric solves)"
+if [ "$solves" != "0" ]; then
+  echo "warm replica re-solved $solves times; want 0 (all served from restored cache)" >&2
+  exit 1
+fi
+
+echo "== restart smoke passed: $restored entries restored, ${#TIMES[@]} responses byte-identical, 0 re-solves"
