@@ -83,40 +83,61 @@ func loadReport(path string) (*Report, error) {
 	return rep, nil
 }
 
+// benchKey identifies one benchmark entry for comparison. Keying by
+// (Name, Procs) rather than name alone keeps multi-core variants of the
+// same benchmark distinct: a report can legitimately hold "sweep/N100001"
+// at 1 core and at 8 cores, and only like-for-like pairs should be diffed.
+type benchKey struct {
+	Name  string
+	Procs int
+}
+
+// label renders the key for the diff listing, suffixing the proc count
+// only when it disambiguates.
+func (k benchKey) label() string {
+	if k.Procs > 1 {
+		return fmt.Sprintf("%s@%dcores", k.Name, k.Procs)
+	}
+	return k.Name
+}
+
 // compareReports prints one line per benchmark shared by both reports and
 // returns the number of regressions: benchmarks whose ns/op exceeds the
-// old value by more than the tolerance fraction. Benchmarks present on
-// only one side are noted but never count as regressions — renames and
-// new variants should not fail a perf gate on their own.
+// old value by more than the tolerance fraction. Entries are matched by
+// (name, procs), so per-core variants diff like for like. Benchmarks
+// present on only one side are noted but never count as regressions —
+// renames and new variants should not fail a perf gate on their own.
 func compareReports(oldRep, newRep *Report, tol float64, w io.Writer) int {
-	oldBy := make(map[string]BenchResult, len(oldRep.Benchmarks))
+	oldBy := make(map[benchKey]BenchResult, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {
-		oldBy[b.Name] = b
+		oldBy[benchKey{b.Name, b.Procs}] = b
 	}
-	seen := make(map[string]bool, len(newRep.Benchmarks))
+	seen := make(map[benchKey]bool, len(newRep.Benchmarks))
 	regressions := 0
 	compared := 0
 	for _, nb := range newRep.Benchmarks {
-		ob, ok := oldBy[nb.Name]
+		key := benchKey{nb.Name, nb.Procs}
+		ob, ok := oldBy[key]
 		if !ok {
-			fmt.Fprintf(w, "  new       %-44s %s\n", nb.Name, fmtNs(nb.NsPerOp))
+			fmt.Fprintf(w, "  new       %-44s %s\n", key.label(), fmtNs(nb.NsPerOp))
 			continue
 		}
-		seen[nb.Name] = true
+		seen[key] = true
 		compared++
 		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
 		if delta > tol {
 			regressions++
 			fmt.Fprintf(w, "  REGRESSED %-44s %s -> %s  %+.1f%% (tolerance %.0f%%)\n",
-				nb.Name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta*100, tol*100)
+				key.label(), fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta*100, tol*100)
 			continue
 		}
 		fmt.Fprintf(w, "  ok        %-44s %s -> %s  %+.1f%%\n",
-			nb.Name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta*100)
+			key.label(), fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta*100)
 	}
 	for _, ob := range oldRep.Benchmarks {
-		if !seen[ob.Name] {
-			fmt.Fprintf(w, "  missing   %-44s was %s\n", ob.Name, fmtNs(ob.NsPerOp))
+		key := benchKey{ob.Name, ob.Procs}
+		if !seen[key] {
+			fmt.Fprintf(w, "  missing   %-44s was %s\n", key.label(), fmtNs(ob.NsPerOp))
 		}
 	}
 	fmt.Fprintf(w, "%d compared (%s -> %s), %d regressed beyond %.0f%%\n",

@@ -112,6 +112,12 @@ func resolveCommit(flagValue string) string {
 // benchmark lines. Unrecognized lines (test logs, PASS/ok trailers) are
 // skipped, so piping full `go test` output works.
 func parse(r io.Reader) (*Report, error) {
+	return parseWithProcs(r, runtime.GOMAXPROCS(0))
+}
+
+// parseWithProcs is parse with the GOMAXPROCS of the machine that ran the
+// benchmarks made explicit, so tests can exercise both suffix regimes.
+func parseWithProcs(r io.Reader, procs int) (*Report, error) {
 	rep := &Report{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -125,7 +131,7 @@ func parse(r io.Reader) (*Report, error) {
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			res, ok := parseBenchLine(line)
+			res, ok := parseBenchLine(line, procs)
 			if ok {
 				rep.Benchmarks = append(rep.Benchmarks, res)
 			}
@@ -143,17 +149,21 @@ func parse(r io.Reader) (*Report, error) {
 // parseBenchLine parses one result line of the form
 //
 //	BenchmarkName[-P] <iters> <ns> ns/op [<bytes> B/op] [<allocs> allocs/op]
-func parseBenchLine(line string) (BenchResult, bool) {
+func parseBenchLine(line string, procs int) (BenchResult, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
 		return BenchResult{}, false
 	}
 	res := BenchResult{Name: fields[0], Procs: 1}
-	// Split a trailing -P procs suffix (added when GOMAXPROCS != 1).
-	if i := strings.LastIndex(res.Name, "-"); i > 0 {
-		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil && p > 0 {
-			res.Name = res.Name[:i]
-			res.Procs = p
+	// Split a trailing -P procs suffix. The testing package appends one
+	// only when GOMAXPROCS != 1, and P is always that GOMAXPROCS value —
+	// so only strip a "-P" that matches it. Stripping any numeric tail
+	// would eat legitimate name suffixes like "workers-1".
+	if procs > 1 {
+		suffix := "-" + strconv.Itoa(procs)
+		if strings.HasSuffix(res.Name, suffix) && len(res.Name) > len(suffix) {
+			res.Name = res.Name[:len(res.Name)-len(suffix)]
+			res.Procs = procs
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)

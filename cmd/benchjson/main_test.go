@@ -20,7 +20,10 @@ ok  	somrm/internal/core	21.110s
 `
 
 func TestParse(t *testing.T) {
-	rep, err := parse(strings.NewReader(sampleOutput))
+	// The sample was recorded on a GOMAXPROCS=8 machine (note the -8
+	// suffix on fused-auto), so parse with that procs value regardless of
+	// where the test runs.
+	rep, err := parseWithProcs(strings.NewReader(sampleOutput), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,6 +57,49 @@ func TestParse(t *testing.T) {
 	}
 	if auto.BytesPerOp != nil {
 		t.Errorf("no -benchmem columns, but bytes=%v", auto.BytesPerOp)
+	}
+}
+
+func TestParsePreservesNumericNameSuffix(t *testing.T) {
+	// On a GOMAXPROCS=1 machine the testing package appends no -P suffix,
+	// so a trailing "-1" is part of the benchmark name (e.g. the
+	// per-worker-count sweep variants) and must survive parsing intact.
+	const out = `BenchmarkSweep/N100001/workers-1         	      10	 121100000 ns/op
+BenchmarkSweep/N100001/fused-band        	      10	 108060000 ns/op
+`
+	rep, err := parseWithProcs(strings.NewReader(out), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSweep/N100001/workers-1" {
+		t.Errorf("name %q: trailing -1 was stripped", b.Name)
+	}
+	if b.Procs != 1 {
+		t.Errorf("procs = %d, want 1", b.Procs)
+	}
+}
+
+func TestParseStripsOnlyExactProcsSuffix(t *testing.T) {
+	// With GOMAXPROCS=8 every name gains a "-8" tail; only that exact
+	// suffix is split off, even from names ending in other digits, and a
+	// name that IS the suffix ("Benchmark-8") is left alone.
+	const out = `BenchmarkSweep/workers-4-8         	      10	  61100000 ns/op
+BenchmarkSweep/workers-8-8         	      10	  41100000 ns/op
+BenchmarkSweep/workers-16-8        	      10	  31100000 ns/op
+`
+	rep, err := parseWithProcs(strings.NewReader(out), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BenchmarkSweep/workers-4", "BenchmarkSweep/workers-8", "BenchmarkSweep/workers-16"}
+	for i, b := range rep.Benchmarks {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d: name %q, want %q", i, b.Name, want[i])
+		}
+		if b.Procs != 8 {
+			t.Errorf("benchmark %d: procs = %d, want 8", i, b.Procs)
+		}
 	}
 }
 
@@ -112,6 +158,46 @@ func TestCompareReports(t *testing.T) {
 	}
 }
 
+func TestCompareMatchesByNameAndProcs(t *testing.T) {
+	oldRep := &Report{Commit: "aaa", Benchmarks: []BenchResult{
+		{Name: "BenchmarkSweep/N100001", Procs: 1, NsPerOp: 100e6},
+		{Name: "BenchmarkSweep/N100001", Procs: 8, NsPerOp: 20e6},
+	}}
+	newRep := &Report{Commit: "bbb", Benchmarks: []BenchResult{
+		// The 1-core entry regressed 50% while the 8-core entry improved.
+		// If the comparison collapsed both onto the bare name, one pair
+		// would be diffed against the wrong baseline.
+		{Name: "BenchmarkSweep/N100001", Procs: 1, NsPerOp: 150e6},
+		{Name: "BenchmarkSweep/N100001", Procs: 8, NsPerOp: 15e6},
+	}}
+	var out strings.Builder
+	if got := compareReports(oldRep, newRep, 0.15, &out); got != 1 {
+		t.Errorf("regressions = %d, want 1 (the 1-core pair)\n%s", got, out.String())
+	}
+	for _, want := range []string{
+		"REGRESSED BenchmarkSweep/N100001 ",
+		"ok        BenchmarkSweep/N100001@8cores",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// An entry whose procs changed between reports is a new/missing pair,
+	// not a comparison against the wrong core count.
+	out.Reset()
+	soloOld := &Report{Commit: "aaa", Benchmarks: []BenchResult{{Name: "BenchmarkX", Procs: 1, NsPerOp: 100e6}}}
+	soloNew := &Report{Commit: "bbb", Benchmarks: []BenchResult{{Name: "BenchmarkX", Procs: 8, NsPerOp: 500e6}}}
+	if got := compareReports(soloOld, soloNew, 0.15, &out); got != 0 {
+		t.Errorf("cross-procs pair compared: %d regressions\n%s", got, out.String())
+	}
+	for _, want := range []string{"new       BenchmarkX@8cores", "missing   BenchmarkX "} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestRunCompare drives the CLI entry point end to end, including the
 // hand-scanned trailing -tol (the flag package stops at the first
 // positional, so `-compare a b -tol 0.5` leaves `-tol 0.5` in Args()).
@@ -157,7 +243,7 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 		"BenchmarkX abc 5 ns/op",
 		"BenchmarkX 10 fast very",
 	} {
-		if _, ok := parseBenchLine(line); ok {
+		if _, ok := parseBenchLine(line, 1); ok {
 			t.Errorf("accepted %q", line)
 		}
 	}

@@ -9,6 +9,7 @@
 //	            [-cache N] [-prepared-cache N] [-timeout 30s]
 //	            [-max-order 12] [-drain-timeout 30s]
 //	            [-sweep-workers N] [-matrix-format auto|csr|band|qbd|csr64|kron]
+//	            [-temporal-block N] [-sweep-tile N]
 //	            [-checkpoints] [-checkpoint-ttl 2m] [-checkpoint-cap 64]
 //	            [-cache-persist DIR] [-mem-budget BYTES]
 //	            [-self URL -peers URL,URL,...] [-peer-secret S]
@@ -94,6 +95,8 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	maxOrder := fs.Int("max-order", 0, "highest accepted moment order (0 = default 12)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "per-solve randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep")
 	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, qbd, csr64, or kron (all bitwise identical; server-wide, not per-request)")
+	temporalBlock := fs.Int("temporal-block", 0, "wavefront temporal blocking depth of the sweep: 0 auto, 1 disables, N>=2 forces (bitwise identical; server-wide, not per-request)")
+	sweepTile := fs.Int("sweep-tile", 0, "row-tile width of the fused sweep kernels (0 = built-in default; bitwise neutral)")
 	checkpoints := fs.Bool("checkpoints", true, "answer mid-sweep deadlines with a 202 partial + resume token instead of discarding progress")
 	checkpointTTL := fs.Duration("checkpoint-ttl", 0, "how long an unclaimed resume checkpoint is held (0 = default 2m)")
 	checkpointCap := fs.Int("checkpoint-cap", 0, "max held resume checkpoints, oldest evicted first (0 = default 64)")
@@ -151,6 +154,8 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		MaxOrder:          *maxOrder,
 		SweepWorkers:      *sweepWorkers,
 		MatrixFormat:      *matrixFormat,
+		TemporalBlock:     *temporalBlock,
+		SweepTile:         *sweepTile,
 		HandoffMax:        *handoffMax,
 		Checkpoints:       *checkpoints,
 		CheckpointTTL:     *checkpointTTL,

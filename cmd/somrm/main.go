@@ -65,6 +65,8 @@ func run(args []string, out io.Writer) error {
 	eps := fs.Float64("eps", 1e-9, "randomization truncation accuracy")
 	sweepWorkers := fs.Int("sweep-workers", 0, "randomization sweep parallelism: 0 auto, N forces a fused team of N, negative forces the serial reference sweep (all bitwise identical)")
 	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default) picks band, qbd or compact CSR by structure; csr forces compact indices, band the band kernel, qbd the block-tridiagonal window, csr64 the original layout, kron the matrix-free Kronecker-sum operator for composed models (all bitwise identical)")
+	temporalBlock := fs.Int("temporal-block", 0, "wavefront temporal blocking depth of the sweep: 0 auto-tunes from bandwidth and state size, 1 disables, N>=2 forces N iterations per cache-resident row block (all bitwise identical)")
+	sweepTile := fs.Int("sweep-tile", 0, "row-tile width of the fused sweep kernels and block width of the temporally blocked driver; 0 keeps the built-in default (bitwise neutral)")
 	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
@@ -125,14 +127,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("bad -times: %w", err)
 		}
-		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat})
+		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat, TemporalBlock: *temporalBlock, SweepTile: *sweepTile})
 		if err != nil {
 			return err
 		}
 		return writeSeries(results, *order, out)
 	}
 
-	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat})
+	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat, TemporalBlock: *temporalBlock, SweepTile: *sweepTile})
 	if err != nil {
 		return err
 	}

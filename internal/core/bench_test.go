@@ -92,7 +92,10 @@ func BenchmarkComposePair(b *testing.B) {
 // indices at all), "fused-qbd" the block-tridiagonal window kernel (the
 // chain detects QBD block size 1), and "fused-auto" the production
 // policy (structure detection picks the band kernel here, workers by
-// GOMAXPROCS). The trailing kron-KxM sub-benchmarks sweep matrix-free
+// GOMAXPROCS). The -blocked variants rerun a kernel with wavefront
+// temporal blocking forced to depth 16 (Options.TemporalBlock), and the
+// workers-W[-blocked] variants sweep fused-team sizes at the production
+// storage policy. The trailing kron-KxM sub-benchmarks sweep matrix-free
 // composed models through the streaming Kronecker-sum operator. Each
 // model is prepared once so an op measures the sweep, not the per-solve
 // uniformization and CSR assembly it shares across kernels.
@@ -111,16 +114,25 @@ func BenchmarkSweep(b *testing.B) {
 			name    string
 			workers int
 			format  string
+			tblock  int
 		}{
-			{"reference", -1, ""},
-			{"fused-single", 1, "csr64"},
-			{"fused-compact", 1, "csr"},
-			{"fused-band", 1, "band"},
-			{"fused-qbd", 1, "qbd"},
-			{"fused-auto", 0, "auto"},
+			{"reference", -1, "", 0},
+			{"fused-single", 1, "csr64", 1},
+			{"fused-compact", 1, "csr", 1},
+			{"fused-band", 1, "band", 1},
+			{"fused-qbd", 1, "qbd", 1},
+			{"fused-auto", 0, "auto", 0},
+			// Wavefront temporal blocking (Options.TemporalBlock) at the
+			// forced depth of 16 (the auto-tuned default) against the
+			// unblocked kernels above: same arithmetic bitwise, ~T fewer
+			// DRAM sweeps over the state arrays once the state outgrows
+			// cache.
+			{"fused-compact-blocked", 1, "csr", 16},
+			{"fused-band-blocked", 1, "band", 16},
+			{"fused-qbd-blocked", 1, "qbd", 16},
 		} {
 			b.Run(fmt.Sprintf("N%d/%s", n, bc.name), func(b *testing.B) {
-				opts := &Options{SweepWorkers: bc.workers, MatrixFormat: bc.format}
+				opts := &Options{SweepWorkers: bc.workers, MatrixFormat: bc.format, TemporalBlock: bc.tblock}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := prep.AccumulatedReward(tt, order, opts); err != nil {
@@ -130,20 +142,33 @@ func BenchmarkSweep(b *testing.B) {
 			})
 		}
 		// Worker-count scaling of the fused kernel at the production
-		// storage policy: one BENCH_sweep.json entry per worker count, so
+		// storage policy, unblocked and temporally blocked: one
+		// BENCH_sweep.json entry per (worker count, blocking) pair, so
 		// scaling regressions (a kernel that stops speeding up past two
 		// workers, say) are diffable across revisions like the kernel
-		// variants above.
-		for _, w := range sweepWorkerCounts() {
-			b.Run(fmt.Sprintf("N%d/workers-%d", n, w), func(b *testing.B) {
-				opts := &Options{SweepWorkers: w, MatrixFormat: "auto"}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := prep.AccumulatedReward(tt, order, opts); err != nil {
-						b.Fatal(err)
-					}
+		// variants above. The counts are fixed rather than derived from
+		// the machine so reports from different hosts stay comparable;
+		// counts the host cannot actually run in parallel are skipped
+		// explicitly instead of silently measuring oversubscription.
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			for _, tb := range []int{1, 16} {
+				name := fmt.Sprintf("N%d/workers-%d", n, w)
+				if tb > 1 {
+					name += "-blocked"
 				}
-			})
+				b.Run(name, func(b *testing.B) {
+					if max := runtime.GOMAXPROCS(0); w > max {
+						b.Skipf("worker count %d exceeds GOMAXPROCS=%d; skipping rather than measuring oversubscription", w, max)
+					}
+					opts := &Options{SweepWorkers: w, MatrixFormat: "auto", TemporalBlock: tb}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := prep.AccumulatedReward(tt, order, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 
@@ -183,19 +208,4 @@ func BenchmarkSweep(b *testing.B) {
 			}
 		})
 	}
-}
-
-// sweepWorkerCounts lists the fused-team sizes the sweep benchmark
-// sweeps: powers of two up to GOMAXPROCS, plus GOMAXPROCS itself when it
-// is not a power of two (so the machine's full width is always measured).
-func sweepWorkerCounts() []int {
-	limit := runtime.GOMAXPROCS(0)
-	var counts []int
-	for w := 1; w <= limit; w *= 2 {
-		counts = append(counts, w)
-	}
-	if counts[len(counts)-1] != limit {
-		counts = append(counts, limit)
-	}
-	return counts
 }

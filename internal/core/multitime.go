@@ -208,6 +208,8 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	sweep.SetSweepTile(cfg.SweepTile)
+	sweep.SetTemporalBlock(cfg.TemporalBlock)
 
 	// Per-solve scratch comes from one arena (pooled by Prepared): the
 	// sweep state vectors, the per-time accumulators, the interleaved
@@ -400,6 +402,7 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 			SweepNS:           sweepNS,
 			FlopsPerIteration: (u.nnz + int64(2*n)) * int64(order+1),
 			MatrixFormat:      string(sweep.Format()),
+			TemporalBlock:     sweep.TemporalBlock(),
 		}
 		res.finish(m.initial)
 		results[idx] = res

@@ -58,6 +58,31 @@ type Options struct {
 	// CSR, except on matrix-free models where it streams the operator.
 	// Stats.MatrixFormat reports the resolved choice.
 	MatrixFormat string
+	// TemporalBlock controls wavefront temporal blocking of the fused
+	// sweep: how many consecutive sweep iterations run over each
+	// cache-resident row block before the next block is touched, cutting
+	// the sweep's DRAM traffic by roughly that factor on banded/QBD
+	// models.
+	//
+	//   - 0 (the default) tunes the depth automatically from the matrix
+	//     bandwidth and the state footprint (small models stay unblocked —
+	//     they are already cache-resident);
+	//   - 1 or negative disables blocking;
+	//   - >= 2 forces that depth wherever blocking is structurally
+	//     possible (bounded-bandwidth explicit matrices with the
+	//     interleaved order-3 kernel; matrix-free Kronecker operators and
+	//     impulse models never block).
+	//
+	// Every setting produces bitwise identical moments. With Checkpoint,
+	// snapshots land only at blocked-iteration group boundaries; resume
+	// tokens remain interchangeable between blocked and unblocked solves.
+	// Stats.TemporalBlock reports the depth the solve actually used.
+	TemporalBlock int
+	// SweepTile overrides the fused kernels' spatial row-tile width (and
+	// with it the temporally blocked driver's block width), so spatial and
+	// temporal tile shapes are tunable together. Zero or negative keeps
+	// the built-in default (1024 rows). Bitwise neutral.
+	SweepTile int
 	// Checkpoint enables cooperative sweep snapshots: when the context is
 	// cancelled mid-sweep the solver captures the iteration state at the
 	// barrier where the cancellation is observed and returns it inside an
@@ -131,6 +156,10 @@ type Stats struct {
 	// Empty for solves that never ran a sweep (t = 0, frozen chains,
 	// d = 0).
 	MatrixFormat string
+	// TemporalBlock is the wavefront temporal blocking depth the sweep
+	// resolved (see Options.TemporalBlock): 1 for an unblocked sweep, the
+	// group depth otherwise. Zero for solves that never ran a sweep.
+	TemporalBlock int
 }
 
 // Result holds the accumulated-reward moments at one time point.

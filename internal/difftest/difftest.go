@@ -59,7 +59,11 @@ func Generate(rng *rand.Rand) *spec.Model {
 	}
 
 	if rng.Float64() < 0.4 {
-		for _, k := range rng.Perm(len(sp.Transitions))[:1+rng.Intn(3)] {
+		imp := 1 + rng.Intn(3)
+		if imp > len(sp.Transitions) {
+			imp = len(sp.Transitions) // 2-state models can have just 2 transitions
+		}
+		for _, k := range rng.Perm(len(sp.Transitions))[:imp] {
 			tr := sp.Transitions[k]
 			sp.Impulses = append(sp.Impulses, spec.Impulse{
 				From: tr.From, To: tr.To, Reward: rng.Float64(),
@@ -329,7 +333,18 @@ func resumeBarriers(g int) []int {
 // moment (scalar or per-state) that is not bitwise identical to the
 // uninterrupted run.
 func CheckResumeModel(model *core.Model, times []float64, order int, opts core.Options) error {
-	full, err := model.AccumulatedRewardAt(times, order, &opts)
+	return CheckResumeAcross(model, times, order, opts, opts)
+}
+
+// CheckResumeAcross is CheckResumeModel with distinct capture and resume
+// configurations: checkpoints are captured under captureOpts and resumed
+// under resumeOpts. Checkpoint tokens are interchangeable across solver
+// settings — a temporally blocked solve must resume a checkpoint from an
+// unblocked one (and vice versa) to the bitwise-identical result, since
+// blocking only moves the cancellation barriers to blocked-iteration
+// group boundaries.
+func CheckResumeAcross(model *core.Model, times []float64, order int, captureOpts, resumeOpts core.Options) error {
+	full, err := model.AccumulatedRewardAt(times, order, &resumeOpts)
 	if err != nil {
 		return fmt.Errorf("uninterrupted solve: %w", err)
 	}
@@ -342,24 +357,39 @@ func CheckResumeModel(model *core.Model, times []float64, order int, opts core.O
 	if g < 1 {
 		return nil // frozen or degenerate chain: no sweep to interrupt
 	}
-	for _, polls := range resumeBarriers(g) {
-		iopts := opts
+	// Under temporal blocking the sweep only polls at blocked-iteration
+	// group boundaries, so the interruptible barriers are the group
+	// starts: learn the resolved depth of the capture configuration from
+	// its own stats (1 when blocking stays off).
+	probe, err := model.AccumulatedRewardAt(times, order, &captureOpts)
+	if err != nil {
+		return fmt.Errorf("capture-config solve: %w", err)
+	}
+	depth := 1
+	for _, r := range probe {
+		if r.Stats.G == g && r.Stats.TemporalBlock > depth {
+			depth = r.Stats.TemporalBlock
+		}
+	}
+	for _, polls := range resumeBarriers((g + depth - 1) / depth) {
+		iopts := captureOpts
 		iopts.Checkpoint = true
 		iopts.CancelStride = 1
 		ctx := &pollCountdown{Context: context.Background(), polls: polls}
 		_, err := model.AccumulatedRewardAtContext(ctx, times, order, &iopts)
 		var ir *core.Interrupted
 		if !errors.As(err, &ir) {
-			return fmt.Errorf("interrupt before iteration %d: want *core.Interrupted, got %w", polls, err)
+			return fmt.Errorf("interrupt before barrier %d: want *core.Interrupted, got %w", polls, err)
 		}
-		if ir.Checkpoint.Completed != polls-1 {
-			return fmt.Errorf("interrupt before iteration %d: checkpoint completed %d", polls, ir.Checkpoint.Completed)
+		if want := (polls - 1) * depth; ir.Checkpoint.Completed != want {
+			return fmt.Errorf("interrupt before barrier %d (depth %d): checkpoint completed %d, want %d",
+				polls, depth, ir.Checkpoint.Completed, want)
 		}
 		cp, err := core.DecodeCheckpoint(ir.Checkpoint.Encode())
 		if err != nil {
-			return fmt.Errorf("checkpoint round trip at %d/%d: %w", polls, g, err)
+			return fmt.Errorf("checkpoint round trip at %d/%d: %w", ir.Checkpoint.Completed, g, err)
 		}
-		ropts := opts
+		ropts := resumeOpts
 		ropts.Resume = cp
 		resumed, err := model.AccumulatedRewardAt(times, order, &ropts)
 		if err != nil {

@@ -156,10 +156,11 @@ func TestDiffGeneratorProducesValidModels(t *testing.T) {
 
 // TestDiffSweepKernelBitwise is the fused-kernel gate: across the fixed
 // seed corpus, the fused persistent-worker sweep (forced on, single- and
-// multi-worker, at every matrix storage format) must reproduce the serial
-// reference sweep bit for bit — moments and per-state vectors alike. The
-// fused kernel and the band/compact storage engine are optimizations,
-// never approximations.
+// multi-worker, at every matrix storage format and temporal blocking
+// depth) must reproduce the serial reference sweep bit for bit — moments
+// and per-state vectors alike. The fused kernel, the band/compact storage
+// engine, and the wavefront temporal blocking are optimizations, never
+// approximations.
 func TestDiffSweepKernelBitwise(t *testing.T) {
 	for seed := 0; seed < corpusSize; seed++ {
 		rng := rand.New(rand.NewSource(int64(seed)))
@@ -183,23 +184,33 @@ func TestDiffSweepKernelBitwise(t *testing.T) {
 		// exists (small corpus models always have the degenerate one) and
 		// "kron" resolves like auto on explicit non-composed generators —
 		// both must stay inside the bitwise contract.
+		//
+		// The temporal-block loop forces wavefront blocking depths over a
+		// tiny tile so the blocked driver engages on these small models
+		// (it still resolves off where the shape is ineligible — impulses,
+		// orders other than 3, unbounded reach — which keeps those shapes
+		// covered as unblocked runs of the same configurations). Depth 8
+		// with the corpus G makes ragged final groups routine.
 		for _, format := range []string{"auto", "csr", "band", "csr64", "qbd", "kron"} {
 			for _, workers := range []int{1, 2, 5} {
-				fused, err := model.AccumulatedRewardAt(times, order, &core.Options{SweepWorkers: workers, MatrixFormat: format})
-				if err != nil {
-					t.Fatalf("seed %d format %s workers %d: fused: %v", seed, format, workers, err)
-				}
-				for k := range times {
-					for j := 0; j <= order; j++ {
-						if math.Float64bits(fused[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
-							t.Fatalf("seed %d format %s workers %d t=%g: moment %d = %x, reference %x",
-								seed, format, workers, times[k], j,
-								math.Float64bits(fused[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
-						}
-						for i := range fused[k].VectorMoments[j] {
-							if math.Float64bits(fused[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
-								t.Fatalf("seed %d format %s workers %d t=%g: vm[%d][%d] differs bitwise",
-									seed, format, workers, times[k], j, i)
+				for _, tblock := range []int{1, 2, 4, 8} {
+					opts := &core.Options{SweepWorkers: workers, MatrixFormat: format, TemporalBlock: tblock, SweepTile: 8}
+					fused, err := model.AccumulatedRewardAt(times, order, opts)
+					if err != nil {
+						t.Fatalf("seed %d format %s workers %d tblock %d: fused: %v", seed, format, workers, tblock, err)
+					}
+					for k := range times {
+						for j := 0; j <= order; j++ {
+							if math.Float64bits(fused[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
+								t.Fatalf("seed %d format %s workers %d tblock %d t=%g: moment %d = %x, reference %x",
+									seed, format, workers, tblock, times[k], j,
+									math.Float64bits(fused[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
+							}
+							for i := range fused[k].VectorMoments[j] {
+								if math.Float64bits(fused[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
+									t.Fatalf("seed %d format %s workers %d tblock %d t=%g: vm[%d][%d] differs bitwise",
+										seed, format, workers, tblock, times[k], j, i)
+								}
 							}
 						}
 					}
@@ -382,6 +393,46 @@ func TestDiffCheckpointResumeBitwise(t *testing.T) {
 				}
 				if err := CheckResume(sp, times, order, opts); err != nil {
 					t.Fatalf("seed %d format %s workers %d: %v", seed, format, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDiffCheckpointResumeBlocked extends the resume gate to wavefront
+// temporal blocking: blocked solves must survive interrupts at their
+// group-boundary barriers, and checkpoint tokens must be interchangeable
+// across blocking modes — a token captured by an unblocked solve resumes
+// under a blocked one and vice versa, bitwise identical either way,
+// because blocking is absent from the checkpoint contract entirely.
+func TestDiffCheckpointResumeBlocked(t *testing.T) {
+	seeds := 3
+	if !testing.Short() {
+		seeds = 6
+	}
+	times := []float64{0, 0.4, 1.3}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		sp := Generate(rng)
+		order := 1 + rng.Intn(4)
+		model, err := sp.Build()
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		for _, format := range []string{"auto", "band"} {
+			for _, workers := range []int{1, 3} {
+				plain := core.Options{SweepWorkers: workers, MatrixFormat: format}
+				blocked := plain
+				blocked.TemporalBlock = 4
+				blocked.SweepTile = 8
+				if err := CheckResumeAcross(model, times, order, blocked, blocked); err != nil {
+					t.Fatalf("seed %d format %s workers %d blocked/blocked: %v", seed, format, workers, err)
+				}
+				if err := CheckResumeAcross(model, times, order, blocked, plain); err != nil {
+					t.Fatalf("seed %d format %s workers %d blocked capture/unblocked resume: %v", seed, format, workers, err)
+				}
+				if err := CheckResumeAcross(model, times, order, plain, blocked); err != nil {
+					t.Fatalf("seed %d format %s workers %d unblocked capture/blocked resume: %v", seed, format, workers, err)
 				}
 			}
 		}

@@ -320,7 +320,10 @@ func (s *Server) runBatchItem(ctx context.Context, prep *core.Prepared, item *Ba
 	switch item.Method {
 	case MethodRandomization:
 		s.metrics.SweepPoints.Observe(len(item.Times))
-		results, err := prep.AccumulatedRewardAtContext(ctx, item.Times, item.Order, &core.Options{Epsilon: item.Epsilon, SweepWorkers: s.opts.SweepWorkers, MatrixFormat: s.opts.MatrixFormat})
+		results, err := prep.AccumulatedRewardAtContext(ctx, item.Times, item.Order, &core.Options{
+			Epsilon: item.Epsilon, SweepWorkers: s.opts.SweepWorkers, MatrixFormat: s.opts.MatrixFormat,
+			TemporalBlock: s.opts.TemporalBlock, SweepTile: s.opts.SweepTile,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -332,6 +335,7 @@ func (s *Server) runBatchItem(ctx context.Context, prep *core.Prepared, item *Ba
 		if len(results) > 0 && results[0].Stats.SweepNS > 0 {
 			s.metrics.ObserveSweep(time.Duration(results[0].Stats.SweepNS))
 			s.metrics.ObserveSweepFormat(results[0].Stats.MatrixFormat)
+			s.metrics.ObserveSweepBlocking(results[0].Stats.TemporalBlock)
 		}
 	case MethodODE:
 		opts := &odesolver.MomentOptions{Steps: item.ODE.Steps}

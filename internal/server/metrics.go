@@ -104,6 +104,10 @@ type Metrics struct {
 	SweepFormatCSR32 atomic.Int64
 	SweepFormatCSR64 atomic.Int64
 	SweepFormatKron  atomic.Int64
+	// SweepBlocked counts solver executions whose sweep ran temporally
+	// blocked (core.Stats.TemporalBlock > 1) — the signal operators watch
+	// to confirm wavefront blocking engaged for their models.
+	SweepBlocked atomic.Int64
 
 	// solveLatency tracks end-to-end solve time (queue wait included);
 	// sweepLatency tracks only the randomization sweep inside the solver
@@ -239,6 +243,15 @@ func (m *Metrics) ObserveSweepFormat(format string) {
 	}
 }
 
+// ObserveSweepBlocking records whether one solver execution ran its sweep
+// temporally blocked (core.Stats.TemporalBlock > 1). Depths of 0 (no
+// sweep) and 1 (unblocked) are ignored.
+func (m *Metrics) ObserveSweepBlocking(depth int) {
+	if depth > 1 {
+		m.SweepBlocked.Add(1)
+	}
+}
+
 // HistogramBucket is one cumulative-style histogram bucket in the
 // /metrics payload. LE is the bucket's inclusive upper bound in
 // milliseconds; the +Inf bucket is rendered with LE = 0 and Inf = true.
@@ -307,6 +320,9 @@ type MetricsSnapshot struct {
 	// the randomization sweep streamed, keyed by the core.Stats label
 	// ("band", "csr32", "csr64").
 	SweepFormats map[string]int64 `json:"sweep_formats"`
+	// SweepBlocked counts solver executions whose randomization sweep ran
+	// with wavefront temporal blocking engaged (depth > 1).
+	SweepBlocked int64 `json:"sweep_blocked_total"`
 
 	QueueDepth      int     `json:"queue_depth"`
 	Workers         int     `json:"workers"`
@@ -358,6 +374,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			"csr64": m.SweepFormatCSR64.Load(),
 			"kron":  m.SweepFormatKron.Load(),
 		},
+		SweepBlocked: m.SweepBlocked.Load(),
 	}
 	snap.SolveLatency = m.solveLatency.snapshot()
 	snap.SweepLatency = m.sweepLatency.snapshot()

@@ -84,6 +84,19 @@ type Options struct {
 	// setting, so the knob is server-wide and deliberately not part of
 	// requests or cache keys.
 	MatrixFormat string
+	// TemporalBlock is passed through to the randomization solver
+	// (core.Options.TemporalBlock): 0 lets the sweep auto-tune wavefront
+	// temporal blocking from the model's bandwidth and state size, 1
+	// disables it, and N >= 2 forces N iterations per cache-resident row
+	// block. Blocking changes memory traffic only — results are bitwise
+	// identical for every setting — so, like MatrixFormat, the knob is
+	// server-wide and not part of requests or cache keys.
+	TemporalBlock int
+	// SweepTile is passed through to the randomization solver
+	// (core.Options.SweepTile): the row-tile width of the fused sweep
+	// kernels and the block width of the temporally blocked driver. 0
+	// keeps the solver's built-in default. Bitwise neutral.
+	SweepTile int
 	// Checkpoints enables durable solves: a randomization solve that hits
 	// its deadline mid-sweep captures the iteration state at the barrier
 	// where the cancellation lands and answers 202 with a resume token; a
@@ -453,6 +466,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if solved.Stats != nil && solved.Stats.SweepNS > 0 {
 			s.metrics.ObserveSweep(time.Duration(solved.Stats.SweepNS))
 			s.metrics.ObserveSweepFormat(solved.Stats.MatrixFormat)
+			s.metrics.ObserveSweepBlocking(solved.Stats.TemporalBlock)
 		}
 		return solved, nil
 	})

@@ -107,6 +107,7 @@ func newSolverStats(st core.Stats) *SolverStats {
 		MatVecs: st.MatVecs, SweepNS: st.SweepNS,
 		FlopsPerIteration: st.FlopsPerIteration,
 		MatrixFormat:      st.MatrixFormat,
+		TemporalBlock:     st.TemporalBlock,
 	}
 }
 
@@ -128,6 +129,10 @@ type SolverStats struct {
 	// matrix-free Kronecker-sum operator); empty for solves that never
 	// ran a sweep.
 	MatrixFormat string `json:"matrix_format,omitempty"`
+	// TemporalBlock is the wavefront temporal blocking depth the sweep
+	// ran with: 1 for an unblocked sweep, the blocked-iteration group
+	// depth otherwise. Zero for solves that never ran a sweep.
+	TemporalBlock int `json:"temporal_block,omitempty"`
 }
 
 // BoundPoint is one moment-based CDF bound evaluation.
@@ -419,7 +424,10 @@ func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveRe
 	if err != nil {
 		return nil, err
 	}
-	return runSolvePrepared(ctx, req, prep, s.opts.SweepWorkers, s.opts.MatrixFormat)
+	return runSolvePrepared(ctx, req, prep, sweepConfig{
+		Workers: s.opts.SweepWorkers, Format: s.opts.MatrixFormat,
+		TemporalBlock: s.opts.TemporalBlock, Tile: s.opts.SweepTile,
+	})
 }
 
 // runSolve executes a normalized request without a prepared-model cache:
@@ -430,21 +438,31 @@ func runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSolvePrepared(ctx, req, prep, 0, "")
+	return runSolvePrepared(ctx, req, prep, sweepConfig{})
+}
+
+// sweepConfig bundles the server-wide randomization sweep settings
+// forwarded to the solver. None of them changes results bitwise, which is
+// why they are not part of requests or cache keys.
+type sweepConfig struct {
+	Workers       int
+	Format        string
+	TemporalBlock int
+	Tile          int
 }
 
 // runSolvePrepared executes a normalized request against a prepared model,
 // dispatching to the selected solver and attaching distribution bounds when
-// requested. sweepWorkers and matrixFormat are the server's solver
-// settings, forwarded to the randomization sweep; neither changes results
-// bitwise, which is why they are not part of requests or cache keys.
-func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepared, sweepWorkers int, matrixFormat string) (*SolveResponse, error) {
+// requested. cfg carries the server's sweep settings into the
+// randomization solver.
+func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepared, cfg sweepConfig) (*SolveResponse, error) {
 	model := prep.Model()
 	resp := &SolveResponse{Method: req.Method, T: req.T, Order: req.Order}
 	switch req.Method {
 	case MethodRandomization:
 		opts := &core.Options{
-			Epsilon: req.Epsilon, SweepWorkers: sweepWorkers, MatrixFormat: matrixFormat,
+			Epsilon: req.Epsilon, SweepWorkers: cfg.Workers, MatrixFormat: cfg.Format,
+			TemporalBlock: cfg.TemporalBlock, SweepTile: cfg.Tile,
 			Checkpoint: req.checkpoint, Resume: req.resume,
 		}
 		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, opts)

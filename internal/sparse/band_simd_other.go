@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package sparse
+
+// hasAVX2 is constant false off amd64, so the compiler removes the
+// dispatch branches and the stubs below are never called.
+const hasAVX2 = false
+
+func bandTri3AVX2(n int, bval, cur, next, d1, d2 *float64) {
+	panic("sparse: bandTri3AVX2 called without AVX2 support")
+}
+
+func bandTri3AccAVX2(n int, bval, cur, next, d1, d2, a0, a1, a2, a3 *float64, w float64) {
+	panic("sparse: bandTri3AccAVX2 called without AVX2 support")
+}

@@ -250,6 +250,69 @@ func (k *KronSum) RowCost(i int) int64 {
 	return c
 }
 
+// partitionKron splits a Kronecker-sum sweep's product rows into
+// contiguous blocks of roughly equal entry cost. It produces exactly the
+// cuts partitionRows would over rowBase + RowCost(i) — same integer cut
+// condition against the same exact total — but in a single odometer pass:
+// the total is closed-form (each factor entry appears once per
+// combination of the other factors' coordinates) and the per-row cost is
+// patched incrementally as the odometer advances, so the whole partition
+// is O(n + Σ n_f) instead of the O(n·F) coordinate decodes (and their F
+// divisions per row) the generic RowCost path repeats.
+func partitionKron(k *KronSum, workers int) []int {
+	n := k.n
+	total := int64(n) * int64(rowBase+1)
+	for fi := range k.fs {
+		f := &k.fs[fi]
+		total += int64(len(f.val)) * int64(n/f.n)
+	}
+	blocks := make([]int, workers+1)
+	blocks[workers] = n
+	nf := len(k.fs)
+	var cbuf [MaxKronFactors]int
+	var ebuf [MaxKronFactors]int64
+	coords := cbuf[:nf]
+	ec := ebuf[:nf]
+	rowSum := int64(rowBase + 1)
+	for fi := range k.fs {
+		f := &k.fs[fi]
+		ec[fi] = int64(f.rowPtr[1] - f.rowPtr[0])
+		rowSum += ec[fi]
+	}
+	b := 1
+	var cum int64
+	for i := 0; i < n && b < workers; i++ {
+		cum += rowSum
+		// Cut after row i once this block reached its share of the total
+		// (the partitionRows condition, verbatim).
+		for b < workers && cum*int64(workers) >= int64(b)*total {
+			blocks[b] = i + 1
+			b++
+		}
+		// Advance the odometer, patching only the factors whose coordinate
+		// changed — amortized O(1) per row, since factor fi rolls over once
+		// every Π_{g>fi} n_g rows.
+		for fi := nf - 1; fi >= 0; fi-- {
+			f := &k.fs[fi]
+			c := coords[fi] + 1
+			if c == f.n {
+				c = 0
+			}
+			coords[fi] = c
+			rowSum -= ec[fi]
+			ec[fi] = int64(f.rowPtr[c+1] - f.rowPtr[c])
+			rowSum += ec[fi]
+			if c != 0 {
+				break
+			}
+		}
+	}
+	for ; b < workers; b++ {
+		blocks[b] = n
+	}
+	return blocks
+}
+
 // decode fills coords with the factor coordinates of product state s.
 func (k *KronSum) decode(s int, coords []int) {
 	for fi := len(k.fs) - 1; fi >= 0; fi-- {
@@ -334,7 +397,7 @@ func (k *KronSum) MatVecRange(lo, hi int, x, y []float64) {
 // column walk of the materialized CSR — with each entry gathering the
 // four interleaved moment values. Operation sequence per output element
 // is identical to the reference sweep over the materialized matrix.
-func (s *Sweep) fuseBlock3Kron(lo, hi int) {
+func (s *Sweep) fuseBlock3Kron(lo, hi int, cur4, next4 []float64, active []accPair) {
 	ks := s.kron
 	nf := len(ks.fs)
 	var cbuf [MaxKronFactors]int
@@ -343,8 +406,6 @@ func (s *Sweep) fuseBlock3Kron(lo, hi int) {
 	stack := sbuf[:nf]
 	ks.decode(lo, coords)
 	d1, d2 := s.diag1, s.diag2
-	cur4, next4 := s.cur4, s.next4
-	active := s.active
 	var w float64
 	var a0, a1, a2, a3 []float64
 	if len(active) == 1 {

@@ -199,13 +199,11 @@ func (m *CSR) QBDRep() *QBD {
 // interleaved moment values per cell. Padded cells contribute 0.0
 // products, bitwise neutral per band.go; the per-element operation
 // sequence otherwise matches fuseBlock3 exactly.
-func (s *Sweep) fuseBlock3QBD(lo, hi int) {
+func (s *Sweep) fuseBlock3QBD(lo, hi int, cur4, next4 []float64, active []accPair) {
 	qb := s.qbd
 	b, w := qb.b, 3*qb.b
 	last := qb.n/b - 1
 	d1, d2 := s.diag1, s.diag2
-	cur4, next4 := s.cur4, s.next4
-	active := s.active
 	var wgt float64
 	var a0, a1, a2, a3 []float64
 	if len(active) == 1 {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 )
 
 // This file implements the randomization sweep engine: the k = 1..G
@@ -73,6 +74,19 @@ type Sweep struct {
 	order        int
 	workers      int
 	blocks       []int // blocks[w]..blocks[w+1] is worker w's row range
+
+	// Tuning knobs (see SetSweepTile / SetTemporalBlock): tile is the
+	// spatial row-tile width of the fused kernels and the block width of
+	// the temporally blocked driver; tblock is the requested temporal
+	// block depth (0 auto, 1 off, >= 2 forced); resolvedT records the
+	// depth the last Run actually used (1 when it ran unblocked).
+	tile      int
+	tblock    int
+	resolvedT int
+
+	// wf carries the per-group wavefront state of the temporally blocked
+	// parallel driver; nil for every other run shape.
+	wf *wavefrontGroup
 
 	// Resolved storage (see MatrixFormat): the kernels stream band values,
 	// QBD windows or compact uint32 column indexes instead of the generic
@@ -182,17 +196,19 @@ func NewSweepWithFormat(a *CSR, diag1, diag2 []float64, imp []*CSR, order, worke
 		return nil, err
 	}
 	s := &Sweep{
-		a:       a,
-		rows:    a.rows,
-		diag1:   diag1,
-		diag2:   diag2,
-		imp:     imp,
-		order:   order,
-		workers: workers,
-		format:  resolved,
-		band:    band,
-		col32:   col32,
-		qbd:     qbd,
+		a:         a,
+		rows:      a.rows,
+		diag1:     diag1,
+		diag2:     diag2,
+		imp:       imp,
+		order:     order,
+		workers:   workers,
+		format:    resolved,
+		band:      band,
+		col32:     col32,
+		qbd:       qbd,
+		tile:      sweepTileDefault,
+		resolvedT: 1,
 	}
 	s.initCoef()
 	if workers > 1 {
@@ -237,22 +253,32 @@ func NewSweepOperator(op Operator, diag1, diag2 []float64, order, workers int) (
 		workers = rows
 	}
 	s := &Sweep{
-		op:      op,
-		rows:    rows,
-		diag1:   diag1,
-		diag2:   diag2,
-		order:   order,
-		workers: workers,
-		format:  op.OpFormat(),
+		op:        op,
+		rows:      rows,
+		diag1:     diag1,
+		diag2:     diag2,
+		order:     order,
+		workers:   workers,
+		format:    op.OpFormat(),
+		tile:      sweepTileDefault,
+		resolvedT: 1,
 	}
 	if ks, ok := op.(*KronSum); ok {
 		s.kron = ks
 	}
 	s.initCoef()
 	if workers > 1 {
-		s.blocks = partitionRows(rows, workers, func(i int) int64 {
-			return rowBase + op.RowCost(i)
-		})
+		if s.kron != nil {
+			// Kronecker-sum sweeps have a closed-form total row cost and
+			// O(1)-amortized per-row costs along the odometer walk, so the
+			// partition is computed without the per-row coordinate decode
+			// (and its F divisions) RowCost would repeat n times.
+			s.blocks = partitionKron(s.kron, workers)
+		} else {
+			s.blocks = partitionRows(rows, workers, func(i int) int64 {
+				return rowBase + op.RowCost(i)
+			})
+		}
 	}
 	return s, nil
 }
@@ -334,6 +360,140 @@ func (s *Sweep) Scratch4Words() int {
 // A short (or nil) buffer is ignored and Run allocates as before. The
 // buffer is used only while Run executes and may be reused afterwards.
 func (s *Sweep) SetScratch4(buf []float64) { s.scratch4 = buf }
+
+// SetSweepTile overrides the row-tile width of the fused kernels — the
+// rows each tight vector pass covers before the next term's pass — and
+// with it the block width of the temporally blocked driver, so spatial
+// and temporal tile shapes are tunable together. Values below 1 keep the
+// default (sweepTileDefault). The tile only reorders work across rows;
+// every width is bitwise identical.
+func (s *Sweep) SetSweepTile(w int) {
+	if w > 0 {
+		s.tile = w
+	}
+}
+
+// SetTemporalBlock requests wavefront temporal blocking for Run: t
+// consecutive sweep iterations are executed over each cache-resident row
+// block before the next block is touched (see runBlockedSerial). 0 (the
+// default) tunes the depth automatically from the matrix bandwidth and
+// the state footprint; 1 or negative disables blocking; larger values
+// force that depth (capped at maxTemporalBlock) wherever blocking is
+// structurally possible. Every setting is bitwise identical to the
+// unblocked sweep; TemporalBlock reports what the last Run resolved.
+func (s *Sweep) SetTemporalBlock(t int) {
+	if t > maxTemporalBlock {
+		t = maxTemporalBlock
+	}
+	s.tblock = t
+}
+
+// TemporalBlock returns the temporal blocking depth the last Run
+// resolved: 1 for an unblocked run (including every RunReference), the
+// group depth T otherwise.
+func (s *Sweep) TemporalBlock() int { return s.resolvedT }
+
+// Temporal blocking constants.
+const (
+	// sweepTileDefault is the default row-tile width (see SetSweepTile):
+	// a tile's slices of every cur/next/acc vector — roughly
+	// (3 + plans)·(order+1)·8·tile bytes — plus its matrix rows must stay
+	// cache-resident across the kernel's per-term passes. 1024 rows keeps
+	// that footprint near 100 KiB for the paper-sized order-3 case,
+	// comfortably inside L2.
+	sweepTileDefault = 1024
+	// temporalBlockDefault is the auto-tuned blocking depth: deep enough
+	// to cut DRAM traffic ~16x, shallow enough that the halo shift
+	// (T-1)·skew stays a small fraction of the default block width.
+	// Tuned on the paper's N=100,001 tridiagonal example, where depth 16
+	// beat 8 by ~15% and 32 added nothing.
+	temporalBlockDefault = 16
+	// maxTemporalBlock caps forced depths; beyond it the halo bookkeeping
+	// dwarfs any conceivable traffic win.
+	maxTemporalBlock = 1024
+	// temporalBlockMinWords is the interleaved-state footprint below which
+	// the automatic policy leaves blocking off: a state set this small
+	// (2 MiB for both buffers) is already cache-resident, so re-running
+	// iterations over row blocks saves nothing.
+	temporalBlockMinWords = 1 << 18
+)
+
+// blockReach returns the dependency reach of the resolved storage: row i
+// of the next iteration depends on rows i-lo..i+hi of the current one.
+// ok is false when the reach is unknown or unbounded (matrix-free
+// Kronecker-sum sweeps, generic operators), which disables temporal
+// blocking.
+func (s *Sweep) blockReach() (lo, hi int, ok bool) {
+	switch s.format {
+	case FormatBand:
+		return s.band.lo, s.band.hi, true
+	case FormatQBD:
+		// A QBD entry couples level i/b only to adjacent levels, so the
+		// scalar reach is at most 2b-1 on both sides.
+		r := 2*s.qbd.b - 1
+		return r, r, true
+	case FormatCSR32, FormatCSR64:
+		if s.a == nil {
+			return 0, 0, false
+		}
+		lo, hi = s.a.Bandwidth()
+		return lo, hi, true
+	}
+	return 0, 0, false
+}
+
+// resolveBlocking turns the requested temporal block depth into the
+// (T, W, skew) the blocked drivers run: T inner iterations per group over
+// blocks of W rows, each inner step's row window sliding skew rows to the
+// left (the parallelogram schedule of runBlockedSerial). T == 1 means the
+// run stays unblocked. W is forced up to 2·skew — the width at which
+// concurrent wavefront tasks provably cannot touch each other's reads or
+// writes (see runBlockedParallel) — so callers may set any tile size.
+func (s *Sweep) resolveBlocking() (T, W, skew int) {
+	T, W = 1, s.tile
+	if s.tblock < 0 || s.tblock == 1 {
+		return
+	}
+	lo, hi, ok := s.blockReach()
+	if !ok {
+		return
+	}
+	skew = lo
+	if hi > skew {
+		skew = hi
+	}
+	if W < 2*skew {
+		W = 2 * skew
+	}
+	if W < 1 {
+		W = 1
+	}
+	if s.tblock == 0 {
+		if s.Scratch4Words() < temporalBlockMinWords {
+			return 1, W, skew // state already cache-resident: blocking cannot pay
+		}
+		if s.format != FormatBand && s.format != FormatQBD {
+			// The CSR kernels gain nothing from blocking on the tracked
+			// shapes (the index-chasing row loop, not DRAM bandwidth, is
+			// the bottleneck there, and the wavefront bookkeeping costs
+			// ~12-29% measured), so the automatic policy blocks only the
+			// index-free formats. Forced depths still block CSR for the
+			// difftest gates and benchmark ablations.
+			return 1, W, skew
+		}
+		T = temporalBlockDefault
+		if skew > 0 {
+			// Keep the total halo shift under half a block, so the extra
+			// rows a group streams stay a small fraction of W.
+			if c := 1 + W/(2*skew); T > c {
+				T = c
+			}
+		}
+		return
+	}
+	T = s.tblock
+	return
+}
 
 // InterruptHook observes a sweep interruption. It runs exactly at an
 // iteration barrier: iteration `completed` has fully finished (every
@@ -507,6 +667,18 @@ func (s *Sweep) RunFrom(ctx context.Context, first, gMax int, cur, next [][]floa
 		s.cur, s.next = cur, next
 	}
 
+	// Temporal blocking runs only the interleaved shape: the planar path
+	// exists for rare shapes (impulses, generic operators) whose reach is
+	// unknown, and its per-term full-vector passes would defeat the
+	// cache-residency the blocking buys.
+	s.resolvedT = 1
+	if interleaved {
+		if T, W, skew := s.resolveBlocking(); T > 1 {
+			s.resolvedT = T
+			return s.runBlocked(ctx, first, gMax, plans, T, W, skew)
+		}
+	}
+
 	if s.workers <= 1 {
 		for k := first; k <= gMax; k++ {
 			if k%cancelStride == 0 {
@@ -577,24 +749,34 @@ func (s *Sweep) interrupted(completed int) {
 }
 
 // step runs one iteration's fused work over rows [lo, hi) against the
-// published iteration state, dispatching on the resolved storage format.
+// published iteration state.
 func (s *Sweep) step(lo, hi int) {
 	if s.cur4 != nil {
-		switch s.format {
-		case FormatBand:
-			s.fuseBlock3Band(lo, hi)
-		case FormatCSR32:
-			s.fuseBlock3Compact(lo, hi)
-		case FormatQBD:
-			s.fuseBlock3QBD(lo, hi)
-		case FormatKron:
-			s.fuseBlock3Kron(lo, hi)
-		default:
-			s.fuseBlock3(lo, hi)
-		}
+		s.stepRange(lo, hi, s.cur4, s.next4, s.active)
 		return
 	}
 	s.fuseBlock(lo, hi, s.cur, s.next, s.active)
+}
+
+// stepRange runs one interleaved iteration's fused work over rows
+// [lo, hi) with explicit state buffers and accumulation targets,
+// dispatching on the resolved storage format. The temporally blocked
+// drivers call it directly so different inner iterations of a group can
+// address alternating buffers and per-iteration Poisson targets without
+// republishing the shared fields.
+func (s *Sweep) stepRange(lo, hi int, cur4, next4 []float64, active []accPair) {
+	switch s.format {
+	case FormatBand:
+		s.fuseBlock3Band(lo, hi, cur4, next4, active)
+	case FormatCSR32:
+		s.fuseBlock3Compact(lo, hi, cur4, next4, active)
+	case FormatQBD:
+		s.fuseBlock3QBD(lo, hi, cur4, next4, active)
+	case FormatKron:
+		s.fuseBlock3Kron(lo, hi, cur4, next4, active)
+	default:
+		s.fuseBlock3(lo, hi, cur4, next4, active)
+	}
 }
 
 // swap exchanges the published current/next state after an iteration.
@@ -606,13 +788,182 @@ func (s *Sweep) swap(interleaved bool) {
 	s.cur, s.next = s.next, s.cur
 }
 
-// sweepTile is the row-tile size of the fused kernel. Within one tile the
-// kernel runs a tight vector pass per recursion term, so a tile's slices
-// of every cur/next/acc vector — roughly (3 + plans)·(order+1)·8·sweepTile
-// bytes — plus its CSR rows must stay cache-resident across those passes.
-// 1024 rows keeps that footprint near 100 KiB for the paper-sized order-3
-// case, comfortably inside L2.
-const sweepTile = 1024
+// runBlocked executes the temporally blocked sweep. Iterations are
+// processed in groups of up to T; within a group, each row block runs all
+// of the group's inner iterations back to back while its rows (state,
+// matrix values, diagonals, accumulators) are cache-resident, so every
+// per-row array streams from DRAM once per group instead of once per
+// iteration — a ~T× traffic cut for this memory-bound loop.
+//
+// The schedule is a time-skewed parallelogram. With block width W and
+// skew s = max(lo, hi) of the dependency reach, block m at inner step t
+// (1-based) computes rows
+//
+//	R(m, t) = [m·W − (t−1)·s, (m+1)·W − (t−1)·s) ∩ [0, n)
+//
+// of iteration k0+t. Sliding the window s rows left per step keeps the
+// dependency cone satisfied: R(m, t) needs rows R(m, t)±reach of step
+// t−1, all of which lie in blocks ≤ m at step t−1. The two interleaved
+// state buffers alternate per inner step (odd steps read cur4 and write
+// next4, even steps the reverse), and each step's Poisson accumulations
+// are applied inside the kernel at its own iteration's weights, so the
+// per-element operation sequence — and therefore every bit of the result
+// — is identical to the unblocked sweep: blocking only reorders work
+// between different (row, iteration) pairs.
+//
+// Context cancellation is observed at group boundaries only, where the
+// state is a consistent iteration snapshot (checkpoint barriers land
+// there); resume tokens from unblocked runs remain valid because groups
+// are re-based at `first`.
+func (s *Sweep) runBlocked(ctx context.Context, first, gMax int, plans []SweepPlan, T, W, skew int) (int64, error) {
+	activeT := make([][]accPair, T+1)
+	var start []chan struct{}
+	var done chan struct{}
+	if s.workers > 1 {
+		g := &wavefrontGroup{W: W, skew: skew}
+		g.cond = sync.NewCond(&g.mu)
+		s.wf = g
+		start = make([]chan struct{}, s.workers)
+		for w := range start {
+			start[w] = make(chan struct{}, 1)
+		}
+		done = make(chan struct{}, s.workers)
+		defer func() {
+			for _, ch := range start {
+				close(ch)
+			}
+			s.wf = nil
+		}()
+		for w := 0; w < s.workers; w++ {
+			go func(startCh <-chan struct{}, w int) {
+				for range startCh {
+					s.wavefrontWorker(w)
+					done <- struct{}{}
+				}
+			}(start[w], w)
+		}
+	}
+	for k0 := first - 1; k0 < gMax; {
+		if err := ctx.Err(); err != nil {
+			// Group boundary: iteration k0 fully complete, k0+1 not started.
+			s.interrupted(k0)
+			return 0, err
+		}
+		Tg := T
+		if rem := gMax - k0; Tg > rem {
+			Tg = rem // ragged final group when T does not divide the span
+		}
+		for t := 1; t <= Tg; t++ {
+			activeT[t] = gatherActive(plans, k0+t, activeT[t][:0])
+		}
+		// Enough blocks that the final inner step — shifted (Tg−1)·skew rows
+		// left — still covers the top of the matrix.
+		blocks := (s.rows + (Tg-1)*skew + W - 1) / W
+		if s.workers > 1 {
+			g := s.wf
+			g.T, g.blocks, g.activeT = Tg, blocks, activeT
+			if cap(g.progress) < blocks {
+				g.progress = make([]int, blocks)
+			}
+			g.progress = g.progress[:blocks]
+			clear(g.progress)
+			for _, ch := range start {
+				ch <- struct{}{}
+			}
+			for w := 0; w < s.workers; w++ {
+				<-done
+			}
+		} else {
+			// Serial: depth-first per block — all Tg steps of block m before
+			// block m+1 touches memory. Correct because R(m, t)'s dependency
+			// cone at step t−1 ends at (m+1)·W − (t−2)·s + hi − s ≤ block m's
+			// own step-(t−1) upper edge, already computed.
+			for m := 0; m < blocks; m++ {
+				cur4, next4 := s.cur4, s.next4
+				for t := 1; t <= Tg; t++ {
+					l := m*W - (t-1)*skew
+					r := l + W
+					if l < 0 {
+						l = 0
+					}
+					if r > s.rows {
+						r = s.rows
+					}
+					if l < r {
+						s.stepRange(l, r, cur4, next4, activeT[t])
+					}
+					cur4, next4 = next4, cur4
+				}
+			}
+		}
+		if Tg%2 == 1 {
+			// Odd group depth leaves the newest state in next4; swap so the
+			// group-boundary invariant (cur4 = iteration k0) holds for
+			// exportState and the next group.
+			s.swap(true)
+		}
+		k0 += Tg
+	}
+	return s.matVecs(gMax - first + 1), nil
+}
+
+// wavefrontGroup is the shared state of one temporally blocked group
+// executed by the worker team: the group shape, the per-inner-step
+// accumulation targets, and the progress vector the wavefront
+// synchronizes on (progress[m] = last inner step block m completed).
+// The mutex/condvar pair both orders the data accesses (a block's writes
+// happen before any dependent's reads) and keeps the schedule race-free
+// under the race detector.
+type wavefrontGroup struct {
+	T, W, skew, blocks int
+	activeT            [][]accPair
+	mu                 sync.Mutex
+	cond               *sync.Cond
+	progress           []int
+}
+
+// wavefrontWorker runs worker w's share of the current group: blocks
+// m ≡ w (mod workers), block-cyclic so the wavefront stays dense, each
+// depth-first through the group's inner steps. Block m at step t waits
+// only for progress[m−1] ≥ t−1; with W ≥ 2·skew (enforced by
+// resolveBlocking) that single constraint makes every concurrently
+// running (block, step) pair touch disjoint rows of each buffer — the
+// binding cases are a block two ahead on the same buffer parity, which
+// W ≥ skew+hi separates, and the lagging mirror, separated by
+// W ≥ skew+lo. Deadlock-free: the lowest unfinished block's predecessor
+// is complete, so its owner always progresses; empty clipped ranges
+// still bump progress so successors never stall on them.
+func (s *Sweep) wavefrontWorker(w int) {
+	g := s.wf
+	for m := w; m < g.blocks; m += s.workers {
+		cur4, next4 := s.cur4, s.next4
+		for t := 1; t <= g.T; t++ {
+			if m > 0 && t > 1 {
+				g.mu.Lock()
+				for g.progress[m-1] < t-1 {
+					g.cond.Wait()
+				}
+				g.mu.Unlock()
+			}
+			l := m*g.W - (t-1)*g.skew
+			r := l + g.W
+			if l < 0 {
+				l = 0
+			}
+			if r > s.rows {
+				r = s.rows
+			}
+			if l < r {
+				s.stepRange(l, r, cur4, next4, g.activeT[t])
+			}
+			g.mu.Lock()
+			g.progress[m] = t
+			g.mu.Unlock()
+			g.cond.Broadcast()
+			cur4, next4 = next4, cur4
+		}
+	}
+}
 
 // fuseBlock runs one fused iteration over rows [lo, hi), tiled: for each
 // row tile it computes every moment order's recursion term and immediately
@@ -627,8 +978,8 @@ const sweepTile = 1024
 // of a tile are reused across the order+1 products, and each next-vector
 // tile is produced, corrected and accumulated before it is evicted.
 func (s *Sweep) fuseBlock(lo, hi int, cur, next [][]float64, active []accPair) {
-	for t0 := lo; t0 < hi; t0 += sweepTile {
-		t1 := t0 + sweepTile
+	for t0 := lo; t0 < hi; t0 += s.tile {
+		t1 := t0 + s.tile
 		if t1 > hi {
 			t1 = hi
 		}
@@ -687,11 +1038,9 @@ func (s *Sweep) fuseBlock(lo, hi int, cur, next [][]float64, active []accPair) {
 // then the diag1 term, then the diag2 term; each accumulation multiplies
 // the same stored value. Only work belonging to *different* elements is
 // interleaved, which float64 cannot observe.
-func (s *Sweep) fuseBlock3(lo, hi int) {
+func (s *Sweep) fuseBlock3(lo, hi int, cur4, next4 []float64, active []accPair) {
 	rowPtr, colIdx, val := s.a.rowPtr, s.a.colIdx, s.a.val
 	d1, d2 := s.diag1, s.diag2
-	cur4, next4 := s.cur4, s.next4
-	active := s.active
 	var w float64
 	var a0, a1, a2, a3 []float64
 	if len(active) == 1 {
@@ -798,12 +1147,10 @@ func (s *Sweep) productTile(t0, t1 int, x, y []float64) {
 // identical structure, but each gather address comes from a uint32 load —
 // half the index traffic of the generic kernel in a loop that is
 // memory-bandwidth-bound at the paper's sizes.
-func (s *Sweep) fuseBlock3Compact(lo, hi int) {
+func (s *Sweep) fuseBlock3Compact(lo, hi int, cur4, next4 []float64, active []accPair) {
 	rowPtr, val := s.a.rowPtr, s.a.val
 	col32 := s.col32
 	d1, d2 := s.diag1, s.diag2
-	cur4, next4 := s.cur4, s.next4
-	active := s.active
 	var w float64
 	var a0, a1, a2, a3 []float64
 	if len(active) == 1 {
@@ -858,13 +1205,11 @@ func (s *Sweep) fuseBlock3Compact(lo, hi int) {
 // branches; the padded cells' 0.0·x products are bitwise neutral (see
 // band.go), leaving every output element with exactly the reference
 // operation sequence.
-func (s *Sweep) fuseBlock3Band(lo, hi int) {
+func (s *Sweep) fuseBlock3Band(lo, hi int, cur4, next4 []float64, active []accPair) {
 	bd := s.band
 	width, bval := bd.width, bd.val
 	pad := bd.lo * 4
 	d1, d2 := s.diag1, s.diag2
-	cur4, next4 := s.cur4, s.next4
-	active := s.active
 	var w float64
 	var a0, a1, a2, a3 []float64
 	if len(active) == 1 {
@@ -877,6 +1222,22 @@ func (s *Sweep) fuseBlock3Band(lo, hi int) {
 		// into straight-line register code. Gated on lo==hi==1, not
 		// width==3 — a lo=0,hi=2 band has width 3 but a different
 		// self-moment offset.
+		//
+		// On AVX2 hardware the 4 moment components run as one vector lane
+		// group (band_simd_amd64.s): per lane the assembly executes this
+		// loop's exact operation sequence with the same IEEE rounding, so
+		// its output is bitwise the scalar loop's. Multi-plan accumulation
+		// stays on the scalar loop below.
+		if hasAVX2 && hi > lo {
+			if a0 != nil {
+				bandTri3AccAVX2(hi-lo, &bval[lo*3], &cur4[lo*4], &next4[4+lo*4], &d1[lo], &d2[lo], &a0[lo], &a1[lo], &a2[lo], &a3[lo], w)
+				return
+			}
+			if len(active) == 0 {
+				bandTri3AVX2(hi-lo, &bval[lo*3], &cur4[lo*4], &next4[4+lo*4], &d1[lo], &d2[lo])
+				return
+			}
+		}
 		for i := lo; i < hi; i++ {
 			r := bval[i*3 : i*3+3 : i*3+3]
 			cw := cur4[i*4 : i*4+12 : i*4+12]
