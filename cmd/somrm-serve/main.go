@@ -97,6 +97,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default), csr, band, qbd, csr64, or kron (all bitwise identical; server-wide, not per-request)")
 	temporalBlock := fs.Int("temporal-block", 0, "wavefront temporal blocking depth of the sweep: 0 auto, 1 disables, N>=2 forces (bitwise identical; server-wide, not per-request)")
 	sweepTile := fs.Int("sweep-tile", 0, "row-tile width of the fused sweep kernels (0 = built-in default; bitwise neutral)")
+	noSIMD := fs.Bool("no-simd", false, "force the pure-Go scalar sweep kernels even on AVX2 hardware (bitwise identical; server-wide; SOMRM_NOSIMD=1 does the same)")
 	checkpoints := fs.Bool("checkpoints", true, "answer mid-sweep deadlines with a 202 partial + resume token instead of discarding progress")
 	checkpointTTL := fs.Duration("checkpoint-ttl", 0, "how long an unclaimed resume checkpoint is held (0 = default 2m)")
 	checkpointCap := fs.Int("checkpoint-cap", 0, "max held resume checkpoints, oldest evicted first (0 = default 64)")
@@ -156,6 +157,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		MatrixFormat:      *matrixFormat,
 		TemporalBlock:     *temporalBlock,
 		SweepTile:         *sweepTile,
+		NoSIMD:            *noSIMD,
 		HandoffMax:        *handoffMax,
 		Checkpoints:       *checkpoints,
 		CheckpointTTL:     *checkpointTTL,

@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	matrixFormat := fs.String("matrix-format", "", "sweep matrix storage: auto (default) picks band, qbd or compact CSR by structure; csr forces compact indices, band the band kernel, qbd the block-tridiagonal window, csr64 the original layout, kron the matrix-free Kronecker-sum operator for composed models (all bitwise identical)")
 	temporalBlock := fs.Int("temporal-block", 0, "wavefront temporal blocking depth of the sweep: 0 auto-tunes from bandwidth and state size, 1 disables, N>=2 forces N iterations per cache-resident row block (all bitwise identical)")
 	sweepTile := fs.Int("sweep-tile", 0, "row-tile width of the fused sweep kernels and block width of the temporally blocked driver; 0 keeps the built-in default (bitwise neutral)")
+	noSIMD := fs.Bool("no-simd", false, "force the pure-Go scalar sweep kernels even on AVX2 hardware (bitwise identical; SOMRM_NOSIMD=1 does the same)")
 	perState := fs.Bool("per-state", false, "print per-initial-state moment vectors")
 	boundsAt := fs.String("bounds", "", "comma-separated reward levels for CDF bounds")
 	timesAt := fs.String("times", "", "comma-separated time grid: emit a CSV moment series instead of a single point")
@@ -127,14 +128,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("bad -times: %w", err)
 		}
-		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat, TemporalBlock: *temporalBlock, SweepTile: *sweepTile})
+		results, err := model.AccumulatedRewardAt(times, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat, TemporalBlock: *temporalBlock, SweepTile: *sweepTile, NoSIMD: *noSIMD})
 		if err != nil {
 			return err
 		}
 		return writeSeries(results, *order, out)
 	}
 
-	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat, TemporalBlock: *temporalBlock, SweepTile: *sweepTile})
+	res, err := model.AccumulatedReward(*t, *order, &somrm.SolveOptions{Epsilon: *eps, SweepWorkers: *sweepWorkers, MatrixFormat: *matrixFormat, TemporalBlock: *temporalBlock, SweepTile: *sweepTile, NoSIMD: *noSIMD})
 	if err != nil {
 		return err
 	}
@@ -148,9 +149,9 @@ func run(args []string, out io.Writer) error {
 	if err := tab.Render(out); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g%s\n",
+	fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g%s%s\n",
 		res.Stats.Q, res.Stats.QT, res.Stats.D, res.Stats.G, res.Stats.Shift, res.Stats.ErrorBound,
-		formatSuffix(res.Stats.MatrixFormat))
+		formatSuffix(res.Stats.MatrixFormat), kernelSuffix(res.Stats.SweepKernel))
 
 	if *perState {
 		head := []string{"state"}
@@ -207,6 +208,16 @@ func formatSuffix(format string) string {
 		return ""
 	}
 	return " format=" + format
+}
+
+// kernelSuffix renders the dispatched sweep compute kernel ("avx2" or
+// "scalar") like formatSuffix; empty (no sweep ran, or an older server)
+// appends nothing.
+func kernelSuffix(kernel string) string {
+	if kernel == "" {
+		return ""
+	}
+	return " kernel=" + kernel
 }
 
 func loadSpec(path string) (*spec.Model, error) {
@@ -327,8 +338,9 @@ func runRemote(client solverClient, sp *spec.Model, timesArg string, t float64, 
 		return err
 	}
 	if st := resp.Stats; st != nil {
-		fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g%s\n",
-			st.Q, st.QT, st.D, st.G, st.Shift, st.ErrorBound, formatSuffix(st.MatrixFormat))
+		fmt.Fprintf(out, "solver: q=%g qt=%g d=%g G=%d shift=%g error-bound=%.3g%s%s\n",
+			st.Q, st.QT, st.D, st.G, st.Shift, st.ErrorBound,
+			formatSuffix(st.MatrixFormat), kernelSuffix(st.SweepKernel))
 	}
 	if len(resp.Bounds) > 0 {
 		bt := report.NewTable("CDF bounds", "x", "lower", "upper")

@@ -115,24 +115,31 @@ func BenchmarkSweep(b *testing.B) {
 			workers int
 			format  string
 			tblock  int
+			nosimd  bool
 		}{
-			{"reference", -1, "", 0},
-			{"fused-single", 1, "csr64", 1},
-			{"fused-compact", 1, "csr", 1},
-			{"fused-band", 1, "band", 1},
-			{"fused-qbd", 1, "qbd", 1},
-			{"fused-auto", 0, "auto", 0},
+			{"reference", -1, "", 0, false},
+			{"fused-single", 1, "csr64", 1, false},
+			{"fused-compact", 1, "csr", 1, false},
+			{"fused-band", 1, "band", 1, false},
+			{"fused-qbd", 1, "qbd", 1, false},
+			{"fused-auto", 0, "auto", 0, false},
 			// Wavefront temporal blocking (Options.TemporalBlock) at the
 			// forced depth of 16 (the auto-tuned default) against the
 			// unblocked kernels above: same arithmetic bitwise, ~T fewer
 			// DRAM sweeps over the state arrays once the state outgrows
 			// cache.
-			{"fused-compact-blocked", 1, "csr", 16},
-			{"fused-band-blocked", 1, "band", 16},
-			{"fused-qbd-blocked", 1, "qbd", 16},
+			{"fused-compact-blocked", 1, "csr", 16, false},
+			{"fused-band-blocked", 1, "band", 16, false},
+			{"fused-qbd-blocked", 1, "qbd", 16, false},
+			// Options.NoSIMD ablation: the same kernels with the AVX2
+			// bodies switched off, isolating the vectorization win per
+			// storage engine (bitwise identical results either way).
+			{"fused-compact-nosimd", 1, "csr", 1, true},
+			{"fused-band-nosimd", 1, "band", 1, true},
+			{"fused-qbd-nosimd", 1, "qbd", 1, true},
 		} {
 			b.Run(fmt.Sprintf("N%d/%s", n, bc.name), func(b *testing.B) {
-				opts := &Options{SweepWorkers: bc.workers, MatrixFormat: bc.format, TemporalBlock: bc.tblock}
+				opts := &Options{SweepWorkers: bc.workers, MatrixFormat: bc.format, TemporalBlock: bc.tblock, NoSIMD: bc.nosimd}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := prep.AccumulatedReward(tt, order, opts); err != nil {

@@ -210,6 +210,7 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 	}
 	sweep.SetSweepTile(cfg.SweepTile)
 	sweep.SetTemporalBlock(cfg.TemporalBlock)
+	sweep.SetNoSIMD(cfg.NoSIMD)
 
 	// Per-solve scratch comes from one arena (pooled by Prepared): the
 	// sweep state vectors, the per-time accumulators, the interleaved
@@ -403,6 +404,7 @@ func (m *Model) solveAt(ctx context.Context, times []float64, order int, cfg Opt
 			FlopsPerIteration: (u.nnz + int64(2*n)) * int64(order+1),
 			MatrixFormat:      string(sweep.Format()),
 			TemporalBlock:     sweep.TemporalBlock(),
+			SweepKernel:       sweep.Kernel(),
 		}
 		res.finish(m.initial)
 		results[idx] = res

@@ -83,6 +83,15 @@ type Options struct {
 	// temporal tile shapes are tunable together. Zero or negative keeps
 	// the built-in default (1024 rows). Bitwise neutral.
 	SweepTile int
+	// NoSIMD disables the runtime-dispatched AVX2 sweep kernels, forcing
+	// the pure-Go scalar loops even on hardware that supports them; the
+	// SOMRM_NOSIMD environment variable (any value but "" or "0") does
+	// the same process-wide. The vector kernels replay the scalar loops'
+	// exact floating-point operation sequence, so every setting is
+	// bitwise identical — the switch exists for A/B measurement and for
+	// exercising both paths in tests on one host, not for correctness.
+	// Stats.SweepKernel reports the kernel actually dispatched.
+	NoSIMD bool
 	// Checkpoint enables cooperative sweep snapshots: when the context is
 	// cancelled mid-sweep the solver captures the iteration state at the
 	// barrier where the cancellation is observed and returns it inside an
@@ -160,6 +169,12 @@ type Stats struct {
 	// resolved (see Options.TemporalBlock): 1 for an unblocked sweep, the
 	// group depth otherwise. Zero for solves that never ran a sweep.
 	TemporalBlock int
+	// SweepKernel is the compute kernel the sweep dispatched: "avx2"
+	// when the AVX2 assembly kernels served the bulk rows, "scalar" for
+	// the pure-Go loops (no hardware support, Options.NoSIMD or
+	// SOMRM_NOSIMD, the serial reference sweep, or a run shape without a
+	// vector kernel). Empty for solves that never ran a sweep.
+	SweepKernel string
 }
 
 // Result holds the accumulated-reward moments at one time point.

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"somrm/internal/sparse"
+)
+
+// TestSolveSweepKernelStats pins the solver-level SIMD plumbing: the
+// default solve reports the hardware kernel in Stats.SweepKernel,
+// Options.NoSIMD forces the scalar loops (and the stats say so), and the
+// two solves agree bit for bit — the dispatch is an optimization, never
+// an approximation.
+func TestSolveSweepKernelStats(t *testing.T) {
+	m := birthDeathModel(t, 96)
+
+	def, err := m.AccumulatedReward(1.5, 3, &Options{SweepWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.KernelScalar
+	if sparse.SIMDAvailable() {
+		want = sparse.KernelAVX2
+	}
+	if def.Stats.SweepKernel != want {
+		t.Fatalf("Stats.SweepKernel = %q, want %q (SIMDAvailable=%v)",
+			def.Stats.SweepKernel, want, sparse.SIMDAvailable())
+	}
+
+	off, err := m.AccumulatedReward(1.5, 3, &Options{SweepWorkers: 1, NoSIMD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.SweepKernel != sparse.KernelScalar {
+		t.Fatalf("Stats.SweepKernel = %q with NoSIMD, want %q",
+			off.Stats.SweepKernel, sparse.KernelScalar)
+	}
+	for j := range def.Moments {
+		if math.Float64bits(def.Moments[j]) != math.Float64bits(off.Moments[j]) {
+			t.Fatalf("moment %d: SIMD %x != scalar %x — kill-switch changed the result",
+				j, math.Float64bits(def.Moments[j]), math.Float64bits(off.Moments[j]))
+		}
+	}
+
+	// The process-wide kill-switch reaches solves that never saw an
+	// Options.NoSIMD, via the sweep's construction-time env read.
+	t.Setenv("SOMRM_NOSIMD", "1")
+	env, err := m.AccumulatedReward(1.5, 3, &Options{SweepWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Stats.SweepKernel != sparse.KernelScalar {
+		t.Fatalf("Stats.SweepKernel = %q with SOMRM_NOSIMD=1, want %q",
+			env.Stats.SweepKernel, sparse.KernelScalar)
+	}
+	for j := range def.Moments {
+		if math.Float64bits(def.Moments[j]) != math.Float64bits(env.Moments[j]) {
+			t.Fatalf("moment %d: env kill-switch changed the result", j)
+		}
+	}
+}

@@ -156,11 +156,11 @@ func TestDiffGeneratorProducesValidModels(t *testing.T) {
 
 // TestDiffSweepKernelBitwise is the fused-kernel gate: across the fixed
 // seed corpus, the fused persistent-worker sweep (forced on, single- and
-// multi-worker, at every matrix storage format and temporal blocking
-// depth) must reproduce the serial reference sweep bit for bit — moments
-// and per-state vectors alike. The fused kernel, the band/compact storage
-// engine, and the wavefront temporal blocking are optimizations, never
-// approximations.
+// multi-worker, at every matrix storage format, temporal blocking depth,
+// and SIMD dispatch) must reproduce the serial reference sweep bit for
+// bit — moments and per-state vectors alike. The fused kernel, the
+// band/compact storage engine, the wavefront temporal blocking, and the
+// AVX2 kernels are optimizations, never approximations.
 func TestDiffSweepKernelBitwise(t *testing.T) {
 	for seed := 0; seed < corpusSize; seed++ {
 		rng := rand.New(rand.NewSource(int64(seed)))
@@ -191,25 +191,39 @@ func TestDiffSweepKernelBitwise(t *testing.T) {
 		// orders other than 3, unbounded reach — which keeps those shapes
 		// covered as unblocked runs of the same configurations). Depth 8
 		// with the corpus G makes ragged final groups routine.
+		// The SIMD dimension covers both kernel dispatches on capable
+		// hosts: NoSIMD=true pins the pure-Go loops, NoSIMD=false lets
+		// the AVX2 kernels serve the formats that have one (band, csr,
+		// qbd, and whatever auto resolves). csr64 and kron have no
+		// vector kernel, so their forced-scalar arm would re-run the
+		// identical code path and is skipped. On hosts without AVX2 (or
+		// under SOMRM_NOSIMD=1, as one CI arm runs) the two arms
+		// coincide on scalar — the gate still checks every format,
+		// worker count and blocking depth against the reference.
 		for _, format := range []string{"auto", "csr", "band", "csr64", "qbd", "kron"} {
-			for _, workers := range []int{1, 2, 5} {
-				for _, tblock := range []int{1, 2, 4, 8} {
-					opts := &core.Options{SweepWorkers: workers, MatrixFormat: format, TemporalBlock: tblock, SweepTile: 8}
-					fused, err := model.AccumulatedRewardAt(times, order, opts)
-					if err != nil {
-						t.Fatalf("seed %d format %s workers %d tblock %d: fused: %v", seed, format, workers, tblock, err)
-					}
-					for k := range times {
-						for j := 0; j <= order; j++ {
-							if math.Float64bits(fused[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
-								t.Fatalf("seed %d format %s workers %d tblock %d t=%g: moment %d = %x, reference %x",
-									seed, format, workers, tblock, times[k], j,
-									math.Float64bits(fused[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
-							}
-							for i := range fused[k].VectorMoments[j] {
-								if math.Float64bits(fused[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
-									t.Fatalf("seed %d format %s workers %d tblock %d t=%g: vm[%d][%d] differs bitwise",
-										seed, format, workers, tblock, times[k], j, i)
+			for _, nosimd := range []bool{false, true} {
+				if nosimd && (format == "csr64" || format == "kron") {
+					continue
+				}
+				for _, workers := range []int{1, 2, 5} {
+					for _, tblock := range []int{1, 2, 4, 8} {
+						opts := &core.Options{SweepWorkers: workers, MatrixFormat: format, TemporalBlock: tblock, SweepTile: 8, NoSIMD: nosimd}
+						fused, err := model.AccumulatedRewardAt(times, order, opts)
+						if err != nil {
+							t.Fatalf("seed %d format %s nosimd %v workers %d tblock %d: fused: %v", seed, format, nosimd, workers, tblock, err)
+						}
+						for k := range times {
+							for j := 0; j <= order; j++ {
+								if math.Float64bits(fused[k].Moments[j]) != math.Float64bits(ref[k].Moments[j]) {
+									t.Fatalf("seed %d format %s nosimd %v workers %d tblock %d t=%g: moment %d = %x, reference %x",
+										seed, format, nosimd, workers, tblock, times[k], j,
+										math.Float64bits(fused[k].Moments[j]), math.Float64bits(ref[k].Moments[j]))
+								}
+								for i := range fused[k].VectorMoments[j] {
+									if math.Float64bits(fused[k].VectorMoments[j][i]) != math.Float64bits(ref[k].VectorMoments[j][i]) {
+										t.Fatalf("seed %d format %s nosimd %v workers %d tblock %d t=%g: vm[%d][%d] differs bitwise",
+											seed, format, nosimd, workers, tblock, times[k], j, i)
+									}
 								}
 							}
 						}

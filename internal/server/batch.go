@@ -322,7 +322,7 @@ func (s *Server) runBatchItem(ctx context.Context, prep *core.Prepared, item *Ba
 		s.metrics.SweepPoints.Observe(len(item.Times))
 		results, err := prep.AccumulatedRewardAtContext(ctx, item.Times, item.Order, &core.Options{
 			Epsilon: item.Epsilon, SweepWorkers: s.opts.SweepWorkers, MatrixFormat: s.opts.MatrixFormat,
-			TemporalBlock: s.opts.TemporalBlock, SweepTile: s.opts.SweepTile,
+			TemporalBlock: s.opts.TemporalBlock, SweepTile: s.opts.SweepTile, NoSIMD: s.opts.NoSIMD,
 		})
 		if err != nil {
 			return nil, err
@@ -336,6 +336,7 @@ func (s *Server) runBatchItem(ctx context.Context, prep *core.Prepared, item *Ba
 			s.metrics.ObserveSweep(time.Duration(results[0].Stats.SweepNS))
 			s.metrics.ObserveSweepFormat(results[0].Stats.MatrixFormat)
 			s.metrics.ObserveSweepBlocking(results[0].Stats.TemporalBlock)
+			s.metrics.ObserveSweepKernel(results[0].Stats.SweepKernel)
 		}
 	case MethodODE:
 		opts := &odesolver.MomentOptions{Steps: item.ODE.Steps}

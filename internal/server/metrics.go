@@ -108,6 +108,13 @@ type Metrics struct {
 	// blocked (core.Stats.TemporalBlock > 1) — the signal operators watch
 	// to confirm wavefront blocking engaged for their models.
 	SweepBlocked atomic.Int64
+	// SweepKernelAVX2 / SweepKernelScalar count solver executions by the
+	// compute kernel the sweep dispatched (core.Stats.SweepKernel) — the
+	// signal operators watch to confirm the vectorized kernels are
+	// actually serving solves (a fleet stuck on "scalar" means missing
+	// hardware support or a forgotten SOMRM_NOSIMD/-no-simd switch).
+	SweepKernelAVX2   atomic.Int64
+	SweepKernelScalar atomic.Int64
 
 	// solveLatency tracks end-to-end solve time (queue wait included);
 	// sweepLatency tracks only the randomization sweep inside the solver
@@ -252,6 +259,18 @@ func (m *Metrics) ObserveSweepBlocking(depth int) {
 	}
 }
 
+// ObserveSweepKernel records the compute kernel one solver execution
+// dispatched (core.Stats.SweepKernel). Unknown or empty labels (solves
+// that never ran a sweep) are ignored.
+func (m *Metrics) ObserveSweepKernel(kernel string) {
+	switch kernel {
+	case "avx2":
+		m.SweepKernelAVX2.Add(1)
+	case "scalar":
+		m.SweepKernelScalar.Add(1)
+	}
+}
+
 // HistogramBucket is one cumulative-style histogram bucket in the
 // /metrics payload. LE is the bucket's inclusive upper bound in
 // milliseconds; the +Inf bucket is rendered with LE = 0 and Inf = true.
@@ -323,6 +342,9 @@ type MetricsSnapshot struct {
 	// SweepBlocked counts solver executions whose randomization sweep ran
 	// with wavefront temporal blocking engaged (depth > 1).
 	SweepBlocked int64 `json:"sweep_blocked_total"`
+	// SweepKernels counts solver executions by the compute kernel the
+	// sweep dispatched, keyed by the core.Stats label ("avx2", "scalar").
+	SweepKernels map[string]int64 `json:"sweep_kernels"`
 
 	QueueDepth      int     `json:"queue_depth"`
 	Workers         int     `json:"workers"`
@@ -375,6 +397,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			"kron":  m.SweepFormatKron.Load(),
 		},
 		SweepBlocked: m.SweepBlocked.Load(),
+		SweepKernels: map[string]int64{
+			"avx2":   m.SweepKernelAVX2.Load(),
+			"scalar": m.SweepKernelScalar.Load(),
+		},
 	}
 	snap.SolveLatency = m.solveLatency.snapshot()
 	snap.SweepLatency = m.sweepLatency.snapshot()

@@ -97,6 +97,13 @@ type Options struct {
 	// kernels and the block width of the temporally blocked driver. 0
 	// keeps the solver's built-in default. Bitwise neutral.
 	SweepTile int
+	// NoSIMD is passed through to the randomization solver
+	// (core.Options.NoSIMD): true forces the pure-Go scalar sweep
+	// kernels even on AVX2 hardware. The vector kernels are bitwise
+	// identical to the scalar loops, so — like MatrixFormat — the knob
+	// is server-wide and not part of requests or cache keys; solver
+	// stats and /metrics report the kernel each solve dispatched.
+	NoSIMD bool
 	// Checkpoints enables durable solves: a randomization solve that hits
 	// its deadline mid-sweep captures the iteration state at the barrier
 	// where the cancellation lands and answers 202 with a resume token; a
@@ -467,6 +474,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.metrics.ObserveSweep(time.Duration(solved.Stats.SweepNS))
 			s.metrics.ObserveSweepFormat(solved.Stats.MatrixFormat)
 			s.metrics.ObserveSweepBlocking(solved.Stats.TemporalBlock)
+			s.metrics.ObserveSweepKernel(solved.Stats.SweepKernel)
 		}
 		return solved, nil
 	})

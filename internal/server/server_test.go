@@ -528,6 +528,15 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if formatTotal != 1 {
 		t.Errorf("sweep_formats = %v, want exactly one counted sweep", snap.SweepFormats)
 	}
+	// ... and under its dispatched compute kernel ("avx2" on capable
+	// hosts unless kill-switched, "scalar" otherwise), which the solve
+	// response's stats block also reports.
+	if total := snap.SweepKernels["avx2"] + snap.SweepKernels["scalar"]; total != 1 {
+		t.Errorf("sweep_kernels = %v, want exactly one counted sweep", snap.SweepKernels)
+	}
+	if !strings.Contains(raw, `"sweep_kernel":"avx2"`) && !strings.Contains(raw, `"sweep_kernel":"scalar"`) {
+		t.Errorf("solve stats missing sweep_kernel: %s", raw)
+	}
 	last := snap.SolveLatency.Buckets[len(snap.SolveLatency.Buckets)-1]
 	if !last.Inf || last.Count != 1 {
 		t.Errorf("cumulative +Inf bucket: %+v", last)

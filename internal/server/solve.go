@@ -108,6 +108,7 @@ func newSolverStats(st core.Stats) *SolverStats {
 		FlopsPerIteration: st.FlopsPerIteration,
 		MatrixFormat:      st.MatrixFormat,
 		TemporalBlock:     st.TemporalBlock,
+		SweepKernel:       st.SweepKernel,
 	}
 }
 
@@ -133,6 +134,9 @@ type SolverStats struct {
 	// ran with: 1 for an unblocked sweep, the blocked-iteration group
 	// depth otherwise. Zero for solves that never ran a sweep.
 	TemporalBlock int `json:"temporal_block,omitempty"`
+	// SweepKernel is the compute kernel the sweep dispatched ("avx2" or
+	// "scalar"); empty for solves that never ran a sweep.
+	SweepKernel string `json:"sweep_kernel,omitempty"`
 }
 
 // BoundPoint is one moment-based CDF bound evaluation.
@@ -427,6 +431,7 @@ func (s *Server) preparedSolve(ctx context.Context, req *SolveRequest) (*SolveRe
 	return runSolvePrepared(ctx, req, prep, sweepConfig{
 		Workers: s.opts.SweepWorkers, Format: s.opts.MatrixFormat,
 		TemporalBlock: s.opts.TemporalBlock, Tile: s.opts.SweepTile,
+		NoSIMD: s.opts.NoSIMD,
 	})
 }
 
@@ -449,6 +454,7 @@ type sweepConfig struct {
 	Format        string
 	TemporalBlock int
 	Tile          int
+	NoSIMD        bool
 }
 
 // runSolvePrepared executes a normalized request against a prepared model,
@@ -462,7 +468,7 @@ func runSolvePrepared(ctx context.Context, req *SolveRequest, prep *core.Prepare
 	case MethodRandomization:
 		opts := &core.Options{
 			Epsilon: req.Epsilon, SweepWorkers: cfg.Workers, MatrixFormat: cfg.Format,
-			TemporalBlock: cfg.TemporalBlock, SweepTile: cfg.Tile,
+			TemporalBlock: cfg.TemporalBlock, SweepTile: cfg.Tile, NoSIMD: cfg.NoSIMD,
 			Checkpoint: req.checkpoint, Resume: req.resume,
 		}
 		res, err := prep.AccumulatedRewardContext(ctx, req.T, req.Order, opts)

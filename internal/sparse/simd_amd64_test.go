@@ -1,0 +1,19 @@
+//go:build amd64
+
+package sparse
+
+import "testing"
+
+// TestDetectAVX2Stable pins the detection contract on amd64: detectAVX2
+// is a pure CPUID/XGETBV probe, so repeated calls agree with the cached
+// hasAVX2 that SIMDAvailable and every dispatch gate consult.
+func TestDetectAVX2Stable(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		if got := detectAVX2(); got != hasAVX2 {
+			t.Fatalf("detectAVX2() = %v on call %d, cached hasAVX2 = %v", got, i, hasAVX2)
+		}
+	}
+	if SIMDAvailable() != hasAVX2 {
+		t.Fatalf("SIMDAvailable() = %v, hasAVX2 = %v", SIMDAvailable(), hasAVX2)
+	}
+}

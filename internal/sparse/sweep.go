@@ -88,6 +88,13 @@ type Sweep struct {
 	// parallel driver; nil for every other run shape.
 	wf *wavefrontGroup
 
+	// SIMD dispatch (see simd.go): nosimd is the per-sweep kill-switch
+	// (SetNoSIMD), simd the resolved gate (hardware support minus the
+	// kill-switches), kernel the label of the last run's dispatch.
+	nosimd bool
+	simd   bool
+	kernel string
+
 	// Resolved storage (see MatrixFormat): the kernels stream band values,
 	// QBD windows or compact uint32 column indexes instead of the generic
 	// CSR when the structure allows, cutting the memory traffic of this
@@ -210,6 +217,7 @@ func NewSweepWithFormat(a *CSR, diag1, diag2 []float64, imp []*CSR, order, worke
 		tile:      sweepTileDefault,
 		resolvedT: 1,
 	}
+	s.resolveSIMD()
 	s.initCoef()
 	if workers > 1 {
 		// Per-row work in stored non-zeros, plus the impulse matrices'
@@ -263,6 +271,7 @@ func NewSweepOperator(op Operator, diag1, diag2 []float64, order, workers int) (
 		tile:      sweepTileDefault,
 		resolvedT: 1,
 	}
+	s.resolveSIMD()
 	if ks, ok := op.(*KronSum); ok {
 		s.kron = ks
 	}
@@ -416,6 +425,12 @@ const (
 	// (2 MiB for both buffers) is already cache-resident, so re-running
 	// iterations over row blocks saves nothing.
 	temporalBlockMinWords = 1 << 18
+	// csrAutoBlockMaxSkew bounds the matrix bandwidth up to which the
+	// automatic policy temporally blocks the vectorized CSR32 kernel —
+	// the same reach ceiling the auto QBD policy implies (blocks of up
+	// to maxAutoQBDBlock phases reach 2b-1 rows). Beyond it the policy
+	// has no measurement and stays unblocked.
+	csrAutoBlockMaxSkew = 2*maxAutoQBDBlock - 1
 )
 
 // blockReach returns the dependency reach of the resolved storage: row i
@@ -472,13 +487,25 @@ func (s *Sweep) resolveBlocking() (T, W, skew int) {
 		if s.Scratch4Words() < temporalBlockMinWords {
 			return 1, W, skew // state already cache-resident: blocking cannot pay
 		}
-		if s.format != FormatBand && s.format != FormatQBD {
-			// The CSR kernels gain nothing from blocking on the tracked
-			// shapes (the index-chasing row loop, not DRAM bandwidth, is
-			// the bottleneck there, and the wavefront bookkeeping costs
-			// ~12-29% measured), so the automatic policy blocks only the
-			// index-free formats. Forced depths still block CSR for the
-			// difftest gates and benchmark ablations.
+		switch s.format {
+		case FormatBand, FormatQBD:
+			// The index-free formats are DRAM-bound and always gain.
+		case FormatCSR32:
+			// The scalar CSR kernel gains nothing from blocking (the
+			// index-chasing row loop, not DRAM bandwidth, is the
+			// bottleneck, and the wavefront bookkeeping costs ~12-29%
+			// measured). The AVX2 kernel retires the whole gather in one
+			// load and is memory-bound like the band kernel — blocking
+			// it measured ~22% faster on the N=100,001 ablation — so it
+			// auto-blocks, but only while the bandwidth-derived skew is
+			// in the regime the measurement covered (wider reaches force
+			// W up and shrink the depth until blocking is all halo).
+			// Forced depths still block every CSR shape for the difftest
+			// gates and benchmark ablations.
+			if !s.simd || skew > csrAutoBlockMaxSkew {
+				return 1, W, skew
+			}
+		default:
 			return 1, W, skew
 		}
 		T = temporalBlockDefault
@@ -635,6 +662,7 @@ func (s *Sweep) RunFrom(ctx context.Context, first, gMax int, cur, next [][]floa
 	// interleaved kernel) report Scratch4Words() == 0 and stay planar.
 	words := s.Scratch4Words()
 	interleaved := words > 0
+	s.kernel = s.resolveKernel(interleaved)
 	if interleaved {
 		n := s.rows
 		half := words / 2
@@ -769,8 +797,16 @@ func (s *Sweep) stepRange(lo, hi int, cur4, next4 []float64, active []accPair) {
 	case FormatBand:
 		s.fuseBlock3Band(lo, hi, cur4, next4, active)
 	case FormatCSR32:
+		if s.simd && hi > lo && len(s.a.val) > 0 {
+			s.fuseBlock3CompactAVX2(lo, hi, cur4, next4, active)
+			return
+		}
 		s.fuseBlock3Compact(lo, hi, cur4, next4, active)
 	case FormatQBD:
+		if s.simd && hi > lo {
+			s.fuseBlock3QBDAVX2(lo, hi, cur4, next4, active)
+			return
+		}
 		s.fuseBlock3QBD(lo, hi, cur4, next4, active)
 	case FormatKron:
 		s.fuseBlock3Kron(lo, hi, cur4, next4, active)
@@ -1227,8 +1263,9 @@ func (s *Sweep) fuseBlock3Band(lo, hi int, cur4, next4 []float64, active []accPa
 		// group (band_simd_amd64.s): per lane the assembly executes this
 		// loop's exact operation sequence with the same IEEE rounding, so
 		// its output is bitwise the scalar loop's. Multi-plan accumulation
-		// stays on the scalar loop below.
-		if hasAVX2 && hi > lo {
+		// runs the plain kernel plus tiled per-plan accumulation passes
+		// (see accTile3 for why the split is bitwise neutral).
+		if s.simd && hi > lo {
 			if a0 != nil {
 				bandTri3AccAVX2(hi-lo, &bval[lo*3], &cur4[lo*4], &next4[4+lo*4], &d1[lo], &d2[lo], &a0[lo], &a1[lo], &a2[lo], &a3[lo], w)
 				return
@@ -1237,6 +1274,15 @@ func (s *Sweep) fuseBlock3Band(lo, hi int, cur4, next4 []float64, active []accPa
 				bandTri3AVX2(hi-lo, &bval[lo*3], &cur4[lo*4], &next4[4+lo*4], &d1[lo], &d2[lo])
 				return
 			}
+			for t0 := lo; t0 < hi; t0 += s.tile {
+				t1 := t0 + s.tile
+				if t1 > hi {
+					t1 = hi
+				}
+				bandTri3AVX2(t1-t0, &bval[t0*3], &cur4[t0*4], &next4[4+t0*4], &d1[t0], &d2[t0])
+				s.accTile3(t0, t1, next4, 4, active)
+			}
+			return
 		}
 		for i := lo; i < hi; i++ {
 			r := bval[i*3 : i*3+3 : i*3+3]
@@ -1342,6 +1388,7 @@ func (s *Sweep) RunReferenceFrom(ctx context.Context, first, gMax int, cur, next
 	if cancelStride <= 0 {
 		cancelStride = 1
 	}
+	s.kernel = KernelScalar // the reference loops never dispatch assembly
 	n := s.rows
 	for k := first; k <= gMax; k++ {
 		if k%cancelStride == 0 {

@@ -272,18 +272,40 @@ func TestTemporalBlockResolution(t *testing.T) {
 			T, W, skew, temporalBlockDefault, sweepTileDefault)
 	}
 
-	// Auto never blocks the CSR kernels (they are index- not DRAM-bound;
-	// blocking measurably hurts), but a forced depth still engages.
+	// The CSR32 auto policy splits on the dispatched kernel (re-measured
+	// for PR 10, see BENCHMARKS.md): the scalar kernel is index- not
+	// DRAM-bound and never auto-blocks (blocking measured 12-29% slower),
+	// while the AVX2 kernel is memory-bound like the band kernel and
+	// auto-blocks (~22% faster) up to the measured skew ceiling. A forced
+	// depth engages either way.
 	cs, err := NewSweepWithFormat(big, bd1, bd2, nil, 3, 1, FormatCSR)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if SIMDAvailable() {
+		if T, _, _ := cs.resolveBlocking(); T != temporalBlockDefault {
+			t.Errorf("auto on large CSR state (SIMD) resolved T=%d, want %d", T, temporalBlockDefault)
+		}
+	}
+	cs.SetNoSIMD(true)
 	if T, _, _ := cs.resolveBlocking(); T != 1 {
-		t.Errorf("auto on large CSR state resolved T=%d, want 1", T)
+		t.Errorf("auto on large CSR state (scalar) resolved T=%d, want 1", T)
 	}
 	cs.SetTemporalBlock(4)
 	if T, _, _ := cs.resolveBlocking(); T != 4 {
 		t.Errorf("forced depth on CSR resolved T=%d, want 4", T)
+	}
+	// A reach beyond the measured ceiling keeps the SIMD auto policy
+	// unblocked too.
+	cs.SetNoSIMD(false)
+	cs.SetTemporalBlock(0)
+	wide := bandedFixture(t, rng, temporalBlockMinWords/8, csrAutoBlockMaxSkew+1, 1)
+	ws, err := NewSweepWithFormat(wide, bd1, bd2, nil, 3, 1, FormatCSR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if T, _, _ := ws.resolveBlocking(); T != 1 {
+		t.Errorf("auto on wide-band CSR state resolved T=%d, want 1", T)
 	}
 
 	// Kronecker-sum sweeps have unbounded reach and never block, even when
